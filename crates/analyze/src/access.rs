@@ -1,0 +1,175 @@
+//! Per-granule access sets and the `PARALLEL(x, y)` predicate.
+//!
+//! "Let the logical predicate PARALLEL(x,y) return the condition TRUE when
+//! x and y are such that parallel computations are allowed." The paper
+//! leaves the predicate's nature open ("different parallel systems may
+//! identify different logical predicates"); we use Bernstein's conditions
+//! over array-element footprints: two granules may run in parallel iff
+//! neither writes an element the other reads or writes.
+
+use crate::ir::{Access, ArrayId, ArrayProgram, LoopPhase};
+use std::collections::BTreeSet;
+
+/// The read/write footprint of one granule: sorted element lists keyed by
+/// array.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// `(array, element)` pairs read.
+    pub reads: BTreeSet<(ArrayId, u32)>,
+    /// `(array, element)` pairs written.
+    pub writes: BTreeSet<(ArrayId, u32)>,
+}
+
+impl Footprint {
+    /// Compute the footprint of granule `g` of `phase` in `program`.
+    pub fn of(program: &ArrayProgram, phase: &LoopPhase, g: u32) -> Footprint {
+        let mut fp = Footprint::default();
+        let mut scratch = Vec::new();
+        let mut collect = |accs: &[Access], into: &mut BTreeSet<(ArrayId, u32)>| {
+            for a in accs {
+                scratch.clear();
+                program.elements_of(a, g, &mut scratch);
+                for &e in &scratch {
+                    into.insert((a.array, e));
+                }
+            }
+        };
+        collect(&phase.writes, &mut fp.writes);
+        collect(&phase.reads, &mut fp.reads);
+        fp
+    }
+
+    /// Bernstein conflict test: true when the two granules must not run
+    /// concurrently.
+    pub fn conflicts_with(&self, other: &Footprint) -> bool {
+        !self.writes.is_disjoint(&other.writes)
+            || !self.writes.is_disjoint(&other.reads)
+            || !self.reads.is_disjoint(&other.writes)
+    }
+}
+
+/// The paper's `PARALLEL(x, y)` predicate over granules of (possibly
+/// different) phases.
+pub fn parallel(
+    program: &ArrayProgram,
+    phase_x: &LoopPhase,
+    x: u32,
+    phase_y: &LoopPhase,
+    y: u32,
+) -> bool {
+    let fx = Footprint::of(program, phase_x, x);
+    let fy = Footprint::of(program, phase_y, y);
+    !fx.conflicts_with(&fy)
+}
+
+/// All footprints of a phase, precomputed for classification.
+pub fn phase_footprints(program: &ArrayProgram, phase: &LoopPhase) -> Vec<Footprint> {
+    (0..phase.granules)
+        .map(|g| Footprint::of(program, phase, g))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Access, IndexExpr};
+
+    fn copy_program() -> (ArrayProgram, LoopPhase, LoopPhase) {
+        let mut p = ArrayProgram::new();
+        let a = p.array("A", 8);
+        let b = p.array("B", 8);
+        let c = p.array("C", 8);
+        let p1 = LoopPhase {
+            name: "b=a".into(),
+            granules: 8,
+            writes: vec![Access::new(b, IndexExpr::Identity)],
+            reads: vec![Access::new(a, IndexExpr::Identity)],
+            lines: 3,
+        };
+        let p2 = LoopPhase {
+            name: "c=b".into(),
+            granules: 8,
+            writes: vec![Access::new(c, IndexExpr::Identity)],
+            reads: vec![Access::new(b, IndexExpr::Identity)],
+            lines: 3,
+        };
+        (p, p1, p2)
+    }
+
+    #[test]
+    fn same_phase_granules_parallel() {
+        let (p, p1, _) = copy_program();
+        // distinct granules of one phase never conflict (distinct elements)
+        assert!(parallel(&p, &p1, 0, &p1, 1));
+        assert!(parallel(&p, &p1, 3, &p1, 7));
+    }
+
+    #[test]
+    fn identity_dependence_detected() {
+        let (p, p1, p2) = copy_program();
+        // granule i of phase 2 reads B(i) which phase 1 granule i writes
+        assert!(!parallel(&p, &p1, 2, &p2, 2));
+        // but different indices are independent
+        assert!(parallel(&p, &p1, 2, &p2, 3));
+    }
+
+    #[test]
+    fn footprint_contents() {
+        let (p, p1, _) = copy_program();
+        let fp = Footprint::of(&p, &p1, 5);
+        assert_eq!(fp.writes.len(), 1);
+        assert_eq!(fp.reads.len(), 1);
+        assert!(fp.writes.contains(&(ArrayId(1), 5)));
+        assert!(fp.reads.contains(&(ArrayId(0), 5)));
+    }
+
+    #[test]
+    fn write_write_conflict() {
+        let mut p = ArrayProgram::new();
+        let a = p.array("A", 4);
+        let ph = LoopPhase {
+            name: "w".into(),
+            granules: 4,
+            writes: vec![Access::new(a, IndexExpr::Const(0))],
+            reads: vec![],
+            lines: 1,
+        };
+        // every granule writes A(0): all conflict
+        assert!(!parallel(&p, &ph, 0, &ph, 1));
+    }
+
+    #[test]
+    fn gather_conflicts() {
+        let mut p = ArrayProgram::new();
+        let a = p.array("A", 16);
+        let b = p.array("B", 16);
+        let m = p.map("IMAP", vec![vec![3], vec![3], vec![7], vec![1]], true);
+        // phase 1 writes A(I); phase 2 reads A(IMAP(I))
+        let p1 = LoopPhase {
+            name: "gen".into(),
+            granules: 16,
+            writes: vec![Access::new(a, IndexExpr::Identity)],
+            reads: vec![],
+            lines: 2,
+        };
+        let p2 = LoopPhase {
+            name: "gather".into(),
+            granules: 4,
+            writes: vec![Access::new(b, IndexExpr::Identity)],
+            reads: vec![Access::new(a, IndexExpr::Gather(m))],
+            lines: 2,
+        };
+        // succ granule 0 reads A(3): conflicts with pred granule 3 only
+        assert!(!parallel(&p, &p1, 3, &p2, 0));
+        assert!(parallel(&p, &p1, 2, &p2, 0));
+        assert!(!parallel(&p, &p1, 7, &p2, 2));
+    }
+
+    #[test]
+    fn footprints_bulk() {
+        let (p, p1, _) = copy_program();
+        let fps = phase_footprints(&p, &p1);
+        assert_eq!(fps.len(), 8);
+        assert!(fps[4].writes.contains(&(ArrayId(1), 4)));
+    }
+}

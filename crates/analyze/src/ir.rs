@@ -1,0 +1,319 @@
+//! A miniature array-program IR for Fortran-style parallel loop phases.
+//!
+//! The paper identifies enablement mappings by inspecting code fragments
+//! like:
+//!
+//! ```fortran
+//! DO 100 I=1,N
+//!   B(I)=A(I)          ! first computational phase
+//! 100 CONTINUE
+//! DO 200 I=1,N
+//!   C(I)=B(I)          ! second computational phase
+//! 200 CONTINUE
+//! ```
+//!
+//! This module represents such fragments: arrays, information-selection
+//! maps (`IMAP`), and parallel loop phases whose granule `I` reads and
+//! writes array elements through index expressions. `pax-analyze` then
+//! computes per-granule access sets and classifies each phase pair into
+//! the paper's mapping taxonomy automatically.
+
+use std::fmt;
+
+/// Identifier of an array within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+/// Identifier of an information-selection map (e.g. `IMAP`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MapId(pub u32);
+
+/// An array declaration.
+#[derive(Debug, Clone)]
+pub struct ArrayDef {
+    /// Source-level name.
+    pub name: String,
+    /// Element count.
+    pub len: u32,
+}
+
+/// A map declaration: per-granule lists of selected indices. A map used as
+/// `IMAP(I)` has singleton lists; `IMAP(J,I)` for `J=1..k` has `k`-element
+/// lists. The paper's maps were "dynamically generated" — the `dynamic`
+/// flag records that, which matters for when the executive can build the
+/// composite map.
+#[derive(Debug, Clone)]
+pub struct MapDef {
+    /// Source-level name.
+    pub name: String,
+    /// `per_granule[g]` = indices selected for granule `g`.
+    pub per_granule: Vec<Vec<u32>>,
+    /// Whether the map's values exist only at run time.
+    pub dynamic: bool,
+}
+
+/// Index expression applied to the loop variable `I` (granule index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexExpr {
+    /// `A(I)` — the granule's own index.
+    Identity,
+    /// `A(s*I + o)` with wraparound clamping to the array length.
+    Affine {
+        /// Multiplier on `I`.
+        stride: i64,
+        /// Constant offset.
+        offset: i64,
+    },
+    /// `A(IMAP(I))` — one mapped element per granule.
+    Gather(MapId),
+    /// `A(IMAP(J,I)), J=1..k` — the granule touches every element in its
+    /// map list.
+    GatherMany(MapId),
+    /// `A(c)` — a single fixed element (scalar-like access).
+    Const(u32),
+}
+
+/// One array access: which array, through which index expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// Target array.
+    pub array: ArrayId,
+    /// Index expression.
+    pub index: IndexExpr,
+}
+
+impl Access {
+    /// Convenience constructor.
+    pub fn new(array: ArrayId, index: IndexExpr) -> Access {
+        Access { array, index }
+    }
+}
+
+/// A parallel loop phase: `granules` iterations, each performing the given
+/// reads and writes.
+#[derive(Debug, Clone)]
+pub struct LoopPhase {
+    /// Phase name (for reports and census tables).
+    pub name: String,
+    /// Trip count = granule count.
+    pub granules: u32,
+    /// Elements written per granule.
+    pub writes: Vec<Access>,
+    /// Elements read per granule.
+    pub reads: Vec<Access>,
+    /// Lines of code this phase represents (census weight).
+    pub lines: u32,
+}
+
+/// A program statement: a parallel phase or a serial action between
+/// phases (the cause of all null mappings observed in PAX/CASPER).
+#[derive(Debug, Clone)]
+pub enum IrStmt {
+    /// A parallel loop phase.
+    Parallel(LoopPhase),
+    /// Serial actions and decisions; lines counted for the census.
+    Serial {
+        /// Description of the serial work.
+        label: String,
+        /// Lines of serial code.
+        lines: u32,
+    },
+}
+
+/// A whole array program: declarations plus a statement sequence.
+#[derive(Debug, Clone, Default)]
+pub struct ArrayProgram {
+    /// Array declarations.
+    pub arrays: Vec<ArrayDef>,
+    /// Map declarations.
+    pub maps: Vec<MapDef>,
+    /// Statements in program order.
+    pub stmts: Vec<IrStmt>,
+}
+
+impl ArrayProgram {
+    /// Empty program.
+    pub fn new() -> ArrayProgram {
+        ArrayProgram::default()
+    }
+
+    /// Declare an array.
+    pub fn array(&mut self, name: impl Into<String>, len: u32) -> ArrayId {
+        self.arrays.push(ArrayDef {
+            name: name.into(),
+            len,
+        });
+        ArrayId(self.arrays.len() as u32 - 1)
+    }
+
+    /// Declare a map with explicit per-granule selection lists.
+    pub fn map(
+        &mut self,
+        name: impl Into<String>,
+        per_granule: Vec<Vec<u32>>,
+        dynamic: bool,
+    ) -> MapId {
+        self.maps.push(MapDef {
+            name: name.into(),
+            per_granule,
+            dynamic,
+        });
+        MapId(self.maps.len() as u32 - 1)
+    }
+
+    /// Append a parallel phase.
+    pub fn parallel(&mut self, phase: LoopPhase) -> &mut Self {
+        self.stmts.push(IrStmt::Parallel(phase));
+        self
+    }
+
+    /// Append a serial region.
+    pub fn serial(&mut self, label: impl Into<String>, lines: u32) -> &mut Self {
+        self.stmts.push(IrStmt::Serial {
+            label: label.into(),
+            lines,
+        });
+        self
+    }
+
+    /// The parallel phases in order, with their statement indices.
+    pub fn parallel_phases(&self) -> impl Iterator<Item = (usize, &LoopPhase)> {
+        self.stmts.iter().enumerate().filter_map(|(i, s)| match s {
+            IrStmt::Parallel(p) => Some((i, p)),
+            IrStmt::Serial { .. } => None,
+        })
+    }
+
+    /// Resolve the concrete element indices of `access` for granule `g`.
+    /// Out-of-range results are wrapped (`mod len`), matching the habit of
+    /// sizing test arrays to the loop bounds.
+    pub fn elements_of(&self, access: &Access, g: u32, out: &mut Vec<u32>) {
+        let len = self.arrays[access.array.0 as usize].len.max(1);
+        match &access.index {
+            IndexExpr::Identity => out.push(g % len),
+            IndexExpr::Affine { stride, offset } => {
+                let idx = (*stride * g as i64 + *offset).rem_euclid(len as i64) as u32;
+                out.push(idx);
+            }
+            IndexExpr::Gather(m) => {
+                let lists = &self.maps[m.0 as usize].per_granule;
+                if let Some(list) = lists.get(g as usize) {
+                    out.extend(list.iter().map(|&e| e % len));
+                }
+            }
+            IndexExpr::GatherMany(m) => {
+                let lists = &self.maps[m.0 as usize].per_granule;
+                if let Some(list) = lists.get(g as usize) {
+                    out.extend(list.iter().map(|&e| e % len));
+                }
+            }
+            IndexExpr::Const(c) => out.push(*c % len),
+        }
+    }
+}
+
+impl fmt::Display for LoopPhase {
+    /// Render as pseudo-Fortran for reports.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "      DO I=1,{}            ! {}", self.granules, self.name)?;
+        for w in &self.writes {
+            let idx = match &w.index {
+                IndexExpr::Identity => "I".to_string(),
+                IndexExpr::Affine { stride, offset } => format!("{stride}*I{offset:+}"),
+                IndexExpr::Gather(m) => format!("IMAP{}(I)", m.0),
+                IndexExpr::GatherMany(m) => format!("IMAP{}(J,I)", m.0),
+                IndexExpr::Const(c) => format!("{c}"),
+            };
+            writeln!(f, "        W{}({idx}) = ...", w.array.0)?;
+        }
+        writeln!(f, "      CONTINUE")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_elements() {
+        let mut p = ArrayProgram::new();
+        let a = p.array("A", 8);
+        let acc = Access::new(a, IndexExpr::Identity);
+        let mut out = Vec::new();
+        p.elements_of(&acc, 3, &mut out);
+        assert_eq!(out, vec![3]);
+        out.clear();
+        p.elements_of(&acc, 11, &mut out); // wraps
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn affine_elements() {
+        let mut p = ArrayProgram::new();
+        let a = p.array("A", 10);
+        let acc = Access::new(a, IndexExpr::Affine { stride: 2, offset: 1 });
+        let mut out = Vec::new();
+        p.elements_of(&acc, 3, &mut out);
+        assert_eq!(out, vec![7]);
+        out.clear();
+        let neg = Access::new(a, IndexExpr::Affine { stride: -1, offset: 0 });
+        p.elements_of(&neg, 3, &mut out);
+        assert_eq!(out, vec![7]); // -3 mod 10
+    }
+
+    #[test]
+    fn gather_elements() {
+        let mut p = ArrayProgram::new();
+        let a = p.array("A", 16);
+        let m = p.map("IMAP", vec![vec![5], vec![9, 2]], true);
+        let mut out = Vec::new();
+        p.elements_of(&Access::new(a, IndexExpr::Gather(m)), 0, &mut out);
+        assert_eq!(out, vec![5]);
+        out.clear();
+        p.elements_of(&Access::new(a, IndexExpr::GatherMany(m)), 1, &mut out);
+        assert_eq!(out, vec![9, 2]);
+        out.clear();
+        p.elements_of(&Access::new(a, IndexExpr::Gather(m)), 7, &mut out);
+        assert!(out.is_empty(), "missing map entries yield no accesses");
+    }
+
+    #[test]
+    fn program_structure() {
+        let mut p = ArrayProgram::new();
+        let a = p.array("A", 4);
+        let b = p.array("B", 4);
+        p.parallel(LoopPhase {
+            name: "copy".into(),
+            granules: 4,
+            writes: vec![Access::new(b, IndexExpr::Identity)],
+            reads: vec![Access::new(a, IndexExpr::Identity)],
+            lines: 3,
+        });
+        p.serial("decide", 2);
+        p.parallel(LoopPhase {
+            name: "copy2".into(),
+            granules: 4,
+            writes: vec![Access::new(a, IndexExpr::Identity)],
+            reads: vec![Access::new(b, IndexExpr::Identity)],
+            lines: 3,
+        });
+        let phases: Vec<usize> = p.parallel_phases().map(|(i, _)| i).collect();
+        assert_eq!(phases, vec![0, 2]);
+    }
+
+    #[test]
+    fn display_pseudofortran() {
+        let mut p = ArrayProgram::new();
+        let b = p.array("B", 4);
+        let ph = LoopPhase {
+            name: "copy".into(),
+            granules: 4,
+            writes: vec![Access::new(b, IndexExpr::Identity)],
+            reads: vec![],
+            lines: 3,
+        };
+        let text = ph.to_string();
+        assert!(text.contains("DO I=1,4"));
+        assert!(text.contains("W0(I)"));
+    }
+}

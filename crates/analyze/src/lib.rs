@@ -1,0 +1,57 @@
+//! # pax-analyze — identifying enabled granules
+//!
+//! The paper's "Identifying Enabled Granules" section reasons from Fortran
+//! fragments to an enablement mapping by inspection. This crate mechanizes
+//! that step:
+//!
+//! * [`ir`] — a miniature array-program IR: arrays, information-selection
+//!   maps (`IMAP`), and parallel loop phases with read/write accesses.
+//! * [`access`] — per-granule footprints and the paper's `PARALLEL(x, y)`
+//!   predicate (Bernstein conditions over array elements).
+//! * [`classify`](mod@classify) — automatic classification of each phase
+//!   pair into universal / identity / forward-indirect / reverse-indirect /
+//!   seam / null, producing the concrete
+//!   [`pax_core::mapping::EnablementMapping`] the executive consumes.
+//! * [`census`] — the frequency table over a program's transitions,
+//!   reproducing the paper's PAX/CASPER census (experiment E2).
+//!
+//! ```
+//! use pax_analyze::prelude::*;
+//!
+//! // B(I)=A(I) ; C(I)=B(I)  — the paper's identity fragment.
+//! let mut p = ArrayProgram::new();
+//! let a = p.array("A", 64);
+//! let b = p.array("B", 64);
+//! let c = p.array("C", 64);
+//! let p1 = LoopPhase {
+//!     name: "b=a".into(), granules: 64, lines: 3,
+//!     writes: vec![Access::new(b, IndexExpr::Identity)],
+//!     reads:  vec![Access::new(a, IndexExpr::Identity)],
+//! };
+//! let p2 = LoopPhase {
+//!     name: "c=b".into(), granules: 64, lines: 3,
+//!     writes: vec![Access::new(c, IndexExpr::Identity)],
+//!     reads:  vec![Access::new(b, IndexExpr::Identity)],
+//! };
+//! let cl = classify(&p, &p1, &p2, false);
+//! assert_eq!(cl.kind, pax_core::mapping::MappingKind::Identity);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod census;
+pub mod classify;
+pub mod ir;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::access::{parallel, phase_footprints, Footprint};
+    pub use crate::census::{Census, CensusRow};
+    pub use crate::classify::{classify, classify_program, Classification};
+    pub use crate::ir::{
+        Access, ArrayDef, ArrayId, ArrayProgram, IndexExpr, IrStmt, LoopPhase, MapDef, MapId,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,157 @@
+//! Microbenchmarks of the executive's core data structures: the
+//! deterministic event queue, the range-set merge (the paper's
+//! split/merge descriptions), composite-map construction, the conflict
+//! queue, and the automatic classifier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pax_core::descriptor::DescArena;
+use pax_core::ids::{GranuleRange, InstanceId, JobId};
+use pax_core::mapping::{CompositeMap, ReverseMap};
+use pax_core::rangeset::RangeSet;
+use pax_sim::event::EventQueue;
+use pax_sim::SimTime;
+use rand::Rng;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            let mut rng = pax_sim::seeded_rng(1);
+            let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n);
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule(SimTime(t), i);
+                }
+                let mut count = 0;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                count
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rangeset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rangeset_merge");
+    for &n in &[1_000u32, 10_000] {
+        g.bench_with_input(BenchmarkId::new("random_inserts", n), &n, |b, &n| {
+            let mut rng = pax_sim::seeded_rng(2);
+            let ranges: Vec<(u32, u32)> = (0..n)
+                .map(|_| {
+                    let lo = rng.gen_range(0..n * 4);
+                    (lo, lo + rng.gen_range(1..8))
+                })
+                .collect();
+            b.iter(|| {
+                let mut s = RangeSet::new();
+                for &(lo, hi) in &ranges {
+                    s.insert(GranuleRange::new(lo, hi));
+                }
+                s.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_composite_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("composite_map_build");
+    for &n in &[256u32, 2048] {
+        g.bench_with_input(BenchmarkId::new("reverse_fan10", n), &n, |b, &n| {
+            let mut rng = pax_sim::seeded_rng(3);
+            let lists: Vec<Vec<u32>> = (0..n)
+                .map(|_| (0..10).map(|_| rng.gen_range(0..n)).collect())
+                .collect();
+            let rmap = ReverseMap::new(lists, n);
+            b.iter(|| CompositeMap::from_reverse(&rmap, n).entries())
+        });
+    }
+    g.finish();
+}
+
+fn bench_conflict_queue(c: &mut Criterion) {
+    c.bench_function("conflict_queue_push_drain_1000", |b| {
+        b.iter(|| {
+            let mut a = DescArena::new();
+            let owner = a.alloc(InstanceId(0), JobId(0), GranuleRange::new(0, 10));
+            let members: Vec<_> = (0..1000)
+                .map(|i| a.alloc(InstanceId(1), JobId(0), GranuleRange::new(i, i + 1)))
+                .collect();
+            for &m in &members {
+                a.cq_push(owner, m);
+            }
+            a.cq_drain(owner).len()
+        })
+    });
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    use pax_workloads::casper::CasperConfig;
+    c.bench_function("classify_casper_model_48", |b| {
+        let cfg = CasperConfig {
+            granules: 48,
+            ..CasperConfig::default()
+        };
+        let model = cfg.array_model();
+        b.iter(|| pax_analyze::classify_program(&model).len())
+    });
+}
+
+fn bench_waiting_queue_scan(c: &mut Criterion) {
+    use pax_core::descriptor::QueueClass;
+    use pax_core::ids::DescId;
+    use pax_core::queue::WaitingQueue;
+    let mut g = c.benchmark_group("waiting_queue_pop_matching");
+    // worst case: nothing matches, the scan walks the full window then
+    // falls back to the head — the price of one proximity miss
+    for &window in &[4usize, 32, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| {
+                let mut q = WaitingQueue::new(1);
+                for i in 0..512u32 {
+                    q.push_back(DescId(i), QueueClass::Normal, JobId(0));
+                }
+                let mut popped = 0;
+                while q.pop_matching(w, |_| false).is_some() {
+                    popped += 1;
+                }
+                popped
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_locality_remote_count(c: &mut Criterion) {
+    use pax_sim::locality::{DataLayout, LocalityModel};
+    use pax_sim::time::SimDuration;
+    let mut g = c.benchmark_group("locality_remote_granules");
+    for (label, layout) in [("block", DataLayout::Block), ("cyclic", DataLayout::Cyclic)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &layout, |b, &layout| {
+            let loc = LocalityModel::new(8, SimDuration(5)).with_layout(layout);
+            b.iter(|| {
+                let mut total = 0u64;
+                for lo in (0..1_000_000u32).step_by(4096) {
+                    total += loc.remote_granules(lo, lo + 4096, 1_048_576, 3);
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rangeset,
+    bench_composite_build,
+    bench_conflict_queue,
+    bench_classifier,
+    bench_waiting_queue_scan,
+    bench_locality_remote_count
+);
+criterion_main!(benches);

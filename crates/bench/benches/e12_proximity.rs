@@ -1,0 +1,87 @@
+//! Criterion bench for E12: data-proximity work assignment on a
+//! clustered-memory machine — queue-order vs proximity scan, block vs
+//! cyclic layout, and the marginal cost of the queue scan itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pax_core::mapping::MappingKind;
+use pax_core::prelude::*;
+use pax_sim::locality::{DataLayout, LocalityModel};
+use pax_sim::machine::MachineConfig;
+use pax_sim::time::SimDuration;
+use pax_workloads::generators::{CostShape, GeneratorConfig};
+
+fn workload() -> Program {
+    GeneratorConfig {
+        phases: 4,
+        granules: 512,
+        mean_cost: 100,
+        shape: CostShape::Jittered,
+        mapping: MappingKind::Identity,
+        reverse_fan: 4,
+        seed: 0xE12,
+    }
+    .build(true)
+}
+
+fn machine(layout: DataLayout, extra: u64) -> MachineConfig {
+    MachineConfig::new(16)
+        .with_locality(LocalityModel::new(4, SimDuration(extra)).with_layout(layout))
+}
+
+fn policy(window: Option<usize>) -> OverlapPolicy {
+    OverlapPolicy::overlap()
+        .with_split_strategy(SplitStrategy::PreSplit)
+        .with_assignment(match window {
+            Some(scan_window) => AssignmentPolicy::DataProximity { scan_window },
+            None => AssignmentPolicy::QueueOrder,
+        })
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_assignment");
+    g.sample_size(20);
+    for (label, window) in [("queue_order", None), ("proximity_w32", Some(32))] {
+        g.bench_with_input(BenchmarkId::new("block", label), &window, |b, &window| {
+            let program = workload();
+            b.iter(|| {
+                let mut sim =
+                    Simulation::new(machine(DataLayout::Block, 100), policy(window)).with_seed(1);
+                sim.add_job(program.clone());
+                sim.run().unwrap().makespan
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cyclic", label), &window, |b, &window| {
+            let program = workload();
+            b.iter(|| {
+                let mut sim =
+                    Simulation::new(machine(DataLayout::Cyclic, 100), policy(window)).with_seed(1);
+                sim.add_job(program.clone());
+                sim.run().unwrap().makespan
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_scan_window");
+    g.sample_size(20);
+    // Simulator wall-clock cost of widening the scan (the model charges no
+    // ticks for scanning; this measures the host-side price of the linear
+    // queue scan the executive would pay).
+    for &w in &[0usize, 8, 32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            let program = workload();
+            b.iter(|| {
+                let mut sim =
+                    Simulation::new(machine(DataLayout::Block, 100), policy(Some(w))).with_seed(1);
+                sim.add_job(program.clone());
+                sim.run().unwrap().makespan
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_assignment, bench_scan_window);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for E1: the checkerboard rundown simulation,
+//! strict barriers vs seam overlap, across grid sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pax_core::prelude::*;
+use pax_sim::dist::CostModel;
+use pax_sim::machine::MachineConfig;
+use pax_workloads::checkerboard::checkerboard_program;
+
+fn bench_checkerboard(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_checkerboard_rundown");
+    g.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        for overlap in [false, true] {
+            let label = if overlap { "overlap" } else { "strict" };
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{n}x{n}")),
+                &(n, overlap),
+                |b, &(n, overlap)| {
+                    b.iter(|| {
+                        let program =
+                            checkerboard_program(n, 4, CostModel::constant(100), overlap);
+                        let policy = if overlap {
+                            OverlapPolicy::overlap().with_sizing(TaskSizing::Fixed(4))
+                        } else {
+                            OverlapPolicy::strict().with_sizing(TaskSizing::Fixed(4))
+                        };
+                        let mut sim =
+                            Simulation::new(MachineConfig::ideal(100), policy);
+                        sim.add_job(program);
+                        sim.run().unwrap().makespan
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_checkerboard);
+criterion_main!(benches);

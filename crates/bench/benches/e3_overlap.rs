@@ -1,0 +1,79 @@
+//! Criterion bench for E3/E4: the executive under every enablement
+//! mapping, barrier vs overlap, and the tasks-per-processor sizing rule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pax_core::mapping::MappingKind;
+use pax_core::prelude::*;
+use pax_sim::machine::MachineConfig;
+use pax_workloads::generators::{CostShape, GeneratorConfig};
+
+fn bench_mappings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_mapping_overlap");
+    g.sample_size(10);
+    for mapping in [
+        MappingKind::Universal,
+        MappingKind::Identity,
+        MappingKind::ForwardIndirect,
+        MappingKind::ReverseIndirect,
+        MappingKind::Seam,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("overlap", mapping.label()),
+            &mapping,
+            |b, &mapping| {
+                let cfg = GeneratorConfig {
+                    phases: 3,
+                    granules: 300,
+                    mean_cost: 100,
+                    shape: CostShape::Jittered,
+                    mapping,
+                    reverse_fan: 4,
+                    seed: 0xBE,
+                };
+                b.iter(|| {
+                    let mut sim =
+                        Simulation::new(MachineConfig::ideal(16), OverlapPolicy::overlap());
+                    sim.add_job(cfg.build(true));
+                    sim.run().unwrap().makespan
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_task_sizing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_tasks_per_processor");
+    g.sample_size(10);
+    for &ratio in &[1.0f64, 2.0, 4.0] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("ratio-{ratio}")),
+            &ratio,
+            |b, &ratio| {
+                let cfg = GeneratorConfig {
+                    phases: 3,
+                    granules: 600,
+                    mean_cost: 100,
+                    shape: CostShape::Jittered,
+                    mapping: MappingKind::Identity,
+                    reverse_fan: 4,
+                    seed: 0xBE,
+                };
+                b.iter(|| {
+                    let policy = OverlapPolicy::overlap()
+                        .with_sizing(TaskSizing::TasksPerProcessor(ratio));
+                    let mut sim = Simulation::new(
+                        MachineConfig::new(16),
+                        policy,
+                    );
+                    sim.add_job(cfg.build(true));
+                    sim.run().unwrap().makespan
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mappings, bench_task_sizing);
+criterion_main!(benches);

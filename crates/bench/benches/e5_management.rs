@@ -1,0 +1,91 @@
+//! Criterion bench for E5–E8 families: management overhead, split
+//! strategies, and indirect-map machinery on the CASPER pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pax_core::prelude::*;
+use pax_sim::machine::{ExecutivePlacement, MachineConfig, ManagementCosts};
+use pax_workloads::casper::CasperConfig;
+
+fn bench_casper_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_casper_pipeline");
+    g.sample_size(10);
+    let cfg = CasperConfig {
+        granules: 120,
+        iterations: 1,
+        mean_cost: 100,
+        ..CasperConfig::default()
+    };
+    for (label, overlap) in [("strict", false), ("overlap", true)] {
+        g.bench_with_input(BenchmarkId::new(label, "ideal"), &overlap, |b, &ov| {
+            b.iter(|| {
+                let policy = if ov {
+                    OverlapPolicy::overlap()
+                } else {
+                    OverlapPolicy::strict()
+                };
+                let mut sim = Simulation::new(MachineConfig::ideal(16), policy);
+                sim.add_job(cfg.build(ov));
+                sim.run().unwrap().makespan
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new(label, "steals-worker"),
+            &overlap,
+            |b, &ov| {
+                b.iter(|| {
+                    let policy = if ov {
+                        OverlapPolicy::overlap()
+                    } else {
+                        OverlapPolicy::strict()
+                    };
+                    let machine = MachineConfig::new(16)
+                        .with_executive(ExecutivePlacement::StealsWorker)
+                        .with_costs(ManagementCosts::pax_default());
+                    let mut sim = Simulation::new(machine, policy);
+                    sim.add_job(cfg.build(ov));
+                    sim.run().unwrap().makespan
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_split_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_split_strategies");
+    g.sample_size(10);
+    use pax_workloads::generators::{CostShape, GeneratorConfig};
+    let cfg = GeneratorConfig {
+        phases: 3,
+        granules: 400,
+        mean_cost: 100,
+        shape: CostShape::Jittered,
+        mapping: pax_core::mapping::MappingKind::Identity,
+        reverse_fan: 4,
+        seed: 0xE7,
+    };
+    for strat in [
+        SplitStrategy::DemandSplit,
+        SplitStrategy::PreSplit,
+        SplitStrategy::SuccessorSplitTask,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strat:?}")),
+            &strat,
+            |b, &strat| {
+                b.iter(|| {
+                    let machine = MachineConfig::new(16)
+                        .with_costs(ManagementCosts::pax_default().scaled(8));
+                    let policy = OverlapPolicy::overlap().with_split_strategy(strat);
+                    let mut sim = Simulation::new(machine, policy);
+                    sim.add_job(cfg.build(true));
+                    sim.run().unwrap().makespan
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_casper_pipeline, bench_split_strategies);
+criterion_main!(benches);

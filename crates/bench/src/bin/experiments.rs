@@ -1,0 +1,76 @@
+//! Experiment harness: regenerates every quantitative claim of NASA
+//! TM-87349 (see DESIGN.md §3 for the claim → experiment mapping).
+//!
+//! ```text
+//! cargo run --release -p pax-bench --bin experiments            # all
+//! cargo run --release -p pax-bench --bin experiments -- e1 e5   # subset
+//! cargo run --release -p pax-bench --bin experiments -- --quick # small sizes
+//! ```
+
+use pax_bench::experiments as ex;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+
+    println!(
+        "PAX rundown reproduction — experiment harness ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    let t0 = Instant::now();
+    if want("e1") {
+        section("E1", || println!("{}", ex::e1::run(quick)));
+    }
+    if want("e2") {
+        section("E2", || println!("{}", ex::e2::run(quick)));
+    }
+    if want("e3") {
+        section("E3", || println!("{}", ex::e3::run(quick)));
+    }
+    if want("e4") {
+        section("E4", || println!("{}", ex::e4::run(quick)));
+    }
+    if want("e5") {
+        section("E5", || println!("{}", ex::e5::run(quick)));
+    }
+    if want("e6") {
+        section("E6", || println!("{}", ex::e6::run(quick)));
+    }
+    if want("e7") {
+        section("E7", || println!("{}", ex::e7::run(quick)));
+    }
+    if want("e8") {
+        section("E8", || println!("{}", ex::e8::run(quick)));
+    }
+    if want("e9") {
+        section("E9", || println!("{}", ex::e9::run(quick)));
+    }
+    if want("e10") {
+        section("E10", || println!("{}", ex::e10::run(quick)));
+    }
+    if want("e11") {
+        section("E11", || println!("{}", ex::e11::run(quick)));
+    }
+    if want("e12") {
+        section("E12", || println!("{}", ex::e12::run(quick)));
+    }
+    if want("e13") {
+        section("E13", || println!("{}", ex::e13::run(quick)));
+    }
+    println!("\nall requested experiments done in {:?}", t0.elapsed());
+}
+
+fn section(id: &str, run: impl FnOnce()) {
+    let t = Instant::now();
+    println!("{}", "=".repeat(78));
+    run();
+    println!("[{id} took {:?}]\n", t.elapsed());
+}

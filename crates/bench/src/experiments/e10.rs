@@ -1,0 +1,214 @@
+//! **E10 — the language construct round-trip.**
+//!
+//! All four forms from the paper's "Language Construction" section must
+//! parse, validate (the executive-verifiable interlock), compile, and run
+//! with the declared overlap actually taking effect — including branch
+//! preprocessing selecting the *taken* successor.
+
+use pax_core::policy::OverlapPolicy;
+use pax_lang::{compile, parse, run_script, MapBindings};
+use pax_sim::machine::MachineConfig;
+
+/// Outcome of one language form.
+#[derive(Debug)]
+pub struct E10Row {
+    /// Form label.
+    pub form: String,
+    /// Whether the script compiled (after intended diagnostics).
+    pub compiled: bool,
+    /// Warnings produced (the form-1 verifiability warning is expected).
+    pub warnings: usize,
+    /// Makespan with overlap.
+    pub overlap_makespan: u64,
+    /// Makespan strict.
+    pub strict_makespan: u64,
+    /// Overlap granules achieved.
+    pub overlap_granules: u64,
+    /// Names of phase instances that ran, in order.
+    pub phases_run: Vec<String>,
+}
+
+/// Results of E10.
+#[derive(Debug)]
+pub struct E10Result {
+    /// One row per form.
+    pub rows: Vec<E10Row>,
+}
+
+fn run_form(form: &str, src: &str, bindings: &MapBindings, procs: usize) -> E10Row {
+    let script = parse(src).expect("parse");
+    let compiled = compile(&script, bindings);
+    let (compiled_ok, warnings) = match &compiled {
+        Ok(c) => (true, c.warnings.len()),
+        Err(_) => (false, 0),
+    };
+    let overlap = run_script(
+        src,
+        bindings,
+        MachineConfig::ideal(procs),
+        OverlapPolicy::overlap().with_sizing(pax_core::policy::TaskSizing::Fixed(1)),
+    )
+    .expect("overlap run");
+    let strict = run_script(
+        src,
+        bindings,
+        MachineConfig::ideal(procs),
+        OverlapPolicy::strict().with_sizing(pax_core::policy::TaskSizing::Fixed(1)),
+    )
+    .expect("strict run");
+    E10Row {
+        form: form.into(),
+        compiled: compiled_ok,
+        warnings,
+        overlap_makespan: overlap.makespan.ticks(),
+        strict_makespan: strict.makespan.ticks(),
+        overlap_granules: overlap.total_overlap_granules(),
+        phases_run: overlap.phases.iter().map(|p| p.name.clone()).collect(),
+    }
+}
+
+/// Run E10.
+#[allow(clippy::vec_init_then_push)] // one push per paper form, each with its own commentary
+pub fn run(_quick: bool) -> E10Result {
+    let procs = 4;
+    let mut rows = Vec::new();
+
+    // Form 1: bare ENABLE/MAPPING (works, but warned as unverifiable).
+    rows.push(run_form(
+        "form 1: ENABLE/MAPPING=option",
+        "
+        DEFINE PHASE sweep GRANULES 10 COST CONST 10
+        DEFINE PHASE relax GRANULES 10 COST CONST 10
+        DISPATCH sweep ENABLE/MAPPING=IDENTITY
+        DISPATCH relax
+        ",
+        &MapBindings::new(),
+        procs,
+    ));
+
+    // Form 2: named successor (verifiable interlock).
+    rows.push(run_form(
+        "form 2: ENABLE [name/MAPPING=option]",
+        "
+        DEFINE PHASE sweep GRANULES 10 COST CONST 10
+        DEFINE PHASE relax GRANULES 10 COST CONST 10
+        DISPATCH sweep ENABLE [relax/MAPPING=IDENTITY]
+        DISPATCH relax
+        ",
+        &MapBindings::new(),
+        procs,
+    ));
+
+    // Form 3: branch-independent preprocessing; LOOPCOUNTER=0 selects the
+    // false arm (IMOD == 0), so phase-b is overlapped, phase-a is not run.
+    rows.push(run_form(
+        "form 3: ENABLE/BRANCHINDEPENDENT + IF/GO TO",
+        "
+        DEFINE PHASE main GRANULES 10 COST CONST 10
+        DEFINE PHASE alt-a GRANULES 10 COST CONST 10
+        DEFINE PHASE alt-b GRANULES 10 COST CONST 10
+        DISPATCH main
+          ENABLE/BRANCHINDEPENDENT
+          [alt-a/MAPPING=UNIVERSAL
+           alt-b/MAPPING=UNIVERSAL]
+        IF (IMOD(LOOPCOUNTER,10).NE.0) THEN GO TO branch-target
+        DISPATCH alt-b
+        GO TO rejoin
+        branch-target:
+        DISPATCH alt-a
+        rejoin:
+        ",
+        &MapBindings::new(),
+        procs,
+    ));
+
+    // Form 4: ENABLE on DEFINE + ENABLE/BRANCHDEPENDENT at dispatch.
+    rows.push(run_form(
+        "form 4: DEFINE ... ENABLE + DISPATCH ENABLE/BRANCHDEPENDENT",
+        "
+        DEFINE PHASE main GRANULES 10 COST CONST 10 ENABLE [
+          next-1/MAPPING=IDENTITY
+          next-2/MAPPING=UNIVERSAL
+        ]
+        DEFINE PHASE next-1 GRANULES 10 COST CONST 10
+        DEFINE PHASE next-2 GRANULES 10 COST CONST 10
+        DISPATCH main ENABLE/BRANCHDEPENDENT
+        DISPATCH next-1
+        DISPATCH next-2
+        ",
+        &MapBindings::new(),
+        procs,
+    ));
+
+    E10Result { rows }
+}
+
+impl std::fmt::Display for E10Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "E10 — language construct round-trip")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {}\n    compiled: {}  warnings: {}  strict {} → overlap {} \
+                 (ovl granules {})  phases: {:?}",
+                r.form,
+                r.compiled,
+                r.warnings,
+                r.strict_makespan,
+                r.overlap_makespan,
+                r.overlap_granules,
+                r.phases_run
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_forms_compile_and_overlap() {
+        let r = run(true);
+        assert_eq!(r.rows.len(), 4);
+        for row in &r.rows {
+            assert!(row.compiled, "{} failed to compile", row.form);
+            assert!(
+                row.overlap_makespan <= row.strict_makespan,
+                "{}: overlap {} > strict {}",
+                row.form,
+                row.overlap_makespan,
+                row.strict_makespan
+            );
+            assert!(row.overlap_granules > 0, "{}: no overlap", row.form);
+        }
+    }
+
+    #[test]
+    fn form1_warns_about_verifiability() {
+        let r = run(true);
+        assert!(r.rows[0].warnings >= 1, "form 1 must warn");
+        assert_eq!(r.rows[1].warnings, 0, "form 2 is clean");
+    }
+
+    #[test]
+    fn branch_preprocessing_selects_taken_arm() {
+        let r = run(true);
+        let form3 = &r.rows[2];
+        // LOOPCOUNTER=0 → IMOD(0,10)=0 → .NE. is false → fall through to
+        // alt-b; alt-a must not run.
+        assert_eq!(form3.phases_run, vec!["main".to_string(), "alt-b".to_string()]);
+    }
+
+    #[test]
+    fn form4_overlaps_first_following_phase() {
+        let r = run(true);
+        let form4 = &r.rows[3];
+        assert_eq!(
+            form4.phases_run,
+            vec!["main".to_string(), "next-1".to_string(), "next-2".to_string()]
+        );
+        assert!(form4.overlap_granules > 0);
+    }
+}

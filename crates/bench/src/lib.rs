@@ -1,0 +1,25 @@
+//! # pax-bench — experiment harness for NASA TM-87349
+//!
+//! Every quantitative claim and illustrative construct in the paper has a
+//! numbered experiment here (the TM has no numbered tables or figures;
+//! DESIGN.md §3 maps each claim to its experiment id):
+//!
+//! | id  | claim |
+//! |-----|-------|
+//! | E1  | 1024²/1000-processor checkerboard arithmetic: 524 waves, 288 leftover, 712 idle |
+//! | E2  | CASPER census: 27/41/18/9/5% of phases, 68% easily overlapped |
+//! | E3  | rundown utilization profiles, barrier vs overlap, per mapping |
+//! | E4  | "at least two tasks per processor" |
+//! | E5  | computation-to-management ratio ≈ 200; executive placement |
+//! | E6  | multi-job batch fill raises utilization but stretches jobs |
+//! | E7  | demand split vs presplit vs successor-splitting task |
+//! | E8  | reverse-indirect composite-map engineering judgment |
+//! | E9  | real-thread validation |
+//! | E10 | the four language forms round-trip |
+//!
+//! Run them all with `cargo run --release -p pax-bench --bin experiments`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,423 @@
+//! Computation descriptions and their conflict queues.
+//!
+//! PAX described computations "as large, contiguous collections of
+//! granules. The descriptions were split apart as necessary to produce
+//! conveniently sized tasks for workers and then merged back into single
+//! descriptions when the work was completed." Each description carries "a
+//! queue head for a double circularly-linked list of computable but
+//! conflicting computational granules" — on completion, everything on that
+//! queue becomes unconditionally computable.
+//!
+//! [`DescArena`] is a slab of [`Descriptor`]s with a free list (completed
+//! descriptions are recycled), and implements the circular doubly-linked
+//! conflict queue over arena indices, so no unsafe code is needed.
+
+use crate::ids::{DescId, GranuleRange, InstanceId, JobId, WorkerId};
+
+/// Scheduling class of a description in the waiting computation queue.
+///
+/// "it was determined that such conflicting computations would be placed
+/// ahead of the normal computations in the queue and, thus, given higher
+/// priority."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueClass {
+    /// Released conflicting/enabled computations — scheduled first.
+    Elevated,
+    /// Ordinary phase work, in dispatch order.
+    Normal,
+}
+
+/// Lifecycle state of a description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescState {
+    /// Newly created, not yet placed anywhere.
+    Fresh,
+    /// In the waiting computation queue.
+    Waiting,
+    /// Queued on another description's conflict queue, awaiting enablement.
+    Conflicted,
+    /// Detached into a successor-splitting task's information.
+    Detached,
+    /// Executing on a worker.
+    Running(WorkerId),
+    /// Completed (slot will be recycled).
+    Done,
+}
+
+/// One computation description: a contiguous granule range of one phase
+/// instance, plus its conflict-queue linkage.
+#[derive(Debug, Clone)]
+pub struct Descriptor {
+    /// Phase instance the granules belong to.
+    pub instance: InstanceId,
+    /// Job stream (multi-job environments).
+    pub job: JobId,
+    /// Covered granules `[lo, hi)`.
+    pub range: GranuleRange,
+    /// Scheduling class when waiting.
+    pub class: QueueClass,
+    /// The paper's status bit: completion of this description must
+    /// decrement enablement counters of dependent successor granules.
+    pub enabling: bool,
+    /// Set at dispatch when the owning instance's predecessor was still
+    /// incomplete — i.e. this task executes *during* the predecessor's
+    /// phase, which is the overlap the paper measures.
+    pub overlap: bool,
+    /// Lifecycle state.
+    pub state: DescState,
+    /// Head of this description's conflict queue (successor descriptions
+    /// enabled by our completion).
+    cq_head: Option<DescId>,
+    /// Circular links used while *this* description sits on some conflict
+    /// queue.
+    next: Option<DescId>,
+    prev: Option<DescId>,
+    /// The description whose conflict queue we are on.
+    owner: Option<DescId>,
+    /// Slot generation, to catch stale ids in debug builds.
+    gen: u32,
+}
+
+impl Descriptor {
+    fn new(instance: InstanceId, job: JobId, range: GranuleRange, gen: u32) -> Descriptor {
+        Descriptor {
+            instance,
+            job,
+            range,
+            class: QueueClass::Normal,
+            enabling: false,
+            overlap: false,
+            state: DescState::Fresh,
+            cq_head: None,
+            next: None,
+            prev: None,
+            owner: None,
+            gen,
+        }
+    }
+
+    /// Number of granules covered.
+    pub fn len(&self) -> u32 {
+        self.range.len()
+    }
+
+    /// True when the description covers no granules (never the case for
+    /// live descriptions; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// True when the conflict queue of this description is non-empty.
+    pub fn has_conflicts(&self) -> bool {
+        self.cq_head.is_some()
+    }
+}
+
+/// Slab arena of descriptions with free-list recycling and conflict-queue
+/// operations.
+#[derive(Debug, Default)]
+pub struct DescArena {
+    slots: Vec<Descriptor>,
+    free: Vec<u32>,
+    live: usize,
+    peak_live: usize,
+    created_total: u64,
+}
+
+impl DescArena {
+    /// Empty arena.
+    pub fn new() -> DescArena {
+        DescArena::default()
+    }
+
+    /// Allocate a description for `range` of `instance`.
+    pub fn alloc(&mut self, instance: InstanceId, job: JobId, range: GranuleRange) -> DescId {
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        self.created_total += 1;
+        if let Some(idx) = self.free.pop() {
+            let gen = self.slots[idx as usize].gen.wrapping_add(1);
+            self.slots[idx as usize] = Descriptor::new(instance, job, range, gen);
+            DescId(idx)
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Descriptor::new(instance, job, range, 0));
+            DescId(idx)
+        }
+    }
+
+    /// Recycle a completed description. Its conflict queue must already be
+    /// empty and it must not sit on anyone else's queue.
+    pub fn release(&mut self, id: DescId) {
+        let d = &mut self.slots[id.0 as usize];
+        debug_assert!(d.cq_head.is_none(), "releasing descriptor with conflicts");
+        debug_assert!(d.owner.is_none(), "releasing descriptor still on a queue");
+        debug_assert!(!matches!(d.state, DescState::Done), "double release");
+        d.state = DescState::Done;
+        self.live -= 1;
+        self.free.push(id.0);
+    }
+
+    /// Borrow a description.
+    #[inline]
+    pub fn get(&self, id: DescId) -> &Descriptor {
+        &self.slots[id.0 as usize]
+    }
+
+    /// Mutably borrow a description.
+    #[inline]
+    pub fn get_mut(&mut self, id: DescId) -> &mut Descriptor {
+        &mut self.slots[id.0 as usize]
+    }
+
+    /// Currently live descriptions.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// High-water mark of live descriptions.
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Total allocations over the run (storage-economy statistic; the
+    /// paper chose contiguous collections precisely to keep this low).
+    pub fn created_total(&self) -> u64 {
+        self.created_total
+    }
+
+    // --- conflict queue (double circularly-linked list) ---------------
+
+    /// Append `member` to `owner`'s conflict queue.
+    pub fn cq_push(&mut self, owner: DescId, member: DescId) {
+        debug_assert!(owner != member);
+        debug_assert!(self.get(member).owner.is_none());
+        match self.get(owner).cq_head {
+            None => {
+                let m = self.get_mut(member);
+                m.next = Some(member);
+                m.prev = Some(member);
+                m.owner = Some(owner);
+                m.state = DescState::Conflicted;
+                self.get_mut(owner).cq_head = Some(member);
+            }
+            Some(head) => {
+                // insert before head == append at tail of circular list
+                let tail = self.get(head).prev.expect("circular list invariant");
+                {
+                    let m = self.get_mut(member);
+                    m.next = Some(head);
+                    m.prev = Some(tail);
+                    m.owner = Some(owner);
+                    m.state = DescState::Conflicted;
+                }
+                self.get_mut(tail).next = Some(member);
+                self.get_mut(head).prev = Some(member);
+            }
+        }
+    }
+
+    /// Detach and return every member of `owner`'s conflict queue, in
+    /// insertion order. Members come back with state `Fresh` and no links.
+    pub fn cq_drain(&mut self, owner: DescId) -> Vec<DescId> {
+        let mut out = Vec::new();
+        let Some(head) = self.get(owner).cq_head else {
+            return out;
+        };
+        let mut cur = head;
+        loop {
+            let next = self.get(cur).next.expect("circular list invariant");
+            {
+                let m = self.get_mut(cur);
+                m.next = None;
+                m.prev = None;
+                m.owner = None;
+                m.state = DescState::Fresh;
+            }
+            out.push(cur);
+            if next == head {
+                break;
+            }
+            cur = next;
+        }
+        self.get_mut(owner).cq_head = None;
+        out
+    }
+
+    /// Remove a single `member` from whatever conflict queue it is on.
+    pub fn cq_remove(&mut self, member: DescId) {
+        let (owner, next, prev) = {
+            let m = self.get(member);
+            (
+                m.owner.expect("cq_remove on unqueued descriptor"),
+                m.next.expect("circular list invariant"),
+                m.prev.expect("circular list invariant"),
+            )
+        };
+        if next == member {
+            // sole member
+            self.get_mut(owner).cq_head = None;
+        } else {
+            self.get_mut(prev).next = Some(next);
+            self.get_mut(next).prev = Some(prev);
+            if self.get(owner).cq_head == Some(member) {
+                self.get_mut(owner).cq_head = Some(next);
+            }
+        }
+        let m = self.get_mut(member);
+        m.next = None;
+        m.prev = None;
+        m.owner = None;
+        m.state = DescState::Fresh;
+    }
+
+    /// Iterate members of `owner`'s conflict queue without detaching.
+    pub fn cq_members(&self, owner: DescId) -> Vec<DescId> {
+        let mut out = Vec::new();
+        let Some(head) = self.get(owner).cq_head else {
+            return out;
+        };
+        let mut cur = head;
+        loop {
+            out.push(cur);
+            let next = self.get(cur).next.expect("circular list invariant");
+            if next == head {
+                break;
+            }
+            cur = next;
+        }
+        out
+    }
+
+    /// Split the waiting description `id` at `at` granules: `id` keeps the
+    /// front `[lo, lo+at)`; a new description takes the remainder. Any
+    /// identity-mapped successors on the conflict queue are *not* touched
+    /// here — the executive decides when and how to split them (demand
+    /// split, presplit, or successor-splitting task).
+    ///
+    /// Returns the remainder's id.
+    pub fn split(&mut self, id: DescId, at: u32) -> DescId {
+        let (instance, job, range, class, enabling) = {
+            let d = self.get(id);
+            (d.instance, d.job, d.range, d.class, d.enabling)
+        };
+        assert!(at > 0 && at < range.len(), "split must be strictly inside");
+        let (front, back) = range.split_at(at);
+        self.get_mut(id).range = front;
+        let rem = self.alloc(instance, job, back);
+        {
+            let r = self.get_mut(rem);
+            r.class = class;
+            r.enabling = enabling;
+        }
+        rem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena_with(n: usize) -> (DescArena, Vec<DescId>) {
+        let mut a = DescArena::new();
+        let ids = (0..n)
+            .map(|i| {
+                a.alloc(
+                    InstanceId(0),
+                    JobId(0),
+                    GranuleRange::new(i as u32 * 10, i as u32 * 10 + 10),
+                )
+            })
+            .collect();
+        (a, ids)
+    }
+
+    #[test]
+    fn alloc_and_recycle() {
+        let (mut a, ids) = arena_with(3);
+        assert_eq!(a.live(), 3);
+        a.release(ids[1]);
+        assert_eq!(a.live(), 2);
+        let d = a.alloc(InstanceId(1), JobId(0), GranuleRange::new(0, 5));
+        assert_eq!(d, ids[1], "free slot is reused");
+        assert_eq!(a.live(), 3);
+        assert_eq!(a.peak_live(), 3);
+        assert_eq!(a.created_total(), 4);
+    }
+
+    #[test]
+    fn conflict_queue_push_drain_order() {
+        let (mut a, ids) = arena_with(4);
+        a.cq_push(ids[0], ids[1]);
+        a.cq_push(ids[0], ids[2]);
+        a.cq_push(ids[0], ids[3]);
+        assert!(a.get(ids[0]).has_conflicts());
+        assert_eq!(a.get(ids[1]).state, DescState::Conflicted);
+        let drained = a.cq_drain(ids[0]);
+        assert_eq!(drained, vec![ids[1], ids[2], ids[3]]);
+        assert!(!a.get(ids[0]).has_conflicts());
+        assert_eq!(a.get(ids[1]).state, DescState::Fresh);
+        assert!(a.cq_drain(ids[0]).is_empty());
+    }
+
+    #[test]
+    fn conflict_queue_remove_middle() {
+        let (mut a, ids) = arena_with(4);
+        a.cq_push(ids[0], ids[1]);
+        a.cq_push(ids[0], ids[2]);
+        a.cq_push(ids[0], ids[3]);
+        a.cq_remove(ids[2]);
+        assert_eq!(a.cq_members(ids[0]), vec![ids[1], ids[3]]);
+        let drained = a.cq_drain(ids[0]);
+        assert_eq!(drained, vec![ids[1], ids[3]]);
+    }
+
+    #[test]
+    fn conflict_queue_remove_head_and_sole() {
+        let (mut a, ids) = arena_with(3);
+        a.cq_push(ids[0], ids[1]);
+        a.cq_push(ids[0], ids[2]);
+        a.cq_remove(ids[1]); // head
+        assert_eq!(a.cq_members(ids[0]), vec![ids[2]]);
+        a.cq_remove(ids[2]); // sole member
+        assert!(!a.get(ids[0]).has_conflicts());
+    }
+
+    #[test]
+    fn split_preserves_attributes() {
+        let mut a = DescArena::new();
+        let d = a.alloc(InstanceId(2), JobId(1), GranuleRange::new(0, 100));
+        a.get_mut(d).class = QueueClass::Elevated;
+        a.get_mut(d).enabling = true;
+        let rem = a.split(d, 30);
+        assert_eq!(a.get(d).range, GranuleRange::new(0, 30));
+        assert_eq!(a.get(rem).range, GranuleRange::new(30, 100));
+        assert_eq!(a.get(rem).class, QueueClass::Elevated);
+        assert!(a.get(rem).enabling);
+        assert_eq!(a.get(rem).instance, InstanceId(2));
+        assert_eq!(a.get(rem).job, JobId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly inside")]
+    fn split_rejects_degenerate() {
+        let mut a = DescArena::new();
+        let d = a.alloc(InstanceId(0), JobId(0), GranuleRange::new(0, 10));
+        let _ = a.split(d, 10);
+    }
+
+    #[test]
+    fn nested_conflict_queues() {
+        // successor queued on current; successor itself has a queue head
+        // usable for its own successors (chained overlap structures).
+        let (mut a, ids) = arena_with(3);
+        a.cq_push(ids[0], ids[1]);
+        a.cq_push(ids[1], ids[2]);
+        assert_eq!(a.cq_members(ids[0]), vec![ids[1]]);
+        assert_eq!(a.cq_members(ids[1]), vec![ids[2]]);
+        // draining the outer queue leaves the inner intact
+        let drained = a.cq_drain(ids[0]);
+        assert_eq!(drained, vec![ids[1]]);
+        assert_eq!(a.cq_members(ids[1]), vec![ids[2]]);
+    }
+}

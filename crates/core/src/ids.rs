@@ -1,0 +1,173 @@
+//! Identifier newtypes used throughout the executive.
+
+use std::fmt;
+
+/// Index of a phase *definition* within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhaseId(pub u32);
+
+/// Index of a phase *instance* — one dispatch of a definition. Programs
+/// with loops dispatch the same definition many times; each dispatch is a
+/// distinct instance with its own granule completion state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(pub u32);
+
+/// A worker processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkerId(pub u32);
+
+/// A computation description in the descriptor arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DescId(pub u32);
+
+/// A job stream (the multi-parallel-job-stream environment of the paper's
+/// introduction is modelled by running several jobs on one machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+impl fmt::Display for PhaseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "phase#{}", self.0)
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst#{}", self.0)
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for DescId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// A half-open range of granule indices `[lo, hi)` within one phase
+/// instance. Granules are the paper's indivisible computations;
+/// descriptions cover contiguous collections of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GranuleRange {
+    /// First granule index in the range.
+    pub lo: u32,
+    /// One past the last granule index.
+    pub hi: u32,
+}
+
+impl GranuleRange {
+    /// Construct a range; `lo` must not exceed `hi`.
+    pub fn new(lo: u32, hi: u32) -> GranuleRange {
+        assert!(lo <= hi, "invalid granule range {lo}..{hi}");
+        GranuleRange { lo, hi }
+    }
+
+    /// Number of granules covered.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// True when the range covers nothing.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True when granule `g` lies in the range.
+    #[inline]
+    pub fn contains(self, g: u32) -> bool {
+        g >= self.lo && g < self.hi
+    }
+
+    /// Split into `[lo, lo+at)` and `[lo+at, hi)`. `at` must be within the
+    /// range length (both sides may be empty only at the extremes).
+    pub fn split_at(self, at: u32) -> (GranuleRange, GranuleRange) {
+        assert!(at <= self.len(), "split point beyond range");
+        (
+            GranuleRange::new(self.lo, self.lo + at),
+            GranuleRange::new(self.lo + at, self.hi),
+        )
+    }
+
+    /// Intersection with another range, if non-empty.
+    pub fn intersect(self, other: GranuleRange) -> Option<GranuleRange> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo < hi {
+            Some(GranuleRange::new(lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over granule indices.
+    pub fn iter(self) -> impl Iterator<Item = u32> {
+        self.lo..self.hi
+    }
+}
+
+impl fmt::Display for GranuleRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_basics() {
+        let r = GranuleRange::new(10, 20);
+        assert_eq!(r.len(), 10);
+        assert!(!r.is_empty());
+        assert!(r.contains(10));
+        assert!(r.contains(19));
+        assert!(!r.contains(20));
+        assert!(!r.contains(9));
+    }
+
+    #[test]
+    fn range_split() {
+        let r = GranuleRange::new(5, 15);
+        let (a, b) = r.split_at(4);
+        assert_eq!(a, GranuleRange::new(5, 9));
+        assert_eq!(b, GranuleRange::new(9, 15));
+        let (c, d) = r.split_at(0);
+        assert!(c.is_empty());
+        assert_eq!(d, r);
+    }
+
+    #[test]
+    fn range_intersect() {
+        let a = GranuleRange::new(0, 10);
+        let b = GranuleRange::new(5, 20);
+        assert_eq!(a.intersect(b), Some(GranuleRange::new(5, 10)));
+        let c = GranuleRange::new(10, 12);
+        assert_eq!(a.intersect(c), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid granule range")]
+    fn range_rejects_inverted() {
+        let _ = GranuleRange::new(5, 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PhaseId(3).to_string(), "phase#3");
+        assert_eq!(GranuleRange::new(1, 4).to_string(), "[1,4)");
+    }
+}

@@ -1,0 +1,89 @@
+//! # pax-core — the paper's contribution
+//!
+//! A full re-implementation of the scheduling machinery described in
+//! *Increasing Processor Utilization During Parallel Computation Rundown*
+//! (W. H. Jones, NASA TM-87349, ICPP 1986): a PAX-style dynamic executive
+//! that overlaps parallel computational phases to keep processors busy
+//! while a phase runs down.
+//!
+//! ## Concepts
+//!
+//! * A **phase** ([`phase::PhaseDef`]) is a bag of **granules** —
+//!   indivisible computations executed asynchronously by workers.
+//! * Phases normally execute in strict sequence; as one drains, processors
+//!   idle (**computational rundown**).
+//! * An **enablement mapping** ([`mapping::EnablementMapping`]) between a
+//!   phase and its successor says which successor granules become
+//!   computable as current granules complete: universal, identity,
+//!   forward/reverse indirect (via **composite granule maps** with
+//!   **enablement counters**), seam (extension), or null.
+//! * The **executive** ([`engine::Simulation`]) dispatches **computation
+//!   descriptions** ([`descriptor`]) — contiguous granule collections that
+//!   are split on demand into worker-sized tasks and merged back on
+//!   completion — through a **waiting computation queue** ([`queue`])
+//!   where released enabled work is "placed ahead of the normal
+//!   computations".
+//! * An [`policy::OverlapPolicy`] selects among the paper's control
+//!   strategies: demand splitting vs presplitting vs successor-splitting
+//!   tasks, immediate vs background composite-map construction, priority
+//!   elevation of enabling granules, and the early-enablement subset size.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pax_core::prelude::*;
+//! use pax_sim::dist::CostModel;
+//! use pax_sim::machine::MachineConfig;
+//!
+//! // Two 64-granule phases, identity-mapped (B(I)=A(I); C(I)=B(I)).
+//! let mut b = ProgramBuilder::new();
+//! let a = b.phase(PhaseDef::new("copy-a-to-b", 64, CostModel::constant(10)));
+//! let c = b.phase(PhaseDef::new("copy-b-to-c", 64, CostModel::constant(10)));
+//! b.dispatch_enable(a, vec![EnableSpec { successor: c, mapping: EnablementMapping::Identity }]);
+//! b.dispatch(c);
+//! let program = b.build().unwrap();
+//!
+//! let strict = {
+//!     let mut s = Simulation::new(MachineConfig::ideal(8), OverlapPolicy::strict());
+//!     s.add_job(program.clone());
+//!     s.run().unwrap()
+//! };
+//! let overlapped = {
+//!     let mut s = Simulation::new(MachineConfig::ideal(8), OverlapPolicy::overlap());
+//!     s.add_job(program);
+//!     s.run().unwrap()
+//! };
+//! assert!(overlapped.makespan <= strict.makespan);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod descriptor;
+pub mod engine;
+pub mod ids;
+pub mod mapping;
+pub mod phase;
+pub mod policy;
+pub mod program;
+pub mod queue;
+pub mod rangeset;
+pub mod report;
+
+/// Convenient re-exports of the items almost every user needs.
+pub mod prelude {
+    pub use crate::engine::{EngineError, Simulation};
+    pub use crate::ids::{GranuleRange, InstanceId, JobId, PhaseId, WorkerId};
+    pub use crate::mapping::{
+        CompositeMap, EnablementMapping, ForwardMap, MappingKind, ReverseMap, SeamMap,
+    };
+    pub use crate::phase::{PhaseDef, PhaseStats};
+    pub use crate::policy::{
+        AssignmentPolicy, CompositeBuild, OverlapPolicy, SplitStrategy, TaskSizing,
+    };
+    pub use crate::program::{
+        BranchTest, EnableSpec, Lookahead, Program, ProgramBuilder, Step,
+    };
+    pub use crate::report::{JobReport, PhaseReport, RundownWindow, RunReport};
+}
+
+pub use prelude::*;

@@ -1,0 +1,436 @@
+//! Enablement mappings between a computational phase and its successor.
+//!
+//! The paper's central taxonomy. Let `p` range over completed granules of
+//! the current phase, `q` over uncompleted ones, and `r` over granules of
+//! the successor phase. A successor granule `r` may be computed early iff
+//! it has been *enabled* by completed granules and `PARALLEL(q, r)` holds
+//! for every uncompleted `q`. The mapping from completions to enablements
+//! took five observed forms in PAX/CASPER:
+//!
+//! * [`EnablementMapping::Universal`] — any successor granule is enabled by
+//!   the null set (the two phases share nothing). 6/22 phases, 266/1188
+//!   lines.
+//! * [`EnablementMapping::Identity`] — completion of granule *i* enables
+//!   successor granule *i* (`B(I)=A(I)` followed by `C(I)=B(I)`). 9/22
+//!   phases, 551/1188 lines.
+//! * [`EnablementMapping::Null`] — no overlap is possible because serial
+//!   actions and decisions intervene. 4/22 phases, 262/1188 lines.
+//! * [`EnablementMapping::ReverseIndirect`] — a successor granule needs a
+//!   *set* of current granules, identifiable only by mapping backward
+//!   through a (dynamically generated) information-selection map. 2/22
+//!   phases, 78/1188 lines.
+//! * [`EnablementMapping::ForwardIndirect`] — completion of current granule
+//!   *i* directly enables successor granule `IMAP(i)`. 1/22 phases,
+//!   31/1188 lines.
+//!
+//! A sixth, **seam** mapping (checkerboard neighbor enablement) is
+//! "foreseen" but beyond the paper's scope; we implement it as the
+//! extension that carries the concluding claim that "more than 90 percent
+//! of the computational phases are amenable to some form of phase
+//! overlapping".
+//!
+//! All indirect forms lower to one executive mechanism, exactly as the
+//! paper observes ("Each leads naturally to a list of current phase
+//! granules that must be completed to enable a particular successor phase
+//! granule"): the [`CompositeMap`], a per-successor requirement count plus
+//! an inverted current→successors index, driven by enablement counters
+//! decremented during completion processing.
+
+use std::sync::Arc;
+
+/// Discriminant of an enablement mapping, used for census tables and
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MappingKind {
+    /// Successor enabled by the null set.
+    Universal,
+    /// `i` enables `i`.
+    Identity,
+    /// `i` enables `IMAP(i)`.
+    ForwardIndirect,
+    /// Successor `r` requires `{IMAP(j, r)}`.
+    ReverseIndirect,
+    /// Grid-neighbor enablement (extension; "seam mapping problem").
+    Seam,
+    /// No overlap possible.
+    Null,
+}
+
+impl MappingKind {
+    /// Short lowercase label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MappingKind::Universal => "universal",
+            MappingKind::Identity => "identity",
+            MappingKind::ForwardIndirect => "forward-indirect",
+            MappingKind::ReverseIndirect => "reverse-indirect",
+            MappingKind::Seam => "seam",
+            MappingKind::Null => "null",
+        }
+    }
+
+    /// Whether the paper counts this mapping as "easily overlapped"
+    /// (universal + identity = 68% of phases).
+    pub fn easily_overlapped(self) -> bool {
+        matches!(self, MappingKind::Universal | MappingKind::Identity)
+    }
+
+    /// Whether any overlap at all is possible under this mapping.
+    pub fn overlappable(self) -> bool {
+        !matches!(self, MappingKind::Null)
+    }
+}
+
+/// A forward information-selection map: current granule `i` writes the
+/// location read by successor granule `fmap[i]` (the paper's
+/// `B(IMAP(I))=A(IMAP(I))` → `C(I)=B(I)` fragment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardMap {
+    /// `fmap[i]` = successor granule enabled by current granule `i`.
+    pub targets: Vec<u32>,
+    /// Total granule count of the successor phase (the image of `targets`
+    /// may cover only a subset; the rest are enabled by the null set).
+    pub successor_granules: u32,
+}
+
+impl ForwardMap {
+    /// Build, validating that every target is within the successor phase.
+    pub fn new(targets: Vec<u32>, successor_granules: u32) -> ForwardMap {
+        assert!(
+            targets.iter().all(|&t| t < successor_granules),
+            "forward map target out of successor range"
+        );
+        ForwardMap {
+            targets,
+            successor_granules,
+        }
+    }
+}
+
+/// A reverse information-selection map: successor granule `r` reads the
+/// locations written by current granules `requires[r]` (the paper's
+/// `B(I) = Σ_J A(IMAP(J,I))` fragment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReverseMap {
+    /// `requires[r]` = current-phase granules that must complete before
+    /// successor granule `r` is enabled. Entries may repeat; duplicates
+    /// are counted once.
+    pub requires: Vec<Vec<u32>>,
+}
+
+impl ReverseMap {
+    /// Build, validating against the current phase's granule count.
+    pub fn new(requires: Vec<Vec<u32>>, current_granules: u32) -> ReverseMap {
+        assert!(
+            requires
+                .iter()
+                .all(|deps| deps.iter().all(|&d| d < current_granules)),
+            "reverse map dependency out of current-phase range"
+        );
+        ReverseMap { requires }
+    }
+}
+
+/// Structural seam topology: which current-phase granules border each
+/// successor granule. The checkerboard instance lives in `pax-workloads`;
+/// the executive only needs the generated lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeamMap {
+    /// `requires[r]` = bordering current-phase granules of successor `r`.
+    pub requires: Vec<Vec<u32>>,
+}
+
+/// An enablement mapping from one phase to its successor.
+#[derive(Debug, Clone)]
+pub enum EnablementMapping {
+    /// Any successor granule is enabled by the null set of completions.
+    Universal,
+    /// Completion of granule `i` enables successor granule `i`; requires
+    /// equal granule counts.
+    Identity,
+    /// Forward information-selection map (dynamically generated in both
+    /// PAX/CASPER occurrences).
+    ForwardIndirect(Arc<ForwardMap>),
+    /// Reverse information-selection map.
+    ReverseIndirect(Arc<ReverseMap>),
+    /// Structural neighbor map (extension).
+    Seam(Arc<SeamMap>),
+    /// No overlap: serial actions/decisions intervene between the phases.
+    Null,
+}
+
+impl EnablementMapping {
+    /// The census discriminant.
+    pub fn kind(&self) -> MappingKind {
+        match self {
+            EnablementMapping::Universal => MappingKind::Universal,
+            EnablementMapping::Identity => MappingKind::Identity,
+            EnablementMapping::ForwardIndirect(_) => MappingKind::ForwardIndirect,
+            EnablementMapping::ReverseIndirect(_) => MappingKind::ReverseIndirect,
+            EnablementMapping::Seam(_) => MappingKind::Seam,
+            EnablementMapping::Null => MappingKind::Null,
+        }
+    }
+
+    /// Whether this mapping requires a composite granule map (all indirect
+    /// forms do; universal/identity/null do not).
+    pub fn needs_composite(&self) -> bool {
+        matches!(
+            self,
+            EnablementMapping::ForwardIndirect(_)
+                | EnablementMapping::ReverseIndirect(_)
+                | EnablementMapping::Seam(_)
+        )
+    }
+}
+
+/// The executive's uniform representation of indirect enablement: for each
+/// successor granule a requirement count, and for each current granule the
+/// successor granules whose counters it decrements (CSR layout).
+///
+/// "During completion processing, a status bit ... can be checked and, if
+/// it is set, an enablement counter decremented. When the enablement
+/// counter reaches zero, it can be taken as a signal that the
+/// successor-phase granules are computable."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositeMap {
+    /// Requirement count per successor granule. Zero means the granule is
+    /// enabled by the null set (released at successor initiation).
+    pub requires: Vec<u32>,
+    /// CSR offsets into `targets`, one slot per current granule + 1.
+    pub offsets: Vec<u32>,
+    /// Successor granules decremented by each current granule.
+    pub targets: Vec<u32>,
+}
+
+impl CompositeMap {
+    /// Number of (current → successor) dependence entries; the executive
+    /// charges `composite_map_per_entry` ticks per entry to build the map.
+    pub fn entries(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Successor granules that depend on current granule `i`.
+    #[inline]
+    pub fn dependents_of(&self, i: u32) -> &[u32] {
+        let a = self.offsets[i as usize] as usize;
+        let b = self.offsets[i as usize + 1] as usize;
+        &self.targets[a..b]
+    }
+
+    /// Current-phase granules that appear in at least one requirement list
+    /// (the "enabling set" whose priority the paper suggests elevating).
+    pub fn enabling_granules(&self) -> Vec<u32> {
+        (0..self.offsets.len() - 1)
+            .filter(|&i| self.offsets[i] != self.offsets[i + 1])
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    /// Build from a forward map. Duplicate writers of one successor
+    /// granule each count toward its requirement (all writes must land
+    /// before the successor may read).
+    pub fn from_forward(fmap: &ForwardMap, current_granules: u32) -> CompositeMap {
+        assert!(
+            fmap.targets.len() <= current_granules as usize,
+            "forward map longer than current phase"
+        );
+        let n_succ = fmap.successor_granules as usize;
+        let mut requires = vec![0u32; n_succ];
+        let mut offsets = vec![0u32; current_granules as usize + 1];
+        for (i, &t) in fmap.targets.iter().enumerate() {
+            requires[t as usize] += 1;
+            offsets[i + 1] = 1;
+        }
+        // prefix-sum offsets
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut targets = vec![0u32; fmap.targets.len()];
+        for (i, &t) in fmap.targets.iter().enumerate() {
+            let slot = offsets[i] as usize; // each current granule has ≤1 target here
+            targets[slot] = t;
+        }
+        CompositeMap {
+            requires,
+            offsets,
+            targets,
+        }
+    }
+
+    /// Build from a reverse map (dedup within each requirement list).
+    pub fn from_reverse(rmap: &ReverseMap, current_granules: u32) -> CompositeMap {
+        Self::from_requirement_lists(&rmap.requires, current_granules)
+    }
+
+    /// Build from a seam map.
+    pub fn from_seam(smap: &SeamMap, current_granules: u32) -> CompositeMap {
+        Self::from_requirement_lists(&smap.requires, current_granules)
+    }
+
+    /// Shared constructor: invert per-successor requirement lists into the
+    /// CSR current→successors index.
+    pub fn from_requirement_lists(lists: &[Vec<u32>], current_granules: u32) -> CompositeMap {
+        let n_cur = current_granules as usize;
+        let mut requires = vec![0u32; lists.len()];
+        let mut counts = vec![0u32; n_cur];
+        // First pass: dedup counts.
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut dedup_lists: Vec<Vec<u32>> = Vec::with_capacity(lists.len());
+        for (r, deps) in lists.iter().enumerate() {
+            scratch.clear();
+            scratch.extend_from_slice(deps);
+            scratch.sort_unstable();
+            scratch.dedup();
+            requires[r] = scratch.len() as u32;
+            for &d in &scratch {
+                counts[d as usize] += 1;
+            }
+            dedup_lists.push(scratch.clone());
+        }
+        let mut offsets = vec![0u32; n_cur + 1];
+        for i in 0..n_cur {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; offsets[n_cur] as usize];
+        for (r, deps) in dedup_lists.iter().enumerate() {
+            for &d in deps {
+                targets[cursor[d as usize] as usize] = r as u32;
+                cursor[d as usize] += 1;
+            }
+        }
+        CompositeMap {
+            requires,
+            offsets,
+            targets,
+        }
+    }
+
+    /// Build the composite for any indirect mapping; panics on
+    /// non-indirect mappings (callers check [`EnablementMapping::needs_composite`]).
+    pub fn build(mapping: &EnablementMapping, current_granules: u32) -> CompositeMap {
+        match mapping {
+            EnablementMapping::ForwardIndirect(f) => Self::from_forward(f, current_granules),
+            EnablementMapping::ReverseIndirect(r) => Self::from_reverse(r, current_granules),
+            EnablementMapping::Seam(s) => Self::from_seam(s, current_granules),
+            other => panic!(
+                "composite map requested for non-indirect mapping {:?}",
+                other.kind()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(MappingKind::Universal.label(), "universal");
+        assert!(MappingKind::Identity.easily_overlapped());
+        assert!(!MappingKind::ReverseIndirect.easily_overlapped());
+        assert!(MappingKind::Seam.overlappable());
+        assert!(!MappingKind::Null.overlappable());
+    }
+
+    #[test]
+    fn forward_composite_counts_duplicates() {
+        // current granules 0..4 write successor granules [2, 2, 0, 1]
+        let f = ForwardMap::new(vec![2, 2, 0, 1], 3);
+        let c = CompositeMap::from_forward(&f, 4);
+        assert_eq!(c.requires, vec![1, 1, 2]);
+        assert_eq!(c.dependents_of(0), &[2]);
+        assert_eq!(c.dependents_of(1), &[2]);
+        assert_eq!(c.dependents_of(2), &[0]);
+        assert_eq!(c.dependents_of(3), &[1]);
+        assert_eq!(c.entries(), 4);
+    }
+
+    #[test]
+    fn forward_composite_partial_coverage() {
+        // Only 2 current granules map; successor has 5 granules, 3 of which
+        // have zero requirements (null-set enabled).
+        let f = ForwardMap::new(vec![4, 0], 5);
+        let c = CompositeMap::from_forward(&f, 2);
+        assert_eq!(c.requires, vec![1, 0, 0, 0, 1]);
+        assert_eq!(c.requires.iter().filter(|&&x| x == 0).count(), 3);
+    }
+
+    #[test]
+    fn reverse_composite_dedups() {
+        // successor 0 requires {1,1,2} -> {1,2}; successor 1 requires {0}
+        let r = ReverseMap::new(vec![vec![1, 1, 2], vec![0]], 3);
+        let c = CompositeMap::from_reverse(&r, 3);
+        assert_eq!(c.requires, vec![2, 1]);
+        assert_eq!(c.dependents_of(0), &[1]);
+        assert_eq!(c.dependents_of(1), &[0]);
+        assert_eq!(c.dependents_of(2), &[0]);
+    }
+
+    #[test]
+    fn decrement_simulation_releases_when_zero() {
+        let r = ReverseMap::new(vec![vec![0, 1], vec![1, 2]], 3);
+        let c = CompositeMap::from_reverse(&r, 3);
+        let mut counters = c.requires.clone();
+        let mut released: Vec<u32> = Vec::new();
+        for completed in [1u32, 0, 2] {
+            for &dep in c.dependents_of(completed) {
+                counters[dep as usize] -= 1;
+                if counters[dep as usize] == 0 {
+                    released.push(dep);
+                }
+            }
+        }
+        // successor 0 releases after {0,1} complete; successor 1 after {1,2}
+        assert_eq!(released, vec![0, 1]);
+    }
+
+    #[test]
+    fn enabling_granules_extraction() {
+        let r = ReverseMap::new(vec![vec![5], vec![2, 5]], 8);
+        let c = CompositeMap::from_reverse(&r, 8);
+        assert_eq!(c.enabling_granules(), vec![2, 5]);
+    }
+
+    #[test]
+    fn seam_composite() {
+        // Two successor granules each requiring two bordering current ones.
+        let s = SeamMap {
+            requires: vec![vec![0, 1], vec![1, 2]],
+        };
+        let c = CompositeMap::from_seam(&s, 3);
+        assert_eq!(c.requires, vec![2, 2]);
+        assert_eq!(c.dependents_of(1), &[0, 1]);
+    }
+
+    #[test]
+    fn build_dispatches_on_kind() {
+        let f = Arc::new(ForwardMap::new(vec![0], 1));
+        let m = EnablementMapping::ForwardIndirect(f);
+        assert!(m.needs_composite());
+        let c = CompositeMap::build(&m, 1);
+        assert_eq!(c.requires, vec![1]);
+        assert!(!EnablementMapping::Universal.needs_composite());
+        assert_eq!(EnablementMapping::Identity.kind(), MappingKind::Identity);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of successor range")]
+    fn forward_map_validates() {
+        let _ = ForwardMap::new(vec![3], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of current-phase range")]
+    fn reverse_map_validates() {
+        let _ = ReverseMap::new(vec![vec![9]], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-indirect mapping")]
+    fn build_rejects_identity() {
+        let _ = CompositeMap::build(&EnablementMapping::Identity, 4);
+    }
+}

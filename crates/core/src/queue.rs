@@ -1,0 +1,321 @@
+//! The waiting computation queue.
+//!
+//! "The waiting computation queue was kept in a known order and ... such
+//! conflicting computations would be placed ahead of the normal
+//! computations in the queue and, thus, given higher priority."
+//!
+//! Two segments implement that order: an *elevated* segment (released
+//! conflicting/enabled computations, FIFO) ahead of per-job *normal*
+//! segments (FIFO within a job, round-robin across jobs so that a
+//! multi-parallel-job-stream environment shares the machine).
+
+use crate::descriptor::QueueClass;
+use crate::ids::{DescId, JobId};
+use std::collections::VecDeque;
+
+/// The executive's waiting computation queue.
+#[derive(Debug, Default)]
+pub struct WaitingQueue {
+    elevated: VecDeque<DescId>,
+    normal: Vec<VecDeque<DescId>>, // indexed by job
+    rr_cursor: usize,
+    len: usize,
+}
+
+impl WaitingQueue {
+    /// Queue serving `jobs` job streams (≥ 1).
+    pub fn new(jobs: usize) -> WaitingQueue {
+        assert!(jobs > 0, "need at least one job stream");
+        WaitingQueue {
+            elevated: VecDeque::new(),
+            normal: (0..jobs).map(|_| VecDeque::new()).collect(),
+            rr_cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Total queued descriptions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append to the back of the given class ("behind the current phase
+    /// description" for universal successors is achieved by normal-class
+    /// FIFO order).
+    pub fn push_back(&mut self, id: DescId, class: QueueClass, job: JobId) {
+        self.len += 1;
+        match class {
+            QueueClass::Elevated => self.elevated.push_back(id),
+            QueueClass::Normal => self.normal[job.0 as usize].push_back(id),
+        }
+    }
+
+    /// Push to the *front* of the given class. Used for split remainders so
+    /// the current phase keeps its place ahead of anything queued behind it.
+    pub fn push_front(&mut self, id: DescId, class: QueueClass, job: JobId) {
+        self.len += 1;
+        match class {
+            QueueClass::Elevated => self.elevated.push_front(id),
+            QueueClass::Normal => self.normal[job.0 as usize].push_front(id),
+        }
+    }
+
+    /// Pop the next description: elevated first, then round-robin over the
+    /// jobs' normal segments.
+    pub fn pop(&mut self) -> Option<DescId> {
+        if let Some(id) = self.elevated.pop_front() {
+            self.len -= 1;
+            return Some(id);
+        }
+        let jobs = self.normal.len();
+        for k in 0..jobs {
+            let j = (self.rr_cursor + k) % jobs;
+            if let Some(id) = self.normal[j].pop_front() {
+                self.rr_cursor = (j + 1) % jobs;
+                self.len -= 1;
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Pop the first description within the leading `window` entries (in
+    /// [`WaitingQueue::pop`] order) for which `pred` holds; when none
+    /// matches, pop the head. This is the data-proximity assignment scan:
+    /// the window bounds the executive time spent matching, and falling
+    /// back to the head keeps the queue work-conserving — a seeking worker
+    /// never leaves empty-handed while work waits.
+    ///
+    /// Matching the overall head behaves exactly like `pop` (round-robin
+    /// cursor advances); deeper matches are removed in place and leave the
+    /// cursor untouched, so job-stream fairness is preserved.
+    pub fn pop_matching(
+        &mut self,
+        window: usize,
+        mut pred: impl FnMut(DescId) -> bool,
+    ) -> Option<DescId> {
+        let mut scanned = 0usize;
+        for pos in 0..self.elevated.len() {
+            if scanned >= window {
+                return self.pop();
+            }
+            let id = self.elevated[pos];
+            if pred(id) {
+                self.elevated.remove(pos);
+                self.len -= 1;
+                return Some(id);
+            }
+            scanned += 1;
+        }
+        let jobs = self.normal.len();
+        for k in 0..jobs {
+            let j = (self.rr_cursor + k) % jobs;
+            for pos in 0..self.normal[j].len() {
+                if scanned >= window {
+                    return self.pop();
+                }
+                let id = self.normal[j][pos];
+                if pred(id) {
+                    if self.elevated.is_empty() && k == 0 && pos == 0 {
+                        // exact head: keep pop()'s fairness bookkeeping
+                        return self.pop();
+                    }
+                    self.normal[j].remove(pos);
+                    self.len -= 1;
+                    return Some(id);
+                }
+                scanned += 1;
+            }
+        }
+        self.pop()
+    }
+
+    /// Peek without removing (same order as [`WaitingQueue::pop`]).
+    pub fn peek(&self) -> Option<DescId> {
+        if let Some(&id) = self.elevated.front() {
+            return Some(id);
+        }
+        let jobs = self.normal.len();
+        for k in 0..jobs {
+            let j = (self.rr_cursor + k) % jobs;
+            if let Some(&id) = self.normal[j].front() {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Number of elevated entries (diagnostics).
+    pub fn elevated_len(&self) -> usize {
+        self.elevated.len()
+    }
+
+    /// Remove a specific description from wherever it is queued. Linear
+    /// scan — only used by the priority-elevation carve path, where queue
+    /// depth is a handful of descriptions. Returns true if found.
+    pub fn remove(&mut self, id: DescId) -> bool {
+        if let Some(pos) = self.elevated.iter().position(|&x| x == id) {
+            self.elevated.remove(pos);
+            self.len -= 1;
+            return true;
+        }
+        for q in &mut self.normal {
+            if let Some(pos) = q.iter().position(|&x| x == id) {
+                q.remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u32) -> DescId {
+        DescId(i)
+    }
+
+    #[test]
+    fn elevated_precedes_normal() {
+        let mut q = WaitingQueue::new(1);
+        q.push_back(d(1), QueueClass::Normal, JobId(0));
+        q.push_back(d(2), QueueClass::Elevated, JobId(0));
+        q.push_back(d(3), QueueClass::Normal, JobId(0));
+        q.push_back(d(4), QueueClass::Elevated, JobId(0));
+        let order: Vec<DescId> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![d(2), d(4), d(1), d(3)]);
+    }
+
+    #[test]
+    fn push_front_keeps_remainder_ahead() {
+        let mut q = WaitingQueue::new(1);
+        q.push_back(d(10), QueueClass::Normal, JobId(0)); // current phase master
+        q.push_back(d(20), QueueClass::Normal, JobId(0)); // universal successor behind it
+        let popped = q.pop().unwrap();
+        assert_eq!(popped, d(10));
+        // split: remainder goes back to the front, still ahead of successor
+        q.push_front(d(11), QueueClass::Normal, JobId(0));
+        assert_eq!(q.pop(), Some(d(11)));
+        assert_eq!(q.pop(), Some(d(20)));
+    }
+
+    #[test]
+    fn round_robin_across_jobs() {
+        let mut q = WaitingQueue::new(2);
+        q.push_back(d(1), QueueClass::Normal, JobId(0));
+        q.push_back(d(2), QueueClass::Normal, JobId(0));
+        q.push_back(d(3), QueueClass::Normal, JobId(1));
+        q.push_back(d(4), QueueClass::Normal, JobId(1));
+        let order: Vec<DescId> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![d(1), d(3), d(2), d(4)]);
+    }
+
+    #[test]
+    fn round_robin_skips_empty_jobs() {
+        let mut q = WaitingQueue::new(3);
+        q.push_back(d(1), QueueClass::Normal, JobId(2));
+        q.push_back(d(2), QueueClass::Normal, JobId(2));
+        assert_eq!(q.pop(), Some(d(1)));
+        assert_eq!(q.pop(), Some(d(2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_matching_prefers_match_within_window() {
+        let mut q = WaitingQueue::new(1);
+        q.push_back(d(1), QueueClass::Normal, JobId(0));
+        q.push_back(d(2), QueueClass::Normal, JobId(0));
+        q.push_back(d(3), QueueClass::Normal, JobId(0));
+        assert_eq!(q.pop_matching(8, |id| id == d(3)), Some(d(3)));
+        assert_eq!(q.len(), 2);
+        // remaining order unchanged
+        assert_eq!(q.pop(), Some(d(1)));
+        assert_eq!(q.pop(), Some(d(2)));
+    }
+
+    #[test]
+    fn pop_matching_falls_back_to_head_when_no_match() {
+        let mut q = WaitingQueue::new(1);
+        q.push_back(d(1), QueueClass::Normal, JobId(0));
+        q.push_back(d(2), QueueClass::Normal, JobId(0));
+        assert_eq!(q.pop_matching(8, |_| false), Some(d(1)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_matching_window_bounds_scan() {
+        let mut q = WaitingQueue::new(1);
+        for i in 1..=6 {
+            q.push_back(d(i), QueueClass::Normal, JobId(0));
+        }
+        // match sits at position 4 but window is 2: falls back to head
+        assert_eq!(q.pop_matching(2, |id| id == d(5)), Some(d(1)));
+        // window 0 is pure queue order
+        assert_eq!(q.pop_matching(0, |id| id == d(5)), Some(d(2)));
+    }
+
+    #[test]
+    fn pop_matching_scans_elevated_before_normal() {
+        let mut q = WaitingQueue::new(1);
+        q.push_back(d(1), QueueClass::Normal, JobId(0));
+        q.push_back(d(2), QueueClass::Elevated, JobId(0));
+        q.push_back(d(3), QueueClass::Elevated, JobId(0));
+        // both elevated entries match; the earlier one wins
+        assert_eq!(q.pop_matching(8, |id| id.0 >= 2), Some(d(2)));
+        assert_eq!(q.pop(), Some(d(3)));
+        assert_eq!(q.pop(), Some(d(1)));
+    }
+
+    #[test]
+    fn pop_matching_head_match_advances_round_robin() {
+        let mut q = WaitingQueue::new(2);
+        q.push_back(d(1), QueueClass::Normal, JobId(0));
+        q.push_back(d(2), QueueClass::Normal, JobId(0));
+        q.push_back(d(3), QueueClass::Normal, JobId(1));
+        // head (job 0) matches: cursor moves to job 1 as with pop()
+        assert_eq!(q.pop_matching(8, |id| id == d(1)), Some(d(1)));
+        assert_eq!(q.pop(), Some(d(3)));
+        assert_eq!(q.pop(), Some(d(2)));
+    }
+
+    #[test]
+    fn pop_matching_deep_match_preserves_fairness_cursor() {
+        let mut q = WaitingQueue::new(2);
+        q.push_back(d(1), QueueClass::Normal, JobId(0));
+        q.push_back(d(2), QueueClass::Normal, JobId(0));
+        q.push_back(d(3), QueueClass::Normal, JobId(1));
+        // deep match in job 0: cursor still at job 0 for the next pop
+        assert_eq!(q.pop_matching(8, |id| id == d(2)), Some(d(2)));
+        assert_eq!(q.pop(), Some(d(1)));
+        assert_eq!(q.pop(), Some(d(3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_matching_empty_queue() {
+        let mut q = WaitingQueue::new(1);
+        assert_eq!(q.pop_matching(8, |_| true), None);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = WaitingQueue::new(2);
+        q.push_back(d(5), QueueClass::Normal, JobId(1));
+        q.push_back(d(6), QueueClass::Elevated, JobId(0));
+        assert_eq!(q.peek(), Some(d(6)));
+        assert_eq!(q.pop(), Some(d(6)));
+        assert_eq!(q.peek(), Some(d(5)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! A set of granule indices kept as sorted, disjoint, coalesced ranges.
+//!
+//! The executive uses range sets to track which granules of a phase have
+//! completed — the paper's descriptions are "large, contiguous collections
+//! of granules ... split apart as necessary ... and then merged back into
+//! single descriptions when the work was completed". `RangeSet::insert` is
+//! that merge.
+
+use crate::ids::GranuleRange;
+
+/// Sorted, disjoint, coalesced set of `u32` indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    runs: Vec<(u32, u32)>, // half-open [lo, hi), sorted, non-overlapping, non-adjacent
+}
+
+impl RangeSet {
+    /// Empty set.
+    pub fn new() -> RangeSet {
+        RangeSet { runs: Vec::new() }
+    }
+
+    /// Number of stored runs (for diagnostics; merging keeps this small).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total number of indices covered.
+    pub fn len(&self) -> u64 {
+        self.runs.iter().map(|&(lo, hi)| (hi - lo) as u64).sum()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// True when `g` is in the set.
+    pub fn contains(&self, g: u32) -> bool {
+        match self.runs.binary_search_by(|&(lo, _)| lo.cmp(&g)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => g < self.runs[i - 1].1,
+        }
+    }
+
+    /// True when the whole range `[lo, hi)` is covered.
+    pub fn contains_range(&self, r: GranuleRange) -> bool {
+        if r.is_empty() {
+            return true;
+        }
+        match self.runs.binary_search_by(|&(lo, _)| lo.cmp(&r.lo)) {
+            Ok(i) => self.runs[i].1 >= r.hi,
+            Err(0) => false,
+            Err(i) => self.runs[i - 1].1 >= r.hi,
+        }
+    }
+
+    /// Insert `[lo, hi)`, merging with any overlapping or adjacent runs.
+    /// Inserting an already-covered or empty range is a no-op.
+    pub fn insert(&mut self, r: GranuleRange) {
+        if r.is_empty() {
+            return;
+        }
+        let (mut lo, mut hi) = (r.lo, r.hi);
+        // Find the first run whose end is >= lo (candidate for merging).
+        let start = self.runs.partition_point(|&(_, rhi)| rhi < lo);
+        let mut end = start;
+        while end < self.runs.len() && self.runs[end].0 <= hi {
+            lo = lo.min(self.runs[end].0);
+            hi = hi.max(self.runs[end].1);
+            end += 1;
+        }
+        self.runs.splice(start..end, std::iter::once((lo, hi)));
+    }
+
+    /// Iterate the stored runs as `GranuleRange`s.
+    pub fn iter_runs(&self) -> impl Iterator<Item = GranuleRange> + '_ {
+        self.runs
+            .iter()
+            .map(|&(lo, hi)| GranuleRange::new(lo, hi))
+    }
+
+    /// Iterate the *gaps* (uncovered sub-ranges) inside the window
+    /// `[win.lo, win.hi)`.
+    pub fn gaps_in(&self, win: GranuleRange) -> Vec<GranuleRange> {
+        let mut gaps = Vec::new();
+        if win.is_empty() {
+            return gaps;
+        }
+        let mut cursor = win.lo;
+        for &(lo, hi) in &self.runs {
+            if hi <= cursor {
+                continue;
+            }
+            if lo >= win.hi {
+                break;
+            }
+            if lo > cursor {
+                gaps.push(GranuleRange::new(cursor, lo.min(win.hi)));
+            }
+            cursor = cursor.max(hi);
+            if cursor >= win.hi {
+                break;
+            }
+        }
+        if cursor < win.hi {
+            gaps.push(GranuleRange::new(cursor, win.hi));
+        }
+        gaps
+    }
+
+    /// The covered sub-ranges intersecting the window.
+    pub fn covered_in(&self, win: GranuleRange) -> Vec<GranuleRange> {
+        let mut out = Vec::new();
+        for &(lo, hi) in &self.runs {
+            if hi <= win.lo {
+                continue;
+            }
+            if lo >= win.hi {
+                break;
+            }
+            out.push(GranuleRange::new(lo.max(win.lo), hi.min(win.hi)));
+        }
+        out
+    }
+}
+
+/// Coalesce a sorted-or-unsorted list of granule indices into maximal
+/// contiguous ranges. Used when enablement counters release many successor
+/// granules in one completion-processing step: the executive creates one
+/// description per contiguous run rather than one per granule.
+pub fn coalesce_indices(indices: &mut Vec<u32>) -> Vec<GranuleRange> {
+    if indices.is_empty() {
+        return Vec::new();
+    }
+    indices.sort_unstable();
+    indices.dedup();
+    let mut out = Vec::new();
+    let mut lo = indices[0];
+    let mut prev = indices[0];
+    for &g in &indices[1..] {
+        if g == prev + 1 {
+            prev = g;
+        } else {
+            out.push(GranuleRange::new(lo, prev + 1));
+            lo = g;
+            prev = g;
+        }
+    }
+    out.push(GranuleRange::new(lo, prev + 1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: u32, hi: u32) -> GranuleRange {
+        GranuleRange::new(lo, hi)
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = RangeSet::new();
+        s.insert(r(5, 10));
+        assert!(s.contains(5));
+        assert!(s.contains(9));
+        assert!(!s.contains(10));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn merges_adjacent() {
+        let mut s = RangeSet::new();
+        s.insert(r(0, 5));
+        s.insert(r(5, 10));
+        assert_eq!(s.run_count(), 1);
+        assert!(s.contains_range(r(0, 10)));
+    }
+
+    #[test]
+    fn merges_overlapping_and_bridging() {
+        let mut s = RangeSet::new();
+        s.insert(r(0, 3));
+        s.insert(r(6, 9));
+        s.insert(r(12, 15));
+        assert_eq!(s.run_count(), 3);
+        s.insert(r(2, 13)); // bridges all three
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.len(), 15);
+    }
+
+    #[test]
+    fn out_of_order_inserts() {
+        let mut s = RangeSet::new();
+        s.insert(r(20, 30));
+        s.insert(r(0, 5));
+        s.insert(r(10, 12));
+        assert_eq!(s.run_count(), 3);
+        assert!(s.contains(25));
+        assert!(s.contains(0));
+        assert!(!s.contains(7));
+    }
+
+    #[test]
+    fn contains_range_checks_full_coverage() {
+        let mut s = RangeSet::new();
+        s.insert(r(0, 5));
+        s.insert(r(7, 10));
+        assert!(s.contains_range(r(1, 4)));
+        assert!(!s.contains_range(r(3, 8)));
+        assert!(s.contains_range(r(7, 10)));
+        assert!(s.contains_range(r(2, 2))); // empty range trivially covered
+    }
+
+    #[test]
+    fn gaps_in_window() {
+        let mut s = RangeSet::new();
+        s.insert(r(2, 4));
+        s.insert(r(6, 8));
+        let gaps = s.gaps_in(r(0, 10));
+        assert_eq!(gaps, vec![r(0, 2), r(4, 6), r(8, 10)]);
+        let gaps2 = s.gaps_in(r(3, 7));
+        assert_eq!(gaps2, vec![r(4, 6)]);
+        let mut full = RangeSet::new();
+        full.insert(r(0, 10));
+        assert!(full.gaps_in(r(0, 10)).is_empty());
+    }
+
+    #[test]
+    fn covered_in_window() {
+        let mut s = RangeSet::new();
+        s.insert(r(2, 4));
+        s.insert(r(6, 8));
+        assert_eq!(s.covered_in(r(3, 7)), vec![r(3, 4), r(6, 7)]);
+        assert_eq!(s.covered_in(r(0, 2)), vec![]);
+    }
+
+    #[test]
+    fn coalesce_runs() {
+        let mut v = vec![5, 1, 2, 3, 9, 8, 20];
+        let runs = coalesce_indices(&mut v);
+        assert_eq!(runs, vec![r(1, 4), r(5, 6), r(8, 10), r(20, 21)]);
+        assert!(coalesce_indices(&mut Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn coalesce_dedups() {
+        let mut v = vec![3, 3, 4, 4, 5];
+        let runs = coalesce_indices(&mut v);
+        assert_eq!(runs, vec![r(3, 6)]);
+    }
+}

@@ -1,0 +1,372 @@
+//! Run reports: everything an experiment needs to reproduce the paper's
+//! utilization and rundown numbers from one simulation.
+
+use crate::ids::InstanceId;
+use crate::mapping::MappingKind;
+use crate::phase::PhaseStats;
+use pax_sim::metrics::{GanttTrace, StepTrace};
+use pax_sim::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Per-phase-instance report entry.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Instance id, in initiation order.
+    pub instance: InstanceId,
+    /// Phase definition name.
+    pub name: String,
+    /// Job stream.
+    pub job: u32,
+    /// Granule count.
+    pub granules: u32,
+    /// Mapping through which this instance was enabled by its
+    /// predecessor, if it was overlapped.
+    pub enabled_by: Option<MappingKind>,
+    /// Timing and overlap statistics.
+    pub stats: PhaseStats,
+}
+
+impl PhaseReport {
+    /// Fraction of this instance's granules that completed before its
+    /// predecessor finished.
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.granules == 0 {
+            0.0
+        } else {
+            self.stats.overlap_granules as f64 / self.granules as f64
+        }
+    }
+}
+
+/// Per-job summary.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// When the job's first phase was dispatched.
+    pub started_at: SimTime,
+    /// When the job's program reached `End`.
+    pub finished_at: Option<SimTime>,
+}
+
+impl JobReport {
+    /// Elapsed wall-clock for the job, if it finished.
+    pub fn makespan(&self) -> Option<SimDuration> {
+        self.finished_at.map(|f| f.since(self.started_at))
+    }
+}
+
+/// Full result of one simulation run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Worker processor count.
+    pub processors: usize,
+    /// Completion time of the last event.
+    pub makespan: SimDuration,
+    /// Total useful computation time across workers.
+    pub compute_time: SimDuration,
+    /// Total management (executive) time.
+    pub mgmt_time: SimDuration,
+    /// Serial inter-phase algorithm time (the "serial actions and
+    /// decisions" behind null mappings) — kept separate from management
+    /// so the computation-to-management ratio matches the paper's.
+    pub serial_time: SimDuration,
+    /// Whether management displaced worker computation
+    /// (`ExecutivePlacement::StealsWorker`).
+    pub mgmt_steals_workers: bool,
+    /// Busy-compute-processor step trace.
+    pub busy_trace: StepTrace,
+    /// Busy-executive step trace.
+    pub mgmt_trace: StepTrace,
+    /// Phase instances in initiation order.
+    pub phases: Vec<PhaseReport>,
+    /// Job summaries.
+    pub jobs: Vec<JobReport>,
+    /// Events processed by the simulator.
+    pub events: u64,
+    /// Total tasks dispatched to workers.
+    pub tasks_dispatched: u64,
+    /// Total descriptor splits performed.
+    pub splits: u64,
+    /// Granules executed in their home memory cluster (zero on
+    /// uniform-memory machines, where no cluster model is configured).
+    pub local_granules: u64,
+    /// Granules executed outside their home cluster, each paying the
+    /// machine's remote stall.
+    pub remote_granules: u64,
+    /// Total worker time lost to remote-access stalls. Included in
+    /// `compute_time` (the worker is occupied) but not useful work — see
+    /// [`RunReport::effective_utilization`].
+    pub remote_stall: SimDuration,
+    /// Total descriptions ever created.
+    pub descriptors_created: u64,
+    /// Peak simultaneously-live descriptions.
+    pub descriptors_peak: usize,
+    /// Optional per-worker Gantt trace.
+    pub gantt: Option<GanttTrace>,
+    /// Warnings raised during the run (interlock violations etc.).
+    pub warnings: Vec<String>,
+}
+
+impl RunReport {
+    /// Overall worker utilization: useful compute over capacity.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.compute_time.ticks() as f64
+            / (self.processors as u64 * self.makespan.ticks()) as f64
+    }
+
+    /// Fraction of executed granules that ran outside their home memory
+    /// cluster (0.0 when no clustered-memory model was configured).
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local_granules + self.remote_granules;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_granules as f64 / total as f64
+        }
+    }
+
+    /// Utilization counting only useful computation: remote-access stalls
+    /// occupy workers but move no algorithm forward, so they are deducted.
+    /// Equals [`RunReport::utilization`] on uniform-memory machines.
+    pub fn effective_utilization(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        let useful = self.compute_time.ticks().saturating_sub(self.remote_stall.ticks());
+        useful as f64 / (self.processors as u64 * self.makespan.ticks()) as f64
+    }
+
+    /// The paper's computation-to-management ratio (∞-safe: returns
+    /// `f64::INFINITY` when management time is zero).
+    pub fn comp_to_mgmt_ratio(&self) -> f64 {
+        if self.mgmt_time.is_zero() {
+            f64::INFINITY
+        } else {
+            self.compute_time.ticks() as f64 / self.mgmt_time.ticks() as f64
+        }
+    }
+
+    /// Idle processor-time over the whole run (management wait included
+    /// for dedicated executives; for worker-stealing executives the stolen
+    /// time counts as management, not idle).
+    pub fn idle_time(&self) -> u64 {
+        let cap = self.processors as u64 * self.makespan.ticks();
+        let used = self.compute_time.ticks()
+            + if self.mgmt_steals_workers {
+                self.mgmt_time.ticks()
+            } else {
+                0
+            };
+        cap.saturating_sub(used)
+    }
+
+    /// Rundown analysis for phase instance `idx`: the time from when busy
+    /// processors last dropped below full (`processors`) until the phase
+    /// completed, and the idle processor-time lost in that window.
+    pub fn rundown_of(&self, idx: usize) -> Option<RundownWindow> {
+        let p = &self.phases[idx];
+        let end = p.stats.completed_at?;
+        let start_search = p.stats.current_at;
+        let onset = self
+            .busy_trace
+            .rundown_onset(self.processors as u32, end)
+            .unwrap_or(start_search)
+            .max(start_search);
+        let idle = self.busy_trace.idle_time(self.processors, onset, end);
+        Some(RundownWindow {
+            onset,
+            end,
+            idle_processor_time: idle,
+        })
+    }
+
+    /// Total overlap granules across all phases.
+    pub fn total_overlap_granules(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.stats.overlap_granules as u64)
+            .sum()
+    }
+
+    /// Makespan of job 0 (single-job convenience).
+    pub fn job_makespan(&self) -> Option<SimDuration> {
+        self.jobs.first().and_then(|j| j.makespan())
+    }
+
+    /// Render a compact textual summary.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            s,
+            "makespan {}  utilization {:.4}  compute {}  mgmt {}  C/M {:.1}",
+            self.makespan,
+            self.utilization(),
+            self.compute_time,
+            self.mgmt_time,
+            self.comp_to_mgmt_ratio(),
+        );
+        for (i, p) in self.phases.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  [{i}] {:<22} granules {:>8}  init {:>10}  current {:>10}  done {:>10}  overlap {:>8} ({:>5.1}%)  via {}",
+                p.name,
+                p.granules,
+                p.stats.initiated_at.ticks(),
+                p.stats.current_at.ticks(),
+                p.stats
+                    .completed_at
+                    .map(|t| t.ticks().to_string())
+                    .unwrap_or_else(|| "-".into()),
+                p.stats.overlap_granules,
+                p.overlap_fraction() * 100.0,
+                p.enabled_by.map(|k| k.label()).unwrap_or("-"),
+            );
+        }
+        s
+    }
+}
+
+/// A phase-end rundown window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RundownWindow {
+    /// When busy processors last dropped below full before phase end.
+    pub onset: SimTime,
+    /// Phase completion.
+    pub end: SimTime,
+    /// Idle processor-time lost in the window.
+    pub idle_processor_time: u64,
+}
+
+impl RundownWindow {
+    /// Length of the window.
+    pub fn span(&self) -> SimDuration {
+        self.end.since(self.onset)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_sim::time::SimTime;
+
+    fn mk_report() -> RunReport {
+        let mut busy = StepTrace::new();
+        busy.record(SimTime(0), 4);
+        busy.record(SimTime(80), 2);
+        busy.record(SimTime(100), 0);
+        RunReport {
+            processors: 4,
+            makespan: SimDuration(100),
+            compute_time: SimDuration(360),
+            mgmt_time: SimDuration(10),
+            serial_time: SimDuration::ZERO,
+            mgmt_steals_workers: false,
+            busy_trace: busy,
+            mgmt_trace: StepTrace::new(),
+            phases: vec![PhaseReport {
+                instance: InstanceId(0),
+                name: "a".into(),
+                job: 0,
+                granules: 100,
+                enabled_by: None,
+                stats: {
+                    let mut st = PhaseStats::new(SimTime(0));
+                    st.completed_at = Some(SimTime(100));
+                    st.overlap_granules = 25;
+                    st
+                },
+            }],
+            jobs: vec![JobReport {
+                started_at: SimTime(0),
+                finished_at: Some(SimTime(100)),
+            }],
+            events: 10,
+            tasks_dispatched: 8,
+            splits: 4,
+            local_granules: 0,
+            remote_granules: 0,
+            remote_stall: SimDuration::ZERO,
+            descriptors_created: 12,
+            descriptors_peak: 6,
+            gantt: None,
+            warnings: vec![],
+        }
+    }
+
+    #[test]
+    fn utilization_math() {
+        let r = mk_report();
+        assert!((r.utilization() - 0.9).abs() < 1e-12);
+        assert!((r.comp_to_mgmt_ratio() - 36.0).abs() < 1e-12);
+        assert_eq!(r.idle_time(), 400 - 360);
+    }
+
+    #[test]
+    fn rundown_window_extraction() {
+        let r = mk_report();
+        let w = r.rundown_of(0).unwrap();
+        assert_eq!(w.onset, SimTime(80));
+        assert_eq!(w.end, SimTime(100));
+        // [80,100): capacity 80, busy 2*20=40 -> idle 40
+        assert_eq!(w.idle_processor_time, 40);
+        assert_eq!(w.span(), SimDuration(20));
+    }
+
+    #[test]
+    fn overlap_fraction() {
+        let r = mk_report();
+        assert!((r.phases[0].overlap_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(r.total_overlap_granules(), 25);
+    }
+
+    #[test]
+    fn steals_worker_idle_accounting() {
+        let mut r = mk_report();
+        r.mgmt_steals_workers = true;
+        assert_eq!(r.idle_time(), 400 - 360 - 10);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let r = mk_report();
+        let s = r.summary();
+        assert!(s.contains("utilization"));
+        assert!(s.contains("overlap"));
+    }
+
+    #[test]
+    fn infinite_ratio_when_mgmt_free() {
+        let mut r = mk_report();
+        r.mgmt_time = SimDuration::ZERO;
+        assert!(r.comp_to_mgmt_ratio().is_infinite());
+    }
+
+    #[test]
+    fn remote_fraction_uniform_memory_is_zero() {
+        let r = mk_report();
+        assert_eq!(r.remote_fraction(), 0.0);
+        assert!((r.effective_utilization() - r.utilization()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remote_fraction_and_effective_utilization() {
+        let mut r = mk_report();
+        r.local_granules = 75;
+        r.remote_granules = 25;
+        r.remote_stall = SimDuration(60);
+        assert!((r.remote_fraction() - 0.25).abs() < 1e-12);
+        // (360 - 60) / 400
+        assert!((r.effective_utilization() - 0.75).abs() < 1e-12);
+        // plain utilization still counts occupied time
+        assert!((r.utilization() - 0.9).abs() < 1e-12);
+    }
+}

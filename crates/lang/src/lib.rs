@@ -1,0 +1,134 @@
+//! # pax-lang — the paper's language construct
+//!
+//! The paper proposes language support for declaring phase-overlap
+//! enablement, in four escalating forms:
+//!
+//! 1. `DISPATCH phase-name ENABLE/MAPPING=option` — "simple and explicit;
+//!    however, it leaves the door wide open to user mistakes."
+//! 2. `DISPATCH phase-name ENABLE [phase-name/MAPPING=option]` — names the
+//!    successor "so that the executive system (or language processor) can
+//!    verify that, in fact, that phase is following."
+//! 3. `ENABLE/BRANCHINDEPENDENT [p1/MAPPING=o1 p2/MAPPING=o2]` followed by
+//!    `IF (IMOD(LOOPCOUNTER,10).NE.0) THEN GO TO …` — the executive
+//!    preprocesses the branch and overlaps the phase actually taken.
+//! 4. `DEFINE PHASE p ENABLE […]` + `DISPATCH p ENABLE/BRANCHDEPENDENT` —
+//!    mapping selections are matched when the phase is defined; the
+//!    invocation site only flags whether branches may be preprocessed.
+//!
+//! This crate implements all four: a lexer/parser ([`parser::parse`]), a
+//! compiler with the interlock verification ([`compile::compile`]), and a
+//! one-call runner ([`run_script`]).
+//!
+//! ```
+//! use pax_lang::{parse, compile, MapBindings};
+//!
+//! let script = parse("
+//!     DEFINE PHASE sweep GRANULES 64 COST CONST 10
+//!     DEFINE PHASE relax GRANULES 64 COST CONST 10
+//!     DISPATCH sweep ENABLE [relax/MAPPING=IDENTITY]
+//!     DISPATCH relax
+//! ").unwrap();
+//! let compiled = compile(&script, &MapBindings::new()).unwrap();
+//! assert_eq!(compiled.program.phases.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod parser;
+pub mod token;
+
+pub use ast::{AstStmt, CondExpr, CostSpec, DefinePhase, EnableClause, EnableItem, MappingOption, Script};
+pub use compile::{compile, CompileError, Compiled, Diagnostic, MapBindings};
+pub use parser::{parse, ParseError};
+pub use token::{lex, LexError, Pos, Tok, Token};
+
+use pax_core::engine::{EngineError, Simulation};
+use pax_core::policy::OverlapPolicy;
+use pax_core::report::RunReport;
+use pax_sim::machine::MachineConfig;
+
+/// Errors from the end-to-end script runner.
+#[derive(Debug)]
+pub enum ScriptError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Compilation failed.
+    Compile(CompileError),
+    /// The simulation failed.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScriptError::Parse(e) => write!(f, "{e}"),
+            ScriptError::Compile(e) => write!(f, "{e}"),
+            ScriptError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// Parse, compile, and run a script on the given machine and policy.
+pub fn run_script(
+    src: &str,
+    bindings: &MapBindings,
+    machine: MachineConfig,
+    policy: OverlapPolicy,
+) -> Result<RunReport, ScriptError> {
+    let script = parse(src).map_err(ScriptError::Parse)?;
+    let compiled = compile(&script, bindings).map_err(ScriptError::Compile)?;
+    let mut sim = Simulation::new(machine, policy);
+    sim.add_job(compiled.program);
+    sim.run().map_err(ScriptError::Engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_script_end_to_end() {
+        let report = run_script(
+            "
+            DEFINE PHASE a GRANULES 12 COST CONST 10
+            DEFINE PHASE b GRANULES 12 COST CONST 10
+            DISPATCH a ENABLE [b/MAPPING=IDENTITY]
+            DISPATCH b
+            ",
+            &MapBindings::new(),
+            MachineConfig::ideal(4),
+            OverlapPolicy::overlap(),
+        )
+        .unwrap();
+        assert_eq!(report.phases.len(), 2);
+        assert!(report.jobs[0].finished_at.is_some());
+    }
+
+    #[test]
+    fn run_script_surfaces_parse_errors() {
+        let err = run_script(
+            "DISPATCH",
+            &MapBindings::new(),
+            MachineConfig::ideal(2),
+            OverlapPolicy::strict(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScriptError::Parse(_)));
+    }
+
+    #[test]
+    fn run_script_surfaces_compile_errors() {
+        let err = run_script(
+            "DISPATCH ghost",
+            &MapBindings::new(),
+            MachineConfig::ideal(2),
+            OverlapPolicy::strict(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScriptError::Compile(_)));
+    }
+}

@@ -1,0 +1,642 @@
+//! Lateral worker-to-worker scheduling — the paper's named extension.
+//!
+//! Among the "additional strategies which have been identified for
+//! development" the paper lists "a direct worker-to-worker lateral
+//! communication scheme": letting workers hand work to each other instead
+//! of funnelling every dispatch through the serial executive. Four
+//! decades later that idea is work stealing; this module implements it
+//! with crossbeam deques so the repository can measure what the strategy
+//! buys over the central-executive executor in [`crate::executor`].
+//!
+//! The overlap machinery is the same — identity releases, composite-map
+//! enablement counters, a one-phase lookahead window — but releases go to
+//! the *releasing worker's own deque* (lateral hand-off); idle workers
+//! steal from peers, and only phase-level bookkeeping takes a lock.
+
+use crate::executor::{RtMapping, RtPhase, RtReport, RtPhaseReport, RuntimeConfig};
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    phase: usize,
+    lo: u32,
+    hi: u32,
+}
+
+/// Phase bookkeeping shared under one small mutex (completion counts and
+/// counter state only — the hot dispatch path never takes it).
+struct PhaseBook {
+    remaining: Vec<u32>,
+    counters: Vec<Option<Vec<u32>>>,
+    released: Vec<bool>,
+    /// Identity releases deferred while the phase was outside the
+    /// lookahead window (flushed at window entry).
+    deferred: Vec<Vec<(u32, u32)>>,
+    current: usize,
+    first_start: Vec<Option<Instant>>,
+    last_end: Vec<Option<Instant>>,
+    overlap_granules: Vec<u64>,
+}
+
+struct Shared {
+    specs: Vec<RtPhase>,
+    cfg: RuntimeConfig,
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    /// Per-worker victim order: same-cluster peers first when the config
+    /// clusters workers (proximity-aware stealing), flat order otherwise.
+    /// `(victim, same_cluster)` pairs, fixed at startup.
+    steal_order: Vec<Vec<(usize, bool)>>,
+    book: Mutex<PhaseBook>,
+    done: AtomicBool,
+    live_tasks: AtomicUsize,
+    tasks_executed: AtomicU64,
+    steals_same_cluster: AtomicU64,
+    steals_cross_cluster: AtomicU64,
+    t0: Instant,
+}
+
+impl Shared {
+    /// Push a range as task-sized chunks. `local` is the releasing
+    /// worker's own deque (lateral hand-off) when available, otherwise
+    /// the global injector.
+    fn push_range(&self, local: Option<&Deque<Task>>, phase: usize, lo: u32, hi: u32) {
+        let step = self.cfg.task_granules;
+        let mut a = lo;
+        while a < hi {
+            let b = (a + step).min(hi);
+            self.live_tasks.fetch_add(1, Ordering::AcqRel);
+            let t = Task { phase, lo: a, hi: b };
+            match local {
+                Some(d) => d.push(t),
+                None => self.injector.push(t),
+            }
+            a = b;
+        }
+    }
+
+    fn release_all(&self, book: &mut PhaseBook, local: Option<&Deque<Task>>, phase: usize) {
+        if book.released[phase] {
+            return;
+        }
+        book.released[phase] = true;
+        self.push_range(local, phase, 0, self.specs[phase].granules);
+    }
+
+    fn on_window_entry(&self, book: &mut PhaseBook, local: Option<&Deque<Task>>, phase: usize) {
+        if phase >= self.specs.len() || !self.cfg.overlap {
+            return;
+        }
+        let deferred = std::mem::take(&mut book.deferred[phase]);
+        for (a, b) in deferred {
+            self.push_range(local, phase, a, b);
+        }
+        match &self.specs[phase - 1].mapping_to_next {
+            RtMapping::Universal => self.release_all(book, local, phase),
+            RtMapping::Counted(comp) => {
+                if book.counters[phase].is_none() {
+                    book.counters[phase] = Some(comp.requires.clone());
+                }
+                let runs = {
+                    let counters = book.counters[phase].as_ref().unwrap();
+                    zero_runs(counters)
+                };
+                for (a, b) in runs {
+                    self.push_range(local, phase, a, b);
+                }
+            }
+            RtMapping::Identity | RtMapping::Barrier => {}
+        }
+    }
+
+    /// Completion processing. Returns true when everything is done.
+    fn complete(&self, local: &Deque<Task>, t: Task, now: Instant) -> bool {
+        let mut book = self.book.lock();
+        let len = t.hi - t.lo;
+        book.remaining[t.phase] -= len;
+        book.last_end[t.phase] = Some(now);
+        let phase_done = book.remaining[t.phase] == 0;
+
+        let succ = t.phase + 1;
+        if self.cfg.overlap && succ < self.specs.len() {
+            let in_window = succ == book.current + 1;
+            match &self.specs[t.phase].mapping_to_next {
+                RtMapping::Identity => {
+                    if in_window {
+                        // lateral hand-off: the enabled successor range
+                        // goes to this worker's own deque, warm in cache
+                        self.push_range(Some(local), succ, t.lo, t.hi);
+                    } else {
+                        // outside the lookahead window: defer, don't drop
+                        book.deferred[succ].push((t.lo, t.hi));
+                    }
+                }
+                RtMapping::Counted(comp) => {
+                    let mut freed: Vec<u32> = Vec::new();
+                    {
+                        let counters = book.counters[succ]
+                            .get_or_insert_with(|| comp.requires.clone());
+                        for g in t.lo..t.hi {
+                            for &r in comp.dependents_of(g) {
+                                let c = &mut counters[r as usize];
+                                debug_assert!(*c > 0);
+                                *c -= 1;
+                                if *c == 0 {
+                                    freed.push(r);
+                                }
+                            }
+                        }
+                    }
+                    if in_window {
+                        freed.sort_unstable();
+                        for (a, b) in index_runs(&freed) {
+                            self.push_range(Some(local), succ, a, b);
+                        }
+                    }
+                }
+                RtMapping::Universal | RtMapping::Barrier => {}
+            }
+        }
+
+        if phase_done && t.phase == book.current {
+            while book.current < self.specs.len() && book.remaining[book.current] == 0 {
+                book.current += 1;
+                if book.current < self.specs.len() {
+                    let cur = book.current;
+                    if !book.released[cur] {
+                        let needs_all = !self.cfg.overlap
+                            || matches!(
+                                self.specs[cur - 1].mapping_to_next,
+                                RtMapping::Barrier | RtMapping::Universal
+                            );
+                        if needs_all {
+                            self.release_all(&mut book, Some(local), cur);
+                        } else if let RtMapping::Counted(comp) =
+                            &self.specs[cur - 1].mapping_to_next
+                        {
+                            // defensively zero any counters the window
+                            // gating kept from firing
+                            let runs = {
+                                let counters = book.counters[cur]
+                                    .get_or_insert_with(|| comp.requires.clone());
+                                let runs: Vec<(u32, u32)> = nonzero_runs(counters);
+                                for c in counters.iter_mut() {
+                                    *c = 0;
+                                }
+                                runs
+                            };
+                            for (a, b) in runs {
+                                self.push_range(Some(local), cur, a, b);
+                            }
+                        }
+                        book.released[cur] = true;
+                    }
+                    if cur + 1 < self.specs.len() {
+                        self.on_window_entry(&mut book, Some(local), cur + 1);
+                    }
+                }
+            }
+            if book.current >= self.specs.len() {
+                self.done.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn find_task(&self, local: &Deque<Task>, id: usize) -> Option<Task> {
+        // own deque first (lateral locality), then the injector, then
+        // steal from peers — same-cluster victims before remote ones when
+        // proximity stealing is on
+        if let Some(t) = local.pop() {
+            return Some(t);
+        }
+        loop {
+            match self.injector.steal_batch_and_pop(local) {
+                crossbeam::deque::Steal::Success(t) => return Some(t),
+                crossbeam::deque::Steal::Retry => continue,
+                crossbeam::deque::Steal::Empty => break,
+            }
+        }
+        for &(victim, same) in &self.steal_order[id] {
+            loop {
+                match self.stealers[victim].steal() {
+                    crossbeam::deque::Steal::Success(t) => {
+                        if same {
+                            self.steals_same_cluster.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            self.steals_cross_cluster.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Some(t);
+                    }
+                    crossbeam::deque::Steal::Retry => continue,
+                    crossbeam::deque::Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Victim order for each thief: same-cluster peers (nearest id first),
+/// then cross-cluster peers. With clustering disabled every peer is
+/// "cross-cluster" in flat id order, preserving the original behaviour.
+fn build_steal_order(cfg: &RuntimeConfig) -> Vec<Vec<(usize, bool)>> {
+    (0..cfg.workers)
+        .map(|id| {
+            let my = cfg.worker_cluster(id);
+            let mut order: Vec<(usize, bool)> = (0..cfg.workers)
+                .filter(|&v| v != id)
+                .map(|v| (v, cfg.clusters.is_some() && cfg.worker_cluster(v) == my))
+                .collect();
+            // stable partition: same-cluster victims first
+            order.sort_by_key(|&(_, same)| !same);
+            order
+        })
+        .collect()
+}
+
+fn index_runs(sorted: &[u32]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let start = sorted[i];
+        let mut end = start + 1;
+        i += 1;
+        while i < sorted.len() && sorted[i] == end {
+            end += 1;
+            i += 1;
+        }
+        out.push((start, end));
+    }
+    out
+}
+
+fn zero_runs(counters: &[u32]) -> Vec<(u32, u32)> {
+    runs_where(counters, |c| c == 0)
+}
+
+fn nonzero_runs(counters: &[u32]) -> Vec<(u32, u32)> {
+    runs_where(counters, |c| c > 0)
+}
+
+fn runs_where(counters: &[u32], pred: impl Fn(u32) -> bool) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0u32;
+    let n = counters.len() as u32;
+    while i < n {
+        if pred(counters[i as usize]) {
+            let start = i;
+            while i < n && pred(counters[i as usize]) {
+                i += 1;
+            }
+            out.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Run a phase chain on the lateral (work-stealing) executor.
+pub fn run_chain_lateral(specs: Vec<RtPhase>, cfg: RuntimeConfig) -> RtReport {
+    assert!(!specs.is_empty(), "need at least one phase");
+    for (i, s) in specs.iter().enumerate() {
+        if let RtMapping::Identity = s.mapping_to_next {
+            if i + 1 < specs.len() {
+                assert_eq!(
+                    s.granules,
+                    specs[i + 1].granules,
+                    "identity mapping requires equal granule counts"
+                );
+            }
+        }
+    }
+    let nphases = specs.len();
+    let workers = cfg.workers;
+    let deques: Vec<Deque<Task>> = (0..workers).map(|_| Deque::new_fifo()).collect();
+    let stealers: Vec<Stealer<Task>> = deques.iter().map(|d| d.stealer()).collect();
+    let t0 = Instant::now();
+    let shared = Arc::new(Shared {
+        book: Mutex::new(PhaseBook {
+            remaining: specs.iter().map(|s| s.granules).collect(),
+            counters: vec![None; nphases],
+            released: vec![false; nphases],
+            deferred: vec![Vec::new(); nphases],
+            current: 0,
+            first_start: vec![None; nphases],
+            last_end: vec![None; nphases],
+            overlap_granules: vec![0; nphases],
+        }),
+        specs,
+        steal_order: build_steal_order(&cfg),
+        cfg: cfg.clone(),
+        injector: Injector::new(),
+        stealers,
+        done: AtomicBool::new(false),
+        live_tasks: AtomicUsize::new(0),
+        tasks_executed: AtomicU64::new(0),
+        steals_same_cluster: AtomicU64::new(0),
+        steals_cross_cluster: AtomicU64::new(0),
+        t0,
+    });
+
+    {
+        let mut book = shared.book.lock();
+        shared.release_all(&mut book, None, 0);
+        if nphases > 1 {
+            shared.on_window_entry(&mut book, None, 1);
+        }
+    }
+
+    let mut handles = Vec::with_capacity(workers);
+    for (id, deque) in deques.into_iter().enumerate() {
+        let sh = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || {
+            let mut busy = Duration::ZERO;
+            loop {
+                let Some(t) = sh.find_task(&deque, id) else {
+                    if sh.done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                    continue;
+                };
+                {
+                    let mut book = sh.book.lock();
+                    let now = Instant::now();
+                    if book.first_start[t.phase].is_none() {
+                        book.first_start[t.phase] = Some(now);
+                    }
+                    if t.phase > book.current {
+                        book.overlap_granules[t.phase] += (t.hi - t.lo) as u64;
+                    }
+                }
+                let start = Instant::now();
+                for g in t.lo..t.hi {
+                    (sh.specs[t.phase].work)(g);
+                }
+                busy += start.elapsed();
+                sh.tasks_executed.fetch_add(1, Ordering::AcqRel);
+                sh.live_tasks.fetch_sub(1, Ordering::AcqRel);
+                sh.complete(&deque, t, Instant::now());
+            }
+            busy
+        }));
+    }
+
+    let mut busy_total = Duration::ZERO;
+    for h in handles {
+        busy_total += h.join().expect("worker panicked");
+    }
+    let wall = t0.elapsed();
+    let book = shared.book.lock();
+    let phases = shared
+        .specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| RtPhaseReport {
+            name: spec.name.clone(),
+            first_start: book.first_start[i].map(|t| t.duration_since(shared.t0)),
+            last_end: book.last_end[i].map(|t| t.duration_since(shared.t0)),
+            overlap_granules: book.overlap_granules[i],
+        })
+        .collect();
+    RtReport {
+        wall,
+        busy: busy_total,
+        workers,
+        tasks: shared.tasks_executed.load(Ordering::Acquire),
+        steals_same_cluster: shared.steals_same_cluster.load(Ordering::Relaxed),
+        steals_cross_cluster: shared.steals_cross_cluster.load(Ordering::Relaxed),
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::{SharedCounters, SharedF64};
+    use pax_core::mapping::CompositeMap;
+
+    #[test]
+    fn every_granule_runs_exactly_once() {
+        let c1 = Arc::new(SharedCounters::zeros(200));
+        let c2 = Arc::new(SharedCounters::zeros(200));
+        let mk = |c: &Arc<SharedCounters>, name: &str| {
+            let c = Arc::clone(c);
+            RtPhase::new(name, 200, Arc::new(move |g| {
+                c.incr(g as usize);
+            }))
+        };
+        let phases = vec![
+            mk(&c1, "a").with_mapping(RtMapping::Identity),
+            mk(&c2, "b"),
+        ];
+        let r = run_chain_lateral(phases, RuntimeConfig::new(4, 8));
+        for i in 0..200 {
+            assert_eq!(c1.get(i), 1, "phase a granule {i}");
+            assert_eq!(c2.get(i), 1, "phase b granule {i}");
+        }
+        assert_eq!(r.tasks, 50);
+    }
+
+    #[test]
+    fn identity_dataflow_preserved_under_stealing() {
+        let n = 300u32;
+        let b = Arc::new(SharedF64::zeros(n as usize));
+        let c = Arc::new(SharedF64::zeros(n as usize));
+        let b1 = Arc::clone(&b);
+        let p1 = RtPhase::new(
+            "w",
+            n,
+            Arc::new(move |g| {
+                crate::work::spin_for(Duration::from_micros(15));
+                b1.set(g as usize, g as f64 * 3.0);
+            }),
+        )
+        .with_mapping(RtMapping::Identity);
+        let b2 = Arc::clone(&b);
+        let c2 = Arc::clone(&c);
+        let p2 = RtPhase::new(
+            "r",
+            n,
+            Arc::new(move |g| {
+                c2.set(g as usize, b2.get(g as usize) + 1.0);
+            }),
+        );
+        run_chain_lateral(vec![p1, p2], RuntimeConfig::new(4, 4));
+        for g in 0..n {
+            assert_eq!(c.get(g as usize), g as f64 * 3.0 + 1.0, "granule {g}");
+        }
+    }
+
+    #[test]
+    fn counted_dataflow_preserved_under_stealing() {
+        let n = 150u32;
+        let req: Vec<Vec<u32>> = (0..n).map(|r| vec![r, (r + 3) % n]).collect();
+        let comp = Arc::new(CompositeMap::from_requirement_lists(&req, n));
+        let a = Arc::new(SharedF64::zeros(n as usize));
+        let out = Arc::new(SharedF64::zeros(n as usize));
+        let a1 = Arc::clone(&a);
+        let p1 = RtPhase::new(
+            "gen",
+            n,
+            Arc::new(move |g| {
+                crate::work::spin_for(Duration::from_micros(10));
+                a1.set(g as usize, g as f64);
+            }),
+        )
+        .with_mapping(RtMapping::Counted(comp));
+        let a2 = Arc::clone(&a);
+        let o = Arc::clone(&out);
+        let p2 = RtPhase::new(
+            "use",
+            n,
+            Arc::new(move |g| {
+                o.set(
+                    g as usize,
+                    a2.get(g as usize) + a2.get(((g + 3) % n) as usize),
+                );
+            }),
+        );
+        run_chain_lateral(vec![p1, p2], RuntimeConfig::new(4, 2));
+        for g in 0..n {
+            assert_eq!(
+                out.get(g as usize),
+                g as f64 + ((g + 3) % n) as f64,
+                "granule {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_mode_matches_central_executor_semantics() {
+        let c = Arc::new(SharedCounters::zeros(64));
+        let cc = Arc::clone(&c);
+        let phases = vec![
+            RtPhase::synthetic("a", 64, Duration::from_micros(5))
+                .with_mapping(RtMapping::Universal),
+            RtPhase::new("b", 64, Arc::new(move |g| {
+                cc.incr(g as usize);
+            })),
+        ];
+        let r = run_chain_lateral(phases, RuntimeConfig::new(3, 4).barrier());
+        assert_eq!(r.total_overlap_granules(), 0);
+        for i in 0..64 {
+            assert_eq!(c.get(i), 1);
+        }
+    }
+
+    #[test]
+    fn steal_order_partitions_by_cluster() {
+        let cfg = RuntimeConfig::new(8, 4).with_clusters(4);
+        let order = build_steal_order(&cfg);
+        // worker 0 (cluster 0) raids worker 1 (cluster 0) first, then the
+        // six cross-cluster peers
+        assert_eq!(order[0][0], (1, true));
+        assert!(order[0][1..].iter().all(|&(_, same)| !same));
+        assert_eq!(order[0].len(), 7);
+        // worker 5 (cluster 2) pairs with worker 4
+        assert_eq!(order[5][0], (4, true));
+    }
+
+    #[test]
+    fn flat_steal_order_without_clusters() {
+        let cfg = RuntimeConfig::new(4, 4);
+        let order = build_steal_order(&cfg);
+        assert_eq!(
+            order[2],
+            vec![(0, false), (1, false), (3, false)],
+            "id order, all cross-cluster"
+        );
+    }
+
+    #[test]
+    fn cluster_stealing_preserves_correctness_and_counts_steals() {
+        let n = 400u32;
+        let c1 = Arc::new(SharedCounters::zeros(n as usize));
+        let c2 = Arc::new(SharedCounters::zeros(n as usize));
+        let mk = |c: &Arc<SharedCounters>, name: &str| {
+            let c = Arc::clone(c);
+            RtPhase::new(
+                name,
+                n,
+                Arc::new(move |g| {
+                    crate::work::spin_for(Duration::from_micros(5));
+                    c.incr(g as usize);
+                }),
+            )
+        };
+        let phases = vec![
+            mk(&c1, "a").with_mapping(RtMapping::Identity),
+            mk(&c2, "b"),
+        ];
+        let r = run_chain_lateral(phases, RuntimeConfig::new(4, 4).with_clusters(2));
+        for i in 0..n as usize {
+            assert_eq!(c1.get(i), 1);
+            assert_eq!(c2.get(i), 1);
+        }
+        // steal accounting is consistent: total steals cannot exceed tasks
+        assert!(r.steals_same_cluster + r.steals_cross_cluster <= r.tasks);
+    }
+
+    #[test]
+    fn clustered_stealing_prefers_same_cluster_victims() {
+        // Starve three of four workers (all work starts on one deque via
+        // the injector after a single-task first phase), then watch where
+        // steals land. Same-cluster steals should appear whenever any
+        // stealing happens at all; cross-cluster steals only occur when a
+        // whole cluster is dry. Run a few times to dodge scheduling luck.
+        let mut same_total = 0u64;
+        let mut cross_total = 0u64;
+        for _ in 0..5 {
+            let phases = vec![
+                RtPhase::synthetic("a", 64, Duration::from_micros(50))
+                    .with_mapping(RtMapping::Identity),
+                RtPhase::synthetic("b", 64, Duration::from_micros(50)),
+            ];
+            let r = run_chain_lateral(phases, RuntimeConfig::new(4, 2).with_clusters(2));
+            same_total += r.steals_same_cluster;
+            cross_total += r.steals_cross_cluster;
+        }
+        // identity hand-off keeps successor work on the completing worker,
+        // so peers must steal; with cluster preference the same-cluster
+        // channel should carry a share whenever substantial stealing
+        // occurred. (Below ~50 total steals the sample is too small to
+        // judge preference — OS scheduling on a loaded 2-core VM can
+        // legitimately route a handful of steals anywhere.)
+        if same_total + cross_total > 50 {
+            assert!(
+                same_total > 0,
+                "no same-cluster steals in {same_total}+{cross_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn lateral_overlaps_universal_chains() {
+        let phases: Vec<RtPhase> = (0..3)
+            .map(|i| {
+                let p = RtPhase::synthetic(
+                    format!("p{i}"),
+                    30,
+                    Duration::from_micros(100),
+                );
+                if i < 2 {
+                    p.with_mapping(RtMapping::Universal)
+                } else {
+                    p
+                }
+            })
+            .collect();
+        let r = run_chain_lateral(phases, RuntimeConfig::new(4, 1));
+        assert!(r.total_overlap_granules() > 0);
+        assert_eq!(r.tasks, 90);
+    }
+}

@@ -1,0 +1,40 @@
+//! # pax-runtime — phase overlap on real threads
+//!
+//! The simulator (`pax-core`) reproduces the paper's scheduling claims
+//! deterministically; this crate demonstrates them on actual hardware. A
+//! pool of OS threads executes a linear chain of phases under either
+//! strict barriers or the paper's enablement machinery (identity releases,
+//! composite-map enablement counters, universal window releases), and the
+//! report measures real utilization and rundown fill.
+//!
+//! Two executors share that machinery: [`run_chain`] routes every dispatch
+//! through a central serial executive (PAX's arrangement), while
+//! [`run_chain_lateral`] implements the paper's "direct worker-to-worker
+//! lateral communication scheme" as work stealing — optionally
+//! cluster-aware ([`RuntimeConfig::with_clusters`]), so an idle worker
+//! raids same-cluster peers before crossing clusters (the thread-level
+//! analogue of the data-proximity assignment measured in E12).
+//!
+//! ```
+//! use pax_runtime::{run_chain, RtMapping, RtPhase, RuntimeConfig};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let phases = vec![
+//!     RtPhase::synthetic("sweep-1", 32, Duration::from_micros(50))
+//!         .with_mapping(RtMapping::Identity),
+//!     RtPhase::synthetic("sweep-2", 32, Duration::from_micros(50)),
+//! ];
+//! let report = run_chain(phases, RuntimeConfig::new(4, 2));
+//! assert_eq!(report.phases.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod lateral;
+pub mod work;
+
+pub use executor::{run_chain, RtMapping, RtPhase, RtPhaseReport, RtReport, RuntimeConfig};
+pub use lateral::run_chain_lateral;
+pub use work::{spin_for, SharedCounters, SharedF64};

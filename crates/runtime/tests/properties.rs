@@ -1,0 +1,129 @@
+//! Property-based concurrency tests: random phase chains on real
+//! threads, both executors, all mappings — every granule must execute
+//! exactly once, whatever the OS scheduler does.
+
+use pax_core::mapping::CompositeMap;
+use pax_runtime::{run_chain, run_chain_lateral, RtMapping, RtPhase, RuntimeConfig};
+use pax_runtime::SharedCounters;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Build a random chain; returns (phases, per-phase counters).
+fn chain(
+    granules: u32,
+    nphases: usize,
+    mappings: &[u8],
+) -> (Vec<RtPhase>, Vec<Arc<SharedCounters>>) {
+    let counters: Vec<Arc<SharedCounters>> = (0..nphases)
+        .map(|_| Arc::new(SharedCounters::zeros(granules as usize)))
+        .collect();
+    let phases: Vec<RtPhase> = (0..nphases)
+        .map(|i| {
+            let c = Arc::clone(&counters[i]);
+            let p = RtPhase::new(
+                format!("p{i}"),
+                granules,
+                Arc::new(move |g| {
+                    c.incr(g as usize);
+                }),
+            );
+            if i + 1 == nphases {
+                return p;
+            }
+            match mappings[i] % 4 {
+                0 => p.with_mapping(RtMapping::Barrier),
+                1 => p.with_mapping(RtMapping::Universal),
+                2 => p.with_mapping(RtMapping::Identity),
+                _ => {
+                    // deterministic pseudo-random fan-in-2 reverse map
+                    let req: Vec<Vec<u32>> = (0..granules)
+                        .map(|r| vec![r, (r * 7 + 3) % granules])
+                        .collect();
+                    p.with_mapping(RtMapping::Counted(Arc::new(
+                        CompositeMap::from_requirement_lists(&req, granules),
+                    )))
+                }
+            }
+        })
+        .collect();
+    (phases, counters)
+}
+
+proptest! {
+    // Thread spawning is expensive; a couple dozen random chains give
+    // plenty of schedule diversity on a loaded machine.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Central executor: exactly-once execution for every granule of
+    /// every phase under any mapping mix, worker count, and task size.
+    #[test]
+    fn central_executor_runs_every_granule_once(
+        granules in 8u32..60,
+        nphases in 2usize..5,
+        mappings in proptest::collection::vec(0u8..4, 4),
+        workers in 1usize..5,
+        task in 1u32..9,
+        overlap in proptest::bool::ANY,
+    ) {
+        let (phases, counters) = chain(granules, nphases, &mappings);
+        let cfg = if overlap {
+            RuntimeConfig::new(workers, task)
+        } else {
+            RuntimeConfig::new(workers, task).barrier()
+        };
+        let r = run_chain(phases, cfg);
+        for (i, c) in counters.iter().enumerate() {
+            for g in 0..granules as usize {
+                prop_assert_eq!(c.get(g), 1, "phase {} granule {}", i, g);
+            }
+        }
+        prop_assert_eq!(r.phases.len(), nphases);
+        if !overlap {
+            prop_assert_eq!(r.total_overlap_granules(), 0);
+        }
+    }
+
+    /// Lateral (work-stealing) executor: the same exactly-once guarantee,
+    /// with and without cluster-aware stealing.
+    #[test]
+    fn lateral_executor_runs_every_granule_once(
+        granules in 8u32..60,
+        nphases in 2usize..5,
+        mappings in proptest::collection::vec(0u8..4, 4),
+        workers in 1usize..5,
+        task in 1u32..9,
+        clusters in 0usize..3,
+    ) {
+        let (phases, counters) = chain(granules, nphases, &mappings);
+        let mut cfg = RuntimeConfig::new(workers, task);
+        if clusters > 0 {
+            cfg = cfg.with_clusters(clusters);
+        }
+        let r = run_chain_lateral(phases, cfg);
+        for (i, c) in counters.iter().enumerate() {
+            for g in 0..granules as usize {
+                prop_assert_eq!(c.get(g), 1, "phase {} granule {}", i, g);
+            }
+        }
+        // steal accounting can never exceed executed tasks
+        prop_assert!(r.steals_same_cluster + r.steals_cross_cluster <= r.tasks);
+    }
+
+    /// Both executors agree on the task count for identical configs
+    /// (tasks = Σ ceil(granules / task_size) per phase).
+    #[test]
+    fn task_count_is_deterministic(
+        granules in 8u32..60,
+        nphases in 2usize..4,
+        task in 1u32..9,
+    ) {
+        let mappings = vec![2u8; 4]; // identity everywhere
+        let per_phase = granules.div_ceil(task) as u64;
+        let (phases, _) = chain(granules, nphases, &mappings);
+        let central = run_chain(phases, RuntimeConfig::new(2, task));
+        prop_assert_eq!(central.tasks, per_phase * nphases as u64);
+        let (phases, _) = chain(granules, nphases, &mappings);
+        let lateral = run_chain_lateral(phases, RuntimeConfig::new(2, task));
+        prop_assert_eq!(lateral.tasks, per_phase * nphases as u64);
+    }
+}

@@ -1,0 +1,289 @@
+//! Granule execution-time distributions.
+//!
+//! The paper's experience base (PAX/CASPER) is explicit that granule times
+//! were *not* definite: "Most computations ... could not even be ascribed
+//! with definite execution times. In some instances, whether or not the
+//! computation was even to be carried out ... was a conditional part of the
+//! algorithm. ... shared information access times were unpredictable and
+//! unrepeatable from instance to instance."
+//!
+//! `DurationDist` models each of those effects:
+//! * [`DurationDist::Constant`] — the checkerboard ideal ("nominally, the
+//!   time for four additions and a divide").
+//! * [`DurationDist::Uniform`] / [`DurationDist::Exponential`] — unpredictable
+//!   access times.
+//! * [`DurationDist::Bimodal`] — a mix of short and long granules.
+//! * The `skip_probability` on [`CostModel`] — conditionally executed
+//!   computations that turn out to be no-ops.
+
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// A distribution over granule execution times, sampled in whole ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurationDist {
+    /// Every sample is exactly `0` ticks... never useful alone, but the
+    /// identity for composition and the result of a skipped computation.
+    Zero,
+    /// Every granule takes exactly this long (the idealized checkerboard).
+    Constant(SimDuration),
+    /// Uniform over `[lo, hi]` inclusive.
+    Uniform {
+        /// Smallest sample.
+        lo: SimDuration,
+        /// Largest sample.
+        hi: SimDuration,
+    },
+    /// Exponential with the given mean, truncated to at least 1 tick.
+    /// Models memoryless service-time jitter.
+    Exponential {
+        /// Mean of the distribution.
+        mean: SimDuration,
+    },
+    /// With probability `p_long` sample from `long`, otherwise from `short`.
+    Bimodal {
+        /// Distribution of the common, short granules.
+        short: Box<DurationDist>,
+        /// Distribution of the rare, long granules.
+        long: Box<DurationDist>,
+        /// Probability of drawing from `long`.
+        p_long: f64,
+    },
+}
+
+impl DurationDist {
+    /// Convenience constructor for a constant distribution.
+    pub fn constant(ticks: u64) -> DurationDist {
+        DurationDist::Constant(SimDuration(ticks))
+    }
+
+    /// Convenience constructor for a uniform distribution over `[lo, hi]`.
+    pub fn uniform(lo: u64, hi: u64) -> DurationDist {
+        assert!(lo <= hi, "uniform distribution requires lo <= hi");
+        DurationDist::Uniform {
+            lo: SimDuration(lo),
+            hi: SimDuration(hi),
+        }
+    }
+
+    /// Convenience constructor for an exponential distribution.
+    pub fn exponential(mean: u64) -> DurationDist {
+        DurationDist::Exponential {
+            mean: SimDuration(mean),
+        }
+    }
+
+    /// Convenience constructor for a bimodal mix of two constants.
+    pub fn bimodal(short: u64, long: u64, p_long: f64) -> DurationDist {
+        assert!((0.0..=1.0).contains(&p_long), "p_long must be in [0,1]");
+        DurationDist::Bimodal {
+            short: Box::new(DurationDist::constant(short)),
+            long: Box::new(DurationDist::constant(long)),
+            p_long,
+        }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match self {
+            DurationDist::Zero => SimDuration::ZERO,
+            DurationDist::Constant(d) => *d,
+            DurationDist::Uniform { lo, hi } => SimDuration(rng.gen_range(lo.0..=hi.0)),
+            DurationDist::Exponential { mean } => {
+                if mean.0 == 0 {
+                    return SimDuration::ZERO;
+                }
+                // Inverse-transform sampling; clamp u away from 1.0 so that
+                // ln never sees 0, and round to at least one tick so that a
+                // "real" computation always advances time.
+                let u: f64 = rng.gen::<f64>().min(1.0 - 1e-12);
+                let t = -(mean.0 as f64) * (1.0 - u).ln();
+                SimDuration((t.round() as u64).max(1))
+            }
+            DurationDist::Bimodal {
+                short,
+                long,
+                p_long,
+            } => {
+                if rng.gen::<f64>() < *p_long {
+                    long.sample(rng)
+                } else {
+                    short.sample(rng)
+                }
+            }
+        }
+    }
+
+    /// Analytical mean of the distribution, in ticks (floating point).
+    pub fn mean_ticks(&self) -> f64 {
+        match self {
+            DurationDist::Zero => 0.0,
+            DurationDist::Constant(d) => d.0 as f64,
+            DurationDist::Uniform { lo, hi } => (lo.0 + hi.0) as f64 / 2.0,
+            DurationDist::Exponential { mean } => mean.0 as f64,
+            DurationDist::Bimodal {
+                short,
+                long,
+                p_long,
+            } => short.mean_ticks() * (1.0 - p_long) + long.mean_ticks() * p_long,
+        }
+    }
+}
+
+/// The full per-granule cost model: an execution-time distribution plus a
+/// probability that the granule turns out to be conditionally skipped
+/// (it still must be dispatched and completed, but consumes only
+/// `skipped_cost` of processor time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Distribution of execution time for granules that actually run.
+    pub dist: DurationDist,
+    /// Probability the computation is conditionally not carried out.
+    pub skip_probability: f64,
+    /// Time consumed by a skipped granule (testing its condition).
+    pub skipped_cost: SimDuration,
+}
+
+impl CostModel {
+    /// A model where every granule runs with the given distribution.
+    pub fn new(dist: DurationDist) -> CostModel {
+        CostModel {
+            dist,
+            skip_probability: 0.0,
+            skipped_cost: SimDuration::ZERO,
+        }
+    }
+
+    /// A constant-cost model (the idealized checkerboard granule).
+    pub fn constant(ticks: u64) -> CostModel {
+        CostModel::new(DurationDist::constant(ticks))
+    }
+
+    /// Add conditional skipping to the model.
+    pub fn with_skip(mut self, probability: f64, skipped_cost: u64) -> CostModel {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "skip probability must be in [0,1]"
+        );
+        self.skip_probability = probability;
+        self.skipped_cost = SimDuration(skipped_cost);
+        self
+    }
+
+    /// Sample the execution time of one granule instance.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        if self.skip_probability > 0.0 && rng.gen::<f64>() < self.skip_probability {
+            self.skipped_cost
+        } else {
+            self.dist.sample(rng)
+        }
+    }
+
+    /// Expected execution time of one granule, in ticks.
+    pub fn mean_ticks(&self) -> f64 {
+        self.dist.mean_ticks() * (1.0 - self.skip_probability)
+            + self.skipped_cost.0 as f64 * self.skip_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = DurationDist::constant(42);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), SimDuration(42));
+        }
+        assert_eq!(d.mean_ticks(), 42.0);
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let d = DurationDist::uniform(10, 20);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = d.sample(&mut r);
+            assert!(s >= SimDuration(10) && s <= SimDuration(20));
+        }
+        assert_eq!(d.mean_ticks(), 15.0);
+    }
+
+    #[test]
+    fn exponential_mean_approximately_right() {
+        let d = DurationDist::exponential(100);
+        let mut r = rng();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| d.sample(&mut r).0).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - 100.0).abs() < 5.0,
+            "empirical mean {mean} too far from 100"
+        );
+    }
+
+    #[test]
+    fn exponential_never_zero() {
+        let d = DurationDist::exponential(2);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r).0 >= 1);
+        }
+    }
+
+    #[test]
+    fn bimodal_mixes() {
+        let d = DurationDist::bimodal(1, 100, 0.25);
+        let mut r = rng();
+        let samples: Vec<u64> = (0..4000).map(|_| d.sample(&mut r).0).collect();
+        let longs = samples.iter().filter(|&&s| s == 100).count();
+        let frac = longs as f64 / samples.len() as f64;
+        assert!((frac - 0.25).abs() < 0.05, "long fraction {frac}");
+        assert!((d.mean_ticks() - (0.75 + 25.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skip_probability_reduces_mean() {
+        let m = CostModel::constant(100).with_skip(0.5, 2);
+        assert!((m.mean_ticks() - 51.0).abs() < 1e-9);
+        let mut r = rng();
+        let n = 10_000;
+        let total: u64 = (0..n).map(|_| m.sample(&mut r).0).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 51.0).abs() < 2.0, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = DurationDist::uniform(0, 1_000_000);
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..100).map(|_| d.sample(&mut r).0).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..100).map(|_| d.sample(&mut r).0).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = DurationDist::uniform(5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn skip_rejects_bad_probability() {
+        let _ = CostModel::constant(1).with_skip(1.5, 0);
+    }
+}

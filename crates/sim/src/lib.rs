@@ -1,0 +1,57 @@
+//! # pax-sim — discrete-event simulation substrate
+//!
+//! This crate is the machine-level substrate for reproducing
+//! *Increasing Processor Utilization During Parallel Computation Rundown*
+//! (W. H. Jones, NASA TM-87349, ICPP 1986). The paper's executive, PAX, ran
+//! on a UNIVAC 1100 testbed we obviously cannot use; everything the paper
+//! claims, however, concerns *scheduling structure* — which processor is
+//! busy when — and that is exactly what a deterministic discrete-event
+//! simulation reproduces.
+//!
+//! Provided here:
+//!
+//! * [`time`] — integer-tick virtual time ([`SimTime`], [`SimDuration`]).
+//! * [`event`] — a deterministic future-event list ([`event::EventQueue`])
+//!   with insertion-order tie-breaking, so runs are bit-for-bit
+//!   reproducible.
+//! * [`dist`] — granule execution-time distributions, including the
+//!   conditional-skip behaviour the paper reports from CASPER.
+//! * [`machine`] — processor pools, executive placement
+//!   (worker-stealing à la UNIVAC 1100 vs dedicated) and itemized
+//!   management costs.
+//! * [`locality`] — clustered-memory model (data homes, remote-access
+//!   stalls) behind the paper's "data-proximity work assignment" strategy.
+//! * [`metrics`] — busy-processor step traces, per-worker Gantt traces,
+//!   and statistics used by every experiment.
+//! * [`trace`] — an optional textual debug log.
+//!
+//! The scheduling logic itself (phases, enablement mappings, the waiting
+//! computation queue, overlap control) lives in `pax-core`, layered on top
+//! of this crate.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod event;
+pub mod locality;
+pub mod machine;
+pub mod metrics;
+pub mod time;
+pub mod trace;
+
+pub use dist::{CostModel, DurationDist};
+pub use event::EventQueue;
+pub use locality::{DataLayout, LocalityModel};
+pub use machine::{ExecutivePlacement, MachineConfig, ManagementCosts};
+pub use metrics::{Activity, BusyCounter, GanttTrace, Span, StepTrace, Welford};
+pub use time::{SimDuration, SimTime};
+pub use trace::TraceLog;
+
+/// Construct the deterministic RNG used across the workspace.
+///
+/// All stochastic behaviour in the reproduction flows from explicitly
+/// seeded generators so that every experiment re-runs identically.
+pub fn seeded_rng(seed: u64) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    rand::rngs::SmallRng::seed_from_u64(seed)
+}

@@ -1,0 +1,260 @@
+//! Data-locality model: memory clusters, data homes, remote-access stalls.
+//!
+//! The paper names "a data-proximity work assignment algorithm" as one of
+//! the management strategies identified for development (alongside middle
+//! management and lateral worker-to-worker communication), motivated by the
+//! observation that in PAX/CASPER "shared information access times were
+//! unpredictable and unrepeatable from instance to instance".
+//!
+//! This module supplies the machine-side half of that strategy: processors
+//! and granule data are partitioned into **clusters** (memory modules); a
+//! granule executed by a worker outside its home cluster pays a fixed
+//! per-granule **remote stall**. The scheduler-side half — preferring
+//! waiting work whose data is proximate to the seeking worker — lives in
+//! `pax-core` ([`AssignmentPolicy::DataProximity`]) and is measured by
+//! experiment E12.
+//!
+//! [`AssignmentPolicy::DataProximity`]: ../../pax_core/policy/enum.AssignmentPolicy.html
+
+use crate::time::SimDuration;
+
+/// How a phase's granule data is distributed across memory clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataLayout {
+    /// Contiguous blocks: cluster `c` owns granules
+    /// `[c·⌈N/C⌉, (c+1)·⌈N/C⌉) ∩ [0, N)`. The natural layout for the
+    /// paper's array sweeps (`DO 100 I=1,N`), where consecutive loop
+    /// indices touch consecutive storage.
+    Block,
+    /// Round-robin: granule `g` lives in cluster `g mod C`. Models
+    /// interleaved memory; contiguous task ranges then straddle every
+    /// cluster, which defeats proximity assignment (measured in E12).
+    Cyclic,
+}
+
+/// A clustered-memory machine extension.
+///
+/// `clusters` memory modules; workers are block-partitioned across
+/// clusters; each granule of a phase has a *home* cluster per
+/// [`DataLayout`]. Executing a granule away from home adds
+/// `remote_extra` ticks of stall to the task's execution time.
+///
+/// ```
+/// use pax_sim::locality::{DataLayout, LocalityModel};
+/// use pax_sim::time::SimDuration;
+///
+/// let loc = LocalityModel::new(4, SimDuration(5));
+/// // 400 granules, block layout: granule 150 lives in cluster 1
+/// assert_eq!(loc.home_cluster(150, 400), 1);
+/// // 16 workers over 4 clusters: worker 13 sits in cluster 3
+/// assert_eq!(loc.worker_cluster(13, 16), 3);
+/// // granules [90,110) of 400 seen from cluster 0: granules 100..110 are
+/// // remote (cluster 1)
+/// assert_eq!(loc.remote_granules(90, 110, 400, 0), 10);
+/// assert_eq!(loc.stall(10), SimDuration(50));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalityModel {
+    /// Number of memory clusters (≥ 1).
+    pub clusters: usize,
+    /// Granule-to-cluster data distribution.
+    pub layout: DataLayout,
+    /// Extra ticks per granule executed outside its home cluster.
+    pub remote_extra: SimDuration,
+}
+
+impl LocalityModel {
+    /// Block-layout model with `clusters` clusters and `remote_extra`
+    /// ticks of stall per remote granule.
+    pub fn new(clusters: usize, remote_extra: SimDuration) -> LocalityModel {
+        assert!(clusters > 0, "need at least one cluster");
+        LocalityModel {
+            clusters,
+            layout: DataLayout::Block,
+            remote_extra,
+        }
+    }
+
+    /// Builder-style: set the data layout.
+    pub fn with_layout(mut self, layout: DataLayout) -> LocalityModel {
+        self.layout = layout;
+        self
+    }
+
+    /// Home cluster of granule `g` in a phase of `total` granules.
+    pub fn home_cluster(&self, g: u32, total: u32) -> usize {
+        match self.layout {
+            DataLayout::Block => {
+                let block = Self::block_size(total, self.clusters);
+                ((g / block) as usize).min(self.clusters - 1)
+            }
+            DataLayout::Cyclic => g as usize % self.clusters,
+        }
+    }
+
+    /// Cluster of worker `w` in a pool of `processors` workers
+    /// (block-partitioned; always block — processors sit next to one
+    /// memory module regardless of how data is spread).
+    pub fn worker_cluster(&self, w: usize, processors: usize) -> usize {
+        let block = Self::block_size(processors as u32, self.clusters) as usize;
+        (w / block).min(self.clusters - 1)
+    }
+
+    /// Number of granules in `[lo, hi)` (of a phase with `total`
+    /// granules) whose home is *not* `cluster`.
+    pub fn remote_granules(&self, lo: u32, hi: u32, total: u32, cluster: usize) -> u64 {
+        debug_assert!(lo <= hi && hi <= total);
+        let len = (hi - lo) as u64;
+        let local = match self.layout {
+            DataLayout::Block => {
+                let block = Self::block_size(total, self.clusters);
+                // cluster owns [c*block, min((c+1)*block, total)), except the
+                // last cluster also absorbs any capped tail
+                let own_lo = (cluster as u32).saturating_mul(block).min(total);
+                let own_hi = if cluster == self.clusters - 1 {
+                    total
+                } else {
+                    (cluster as u32 + 1).saturating_mul(block).min(total)
+                };
+                let l = lo.max(own_lo);
+                let h = hi.min(own_hi);
+                u64::from(h.saturating_sub(l))
+            }
+            DataLayout::Cyclic => {
+                // granules g in [lo,hi) with g % clusters == cluster
+                let c = self.clusters as u32;
+                let r = cluster as u32;
+                let count_below = |x: u32| -> u64 {
+                    // granules < x congruent to r (mod c)
+                    if x > r {
+                        u64::from((x - r - 1) / c + 1)
+                    } else {
+                        0
+                    }
+                };
+                count_below(hi) - count_below(lo)
+            }
+        };
+        len - local
+    }
+
+    /// Total stall for `remote` remote granules.
+    pub fn stall(&self, remote: u64) -> SimDuration {
+        self.remote_extra * remote
+    }
+
+    /// `⌈n/c⌉`, minimum 1, so every cluster owns a non-empty block when
+    /// `n ≥ c` and small pools degenerate gracefully.
+    fn block_size(n: u32, c: usize) -> u32 {
+        n.div_ceil(c as u32).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_home_partition_covers_all_clusters() {
+        let loc = LocalityModel::new(4, SimDuration(1));
+        let total = 100;
+        // 100/4 = 25 per block
+        assert_eq!(loc.home_cluster(0, total), 0);
+        assert_eq!(loc.home_cluster(24, total), 0);
+        assert_eq!(loc.home_cluster(25, total), 1);
+        assert_eq!(loc.home_cluster(99, total), 3);
+    }
+
+    #[test]
+    fn block_home_uneven_total_caps_at_last_cluster() {
+        let loc = LocalityModel::new(4, SimDuration(1));
+        // 10 granules, block = ceil(10/4) = 3: owners 0,0,0,1,1,1,2,2,2,3
+        let homes: Vec<usize> = (0..10).map(|g| loc.home_cluster(g, 10)).collect();
+        assert_eq!(homes, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn cyclic_home_is_modular() {
+        let loc = LocalityModel::new(3, SimDuration(1)).with_layout(DataLayout::Cyclic);
+        let homes: Vec<usize> = (0..7).map(|g| loc.home_cluster(g, 7)).collect();
+        assert_eq!(homes, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn worker_clusters_block_partitioned() {
+        let loc = LocalityModel::new(4, SimDuration(1));
+        let cl: Vec<usize> = (0..16).map(|w| loc.worker_cluster(w, 16)).collect();
+        assert_eq!(cl[0..4], [0, 0, 0, 0]);
+        assert_eq!(cl[4..8], [1, 1, 1, 1]);
+        assert_eq!(cl[12..16], [3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn more_clusters_than_workers_degenerates() {
+        let loc = LocalityModel::new(8, SimDuration(1));
+        // 2 workers, 8 clusters: block=1, workers 0 and 1 in clusters 0 and 1
+        assert_eq!(loc.worker_cluster(0, 2), 0);
+        assert_eq!(loc.worker_cluster(1, 2), 1);
+    }
+
+    #[test]
+    fn remote_count_block_matches_brute_force() {
+        let loc = LocalityModel::new(4, SimDuration(1));
+        let total = 103;
+        for cluster in 0..4 {
+            for lo in (0..total).step_by(7) {
+                for hi in (lo..=total).step_by(11) {
+                    let brute = (lo..hi)
+                        .filter(|&g| loc.home_cluster(g, total) != cluster)
+                        .count() as u64;
+                    assert_eq!(
+                        loc.remote_granules(lo, hi, total, cluster),
+                        brute,
+                        "block lo={lo} hi={hi} cluster={cluster}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remote_count_cyclic_matches_brute_force() {
+        let loc = LocalityModel::new(3, SimDuration(1)).with_layout(DataLayout::Cyclic);
+        let total = 50;
+        for cluster in 0..3 {
+            for lo in 0..total {
+                for hi in lo..=total {
+                    let brute = (lo..hi)
+                        .filter(|&g| loc.home_cluster(g, total) != cluster)
+                        .count() as u64;
+                    assert_eq!(
+                        loc.remote_granules(lo, hi, total, cluster),
+                        brute,
+                        "cyclic lo={lo} hi={hi} cluster={cluster}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_never_remote() {
+        let loc = LocalityModel::new(1, SimDuration(9));
+        assert_eq!(loc.home_cluster(42, 100), 0);
+        assert_eq!(loc.worker_cluster(7, 8), 0);
+        assert_eq!(loc.remote_granules(0, 100, 100, 0), 0);
+    }
+
+    #[test]
+    fn stall_scales_with_remote_count() {
+        let loc = LocalityModel::new(2, SimDuration(7));
+        assert_eq!(loc.stall(0), SimDuration::ZERO);
+        assert_eq!(loc.stall(13), SimDuration(91));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_rejected() {
+        let _ = LocalityModel::new(0, SimDuration(1));
+    }
+}

@@ -1,0 +1,215 @@
+//! Machine model: processor pool, executive placement, management costs.
+//!
+//! The paper's testbed was PAX on a UNIVAC 1100, where "executive
+//! computation was done at the direct expense of worker computation", and it
+//! notes that "some real parallel machines may provide separate executive
+//! computing resources". Both arrangements are modelled by
+//! [`ExecutivePlacement`].
+//!
+//! Management costs are itemized to match the operations the paper names:
+//! task dispatch, description splitting, completion processing, enablement
+//! recognition, successor scheduling, merging, and composite-map
+//! construction for indirect mappings.
+
+use crate::locality::LocalityModel;
+use crate::time::SimDuration;
+
+/// Where executive (management) computation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutivePlacement {
+    /// Management runs on the requesting worker's own processor, serialized
+    /// by a global executive lock — the UNIVAC 1100 arrangement. Management
+    /// time directly displaces worker computation.
+    StealsWorker,
+    /// A dedicated executive processor performs management; workers wait
+    /// only for service latency. Models machines with "separate executive
+    /// computing resources" (or hardware synchronization primitives when
+    /// costs are set near zero).
+    Dedicated,
+}
+
+/// Itemized management (executive) operation costs, in ticks.
+///
+/// The defaults are scaled so that, with ~100-tick granules, the
+/// computation-to-management ratio lands in the neighborhood of the
+/// paper's observed ≈200 (see experiment E5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManagementCosts {
+    /// Handing a ready task to an idle worker.
+    pub dispatch: SimDuration,
+    /// Splitting one computation description into two.
+    pub split: SimDuration,
+    /// Processing the completion of one task (merge accounting included).
+    pub completion: SimDuration,
+    /// Releasing one queued (conflicting or enabled) computation into the
+    /// waiting queue.
+    pub release: SimDuration,
+    /// Per-entry cost of constructing a composite granule map for an
+    /// indirect enablement mapping.
+    pub composite_map_per_entry: SimDuration,
+    /// Per-dependent cost of decrementing enablement counters at completion.
+    pub counter_decrement: SimDuration,
+    /// Initiating a phase (creating its master description).
+    pub phase_init: SimDuration,
+}
+
+impl ManagementCosts {
+    /// A frictionless machine: every management operation is free. Useful
+    /// for reproducing pure-arithmetic claims (experiment E1) and as a
+    /// baseline in overhead sweeps.
+    pub fn free() -> ManagementCosts {
+        ManagementCosts {
+            dispatch: SimDuration::ZERO,
+            split: SimDuration::ZERO,
+            completion: SimDuration::ZERO,
+            release: SimDuration::ZERO,
+            composite_map_per_entry: SimDuration::ZERO,
+            counter_decrement: SimDuration::ZERO,
+            phase_init: SimDuration::ZERO,
+        }
+    }
+
+    /// Default costs used by the CASPER-style experiments. One dispatch +
+    /// one completion ≈ 0.5 ticks of management per granule; a 100-tick
+    /// granule then yields a computation-to-management ratio ≈ 200.
+    pub fn pax_default() -> ManagementCosts {
+        ManagementCosts {
+            dispatch: SimDuration(1),
+            split: SimDuration(2),
+            completion: SimDuration(1),
+            release: SimDuration(1),
+            composite_map_per_entry: SimDuration(1),
+            counter_decrement: SimDuration(1),
+            phase_init: SimDuration(2),
+        }
+    }
+
+    /// Scale every cost by an integer factor (overhead sweeps).
+    pub fn scaled(&self, factor: u64) -> ManagementCosts {
+        ManagementCosts {
+            dispatch: self.dispatch * factor,
+            split: self.split * factor,
+            completion: self.completion * factor,
+            release: self.release * factor,
+            composite_map_per_entry: self.composite_map_per_entry * factor,
+            counter_decrement: self.counter_decrement * factor,
+            phase_init: self.phase_init * factor,
+        }
+    }
+}
+
+impl Default for ManagementCosts {
+    fn default() -> Self {
+        ManagementCosts::pax_default()
+    }
+}
+
+/// Complete machine description for a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of worker processors.
+    pub processors: usize,
+    /// Where management computation executes.
+    pub executive: ExecutivePlacement,
+    /// Itemized management costs.
+    pub costs: ManagementCosts,
+    /// Number of parallel executive service lanes. PAX's management was
+    /// serial (lanes = 1); the paper names "a middle management scheme to
+    /// parallelize the serial management function" as a strategy under
+    /// development, which larger values model.
+    pub executive_lanes: usize,
+    /// Optional clustered-memory model. `None` (the default) is uniform
+    /// memory: every access costs the same from every processor. `Some`
+    /// adds per-granule remote stalls and gives the scheduler's
+    /// data-proximity assignment policy something to optimize (the third
+    /// strategy the paper names as under development).
+    pub locality: Option<LocalityModel>,
+}
+
+impl MachineConfig {
+    /// A machine with `processors` workers, dedicated executive, and
+    /// default PAX costs.
+    pub fn new(processors: usize) -> MachineConfig {
+        assert!(processors > 0, "machine needs at least one processor");
+        MachineConfig {
+            processors,
+            executive: ExecutivePlacement::Dedicated,
+            costs: ManagementCosts::pax_default(),
+            executive_lanes: 1,
+            locality: None,
+        }
+    }
+
+    /// An idealized frictionless machine (free management, dedicated
+    /// executive) — used where the paper reasons with pure arithmetic.
+    pub fn ideal(processors: usize) -> MachineConfig {
+        MachineConfig {
+            processors,
+            executive: ExecutivePlacement::Dedicated,
+            costs: ManagementCosts::free(),
+            executive_lanes: 1,
+            locality: None,
+        }
+    }
+
+    /// Builder-style: set the number of executive lanes (middle
+    /// management extension; must be ≥ 1).
+    pub fn with_executive_lanes(mut self, lanes: usize) -> MachineConfig {
+        assert!(lanes > 0, "need at least one executive lane");
+        self.executive_lanes = lanes;
+        self
+    }
+
+    /// Builder-style: set executive placement.
+    pub fn with_executive(mut self, placement: ExecutivePlacement) -> MachineConfig {
+        self.executive = placement;
+        self
+    }
+
+    /// Builder-style: set management costs.
+    pub fn with_costs(mut self, costs: ManagementCosts) -> MachineConfig {
+        self.costs = costs;
+        self
+    }
+
+    /// Builder-style: attach a clustered-memory model.
+    pub fn with_locality(mut self, locality: LocalityModel) -> MachineConfig {
+        self.locality = Some(locality);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_machine_is_free() {
+        let m = MachineConfig::ideal(8);
+        assert_eq!(m.costs, ManagementCosts::free());
+        assert_eq!(m.executive, ExecutivePlacement::Dedicated);
+        assert_eq!(m.processors, 8);
+    }
+
+    #[test]
+    fn scaling_costs() {
+        let c = ManagementCosts::pax_default().scaled(10);
+        assert_eq!(c.dispatch, SimDuration(10));
+        assert_eq!(c.split, SimDuration(20));
+    }
+
+    #[test]
+    fn builder_chain() {
+        let m = MachineConfig::new(4)
+            .with_executive(ExecutivePlacement::StealsWorker)
+            .with_costs(ManagementCosts::free());
+        assert_eq!(m.executive, ExecutivePlacement::StealsWorker);
+        assert_eq!(m.costs.dispatch, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = MachineConfig::new(0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Step-function time series: the number of busy processors over time.
+//!
+//! This is the primary instrument for every utilization figure in the
+//! reproduction: a piecewise-constant function recorded as change points,
+//! integrable over arbitrary windows, and queryable for "final wave" and
+//! rundown statistics.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A piecewise-constant, integer-valued function of simulated time,
+/// recorded as `(time, new_value)` change points.
+///
+/// Values are recorded with [`StepTrace::record`]; repeated values at the
+/// same instant collapse to the latest one, keeping traces compact even
+/// when thousands of events land on one tick.
+#[derive(Debug, Clone, Default)]
+pub struct StepTrace {
+    points: Vec<(SimTime, u32)>,
+}
+
+impl StepTrace {
+    /// Empty trace (value is implicitly 0 before the first point).
+    pub fn new() -> StepTrace {
+        StepTrace { points: Vec::new() }
+    }
+
+    /// Record that the value became `value` at time `at`. Times must be
+    /// non-decreasing across calls.
+    pub fn record(&mut self, at: SimTime, value: u32) {
+        if let Some(&mut (last_t, ref mut last_v)) = self.points.last_mut() {
+            debug_assert!(at >= last_t, "StepTrace must be recorded in time order");
+            if last_t == at {
+                *last_v = value;
+                // Collapse no-op transitions: if the previous point now has
+                // the same value, the new point was redundant.
+                if self.points.len() >= 2 {
+                    let prev = self.points[self.points.len() - 2].1;
+                    if prev == value {
+                        self.points.pop();
+                    }
+                }
+                return;
+            }
+            if *last_v == value {
+                return; // no change
+            }
+        }
+        self.points.push((at, value));
+    }
+
+    /// The value at time `at` (0 before the first change point).
+    pub fn value_at(&self, at: SimTime) -> u32 {
+        match self.points.binary_search_by(|&(t, _)| t.cmp(&at)) {
+            Ok(i) => self.points[i].1,
+            Err(0) => 0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Integral of the function over `[from, to)`, in value·ticks.
+    /// Used as "busy processor-time".
+    pub fn integral(&self, from: SimTime, to: SimTime) -> u64 {
+        if to <= from || self.points.is_empty() {
+            return 0;
+        }
+        let mut acc: u64 = 0;
+        let mut cur_t = from;
+        let mut cur_v = self.value_at(from);
+        let start = match self.points.binary_search_by(|&(t, _)| t.cmp(&from)) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        for &(t, v) in &self.points[start..] {
+            if t >= to {
+                break;
+            }
+            acc += (t - cur_t).ticks() * cur_v as u64;
+            cur_t = t;
+            cur_v = v;
+        }
+        acc += (to - cur_t).ticks() * cur_v as u64;
+        acc
+    }
+
+    /// Mean value over `[from, to)`.
+    pub fn mean_over(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        self.integral(from, to) as f64 / (to - from).ticks() as f64
+    }
+
+    /// Utilization over `[from, to)` relative to a capacity of `capacity`
+    /// processors: integral / (capacity × window).
+    pub fn utilization(&self, capacity: usize, from: SimTime, to: SimTime) -> f64 {
+        if capacity == 0 || to <= from {
+            return 0.0;
+        }
+        self.integral(from, to) as f64 / (capacity as u64 * (to - from).ticks()) as f64
+    }
+
+    /// Idle processor-time over `[from, to)` against `capacity`:
+    /// capacity × window − integral.
+    pub fn idle_time(&self, capacity: usize, from: SimTime, to: SimTime) -> u64 {
+        if to <= from {
+            return 0;
+        }
+        let cap = capacity as u64 * (to - from).ticks();
+        cap.saturating_sub(self.integral(from, to))
+    }
+
+    /// The last instant, scanning backward from `end`, at which the value
+    /// was at least `threshold`; the "rundown onset" detector. Returns the
+    /// time the trace *dropped below* `threshold` for the final time before
+    /// `end`, or `None` if it never reached the threshold.
+    pub fn rundown_onset(&self, threshold: u32, end: SimTime) -> Option<SimTime> {
+        let mut onset = None;
+        let mut prev_v = 0u32;
+        for &(t, v) in &self.points {
+            if t > end {
+                break;
+            }
+            if prev_v >= threshold && v < threshold {
+                onset = Some(t);
+            }
+            if v >= threshold {
+                onset = None; // recovered; rundown restarts later
+            }
+            prev_v = v;
+        }
+        onset
+    }
+
+    /// Maximum value attained in `[from, to)`.
+    pub fn max_over(&self, from: SimTime, to: SimTime) -> u32 {
+        let mut m = self.value_at(from);
+        let start = match self.points.binary_search_by(|&(t, _)| t.cmp(&from)) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        for &(t, v) in &self.points[start..] {
+            if t >= to {
+                break;
+            }
+            m = m.max(v);
+        }
+        m
+    }
+
+    /// Raw change points, for plotting/export.
+    pub fn points(&self) -> &[(SimTime, u32)] {
+        &self.points
+    }
+
+    /// Resample the trace at `n` evenly spaced instants across `[from, to]`
+    /// — convenient for printing figure-style series.
+    pub fn resample(&self, from: SimTime, to: SimTime, n: usize) -> Vec<(SimTime, u32)> {
+        if n == 0 || to < from {
+            return Vec::new();
+        }
+        let span = (to - from).ticks();
+        (0..n)
+            .map(|i| {
+                let t = SimTime(from.ticks() + span * i as u64 / (n.max(2) - 1).max(1) as u64);
+                (t, self.value_at(t))
+            })
+            .collect()
+    }
+}
+
+/// A counter that mirrors increments/decrements into a [`StepTrace`].
+/// Engine code calls [`BusyCounter::inc`]/[`BusyCounter::dec`] as workers
+/// start and stop; the trace is extracted at the end of the run.
+#[derive(Debug, Clone, Default)]
+pub struct BusyCounter {
+    value: u32,
+    trace: StepTrace,
+}
+
+impl BusyCounter {
+    /// New counter at zero.
+    pub fn new() -> BusyCounter {
+        BusyCounter::default()
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// Increment at time `at`.
+    #[inline]
+    pub fn inc(&mut self, at: SimTime) {
+        self.value += 1;
+        self.trace.record(at, self.value);
+    }
+
+    /// Decrement at time `at`.
+    #[inline]
+    pub fn dec(&mut self, at: SimTime) {
+        debug_assert!(self.value > 0, "BusyCounter underflow");
+        self.value -= 1;
+        self.trace.record(at, self.value);
+    }
+
+    /// Consume the counter, yielding its trace.
+    pub fn into_trace(self) -> StepTrace {
+        self.trace
+    }
+
+    /// Borrow the trace so far.
+    pub fn trace(&self) -> &StepTrace {
+        &self.trace
+    }
+}
+
+/// Busy time integrated per processor from explicit intervals; cheap
+/// alternative when only totals are needed.
+#[derive(Debug, Clone, Default)]
+pub struct BusyAccumulator {
+    total: SimDuration,
+}
+
+impl BusyAccumulator {
+    /// New, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a busy interval.
+    #[inline]
+    pub fn add(&mut self, d: SimDuration) {
+        self.total += d;
+    }
+
+    /// Total accumulated busy time.
+    #[inline]
+    pub fn total(&self) -> SimDuration {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime(x)
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let mut s = StepTrace::new();
+        s.record(t(10), 1);
+        s.record(t(20), 3);
+        s.record(t(30), 0);
+        assert_eq!(s.value_at(t(0)), 0);
+        assert_eq!(s.value_at(t(10)), 1);
+        assert_eq!(s.value_at(t(15)), 1);
+        assert_eq!(s.value_at(t(20)), 3);
+        assert_eq!(s.value_at(t(29)), 3);
+        assert_eq!(s.value_at(t(30)), 0);
+        assert_eq!(s.value_at(t(1000)), 0);
+    }
+
+    #[test]
+    fn integral_simple() {
+        let mut s = StepTrace::new();
+        s.record(t(0), 2);
+        s.record(t(10), 4);
+        s.record(t(20), 0);
+        // [0,10): 2*10=20, [10,20): 4*10=40
+        assert_eq!(s.integral(t(0), t(20)), 60);
+        assert_eq!(s.integral(t(5), t(15)), 2 * 5 + 4 * 5);
+        assert_eq!(s.integral(t(20), t(100)), 0);
+        assert_eq!(s.integral(t(10), t(10)), 0);
+    }
+
+    #[test]
+    fn collapses_same_instant_updates() {
+        let mut s = StepTrace::new();
+        s.record(t(5), 1);
+        s.record(t(5), 2);
+        s.record(t(5), 3);
+        assert_eq!(s.points().len(), 1);
+        assert_eq!(s.value_at(t(5)), 3);
+    }
+
+    #[test]
+    fn collapses_noop_transitions() {
+        let mut s = StepTrace::new();
+        s.record(t(1), 2);
+        s.record(t(2), 3);
+        s.record(t(2), 2); // back to 2 at same instant -> redundant point
+        assert_eq!(s.value_at(t(3)), 2);
+        assert_eq!(s.points().len(), 1);
+        s.record(t(5), 2); // no change, ignored
+        assert_eq!(s.points().len(), 1);
+    }
+
+    #[test]
+    fn utilization_and_idle() {
+        let mut s = StepTrace::new();
+        s.record(t(0), 4);
+        s.record(t(50), 2);
+        s.record(t(100), 0);
+        // capacity 4 over [0,100): busy = 4*50 + 2*50 = 300, cap = 400
+        assert!((s.utilization(4, t(0), t(100)) - 0.75).abs() < 1e-12);
+        assert_eq!(s.idle_time(4, t(0), t(100)), 100);
+    }
+
+    #[test]
+    fn rundown_onset_found() {
+        let mut s = StepTrace::new();
+        s.record(t(0), 8);
+        s.record(t(60), 5); // drops below full
+        s.record(t(70), 8); // recovers
+        s.record(t(90), 3); // final drop
+        s.record(t(100), 0);
+        assert_eq!(s.rundown_onset(8, t(100)), Some(t(90)));
+        assert_eq!(s.rundown_onset(100, t(100)), None);
+    }
+
+    #[test]
+    fn busy_counter_traces() {
+        let mut c = BusyCounter::new();
+        c.inc(t(0));
+        c.inc(t(5));
+        c.dec(t(10));
+        c.dec(t(20));
+        let tr = c.into_trace();
+        assert_eq!(tr.value_at(t(7)), 2);
+        assert_eq!(tr.integral(t(0), t(20)), 5 + 2 * 5 + 10);
+    }
+
+    #[test]
+    fn max_over_window() {
+        let mut s = StepTrace::new();
+        s.record(t(0), 1);
+        s.record(t(10), 7);
+        s.record(t(20), 2);
+        assert_eq!(s.max_over(t(0), t(30)), 7);
+        assert_eq!(s.max_over(t(20), t(30)), 2);
+        assert_eq!(s.max_over(t(11), t(19)), 7);
+    }
+
+    #[test]
+    fn resample_endpoints() {
+        let mut s = StepTrace::new();
+        s.record(t(0), 5);
+        s.record(t(100), 0);
+        let pts = s.resample(t(0), t(100), 5);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], (t(0), 5));
+        assert_eq!(pts[4], (t(100), 0));
+    }
+}

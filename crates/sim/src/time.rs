@@ -1,0 +1,240 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! Time is measured in integer **ticks**. One tick nominally represents one
+//! microsecond of machine time, but nothing in the simulator depends on the
+//! physical interpretation: all of the paper's claims are about *ratios*
+//! (computation-to-management ≈ 200, tasks-per-processor ≥ 2), which integer
+//! ticks reproduce exactly and deterministically.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in simulated time, in ticks since the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero rather than
+    /// panicking so that metric code can be written without ordering checks.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from a tick count.
+    #[inline]
+    pub const fn from_ticks(t: u64) -> SimDuration {
+        SimDuration(t)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// True when the duration is zero ticks.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Fractional ratio of `self` to `denom`; 0.0 when `denom` is zero.
+    /// Used by reports (e.g. utilization = busy / capacity).
+    #[inline]
+    pub fn ratio_to(self, denom: SimDuration) -> f64 {
+        if denom.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denom.0 as f64
+        }
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimDuration subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        debug_assert!(self.0 >= rhs.0, "SimDuration subtraction underflow");
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_to_time() {
+        let t = SimTime(10) + SimDuration(5);
+        assert_eq!(t, SimTime(15));
+    }
+
+    #[test]
+    fn subtract_times_gives_duration() {
+        assert_eq!(SimTime(15) - SimTime(10), SimDuration(5));
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(SimTime(3).since(SimTime(10)), SimDuration::ZERO);
+        assert_eq!(SimTime(10).since(SimTime(3)), SimDuration(7));
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(SimDuration(5).ratio_to(SimDuration::ZERO), 0.0);
+        assert!((SimDuration(1).ratio_to(SimDuration(4)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration(6) * 3 / 2;
+        assert_eq!(d, SimDuration(9));
+        let mut acc = SimDuration::ZERO;
+        acc += SimDuration(4);
+        acc -= SimDuration(1);
+        assert_eq!(acc, SimDuration(3));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = [SimDuration(1), SimDuration(2), SimDuration(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, SimDuration(6));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(SimTime(3).max(SimTime(9)), SimTime(9));
+        assert_eq!(SimTime(3).min(SimTime(9)), SimTime(3));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SimTime(42).to_string(), "t=42");
+        assert_eq!(SimDuration(7).to_string(), "7t");
+    }
+}

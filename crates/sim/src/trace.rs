@@ -1,0 +1,113 @@
+//! Optional textual event log for debugging simulation runs.
+//!
+//! Disabled by default; when enabled it records `(time, message)` pairs
+//! that executives and tests can dump on failure. Messages are formatted
+//! lazily only when the log is enabled.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// A cheap, optionally-enabled event log.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    entries: Vec<(SimTime, String)>,
+    enabled: bool,
+    limit: usize,
+}
+
+impl TraceLog {
+    /// A log that drops everything.
+    pub fn disabled() -> TraceLog {
+        TraceLog {
+            entries: Vec::new(),
+            enabled: false,
+            limit: 0,
+        }
+    }
+
+    /// A recording log capped at `limit` entries (0 = unlimited).
+    pub fn enabled(limit: usize) -> TraceLog {
+        TraceLog {
+            entries: Vec::new(),
+            enabled: true,
+            limit,
+        }
+    }
+
+    /// Whether entries are being kept.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a message produced by `f` at time `at`. `f` is only invoked
+    /// when the log is enabled.
+    #[inline]
+    pub fn log<F: FnOnce() -> String>(&mut self, at: SimTime, f: F) {
+        if self.enabled && (self.limit == 0 || self.entries.len() < self.limit) {
+            self.entries.push((at, f()));
+        }
+    }
+
+    /// Recorded entries in order.
+    pub fn entries(&self) -> &[(SimTime, String)] {
+        &self.entries
+    }
+
+    /// Number of entries kept.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for TraceLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, msg) in &self.entries {
+            writeln!(f, "[{t}] {msg}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_skips_formatting() {
+        let mut log = TraceLog::disabled();
+        let mut called = false;
+        log.log(SimTime(1), || {
+            called = true;
+            String::from("x")
+        });
+        assert!(!called);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = TraceLog::enabled(0);
+        log.log(SimTime(1), || "first".into());
+        log.log(SimTime(2), || "second".into());
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries()[0].1, "first");
+        let text = log.to_string();
+        assert!(text.contains("[t=1] first"));
+        assert!(text.contains("[t=2] second"));
+    }
+
+    #[test]
+    fn limit_caps_entries() {
+        let mut log = TraceLog::enabled(2);
+        for i in 0..5 {
+            log.log(SimTime(i), || format!("e{i}"));
+        }
+        assert_eq!(log.len(), 2);
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests for the simulation substrate.
+
+use pax_sim::event::EventQueue;
+use pax_sim::metrics::step::StepTrace;
+use pax_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, and equal-time
+    /// events pop in insertion order.
+    #[test]
+    fn event_queue_pops_sorted_stable(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "insertion order violated at equal times");
+            }
+        }
+    }
+
+    /// The integral over a window equals the sum of integrals over any
+    /// partition of that window.
+    #[test]
+    fn step_trace_integral_is_additive(
+        changes in proptest::collection::vec((0u64..500, 0u32..16), 1..60),
+        split in 0u64..500,
+    ) {
+        let mut sorted = changes.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut tr = StepTrace::new();
+        for (t, v) in sorted {
+            tr.record(SimTime(t), v);
+        }
+        let a = SimTime(0);
+        let m = SimTime(split);
+        let b = SimTime(600);
+        let whole = tr.integral(a, b);
+        let parts = tr.integral(a, m) + tr.integral(m, b);
+        prop_assert_eq!(whole, parts);
+    }
+
+    /// Utilization is always within [0, 1] when capacity bounds the trace.
+    #[test]
+    fn utilization_bounded(
+        changes in proptest::collection::vec((0u64..300, 0u32..8), 1..40),
+    ) {
+        let mut sorted = changes.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut tr = StepTrace::new();
+        for (t, v) in sorted {
+            tr.record(SimTime(t), v);
+        }
+        let u = tr.utilization(8, SimTime(0), SimTime(400));
+        prop_assert!((0.0..=1.0).contains(&u), "utilization {} out of range", u);
+    }
+
+    /// idle_time + integral == capacity * window whenever the trace never
+    /// exceeds capacity.
+    #[test]
+    fn idle_plus_busy_is_capacity(
+        changes in proptest::collection::vec((0u64..300, 0u32..=8), 1..40),
+    ) {
+        let mut sorted = changes.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut tr = StepTrace::new();
+        for (t, v) in sorted {
+            tr.record(SimTime(t), v);
+        }
+        let from = SimTime(0);
+        let to = SimTime(400);
+        let busy = tr.integral(from, to);
+        let idle = tr.idle_time(8, from, to);
+        prop_assert_eq!(busy + idle, 8 * 400);
+    }
+
+    /// Sampling any distribution with the same seed yields identical
+    /// sequences (workspace-wide determinism guarantee).
+    #[test]
+    fn distributions_deterministic(seed in 0u64..u64::MAX, mean in 1u64..10_000) {
+        use pax_sim::dist::DurationDist;
+        let d = DurationDist::exponential(mean);
+        let mut r1 = pax_sim::seeded_rng(seed);
+        let mut r2 = pax_sim::seeded_rng(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(d.sample(&mut r1), d.sample(&mut r2));
+        }
+    }
+
+    /// value_at agrees with a naive scan of the change points.
+    #[test]
+    fn value_at_matches_naive(
+        changes in proptest::collection::vec((0u64..200, 0u32..10), 1..30),
+        query in 0u64..250,
+    ) {
+        let mut sorted = changes.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut tr = StepTrace::new();
+        for (t, v) in &sorted {
+            tr.record(SimTime(*t), *v);
+        }
+        // naive: last recorded value at or before query
+        let mut expect = 0u32;
+        for &(t, v) in &sorted {
+            if t <= query {
+                expect = v;
+            }
+        }
+        prop_assert_eq!(tr.value_at(SimTime(query)), expect);
+    }
+}
+
+#[test]
+fn duration_saturating_ops() {
+    assert_eq!(
+        SimDuration(3).saturating_sub(SimDuration(10)),
+        SimDuration::ZERO
+    );
+}
+
+mod locality_props {
+    use pax_sim::locality::{DataLayout, LocalityModel};
+    use pax_sim::time::SimDuration;
+    use proptest::prelude::*;
+
+    fn arb_layout() -> impl Strategy<Value = DataLayout> {
+        prop_oneof![Just(DataLayout::Block), Just(DataLayout::Cyclic)]
+    }
+
+    proptest! {
+        /// Every granule's home cluster is a valid cluster index.
+        #[test]
+        fn home_cluster_in_range(
+            clusters in 1usize..9,
+            total in 1u32..500,
+            layout in arb_layout(),
+        ) {
+            let loc = LocalityModel::new(clusters, SimDuration(1)).with_layout(layout);
+            for g in 0..total {
+                prop_assert!(loc.home_cluster(g, total) < clusters);
+            }
+        }
+
+        /// Worker clusters are valid and non-decreasing in worker id
+        /// (block partition).
+        #[test]
+        fn worker_cluster_in_range_and_monotone(
+            clusters in 1usize..9,
+            processors in 1usize..64,
+        ) {
+            let loc = LocalityModel::new(clusters, SimDuration(1));
+            let mut prev = 0usize;
+            for w in 0..processors {
+                let c = loc.worker_cluster(w, processors);
+                prop_assert!(c < clusters);
+                prop_assert!(c >= prev, "block partition must be monotone");
+                prev = c;
+            }
+        }
+
+        /// Closed-form remote counts equal brute-force counts for every
+        /// layout, range, and cluster.
+        #[test]
+        fn remote_count_matches_brute_force(
+            clusters in 1usize..7,
+            total in 1u32..200,
+            layout in arb_layout(),
+            lo_frac in 0.0f64..1.0,
+            len_frac in 0.0f64..1.0,
+            cluster_sel in 0usize..7,
+        ) {
+            let loc = LocalityModel::new(clusters, SimDuration(1)).with_layout(layout);
+            let cluster = cluster_sel % clusters;
+            let lo = ((total as f64) * lo_frac) as u32;
+            let hi = lo + (((total - lo) as f64) * len_frac) as u32;
+            let brute = (lo..hi)
+                .filter(|&g| loc.home_cluster(g, total) != cluster)
+                .count() as u64;
+            prop_assert_eq!(loc.remote_granules(lo, hi, total, cluster), brute);
+        }
+
+        /// Summing local counts across all clusters covers the range
+        /// exactly once: Σ_c local(c) == len.
+        #[test]
+        fn local_counts_partition_the_range(
+            clusters in 1usize..7,
+            total in 1u32..200,
+            layout in arb_layout(),
+        ) {
+            let loc = LocalityModel::new(clusters, SimDuration(1)).with_layout(layout);
+            let len = u64::from(total);
+            let total_local: u64 = (0..clusters)
+                .map(|c| len - loc.remote_granules(0, total, total, c))
+                .sum();
+            prop_assert_eq!(total_local, len);
+        }
+    }
+}

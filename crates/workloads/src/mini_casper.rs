@@ -1,0 +1,414 @@
+//! A miniature *numeric* CASPER: the paper's phase-character change made
+//! runnable.
+//!
+//! The paper names one concrete transition when describing universal
+//! mappings: "the change over from **power of compression** computations
+//! to **interpolator matrix generation** is one such character change",
+//! and both of its indirect mappings "involved a dynamically generated
+//! information selection map". This module distils that structure into a
+//! small real computation over `f64` state so the executors (simulated
+//! and threaded) can be validated on CASPER-*shaped* dataflow, not just
+//! synthetic spins:
+//!
+//! | # | phase | reads → writes | mapping to next |
+//! |---|-------|----------------|-----------------|
+//! | 1 | `power` — power of compression | `u[i]` → `p[i]` | reverse indirect (phase 2 gathers `p[IMAP(j,i)]`) |
+//! | 2 | `interp` — interpolator row | `p[IMAP(j,i)]` → `m[i]` | identity (phase 3 reads `m[i]`) |
+//! | 3 | `apply` — relax the field | `u[i], m[i]` → `u[i]` | universal (phase 4 shares nothing) |
+//! | 4 | `structural` — load table | `s[i]` → `s[i]` | universal (next step's `power` shares nothing with `s`) |
+//!
+//! Every `serial_every` timesteps a serial convergence decision separates
+//! step boundaries — the paper's null mapping ("serial actions and
+//! decisions had to occur between the phases").
+//!
+//! All kernels are per-cell pure functions of already-gated inputs, so
+//! any schedule the executive produces — barriers, overlap, work
+//! stealing — must yield **bitwise identical** state to the sequential
+//! reference ([`MiniCasper::reference`]). That equality is asserted in
+//! the cross-crate tests and experiment E9.
+
+use crate::generators::CostShape;
+use pax_core::mapping::{EnablementMapping, ReverseMap};
+use pax_core::phase::PhaseDef;
+use pax_core::program::{EnableSpec, Program, ProgramBuilder};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Configuration of the mini-CASPER pipeline.
+#[derive(Debug, Clone)]
+pub struct MiniCasper {
+    /// Cells (granules per phase).
+    pub n: u32,
+    /// Gather fan of the information-selection map (`IMAP(J,I), J=1..fan`).
+    pub fan: usize,
+    /// Timesteps to run.
+    pub timesteps: usize,
+    /// A serial convergence decision after every this many timesteps
+    /// (0 = never) — the source of null mappings.
+    pub serial_every: usize,
+    /// Seed for the dynamically generated `IMAP`.
+    pub seed: u64,
+    /// The dynamically generated information-selection map:
+    /// `imap[i]` = the `fan` cells whose compression powers feed cell
+    /// `i`'s interpolator row.
+    pub imap: Vec<Vec<u32>>,
+}
+
+impl MiniCasper {
+    /// Build a spec with a seeded dynamic `IMAP` ("IRAND produces an
+    /// integer in the range 1 to N").
+    pub fn new(n: u32, fan: usize, timesteps: usize, serial_every: usize, seed: u64) -> MiniCasper {
+        assert!(n > 0 && fan > 0 && timesteps > 0);
+        let mut rng = pax_sim::seeded_rng(seed);
+        let imap: Vec<Vec<u32>> = (0..n)
+            .map(|_| (0..fan).map(|_| rng.gen_range(0..n)).collect())
+            .collect();
+        MiniCasper {
+            n,
+            fan,
+            timesteps,
+            serial_every,
+            seed,
+            imap,
+        }
+    }
+
+    /// Initial aerodynamic field.
+    pub fn initial_u(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|i| 1.0 + (i as f64 * 0.37).sin() * 0.25)
+            .collect()
+    }
+
+    /// Initial structural load table.
+    pub fn initial_s(&self) -> Vec<f64> {
+        (0..self.n).map(|i| (i as f64 * 0.11).cos()).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // per-cell kernels (pure; schedule-independent by construction)
+    // ------------------------------------------------------------------
+
+    /// Phase 1: power of compression for one cell.
+    #[inline]
+    pub fn power_kernel(u_i: f64) -> f64 {
+        // smooth, monotone, cheap: p = u·(1 + u²)^0.2
+        u_i * (1.0 + u_i * u_i).powf(0.2)
+    }
+
+    /// Phase 2: one interpolator row from the gathered powers. The gather
+    /// order is the `IMAP` order, so the sum is deterministic.
+    #[inline]
+    pub fn interp_kernel(gathered: impl Iterator<Item = f64>) -> f64 {
+        let mut acc = 0.0f64;
+        let mut w = 1.0f64;
+        for p in gathered {
+            acc += w * p;
+            w *= 0.5;
+        }
+        acc
+    }
+
+    /// Phase 3: relax the field toward the interpolated value.
+    #[inline]
+    pub fn apply_kernel(u_i: f64, m_i: f64) -> f64 {
+        u_i + 0.3 * (m_i / 2.0 - u_i)
+    }
+
+    /// Phase 4: advance the structural load table (self-contained).
+    #[inline]
+    pub fn structural_kernel(s_i: f64, i: u32) -> f64 {
+        0.99 * s_i + 0.01 * ((i as f64) * 0.017).sin()
+    }
+
+    /// Sequential reference: final `(u, s)` after all timesteps.
+    pub fn reference(&self) -> (Vec<f64>, Vec<f64>) {
+        let n = self.n as usize;
+        let mut u = self.initial_u();
+        let mut s = self.initial_s();
+        let mut p = vec![0.0f64; n];
+        let mut m = vec![0.0f64; n];
+        for _ in 0..self.timesteps {
+            for i in 0..n {
+                p[i] = Self::power_kernel(u[i]);
+            }
+            for (i, mi) in m.iter_mut().enumerate() {
+                *mi = Self::interp_kernel(self.imap[i].iter().map(|&j| p[j as usize]));
+            }
+            for i in 0..n {
+                u[i] = Self::apply_kernel(u[i], m[i]);
+            }
+            for (i, v) in s.iter_mut().enumerate() {
+                *v = Self::structural_kernel(*v, i as u32);
+            }
+        }
+        (u, s)
+    }
+
+    /// The reverse information-selection map of the `power → interp`
+    /// transition, ready for the executive.
+    pub fn reverse_map(&self) -> ReverseMap {
+        ReverseMap::new(self.imap.clone(), self.n)
+    }
+
+    /// The per-timestep mapping sequence `(name, mapping-to-next)`,
+    /// where the last entry maps into the *next* timestep's first phase.
+    pub fn mappings(&self) -> Vec<(&'static str, EnablementMapping)> {
+        vec![
+            (
+                "power",
+                EnablementMapping::ReverseIndirect(Arc::new(self.reverse_map())),
+            ),
+            ("interp", EnablementMapping::Identity),
+            ("apply", EnablementMapping::Universal),
+            ("structural", EnablementMapping::Universal),
+        ]
+    }
+
+    /// The pipeline as an analyzable array program: the classifier should
+    /// recover every mapping in [`MiniCasper::mappings`] from the access
+    /// patterns alone (reverse-indirect through the dynamic `IMAP`,
+    /// identity through `m`, universal across the character changes, null
+    /// at serial decisions).
+    pub fn array_model(&self) -> pax_analyze::ir::ArrayProgram {
+        use pax_analyze::ir::{Access, ArrayProgram, IndexExpr, LoopPhase};
+        let n = self.n;
+        let mut prog = ArrayProgram::new();
+        let u = prog.array("U", n);
+        let p = prog.array("P", n);
+        let m = prog.array("M", n);
+        let s = prog.array("S", n);
+        let imap = prog.map("IMAP", self.imap.clone(), true);
+        let phase = |name: &str, writes, reads| LoopPhase {
+            name: name.into(),
+            granules: n,
+            writes,
+            reads,
+            lines: 10,
+        };
+        for t in 0..self.timesteps {
+            if self.serial_every > 0 && t > 0 && t % self.serial_every == 0 {
+                prog.serial("convergence decision", 3);
+            }
+            prog.parallel(phase(
+                &format!("power-{t}"),
+                vec![Access::new(p, IndexExpr::Identity)],
+                vec![Access::new(u, IndexExpr::Identity)],
+            ));
+            prog.parallel(phase(
+                &format!("interp-{t}"),
+                vec![Access::new(m, IndexExpr::Identity)],
+                vec![Access::new(p, IndexExpr::GatherMany(imap))],
+            ));
+            prog.parallel(phase(
+                &format!("apply-{t}"),
+                vec![Access::new(u, IndexExpr::Identity)],
+                vec![
+                    Access::new(u, IndexExpr::Identity),
+                    Access::new(m, IndexExpr::Identity),
+                ],
+            ));
+            prog.parallel(phase(
+                &format!("structural-{t}"),
+                vec![Access::new(s, IndexExpr::Identity)],
+                vec![Access::new(s, IndexExpr::Identity)],
+            ));
+        }
+        prog
+    }
+
+    /// Simulation program: the unrolled timestep chain with the table's
+    /// mappings and the periodic serial convergence decision.
+    pub fn sim_program(&self, mean_cost: u64, shape: CostShape) -> Program {
+        let mut b = ProgramBuilder::new();
+        let names = ["power", "interp", "apply", "structural"];
+        // one definition per phase kind, reused across timesteps
+        let ids: Vec<_> = names
+            .iter()
+            .map(|name| b.phase(PhaseDef::new(*name, self.n, shape.model(mean_cost))))
+            .collect();
+        let maps = self.mappings();
+        for t in 0..self.timesteps {
+            let serial_here =
+                self.serial_every > 0 && t > 0 && t % self.serial_every == 0;
+            if serial_here {
+                b.serial(mean_cost * 4, "convergence decision");
+            }
+            for (k, &id) in ids.iter().enumerate() {
+                let last_phase_of_last_step = t + 1 == self.timesteps && k + 1 == ids.len();
+                let serial_next = self.serial_every > 0
+                    && k + 1 == ids.len()
+                    && (t + 1) % self.serial_every == 0;
+                if last_phase_of_last_step || serial_next {
+                    // null mapping: no ENABLE across a serial decision
+                    b.dispatch(id);
+                } else {
+                    let succ = ids[(k + 1) % ids.len()];
+                    b.dispatch_enable(
+                        id,
+                        vec![EnableSpec {
+                            successor: succ,
+                            mapping: maps[k].1.clone(),
+                        }],
+                    );
+                }
+            }
+        }
+        b.build().expect("mini-CASPER program is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_core::prelude::*;
+    use pax_sim::machine::MachineConfig;
+
+    #[test]
+    fn imap_is_in_range_and_seeded() {
+        let a = MiniCasper::new(64, 4, 2, 0, 7);
+        let b = MiniCasper::new(64, 4, 2, 0, 7);
+        assert_eq!(a.imap, b.imap, "same seed, same map");
+        assert!(a.imap.iter().flatten().all(|&j| j < 64));
+        let c = MiniCasper::new(64, 4, 2, 0, 8);
+        assert_ne!(a.imap, c.imap, "different seed, different map");
+    }
+
+    #[test]
+    fn reference_is_deterministic_and_finite() {
+        let spec = MiniCasper::new(128, 4, 5, 2, 11);
+        let (u1, s1) = spec.reference();
+        let (u2, s2) = spec.reference();
+        assert_eq!(u1, u2);
+        assert_eq!(s1, s2);
+        assert!(u1.iter().all(|v| v.is_finite()));
+        assert!(s1.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn relaxation_converges_toward_interpolated_field() {
+        // many timesteps shrink the per-step field movement
+        let short = MiniCasper::new(64, 4, 2, 0, 3);
+        let long = MiniCasper::new(64, 4, 40, 0, 3);
+        let (u_short, _) = short.reference();
+        let (u_long, _) = long.reference();
+        let (u0_vals, _) = (short.initial_u(), ());
+        let delta = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        };
+        // the field keeps moving early; later steps move less
+        let d_early = delta(&u_short, &u0_vals);
+        assert!(d_early > 0.0);
+        assert!(u_long.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sim_program_validates_and_runs_both_modes() {
+        let spec = MiniCasper::new(48, 4, 3, 2, 5);
+        let program = spec.sim_program(20, CostShape::Jittered);
+        assert!(program.validate().is_ok());
+        for policy in [OverlapPolicy::strict(), OverlapPolicy::overlap()] {
+            let mut sim = Simulation::new(MachineConfig::ideal(4), policy);
+            sim.add_job(program.clone());
+            let r = sim.run().expect("run");
+            // 3 timesteps × 4 phases
+            assert_eq!(r.phases.len(), 12);
+            for ph in &r.phases {
+                assert_eq!(ph.stats.executed_granules, 48);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_beats_strict_on_mini_casper_sim() {
+        let spec = MiniCasper::new(256, 4, 4, 0, 5);
+        let program = spec.sim_program(50, CostShape::Jittered);
+        let run = |policy: OverlapPolicy| {
+            let mut sim = Simulation::new(MachineConfig::ideal(16), policy);
+            sim.add_job(program.clone());
+            sim.run().unwrap()
+        };
+        let strict = run(OverlapPolicy::strict());
+        let overlap = run(OverlapPolicy::overlap());
+        assert!(
+            overlap.makespan < strict.makespan,
+            "overlap {} !< strict {}",
+            overlap.makespan,
+            strict.makespan
+        );
+        assert!(overlap.total_overlap_granules() > 0);
+    }
+
+    #[test]
+    fn serial_decisions_produce_null_transitions() {
+        // with serial_every=1 every timestep boundary is serial: the last
+        // phase of each step must carry no ENABLE
+        let spec = MiniCasper::new(16, 2, 3, 1, 1);
+        let program = spec.sim_program(10, CostShape::Constant);
+        let mut enables_across_steps = 0;
+        let mut serials = 0;
+        for s in &program.steps {
+            match s {
+                pax_core::program::Step::Serial { .. } => serials += 1,
+                pax_core::program::Step::Dispatch { enables, .. } => {
+                    enables_across_steps += enables.len();
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(serials, 2, "serial decision between each of 3 steps");
+        // within a step: 3 enables (power→interp→apply→structural);
+        // across steps: none
+        assert_eq!(enables_across_steps, 3 * 3);
+    }
+
+    #[test]
+    fn classifier_recovers_the_pipeline_structure() {
+        use pax_core::mapping::MappingKind;
+        // 3 timesteps, serial decision before step 2 (serial_every = 2)
+        let spec = MiniCasper::new(64, 4, 3, 2, 17);
+        let model = spec.array_model();
+        let classes = pax_analyze::classify_program(&model);
+        // 12 phases → 11 transitions
+        assert_eq!(classes.len(), 11);
+        let kinds: Vec<MappingKind> = classes.iter().map(|(_, _, c)| c.kind).collect();
+        let expect_step = [
+            MappingKind::ReverseIndirect, // power → interp (dynamic IMAP)
+            MappingKind::Identity,        // interp → apply
+            MappingKind::Universal,       // apply → structural
+        ];
+        // step boundaries: 0→1 open (universal), 1→2 serial (null)
+        let expected = vec![
+            expect_step[0],
+            expect_step[1],
+            expect_step[2],
+            MappingKind::Universal, // structural-0 → power-1
+            expect_step[0],
+            expect_step[1],
+            expect_step[2],
+            MappingKind::Null, // serial decision before step 2
+            expect_step[0],
+            expect_step[1],
+            expect_step[2],
+        ];
+        assert_eq!(kinds, expected);
+        // the recovered reverse map must agree with the spec's IMAP
+        let rev = &classes[0].2;
+        for (r, deps) in rev.requires.iter().enumerate() {
+            let mut want: Vec<u32> = spec.imap[r].clone();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(deps, &want, "successor granule {r}");
+        }
+    }
+
+    #[test]
+    fn mappings_match_the_documented_table() {
+        let spec = MiniCasper::new(32, 4, 2, 0, 9);
+        let maps = spec.mappings();
+        assert_eq!(maps[0].1.kind(), pax_core::mapping::MappingKind::ReverseIndirect);
+        assert_eq!(maps[1].1.kind(), pax_core::mapping::MappingKind::Identity);
+        assert_eq!(maps[2].1.kind(), pax_core::mapping::MappingKind::Universal);
+        assert_eq!(maps[3].1.kind(), pax_core::mapping::MappingKind::Universal);
+    }
+}

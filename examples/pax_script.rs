@@ -1,0 +1,111 @@
+//! The PAX language constructs, end to end: parse → validate (interlock)
+//! → compile → simulate.
+//!
+//! ```text
+//! cargo run --release --example pax_script
+//! ```
+
+use pax_core::mapping::{EnablementMapping, ReverseMap};
+use pax_core::policy::OverlapPolicy;
+use pax_lang::{compile, parse, run_script, MapBindings};
+use pax_sim::machine::MachineConfig;
+use std::sync::Arc;
+
+fn main() {
+    // The paper's third language form, verbatim structure: a dispatch
+    // with a branch-independent ENABLE list, a preprocessable IMOD branch,
+    // and labelled targets.
+    let script_src = "
+        ! A CASPER-flavoured inner loop written in the PAX language.
+        DEFINE PHASE flux-assembly   GRANULES 120 COST UNIFORM 50 150 LINES 61
+        DEFINE PHASE pressure-solve  GRANULES 120 COST UNIFORM 50 150 LINES 61
+        DEFINE PHASE output-sampling GRANULES 120 COST CONST 80     LINES 45
+        DEFINE PHASE gather-loads    GRANULES 120 COST UNIFORM 50 150 LINES 39
+
+        top:
+        DISPATCH flux-assembly ENABLE [pressure-solve/MAPPING=IDENTITY]
+        DISPATCH pressure-solve
+          ENABLE/BRANCHINDEPENDENT
+          [output-sampling/MAPPING=UNIVERSAL
+           gather-loads/MAPPING=REVERSE]
+        IF (IMOD(LOOPCOUNTER,2).NE.0) THEN GO TO sample
+        DISPATCH gather-loads
+        GO TO rejoin
+        sample:
+        DISPATCH output-sampling
+        rejoin:
+        INCREMENT LOOPCOUNTER
+        IF (LOOPCOUNTER .LT. 4) THEN GO TO top
+    ";
+
+    // The REVERSE mapping names runtime data: bind the information-
+    // selection map (IMAP(J,I), J=1..6 here), as PAX bound computations.
+    let n = 120u32;
+    let mut rng = pax_sim::seeded_rng(42);
+    let lists: Vec<Vec<u32>> = (0..n)
+        .map(|_| {
+            (0..6)
+                .map(|_| rand::Rng::gen_range(&mut rng, 0..n))
+                .collect()
+        })
+        .collect();
+    let bindings = MapBindings::new().bind(
+        "pressure-solve",
+        "gather-loads",
+        EnablementMapping::ReverseIndirect(Arc::new(ReverseMap::new(lists, n))),
+    );
+
+    // --- show the compiler's view ---------------------------------------
+    let script = parse(script_src).expect("parses");
+    match compile(&script, &bindings) {
+        Ok(compiled) => {
+            println!("compiled: {} phases, {} steps, {} counters",
+                compiled.program.phases.len(),
+                compiled.program.steps.len(),
+                compiled.program.counters);
+            for w in &compiled.warnings {
+                println!("  note: {w}");
+            }
+        }
+        Err(e) => {
+            println!("compile failed:\n{e}");
+            return;
+        }
+    }
+
+    // --- interlock demonstration ----------------------------------------
+    let bad = parse(
+        "
+        DEFINE PHASE a GRANULES 8
+        DEFINE PHASE b GRANULES 8
+        DEFINE PHASE c GRANULES 8
+        DISPATCH a ENABLE [c/MAPPING=UNIVERSAL]
+        DISPATCH b
+        DISPATCH c
+        ",
+    )
+    .unwrap();
+    let checked = compile(&bad, &MapBindings::new()).expect("compiles with warning");
+    println!("\ninterlock verification on a mis-declared script:");
+    for w in &checked.warnings {
+        println!("  {w}");
+    }
+
+    // --- run both modes ---------------------------------------------------
+    println!("\nrunning 4 loop iterations on 12 processors:");
+    for (label, policy) in [
+        ("strict barriers", OverlapPolicy::strict()),
+        ("overlap", OverlapPolicy::overlap()),
+    ] {
+        let report = run_script(script_src, &bindings, MachineConfig::ideal(12), policy)
+            .expect("script runs");
+        println!(
+            "  {label:<16} makespan {:>8}  utilization {:>5.1}%  overlap granules {:>5}  ({} phase instances)",
+            report.makespan.ticks(),
+            report.utilization() * 100.0,
+            report.total_overlap_granules(),
+            report.phases.len()
+        );
+    }
+    println!("\nbranch preprocessing: iterations alternate between gather-loads (even)\nand output-sampling (odd); the executive overlapped whichever the IMOD\nbranch actually selects, because the ENABLE clause was BRANCHINDEPENDENT.");
+}
