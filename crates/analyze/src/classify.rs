@@ -152,11 +152,12 @@ pub fn classify(
             })
     };
     let max_fan_in = requires.iter().map(|d| d.len()).max().unwrap_or(0);
-    let max_fan_out = enables_of_current.iter().map(|e| e.len()).max().unwrap_or(0);
-    if !uses_dynamic_map(current)
-        && !uses_dynamic_map(next)
-        && max_fan_in <= 8
-        && max_fan_out <= 8
+    let max_fan_out = enables_of_current
+        .iter()
+        .map(|e| e.len())
+        .max()
+        .unwrap_or(0);
+    if !uses_dynamic_map(current) && !uses_dynamic_map(next) && max_fan_in <= 8 && max_fan_out <= 8
     {
         return Classification {
             kind: MappingKind::Seam,
@@ -201,12 +202,7 @@ mod tests {
     use super::*;
     use crate::ir::{Access, IndexExpr, LoopPhase};
 
-    fn phase(
-        name: &str,
-        granules: u32,
-        writes: Vec<Access>,
-        reads: Vec<Access>,
-    ) -> LoopPhase {
+    fn phase(name: &str, granules: u32, writes: Vec<Access>, reads: Vec<Access>) -> LoopPhase {
         LoopPhase {
             name: name.into(),
             granules,
@@ -297,12 +293,7 @@ mod tests {
         let a = p.array("A", 8);
         let b = p.array("B", 4);
         // each successor granule gathers 3 pseudo-random A elements
-        let lists: Vec<Vec<u32>> = vec![
-            vec![1, 5, 7],
-            vec![0, 5, 2],
-            vec![3, 3, 6],
-            vec![2, 4, 7],
-        ];
+        let lists: Vec<Vec<u32>> = vec![vec![1, 5, 7], vec![0, 5, 2], vec![3, 3, 6], vec![2, 4, 7]];
         let m = p.map("IMAP", lists.clone(), true);
         let p1 = phase("gen", 8, vec![Access::new(a, IndexExpr::Identity)], vec![]);
         let p2 = phase(

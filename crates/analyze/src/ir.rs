@@ -215,7 +215,11 @@ impl ArrayProgram {
 impl fmt::Display for LoopPhase {
     /// Render as pseudo-Fortran for reports.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "      DO I=1,{}            ! {}", self.granules, self.name)?;
+        writeln!(
+            f,
+            "      DO I=1,{}            ! {}",
+            self.granules, self.name
+        )?;
         for w in &self.writes {
             let idx = match &w.index {
                 IndexExpr::Identity => "I".to_string(),
@@ -251,12 +255,24 @@ mod tests {
     fn affine_elements() {
         let mut p = ArrayProgram::new();
         let a = p.array("A", 10);
-        let acc = Access::new(a, IndexExpr::Affine { stride: 2, offset: 1 });
+        let acc = Access::new(
+            a,
+            IndexExpr::Affine {
+                stride: 2,
+                offset: 1,
+            },
+        );
         let mut out = Vec::new();
         p.elements_of(&acc, 3, &mut out);
         assert_eq!(out, vec![7]);
         out.clear();
-        let neg = Access::new(a, IndexExpr::Affine { stride: -1, offset: 0 });
+        let neg = Access::new(
+            a,
+            IndexExpr::Affine {
+                stride: -1,
+                offset: 0,
+            },
+        );
         p.elements_of(&neg, 3, &mut out);
         assert_eq!(out, vec![7]); // -3 mod 10
     }

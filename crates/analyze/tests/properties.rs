@@ -8,11 +8,11 @@ use proptest::prelude::*;
 /// Build a random two-phase program over small arrays.
 fn arb_program() -> impl Strategy<Value = ArrayProgram> {
     (
-        2u32..16,                                  // granules
-        0usize..4,                                 // phase-2 read mode
+        2u32..16,                                   // granules
+        0usize..4,                                  // phase-2 read mode
         proptest::collection::vec(0u32..16, 1..64), // map values
-        1usize..4,                                 // fan
-        proptest::bool::ANY,                       // dynamic map?
+        1usize..4,                                  // fan
+        proptest::bool::ANY,                        // dynamic map?
     )
         .prop_map(|(n, mode, mapvals, fan, dynamic)| {
             let mut p = ArrayProgram::new();
@@ -29,8 +29,8 @@ fn arb_program() -> impl Strategy<Value = ArrayProgram> {
             });
             // phase 2 reads vary by mode
             let reads = match mode {
-                0 => vec![],                                        // universal
-                1 => vec![Access::new(b, IndexExpr::Identity)],     // identity
+                0 => vec![],                                    // universal
+                1 => vec![Access::new(b, IndexExpr::Identity)], // identity
                 2 => {
                     // gather through a map
                     let lists: Vec<Vec<u32>> = (0..n)

@@ -42,7 +42,7 @@ fn bench_rangeset(c: &mut Criterion) {
             let ranges: Vec<(u32, u32)> = (0..n)
                 .map(|_| {
                     let lo = rng.gen_range(0..n * 4);
-                    (lo, lo + rng.gen_range(1..8))
+                    (lo, lo + rng.gen_range(1..8u32))
                 })
                 .collect();
             b.iter(|| {

@@ -18,15 +18,13 @@ fn bench_checkerboard(c: &mut Criterion) {
                 &(n, overlap),
                 |b, &(n, overlap)| {
                     b.iter(|| {
-                        let program =
-                            checkerboard_program(n, 4, CostModel::constant(100), overlap);
+                        let program = checkerboard_program(n, 4, CostModel::constant(100), overlap);
                         let policy = if overlap {
                             OverlapPolicy::overlap().with_sizing(TaskSizing::Fixed(4))
                         } else {
                             OverlapPolicy::strict().with_sizing(TaskSizing::Fixed(4))
                         };
-                        let mut sim =
-                            Simulation::new(MachineConfig::ideal(100), policy);
+                        let mut sim = Simulation::new(MachineConfig::ideal(100), policy);
                         sim.add_job(program);
                         sim.run().unwrap().makespan
                     })

@@ -60,12 +60,9 @@ fn bench_task_sizing(c: &mut Criterion) {
                     seed: 0xBE,
                 };
                 b.iter(|| {
-                    let policy = OverlapPolicy::overlap()
-                        .with_sizing(TaskSizing::TasksPerProcessor(ratio));
-                    let mut sim = Simulation::new(
-                        MachineConfig::new(16),
-                        policy,
-                    );
+                    let policy =
+                        OverlapPolicy::overlap().with_sizing(TaskSizing::TasksPerProcessor(ratio));
+                    let mut sim = Simulation::new(MachineConfig::new(16), policy);
                     sim.add_job(cfg.build(true));
                     sim.run().unwrap().makespan
                 })

@@ -74,8 +74,8 @@ fn bench_split_strategies(c: &mut Criterion) {
             &strat,
             |b, &strat| {
                 b.iter(|| {
-                    let machine = MachineConfig::new(16)
-                        .with_costs(ManagementCosts::pax_default().scaled(8));
+                    let machine =
+                        MachineConfig::new(16).with_costs(ManagementCosts::pax_default().scaled(8));
                     let policy = OverlapPolicy::overlap().with_split_strategy(strat);
                     let mut sim = Simulation::new(machine, policy);
                     sim.add_job(cfg.build(true));

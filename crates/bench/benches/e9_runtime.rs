@@ -8,11 +8,7 @@ use std::time::Duration;
 fn chain(phases: usize, granules: u32) -> Vec<RtPhase> {
     (0..phases)
         .map(|i| {
-            let p = RtPhase::synthetic(
-                format!("p{i}"),
-                granules,
-                Duration::from_micros(30),
-            );
+            let p = RtPhase::synthetic(format!("p{i}"), granules, Duration::from_micros(30));
             if i + 1 < phases {
                 p.with_mapping(RtMapping::Identity)
             } else {
@@ -31,20 +27,16 @@ fn bench_runtime(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(8));
     for (label, overlap) in [("barrier", false), ("overlap", true)] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(label),
-            &overlap,
-            |b, &ov| {
-                b.iter(|| {
-                    let cfg = if ov {
-                        RuntimeConfig::new(workers, 2)
-                    } else {
-                        RuntimeConfig::new(workers, 2).barrier()
-                    };
-                    run_chain(chain(3, 60), cfg).wall
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(label), &overlap, |b, &ov| {
+            b.iter(|| {
+                let cfg = if ov {
+                    RuntimeConfig::new(workers, 2)
+                } else {
+                    RuntimeConfig::new(workers, 2).barrier()
+                };
+                run_chain(chain(3, 60), cfg).wall
+            })
+        });
     }
     g.finish();
 }

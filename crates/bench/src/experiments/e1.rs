@@ -118,7 +118,10 @@ pub fn run(quick: bool) -> E1Result {
 
 impl std::fmt::Display for E1Result {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "E1 — checkerboard rundown (paper: 524 waves + 288 leftover, 712 idle)")?;
+        writeln!(
+            f,
+            "E1 — checkerboard rundown (paper: 524 waves + 288 leftover, 712 idle)"
+        )?;
         writeln!(
             f,
             "  granules/phase {}  waves {}  leftover {}  final-wave busy {}  idle {}",
@@ -141,7 +144,13 @@ impl std::fmt::Display for E1Result {
             pct(self.overlap_utilization * 100.0)
         )?;
         let mut t = Table::new(&[
-            "grid", "granules", "waves", "tail", "util strict", "util overlap", "gain",
+            "grid",
+            "granules",
+            "waves",
+            "tail",
+            "util strict",
+            "util overlap",
+            "gain",
         ]);
         for &(n, g, w, tail, us, uo) in &self.sweep {
             t.row(vec![

@@ -198,7 +198,10 @@ mod tests {
         let form3 = &r.rows[2];
         // LOOPCOUNTER=0 → IMOD(0,10)=0 → .NE. is false → fall through to
         // alt-b; alt-a must not run.
-        assert_eq!(form3.phases_run, vec!["main".to_string(), "alt-b".to_string()]);
+        assert_eq!(
+            form3.phases_run,
+            vec!["main".to_string(), "alt-b".to_string()]
+        );
     }
 
     #[test]
@@ -207,7 +210,11 @@ mod tests {
         let form4 = &r.rows[3];
         assert_eq!(
             form4.phases_run,
-            vec!["main".to_string(), "next-1".to_string(), "next-2".to_string()]
+            vec![
+                "main".to_string(),
+                "next-1".to_string(),
+                "next-2".to_string()
+            ]
         );
         assert!(form4.overlap_granules > 0);
     }

@@ -90,9 +90,7 @@ pub fn run(quick: bool) -> E11Result {
     // proximity-aware stealing: pair workers into clusters of two
     let clusters = (workers / 2).max(1);
     let mut rows = Vec::new();
-    let mut bench = |workload: &str,
-                     mk: &dyn Fn() -> Vec<RtPhase>,
-                     task: u32| {
+    let mut bench = |workload: &str, mk: &dyn Fn() -> Vec<RtPhase>, task: u32| {
         // best-of-3 per executor to shrug off VM noise
         let central = (0..3)
             .map(|_| run_chain(mk(), RuntimeConfig::new(workers, task)))

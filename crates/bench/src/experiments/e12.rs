@@ -93,9 +93,8 @@ fn measure(
     processors: usize,
     clusters: usize,
 ) -> E12Row {
-    let machine = MachineConfig::new(processors).with_locality(
-        LocalityModel::new(clusters, SimDuration(remote_extra)).with_layout(layout),
-    );
+    let machine = MachineConfig::new(processors)
+        .with_locality(LocalityModel::new(clusters, SimDuration(remote_extra)).with_layout(layout));
     // Presplit throughout: the proximity scan can only choose among
     // *visible* descriptions, so the queue must expose task-sized pieces
     // rather than one demand-split master. Presplitting is the paper's own
@@ -288,7 +287,9 @@ mod tests {
         r.rows
             .iter()
             .find(|x| {
-                x.sweep == sweep && x.remote_extra == extra && x.window == window
+                x.sweep == sweep
+                    && x.remote_extra == extra
+                    && x.window == window
                     && x.overlap == overlap
             })
             .unwrap()
@@ -316,11 +317,19 @@ mod tests {
             let prox = find(&r, "penalty", extra, Some(32), true).makespan as f64;
             fifo / prox
         };
-        assert!(gain(200) > gain(25), "gain at 200 ({:.3}) should exceed gain at 25 ({:.3})", gain(200), gain(25));
+        assert!(
+            gain(200) > gain(25),
+            "gain at 200 ({:.3}) should exceed gain at 25 ({:.3})",
+            gain(200),
+            gain(25)
+        );
         // with no stall the two policies tie (proximity may reorder but
         // cannot win anything)
         let g0 = gain(0);
-        assert!((0.97..=1.03).contains(&g0), "no-stall gain {g0:.3} should be ~1");
+        assert!(
+            (0.97..=1.03).contains(&g0),
+            "no-stall gain {g0:.3} should be ~1"
+        );
     }
 
     #[test]
@@ -362,7 +371,13 @@ mod tests {
         let ovl_fifo = find(&r, "compose", 100, None, true).makespan;
         let ovl_prox = find(&r, "compose", 100, Some(32), true).makespan;
         assert!(ovl_prox < strict_fifo, "combined must beat plain strict");
-        assert!(ovl_prox <= strict_prox, "adding overlap must not hurt proximity");
-        assert!(ovl_prox <= ovl_fifo, "adding proximity must not hurt overlap");
+        assert!(
+            ovl_prox <= strict_prox,
+            "adding overlap must not hurt proximity"
+        );
+        assert!(
+            ovl_prox <= ovl_fifo,
+            "adding proximity must not hurt overlap"
+        );
     }
 }

@@ -63,10 +63,25 @@ const GRANULE_COST: u64 = 100;
 /// Arrangements swept: label, executive placement, lanes, cost scale.
 fn arrangements() -> Vec<(&'static str, ExecutivePlacement, usize, bool)> {
     vec![
-        ("serial, steals worker", ExecutivePlacement::StealsWorker, 1, false),
+        (
+            "serial, steals worker",
+            ExecutivePlacement::StealsWorker,
+            1,
+            false,
+        ),
         ("serial, dedicated", ExecutivePlacement::Dedicated, 1, false),
-        ("4 lanes, dedicated", ExecutivePlacement::Dedicated, 4, false),
-        ("16 lanes, dedicated", ExecutivePlacement::Dedicated, 16, false),
+        (
+            "4 lanes, dedicated",
+            ExecutivePlacement::Dedicated,
+            4,
+            false,
+        ),
+        (
+            "16 lanes, dedicated",
+            ExecutivePlacement::Dedicated,
+            16,
+            false,
+        ),
         ("free management", ExecutivePlacement::Dedicated, 1, true),
     ]
 }
@@ -110,8 +125,7 @@ pub fn run(quick: bool) -> E13Result {
             let r = sim.run().expect("E13 run");
             // throughput per processor, normalized to this arrangement's
             // smallest machine
-            let tput = r.compute_time.ticks() as f64
-                / (r.makespan.ticks() as f64 * p as f64);
+            let tput = r.compute_time.ticks() as f64 / (r.makespan.ticks() as f64 * p as f64);
             let eff = match base {
                 None => {
                     base = Some(tput);

@@ -74,8 +74,7 @@ pub fn run(quick: bool) -> E3Result {
             } else {
                 OverlapPolicy::strict()
             };
-            let mut sim = Simulation::new(MachineConfig::ideal(processors), policy)
-                .with_seed(0xE3);
+            let mut sim = Simulation::new(MachineConfig::ideal(processors), policy).with_seed(0xE3);
             sim.add_job(cfg.build(overlap));
             sim.run().expect("E3 run")
         };

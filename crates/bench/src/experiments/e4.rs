@@ -19,7 +19,7 @@
 use crate::table::{f2, pct, Table};
 use pax_core::mapping::MappingKind;
 use pax_core::prelude::*;
-use pax_sim::machine::{ManagementCosts, MachineConfig};
+use pax_sim::machine::{MachineConfig, ManagementCosts};
 use pax_workloads::generators::{CostShape, GeneratorConfig};
 
 /// One sweep row.
@@ -89,8 +89,7 @@ pub fn run(quick: bool) -> E4Result {
             .sum();
         rows.push(E4Row {
             ratio,
-            task_granules: TaskSizing::TasksPerProcessor(ratio)
-                .task_granules(granules, processors),
+            task_granules: TaskSizing::TasksPerProcessor(ratio).task_granules(granules, processors),
             makespan: r.makespan.ticks(),
             utilization: r.utilization(),
             rundown_idle,
@@ -171,7 +170,11 @@ mod tests {
     #[test]
     fn utilization_healthy_at_recommended_ratio() {
         let r = run(true);
-        let at2 = r.rows.iter().find(|x| (x.ratio - 2.0).abs() < 1e-9).unwrap();
+        let at2 = r
+            .rows
+            .iter()
+            .find(|x| (x.ratio - 2.0).abs() < 1e-9)
+            .unwrap();
         assert!(at2.utilization > 0.85, "utilization {}", at2.utilization);
     }
 }

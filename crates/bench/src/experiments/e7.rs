@@ -87,8 +87,18 @@ pub fn run(quick: bool) -> E7Result {
         }
     }
     let elevate_ablation = vec![
-        (false, run_with(SplitStrategy::SuccessorSplitTask, 8, false).makespan.ticks()),
-        (true, run_with(SplitStrategy::SuccessorSplitTask, 8, true).makespan.ticks()),
+        (
+            false,
+            run_with(SplitStrategy::SuccessorSplitTask, 8, false)
+                .makespan
+                .ticks(),
+        ),
+        (
+            true,
+            run_with(SplitStrategy::SuccessorSplitTask, 8, true)
+                .makespan
+                .ticks(),
+        ),
     ];
     E7Result {
         rows,
@@ -98,8 +108,17 @@ pub fn run(quick: bool) -> E7Result {
 
 impl std::fmt::Display for E7Result {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "E7 — successor-splitting strategy ablation (identity phases)")?;
-        let mut t = Table::new(&["strategy", "split cost ×", "makespan", "utilization", "splits"]);
+        writeln!(
+            f,
+            "E7 — successor-splitting strategy ablation (identity phases)"
+        )?;
+        let mut t = Table::new(&[
+            "strategy",
+            "split cost ×",
+            "makespan",
+            "utilization",
+            "splits",
+        ]);
         for r in &self.rows {
             t.row(vec![
                 format!("{:?}", r.strategy),
@@ -146,7 +165,10 @@ mod tests {
         let s = cell(&r, SplitStrategy::SuccessorSplitTask, 1).makespan;
         let max = d.max(p).max(s) as f64;
         let min = d.min(p).min(s) as f64;
-        assert!(max / min < 1.10, "cheap splits: {d} {p} {s} diverge too much");
+        assert!(
+            max / min < 1.10,
+            "cheap splits: {d} {p} {s} diverge too much"
+        );
     }
 
     #[test]

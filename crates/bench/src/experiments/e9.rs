@@ -205,9 +205,21 @@ pub fn run(quick: bool) -> E9Result {
         .unwrap_or(4);
     let workers = hw.clamp(2, 8);
     let (base, per_cell, chain_granules, grid_n, sweeps) = if quick {
-        (Duration::from_micros(200), Duration::from_micros(40), 24, 16, 4)
+        (
+            Duration::from_micros(200),
+            Duration::from_micros(40),
+            24,
+            16,
+            4,
+        )
     } else {
-        (Duration::from_millis(1), Duration::from_micros(80), 48, 32, 6)
+        (
+            Duration::from_millis(1),
+            Duration::from_micros(80),
+            48,
+            32,
+            6,
+        )
     };
 
     // The host may be a small shared VM; take the best of three runs of

@@ -107,10 +107,7 @@ enum ExecTask {
     /// pieces of its predecessor ("the successor computation could be
     /// split and requeued to the appropriate current computation
     /// descriptions").
-    SplitSuccessor {
-        succ_desc: DescId,
-        pred: InstanceId,
-    },
+    SplitSuccessor { succ_desc: DescId, pred: InstanceId },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -438,7 +435,10 @@ impl Engine {
     ) -> InstanceId {
         let d = &self.jobs[job].program.phases[def.0 as usize];
         let granules = d.granules;
-        let task_size = self.policy.sizing.task_granules(granules, self.cfg.processors);
+        let task_size = self
+            .policy
+            .sizing
+            .task_granules(granules, self.cfg.processors);
         let id = InstanceId(self.instances.len() as u32);
         let mut stats = PhaseStats::new(self.now);
         stats.serial_gap = std::mem::take(&mut self.jobs[job].pending_serial_gap);
@@ -570,8 +570,9 @@ impl Engine {
                     let (_s, end) = self.exec_service_serial(self.now, duration);
                     self.jobs[job].pc = pc;
                     self.jobs[job].pending_serial_gap += duration;
-                    self.tlog
-                        .log(self.now, || format!("job{job} serial '{label}' until {end}"));
+                    self.tlog.log(self.now, || {
+                        format!("job{job} serial '{label}' until {end}")
+                    });
                     self.events.schedule(end, Ev::SerialDone { job });
                     return;
                 }
@@ -589,8 +590,7 @@ impl Engine {
                              initiated instance {inst_id} abandoned"
                         ));
                     }
-                    let inst_id =
-                        self.new_instance(job, phase, pc, InstState::Current, None, None);
+                    let inst_id = self.new_instance(job, phase, pc, InstState::Current, None, None);
                     let mut cost = self.cfg.costs.phase_init;
                     let full = GranuleRange::new(0, self.inst(inst_id).granules);
                     self.release_range(inst_id, full, QueueClass::Normal, &mut cost);
@@ -657,15 +657,14 @@ impl Engine {
             let p = self.inst(pred_id);
             (p.job, p.dispatch_step)
         };
-        let (enables, branch_independent) =
-            match &self.jobs[job].program.steps[dispatch_step] {
-                Step::Dispatch {
-                    enables,
-                    branch_independent,
-                    ..
-                } => (enables.clone(), *branch_independent),
-                _ => return,
-            };
+        let (enables, branch_independent) = match &self.jobs[job].program.steps[dispatch_step] {
+            Step::Dispatch {
+                enables,
+                branch_independent,
+                ..
+            } => (enables.clone(), *branch_independent),
+            _ => return,
+        };
         let la = self.jobs[job].program.lookahead(
             dispatch_step,
             &self.jobs[job].counters,
@@ -739,7 +738,10 @@ impl Engine {
         }
         self.exec_service(self.now, cost);
         self.tlog.log(self.now, || {
-            format!("{pred_id} initiated successor {succ_id} via {}", kind.label())
+            format!(
+                "{pred_id} initiated successor {succ_id} via {}",
+                kind.label()
+            )
         });
     }
 
@@ -778,10 +780,7 @@ impl Engine {
         mapping: EnablementMapping,
         cost: &mut SimDuration,
     ) {
-        let early_limit = self
-            .policy
-            .indirect_subset
-            .min(self.inst(succ_id).granules);
+        let early_limit = self.policy.indirect_subset.min(self.inst(succ_id).granules);
         self.inst_mut(succ_id).counter_state = Some(CounterState {
             mapping,
             composite: None,
@@ -820,7 +819,11 @@ impl Engine {
         };
         let pred_granules = self.inst(pred_id).granules;
         let (mapping, early_limit) = {
-            let cs = self.inst(succ_id).counter_state.as_ref().expect("counted gate");
+            let cs = self
+                .inst(succ_id)
+                .counter_state
+                .as_ref()
+                .expect("counted gate");
             if cs.composite.is_some() {
                 return;
             }
@@ -829,11 +832,7 @@ impl Engine {
         let comp = CompositeMap::build(&mapping, pred_granules);
         // Only entries that feed the chosen early subset are constructed
         // (the paper's subset advice caps the enablement problem's size).
-        let useful_entries = comp
-            .targets
-            .iter()
-            .filter(|&&r| r < early_limit)
-            .count() as u64;
+        let useful_entries = comp.targets.iter().filter(|&&r| r < early_limit).count() as u64;
         *cost += self.cfg.costs.composite_map_per_entry * useful_entries;
 
         let mut counters: Vec<u32> = comp.requires[..early_limit as usize].to_vec();
@@ -884,7 +883,11 @@ impl Engine {
                 self.elevate_enabling_granules(pred_id, enabling, cost);
             }
         }
-        let cs = self.inst_mut(succ_id).counter_state.as_mut().expect("counted gate");
+        let cs = self
+            .inst_mut(succ_id)
+            .counter_state
+            .as_mut()
+            .expect("counted gate");
         cs.composite = Some(comp);
         cs.counters = counters;
     }
@@ -906,13 +909,7 @@ impl Engine {
                 .live_descs
                 .iter()
                 .filter(|&&d| matches!(self.arena.get(d).state, DescState::Waiting))
-                .filter_map(|&d| {
-                    self.arena
-                        .get(d)
-                        .range
-                        .intersect(run)
-                        .map(|ovl| (d, ovl))
-                })
+                .filter_map(|&d| self.arena.get(d).range.intersect(run).map(|ovl| (d, ovl)))
                 .collect();
             for (d, ovl) in candidates {
                 // The descriptor may have been replaced by an earlier carve
@@ -921,7 +918,9 @@ impl Engine {
                     continue;
                 }
                 let drange = self.arena.get(d).range;
-                let Some(ovl) = drange.intersect(ovl) else { continue };
+                let Some(ovl) = drange.intersect(ovl) else {
+                    continue;
+                };
                 if ovl == drange {
                     // Whole descriptor is enabling: move it to the
                     // elevated segment.
@@ -995,7 +994,12 @@ impl Engine {
 
     /// Remote-access stall for `range` executed by worker `w`, with
     /// local/remote accounting. Zero on uniform-memory machines.
-    fn locality_stall(&mut self, w: WorkerId, inst_id: InstanceId, range: GranuleRange) -> SimDuration {
+    fn locality_stall(
+        &mut self,
+        w: WorkerId,
+        inst_id: InstanceId,
+        range: GranuleRange,
+    ) -> SimDuration {
         let Some(loc) = self.cfg.locality.as_ref() else {
             return SimDuration::ZERO;
         };
@@ -1062,7 +1066,8 @@ impl Engine {
             });
         }
         self.tasks_dispatched += 1;
-        self.events.schedule(end, Ev::TaskDone { worker: w, desc: d });
+        self.events
+            .schedule(end, Ev::TaskDone { worker: w, desc: d });
     }
 
     /// Split descriptor `d` so the front `task_size` granules go to the
@@ -1230,7 +1235,12 @@ impl Engine {
         self.events.schedule(seek_at, Ev::Seek(w));
     }
 
-    fn apply_decrements(&mut self, succ_id: InstanceId, range: GranuleRange, cost: &mut SimDuration) {
+    fn apply_decrements(
+        &mut self,
+        succ_id: InstanceId,
+        range: GranuleRange,
+        cost: &mut SimDuration,
+    ) {
         let decrement_cost = self.cfg.costs.counter_decrement;
         let release_cost = self.cfg.costs.release;
         let mut freed: Vec<u32> = Vec::new();
@@ -1333,18 +1343,19 @@ impl Engine {
             return None;
         }
         let comp = CompositeMap::build(&cs.mapping, pred_granules);
-        let useful = comp
-            .targets
-            .iter()
-            .filter(|&&r| r < cs.early_limit)
-            .count() as u64;
+        let useful = comp.targets.iter().filter(|&&r| r < cs.early_limit).count() as u64;
         Some(self.cfg.costs.composite_map_per_entry * useful)
     }
 
     /// Execute a successor-splitting task: distribute the detached
     /// successor description across the predecessor's current pieces,
     /// releasing parts whose enablers already completed.
-    fn exec_split_successor(&mut self, succ_desc: DescId, pred: InstanceId, cost: &mut SimDuration) {
+    fn exec_split_successor(
+        &mut self,
+        succ_desc: DescId,
+        pred: InstanceId,
+        cost: &mut SimDuration,
+    ) {
         if !matches!(self.arena.get(succ_desc).state, DescState::Detached) {
             return; // already handled elsewhere
         }
@@ -1436,7 +1447,8 @@ impl Engine {
             self.run_program(j, 0);
         }
         for w in 0..self.cfg.processors {
-            self.events.schedule(SimTime::ZERO, Ev::Seek(WorkerId(w as u32)));
+            self.events
+                .schedule(SimTime::ZERO, Ev::Seek(WorkerId(w as u32)));
         }
     }
 
@@ -1593,11 +1605,7 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn run(
-        program: Program,
-        processors: usize,
-        policy: OverlapPolicy,
-    ) -> RunReport {
+    fn run(program: Program, processors: usize, policy: OverlapPolicy) -> RunReport {
         let mut sim = Simulation::new(MachineConfig::ideal(processors), policy);
         sim.add_job(program);
         sim.run().expect("run failed")
@@ -1634,7 +1642,11 @@ mod tests {
         // 5 granules of 10 ticks on 4 processors: wave 1 runs 4, wave 2
         // runs 1 → 3 processors idle for 10 ticks.
         let p = linear_program(5, 1, 10, |_| EnablementMapping::Null);
-        let r = run(p, 4, OverlapPolicy::strict().with_sizing(crate::policy::TaskSizing::Fixed(1)));
+        let r = run(
+            p,
+            4,
+            OverlapPolicy::strict().with_sizing(crate::policy::TaskSizing::Fixed(1)),
+        );
         assert_eq!(r.makespan.ticks(), 20);
         assert_eq!(r.compute_time.ticks(), 50);
         let rd = r.rundown_of(0).unwrap();
@@ -1676,7 +1688,10 @@ mod tests {
         sim.add_job(p);
         let r = sim.run().unwrap();
         assert_eq!(r.phases.len(), 2);
-        assert!(r.phases[1].stats.overlap_granules > 0, "no overlap achieved");
+        assert!(
+            r.phases[1].stats.overlap_granules > 0,
+            "no overlap achieved"
+        );
         // Invariant: successor granule i must start at or after the
         // completion of current granule i.
         let g = r.gantt.as_ref().unwrap();
@@ -1722,7 +1737,11 @@ mod tests {
     #[test]
     fn null_mapping_never_overlaps() {
         let p = linear_program(8, 2, 10, |_| EnablementMapping::Null);
-        let r = run(p, 4, OverlapPolicy::overlap().with_sizing(crate::policy::TaskSizing::Fixed(1)));
+        let r = run(
+            p,
+            4,
+            OverlapPolicy::overlap().with_sizing(crate::policy::TaskSizing::Fixed(1)),
+        );
         assert_eq!(r.phases[1].stats.overlap_granules, 0);
         assert_eq!(r.makespan.ticks(), 40);
     }
@@ -1742,7 +1761,11 @@ mod tests {
         b.serial(15, "decide");
         b.dispatch(c);
         let p = b.build().unwrap();
-        let r = run(p, 4, OverlapPolicy::overlap().with_sizing(crate::policy::TaskSizing::Fixed(1)));
+        let r = run(
+            p,
+            4,
+            OverlapPolicy::overlap().with_sizing(crate::policy::TaskSizing::Fixed(1)),
+        );
         // No overlap through the serial region; makespan = 20 + 15 + 20.
         assert_eq!(r.phases[1].stats.overlap_granules, 0);
         assert_eq!(r.makespan.ticks(), 55);
@@ -2040,8 +2063,9 @@ mod tests {
         remote_extra: u64,
         layout: DataLayout,
     ) -> MachineConfig {
-        MachineConfig::ideal(processors)
-            .with_locality(LocalityModel::new(clusters, SimDuration(remote_extra)).with_layout(layout))
+        MachineConfig::ideal(processors).with_locality(
+            LocalityModel::new(clusters, SimDuration(remote_extra)).with_layout(layout),
+        )
     }
 
     fn run_on(program: Program, cfg: MachineConfig, policy: OverlapPolicy) -> RunReport {

@@ -80,10 +80,8 @@ pub mod prelude {
     pub use crate::policy::{
         AssignmentPolicy, CompositeBuild, OverlapPolicy, SplitStrategy, TaskSizing,
     };
-    pub use crate::program::{
-        BranchTest, EnableSpec, Lookahead, Program, ProgramBuilder, Step,
-    };
-    pub use crate::report::{JobReport, PhaseReport, RundownWindow, RunReport};
+    pub use crate::program::{BranchTest, EnableSpec, Lookahead, Program, ProgramBuilder, Step};
+    pub use crate::report::{JobReport, PhaseReport, RunReport, RundownWindow};
 }
 
 pub use prelude::*;

@@ -163,10 +163,7 @@ impl Program {
                     }
                     for e in enables {
                         if e.successor.0 as usize >= self.phases.len() {
-                            return Err(format!(
-                                "step {i}: ENABLE names unknown {}",
-                                e.successor
-                            ));
+                            return Err(format!("step {i}: ENABLE names unknown {}", e.successor));
                         }
                         self.validate_enable(i, *phase, e)?;
                     }
@@ -211,12 +208,7 @@ impl Program {
     /// the phases it connects — the executive-level half of the paper's
     /// interlock ("so that the executive system (or language processor)
     /// can verify").
-    fn validate_enable(
-        &self,
-        step: usize,
-        current: PhaseId,
-        e: &EnableSpec,
-    ) -> Result<(), String> {
+    fn validate_enable(&self, step: usize, current: PhaseId, e: &EnableSpec) -> Result<(), String> {
         use crate::mapping::EnablementMapping as M;
         let cur = self.phases[current.0 as usize].granules;
         let succ = self.phases[e.successor.0 as usize].granules;
@@ -290,12 +282,7 @@ impl Program {
     ///
     /// `branch_independent` controls whether branches may be preprocessed;
     /// it comes from the dispatch's `ENABLE` annotation.
-    pub fn lookahead(
-        &self,
-        from: usize,
-        counters: &[i64],
-        branch_independent: bool,
-    ) -> Lookahead {
+    pub fn lookahead(&self, from: usize, counters: &[i64], branch_independent: bool) -> Lookahead {
         let mut scratch: Vec<i64> = counters.to_vec();
         let mut pc = from + 1;
         let mut fuel = self.steps.len() * 2 + 8; // cycle guard
@@ -514,18 +501,12 @@ mod tests {
         // counter = 7: branch true -> b
         assert_eq!(
             p.lookahead(0, &[7], true),
-            Lookahead::Phase {
-                phase: pb,
-                step: 2
-            }
+            Lookahead::Phase { phase: pb, step: 2 }
         );
         // counter = 10: branch false -> c
         assert_eq!(
             p.lookahead(0, &[10], true),
-            Lookahead::Phase {
-                phase: pc,
-                step: 3
-            }
+            Lookahead::Phase { phase: pc, step: 3 }
         );
         // branch-dependent: blocked
         assert_eq!(p.lookahead(0, &[7], false), Lookahead::BlockedByBranch);
@@ -552,10 +533,7 @@ mod tests {
         // After the incr, counter==1, so CounterLt(1) is false -> c
         assert_eq!(
             p.lookahead(0, &counters, true),
-            Lookahead::Phase {
-                phase: pc,
-                step: 4
-            }
+            Lookahead::Phase { phase: pc, step: 4 }
         );
         // the real counter file was untouched
         assert_eq!(counters[0], 0);

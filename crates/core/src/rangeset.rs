@@ -76,9 +76,7 @@ impl RangeSet {
 
     /// Iterate the stored runs as `GranuleRange`s.
     pub fn iter_runs(&self) -> impl Iterator<Item = GranuleRange> + '_ {
-        self.runs
-            .iter()
-            .map(|&(lo, hi)| GranuleRange::new(lo, hi))
+        self.runs.iter().map(|&(lo, hi)| GranuleRange::new(lo, hi))
     }
 
     /// Iterate the *gaps* (uncovered sub-ranges) inside the window

@@ -112,8 +112,7 @@ impl RunReport {
         if self.makespan.is_zero() {
             return 0.0;
         }
-        self.compute_time.ticks() as f64
-            / (self.processors as u64 * self.makespan.ticks()) as f64
+        self.compute_time.ticks() as f64 / (self.processors as u64 * self.makespan.ticks()) as f64
     }
 
     /// Fraction of executed granules that ran outside their home memory
@@ -134,7 +133,10 @@ impl RunReport {
         if self.makespan.is_zero() {
             return 0.0;
         }
-        let useful = self.compute_time.ticks().saturating_sub(self.remote_stall.ticks());
+        let useful = self
+            .compute_time
+            .ticks()
+            .saturating_sub(self.remote_stall.ticks());
         useful as f64 / (self.processors as u64 * self.makespan.ticks()) as f64
     }
 

@@ -8,7 +8,13 @@ use std::sync::Arc;
 fn simple_program(granules: u32, phases: usize, mapping: EnablementMapping) -> Program {
     let mut b = ProgramBuilder::new();
     let ids: Vec<PhaseId> = (0..phases)
-        .map(|i| b.phase(PhaseDef::new(format!("p{i}"), granules, CostModel::constant(10))))
+        .map(|i| {
+            b.phase(PhaseDef::new(
+                format!("p{i}"),
+                granules,
+                CostModel::constant(10),
+            ))
+        })
         .collect();
     for (i, &id) in ids.iter().enumerate() {
         if i + 1 < phases {
@@ -186,7 +192,10 @@ fn forward_map_partial_coverage_releases_rest_immediately() {
     // successor granule 1 (null-set) may start before the predecessor ends
     let pred_end = g.granule_completion(0, 0).unwrap();
     let free_start = g.granule_start(1, 1).unwrap();
-    assert!(free_start < pred_end, "null-set granules should fill immediately");
+    assert!(
+        free_start < pred_end,
+        "null-set granules should fill immediately"
+    );
     // but successor granule 0 must wait for its writer
     let gated_start = g.granule_start(1, 0).unwrap();
     assert!(gated_start >= pred_end);
@@ -202,7 +211,10 @@ fn stealing_executive_with_huge_costs_still_terminates() {
     sim.add_job(p);
     let r = sim.run().unwrap();
     assert_eq!(r.phases.len(), 3);
-    assert!(r.comp_to_mgmt_ratio() < 1.0, "management should dominate here");
+    assert!(
+        r.comp_to_mgmt_ratio() < 1.0,
+        "management should dominate here"
+    );
 }
 
 #[test]
@@ -248,7 +260,9 @@ fn seam_mapping_runs_through_engine() {
     let req: Vec<Vec<u32>> = (0..n)
         .map(|r| vec![r.saturating_sub(1), r, (r + 1).min(n - 1)])
         .collect();
-    let mapping = EnablementMapping::Seam(Arc::new(SeamMap { requires: req.clone() }));
+    let mapping = EnablementMapping::Seam(Arc::new(SeamMap {
+        requires: req.clone(),
+    }));
     let p = simple_program(n, 2, mapping);
     let mut sim = Simulation::new(
         MachineConfig::ideal(3),
@@ -382,5 +396,10 @@ fn loop_back_edge_overlap_across_iterations() {
         b.build().unwrap()
     });
     let s = strict.run().unwrap();
-    assert!(r.makespan < s.makespan, "{} !< {}", r.makespan.ticks(), s.makespan.ticks());
+    assert!(
+        r.makespan < s.makespan,
+        "{} !< {}",
+        r.makespan.ticks(),
+        s.makespan.ticks()
+    );
 }

@@ -131,7 +131,8 @@ fn engine_rejects_dangling_goto() {
 #[test]
 fn engine_rejects_unknown_counter() {
     let mut p = two_phases(8, 8, EnablementMapping::Identity);
-    p.steps.insert(0, pax_core::program::Step::Incr { idx: 3, delta: 1 });
+    p.steps
+        .insert(0, pax_core::program::Step::Incr { idx: 3, delta: 1 });
     let mut sim = Simulation::new(MachineConfig::ideal(2), OverlapPolicy::strict());
     sim.add_job(p);
     match sim.run() {

@@ -7,11 +7,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 /// Build a linear program of `n` phases with the given mapping generator.
-fn linear(
-    granules: u32,
-    costs: Vec<DurationDist>,
-    mappings: Vec<EnablementMapping>,
-) -> Program {
+fn linear(granules: u32, costs: Vec<DurationDist>, mappings: Vec<EnablementMapping>) -> Program {
     let mut b = ProgramBuilder::new();
     let ids: Vec<PhaseId> = costs
         .iter()
@@ -39,7 +35,6 @@ fn linear(
     }
     b.build().unwrap()
 }
-
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -174,92 +174,85 @@ pub fn compile(script: &Script, bindings: &MapBindings) -> Result<Compiled, Comp
     let step_of_label = |name: &str| -> Option<usize> {
         labels.get(name).map(|&stmt_idx| {
             // a label at the very end points to End
-            step_of_stmt
-                .get(stmt_idx)
-                .copied()
-                .unwrap_or(end_step)
+            step_of_stmt.get(stmt_idx).copied().unwrap_or(end_step)
         })
     };
 
     // helper: resolve an enable item list to EnableSpecs
-    let resolve_items = |from: &str,
-                         items: &[EnableItem],
-                         diags: &mut Vec<Diagnostic>|
-     -> Vec<EnableSpec> {
-        let mut out = Vec::new();
-        for item in items {
-            let Some(&succ) = phase_ids.get(&item.phase) else {
-                diags.push(Diagnostic {
-                    error: true,
-                    message: format!("ENABLE names undefined phase '{}'", item.phase),
-                    pos: item.pos,
-                });
-                continue;
-            };
-            let mapping = match item.mapping {
-                MappingOption::Universal => EnablementMapping::Universal,
-                MappingOption::Identity => EnablementMapping::Identity,
-                MappingOption::Null => EnablementMapping::Null,
-                indirect => match bindings.get(from, &item.phase) {
-                    Some(m) => {
-                        let want = option_kind(indirect);
-                        if m.kind() != want {
+    let resolve_items =
+        |from: &str, items: &[EnableItem], diags: &mut Vec<Diagnostic>| -> Vec<EnableSpec> {
+            let mut out = Vec::new();
+            for item in items {
+                let Some(&succ) = phase_ids.get(&item.phase) else {
+                    diags.push(Diagnostic {
+                        error: true,
+                        message: format!("ENABLE names undefined phase '{}'", item.phase),
+                        pos: item.pos,
+                    });
+                    continue;
+                };
+                let mapping = match item.mapping {
+                    MappingOption::Universal => EnablementMapping::Universal,
+                    MappingOption::Identity => EnablementMapping::Identity,
+                    MappingOption::Null => EnablementMapping::Null,
+                    indirect => match bindings.get(from, &item.phase) {
+                        Some(m) => {
+                            let want = option_kind(indirect);
+                            if m.kind() != want {
+                                diags.push(Diagnostic {
+                                    error: true,
+                                    message: format!(
+                                        "binding for {from}->{} is {} but script says {}",
+                                        item.phase,
+                                        m.kind().label(),
+                                        want.label()
+                                    ),
+                                    pos: item.pos,
+                                });
+                                continue;
+                            }
+                            m.clone()
+                        }
+                        None => {
                             diags.push(Diagnostic {
                                 error: true,
                                 message: format!(
-                                    "binding for {from}->{} is {} but script says {}",
-                                    item.phase,
-                                    m.kind().label(),
-                                    want.label()
+                                    "MAPPING={} between '{from}' and '{}' requires a map \
+                                 binding (indirect maps are runtime data)",
+                                    item.mapping.keyword(),
+                                    item.phase
                                 ),
                                 pos: item.pos,
                             });
                             continue;
                         }
-                        m.clone()
-                    }
-                    None => {
-                        diags.push(Diagnostic {
-                            error: true,
-                            message: format!(
-                                "MAPPING={} between '{from}' and '{}' requires a map \
-                                 binding (indirect maps are runtime data)",
-                                item.mapping.keyword(),
-                                item.phase
-                            ),
-                            pos: item.pos,
-                        });
-                        continue;
-                    }
-                },
-            };
-            // identity granule-count interlock
-            if matches!(item.mapping, MappingOption::Identity) {
-                let from_g = phase_ids
-                    .get(from)
-                    .map(|&p| phases[p.0 as usize].granules);
-                let to_g = phases[succ.0 as usize].granules;
-                if let Some(fg) = from_g {
-                    if fg != to_g {
-                        diags.push(Diagnostic {
-                            error: true,
-                            message: format!(
-                                "identity mapping between '{from}' ({fg} granules) and \
+                    },
+                };
+                // identity granule-count interlock
+                if matches!(item.mapping, MappingOption::Identity) {
+                    let from_g = phase_ids.get(from).map(|&p| phases[p.0 as usize].granules);
+                    let to_g = phases[succ.0 as usize].granules;
+                    if let Some(fg) = from_g {
+                        if fg != to_g {
+                            diags.push(Diagnostic {
+                                error: true,
+                                message: format!(
+                                    "identity mapping between '{from}' ({fg} granules) and \
                                  '{}' ({to_g} granules) requires equal granule counts",
-                                item.phase
-                            ),
-                            pos: item.pos,
-                        });
+                                    item.phase
+                                ),
+                                pos: item.pos,
+                            });
+                        }
                     }
                 }
+                out.push(EnableSpec {
+                    successor: succ,
+                    mapping,
+                });
             }
-            out.push(EnableSpec {
-                successor: succ,
-                mapping,
-            });
-        }
-        out
-    };
+            out
+        };
 
     // --- lowering ------------------------------------------------------
     let mut steps: Vec<Step> = Vec::new();
@@ -315,9 +308,7 @@ pub fn compile(script: &Script, bindings: &MapBindings) -> Result<Compiled, Comp
                             }
                         }
                     }
-                    EnableClause::Named(items) => {
-                        (resolve_items(phase, items, &mut diags), false)
-                    }
+                    EnableClause::Named(items) => (resolve_items(phase, items, &mut diags), false),
                     EnableClause::BranchIndependent(items) => {
                         (resolve_items(phase, items, &mut diags), true)
                     }
@@ -637,7 +628,10 @@ mod tests {
             EnablementMapping::ReverseIndirect(std::sync::Arc::new(rmap)),
         );
         let err = compile(&script, &bindings).unwrap_err();
-        assert!(err.diagnostics.iter().any(|d| d.message.contains("script says")));
+        assert!(err
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("script says")));
     }
 
     #[test]
@@ -678,7 +672,9 @@ mod tests {
         // steps: dispatch a (0), incr (1), branch (2), dispatch b (3), end (4)
         assert_eq!(c.program.steps.len(), 5);
         match &c.program.steps[2] {
-            Step::Branch { on_true, on_false, .. } => {
+            Step::Branch {
+                on_true, on_false, ..
+            } => {
                 assert_eq!(*on_true, 0);
                 assert_eq!(*on_false, 3);
             }
@@ -691,8 +687,14 @@ mod tests {
     fn duplicate_labels_and_missing_targets_error() {
         let script = parse("x:\nx:\nGO TO nowhere").unwrap();
         let err = compile(&script, &MapBindings::new()).unwrap_err();
-        assert!(err.diagnostics.iter().any(|d| d.message.contains("duplicate label")));
-        assert!(err.diagnostics.iter().any(|d| d.message.contains("nowhere")));
+        assert!(err
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("duplicate label")));
+        assert!(err
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("nowhere")));
     }
 
     #[test]

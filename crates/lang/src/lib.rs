@@ -39,7 +39,9 @@ pub mod compile;
 pub mod parser;
 pub mod token;
 
-pub use ast::{AstStmt, CondExpr, CostSpec, DefinePhase, EnableClause, EnableItem, MappingOption, Script};
+pub use ast::{
+    AstStmt, CondExpr, CostSpec, DefinePhase, EnableClause, EnableItem, MappingOption, Script,
+};
 pub use compile::{compile, CompileError, Compiled, Diagnostic, MapBindings};
 pub use parser::{parse, ParseError};
 pub use token::{lex, LexError, Pos, Tok, Token};

@@ -171,9 +171,7 @@ impl Parser {
                         self.expect(Tok::Equals)?;
                         Ok(EnableClause::Bare(self.mapping_option()?))
                     }
-                    "BRANCHINDEPENDENT" => {
-                        Ok(EnableClause::BranchIndependent(self.enable_list()?))
-                    }
+                    "BRANCHINDEPENDENT" => Ok(EnableClause::BranchIndependent(self.enable_list()?)),
                     "BRANCHDEPENDENT" => Ok(EnableClause::BranchDependent),
                     other => Err(ParseError {
                         message: format!("unknown ENABLE form '/{other}'"),
@@ -339,7 +337,13 @@ impl Parser {
                     // keyword is taken as the serial label
                     let upper = w.to_ascii_uppercase();
                     let is_kw = [
-                        "DEFINE", "DISPATCH", "SERIAL", "IF", "GO", "GOTO", "INCREMENT",
+                        "DEFINE",
+                        "DISPATCH",
+                        "SERIAL",
+                        "IF",
+                        "GO",
+                        "GOTO",
+                        "INCREMENT",
                     ]
                     .contains(&upper.as_str());
                     // labels of the form `name:` must also be left alone
@@ -359,9 +363,7 @@ impl Parser {
                 Ok(Some(AstStmt::Serial { ticks, label, pos }))
             }
             Tok::Ident(s) if s.eq_ignore_ascii_case("IF") => Ok(Some(self.if_stmt()?)),
-            Tok::Ident(s)
-                if s.eq_ignore_ascii_case("GO") || s.eq_ignore_ascii_case("GOTO") =>
-            {
+            Tok::Ident(s) if s.eq_ignore_ascii_case("GO") || s.eq_ignore_ascii_case("GOTO") => {
                 let pos = self.peek().pos;
                 self.goto_keyword()?;
                 let (target, _) = self.ident("label")?;
@@ -503,10 +505,7 @@ mod tests {
             &s.stmts[0],
             AstStmt::Serial { ticks: 500, label: Some(l), .. } if l == "convergence-check"
         ));
-        assert!(matches!(
-            &s.stmts[1],
-            AstStmt::Increment { by: 2, .. }
-        ));
+        assert!(matches!(&s.stmts[1], AstStmt::Increment { by: 2, .. }));
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //! one cycle per processor per task time.
 
 use crate::work::spin_for;
-use pax_core::mapping::CompositeMap;
 use parking_lot::{Condvar, Mutex};
+use pax_core::mapping::CompositeMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -83,16 +83,8 @@ impl RtPhase {
 
     /// A phase that spins for `per_granule` per granule — synthetic load
     /// with a real execution time.
-    pub fn synthetic(
-        name: impl Into<String>,
-        granules: u32,
-        per_granule: Duration,
-    ) -> RtPhase {
-        RtPhase::new(
-            name,
-            granules,
-            Arc::new(move |_| spin_for(per_granule)),
-        )
+    pub fn synthetic(name: impl Into<String>, granules: u32, per_granule: Duration) -> RtPhase {
+        RtPhase::new(name, granules, Arc::new(move |_| spin_for(per_granule)))
     }
 }
 
@@ -248,7 +240,11 @@ impl Shared {
         let mut a = lo;
         while a < hi {
             let b = (a + step).min(hi);
-            st.queue.push_back(Task { phase, lo: a, hi: b });
+            st.queue.push_back(Task {
+                phase,
+                lo: a,
+                hi: b,
+            });
             a = b;
         }
         self.cond.notify_all();
@@ -298,8 +294,8 @@ impl Shared {
                         }
                     }
                 }
-                st.phases[phase].released = runs.len() == 1
-                    && runs[0] == (0, self.specs[phase].granules);
+                st.phases[phase].released =
+                    runs.len() == 1 && runs[0] == (0, self.specs[phase].granules);
                 for (a, b) in runs {
                     self.push_range(st, phase, a, b);
                 }
@@ -595,11 +591,7 @@ mod tests {
     use super::*;
     use crate::work::{SharedCounters, SharedF64};
 
-    fn counting_phase(
-        name: &str,
-        n: u32,
-        counters: Arc<SharedCounters>,
-    ) -> RtPhase {
+    fn counting_phase(name: &str, n: u32, counters: Arc<SharedCounters>) -> RtPhase {
         RtPhase::new(
             name,
             n,
@@ -622,7 +614,11 @@ mod tests {
             assert_eq!(c1.get(i), 1);
             assert_eq!(c2.get(i), 1);
         }
-        assert_eq!(r.total_overlap_granules(), 0, "barrier mode must not overlap");
+        assert_eq!(
+            r.total_overlap_granules(),
+            0,
+            "barrier mode must not overlap"
+        );
     }
 
     #[test]
@@ -783,8 +779,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "equal granule counts")]
     fn identity_requires_equal_counts() {
-        let p1 = RtPhase::synthetic("a", 10, Duration::ZERO)
-            .with_mapping(RtMapping::Identity);
+        let p1 = RtPhase::synthetic("a", 10, Duration::ZERO).with_mapping(RtMapping::Identity);
         let p2 = RtPhase::synthetic("b", 20, Duration::ZERO);
         let _ = run_chain(vec![p1, p2], RuntimeConfig::new(2, 2));
     }

@@ -13,7 +13,7 @@
 //! the *releasing worker's own deque* (lateral hand-off); idle workers
 //! steal from peers, and only phase-level bookkeeping takes a lock.
 
-use crate::executor::{RtMapping, RtPhase, RtReport, RtPhaseReport, RuntimeConfig};
+use crate::executor::{RtMapping, RtPhase, RtPhaseReport, RtReport, RuntimeConfig};
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -70,7 +70,11 @@ impl Shared {
         while a < hi {
             let b = (a + step).min(hi);
             self.live_tasks.fetch_add(1, Ordering::AcqRel);
-            let t = Task { phase, lo: a, hi: b };
+            let t = Task {
+                phase,
+                lo: a,
+                hi: b,
+            };
             match local {
                 Some(d) => d.push(t),
                 None => self.injector.push(t),
@@ -138,8 +142,8 @@ impl Shared {
                 RtMapping::Counted(comp) => {
                     let mut freed: Vec<u32> = Vec::new();
                     {
-                        let counters = book.counters[succ]
-                            .get_or_insert_with(|| comp.requires.clone());
+                        let counters =
+                            book.counters[succ].get_or_insert_with(|| comp.requires.clone());
                         for g in t.lo..t.hi {
                             for &r in comp.dependents_of(g) {
                                 let c = &mut counters[r as usize];
@@ -181,8 +185,8 @@ impl Shared {
                             // defensively zero any counters the window
                             // gating kept from firing
                             let runs = {
-                                let counters = book.counters[cur]
-                                    .get_or_insert_with(|| comp.requires.clone());
+                                let counters =
+                                    book.counters[cur].get_or_insert_with(|| comp.requires.clone());
                                 let runs: Vec<(u32, u32)> = nonzero_runs(counters);
                                 for c in counters.iter_mut() {
                                     *c = 0;
@@ -430,14 +434,15 @@ mod tests {
         let c2 = Arc::new(SharedCounters::zeros(200));
         let mk = |c: &Arc<SharedCounters>, name: &str| {
             let c = Arc::clone(c);
-            RtPhase::new(name, 200, Arc::new(move |g| {
-                c.incr(g as usize);
-            }))
+            RtPhase::new(
+                name,
+                200,
+                Arc::new(move |g| {
+                    c.incr(g as usize);
+                }),
+            )
         };
-        let phases = vec![
-            mk(&c1, "a").with_mapping(RtMapping::Identity),
-            mk(&c2, "b"),
-        ];
+        let phases = vec![mk(&c1, "a").with_mapping(RtMapping::Identity), mk(&c2, "b")];
         let r = run_chain_lateral(phases, RuntimeConfig::new(4, 8));
         for i in 0..200 {
             assert_eq!(c1.get(i), 1, "phase a granule {i}");
@@ -522,9 +527,13 @@ mod tests {
         let phases = vec![
             RtPhase::synthetic("a", 64, Duration::from_micros(5))
                 .with_mapping(RtMapping::Universal),
-            RtPhase::new("b", 64, Arc::new(move |g| {
-                cc.incr(g as usize);
-            })),
+            RtPhase::new(
+                "b",
+                64,
+                Arc::new(move |g| {
+                    cc.incr(g as usize);
+                }),
+            ),
         ];
         let r = run_chain_lateral(phases, RuntimeConfig::new(3, 4).barrier());
         assert_eq!(r.total_overlap_granules(), 0);
@@ -573,10 +582,7 @@ mod tests {
                 }),
             )
         };
-        let phases = vec![
-            mk(&c1, "a").with_mapping(RtMapping::Identity),
-            mk(&c2, "b"),
-        ];
+        let phases = vec![mk(&c1, "a").with_mapping(RtMapping::Identity), mk(&c2, "b")];
         let r = run_chain_lateral(phases, RuntimeConfig::new(4, 4).with_clusters(2));
         for i in 0..n as usize {
             assert_eq!(c1.get(i), 1);
@@ -623,11 +629,7 @@ mod tests {
     fn lateral_overlaps_universal_chains() {
         let phases: Vec<RtPhase> = (0..3)
             .map(|i| {
-                let p = RtPhase::synthetic(
-                    format!("p{i}"),
-                    30,
-                    Duration::from_micros(100),
-                );
+                let p = RtPhase::synthetic(format!("p{i}"), 30, Duration::from_micros(100));
                 if i < 2 {
                     p.with_mapping(RtMapping::Universal)
                 } else {

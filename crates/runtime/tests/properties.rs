@@ -3,8 +3,8 @@
 //! exactly once, whatever the OS scheduler does.
 
 use pax_core::mapping::CompositeMap;
-use pax_runtime::{run_chain, run_chain_lateral, RtMapping, RtPhase, RuntimeConfig};
 use pax_runtime::SharedCounters;
+use pax_runtime::{run_chain, run_chain_lateral, RtMapping, RtPhase, RuntimeConfig};
 use proptest::prelude::*;
 use std::sync::Arc;
 

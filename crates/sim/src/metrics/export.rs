@@ -110,7 +110,12 @@ mod tests {
         a.record(SimTime(100), 0);
         let mut b = StepTrace::new();
         b.record(SimTime(0), 2);
-        let csv = step_traces_csv(&[("strict", &a), ("overlap", &b)], SimTime(0), SimTime(100), 3);
+        let csv = step_traces_csv(
+            &[("strict", &a), ("overlap", &b)],
+            SimTime(0),
+            SimTime(100),
+            3,
+        );
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "time,strict,overlap");
         assert_eq!(lines[1], "0,4,2");

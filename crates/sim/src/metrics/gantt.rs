@@ -94,16 +94,14 @@ impl GanttTrace {
 
     /// Compute spans only, filtered to a given phase.
     pub fn compute_spans_of_phase(&self, phase: u32) -> impl Iterator<Item = &Span> {
-        self.spans.iter().filter(move |s| {
-            matches!(s.activity, Activity::Compute { phase: p, .. } if p == phase)
-        })
+        self.spans
+            .iter()
+            .filter(move |s| matches!(s.activity, Activity::Compute { phase: p, .. } if p == phase))
     }
 
     /// Earliest start among compute spans of `phase`, if any.
     pub fn phase_first_start(&self, phase: u32) -> Option<SimTime> {
-        self.compute_spans_of_phase(phase)
-            .map(|s| s.start)
-            .min()
+        self.compute_spans_of_phase(phase).map(|s| s.start).min()
     }
 
     /// Latest end among compute spans of `phase`, if any.

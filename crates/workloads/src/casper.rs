@@ -139,17 +139,23 @@ impl CasperConfig {
             let mapping = match kind {
                 MappingKind::Universal => Some(EnablementMapping::Universal),
                 MappingKind::Identity => Some(EnablementMapping::Identity),
-                MappingKind::ReverseIndirect => Some(EnablementMapping::ReverseIndirect(
-                    Arc::new(self.reverse_map(&mut rng)),
-                )),
-                MappingKind::ForwardIndirect => Some(EnablementMapping::ForwardIndirect(
-                    Arc::new(self.forward_map(&mut rng)),
-                )),
+                MappingKind::ReverseIndirect => Some(EnablementMapping::ReverseIndirect(Arc::new(
+                    self.reverse_map(&mut rng),
+                ))),
+                MappingKind::ForwardIndirect => Some(EnablementMapping::ForwardIndirect(Arc::new(
+                    self.forward_map(&mut rng),
+                ))),
                 MappingKind::Null | MappingKind::Seam => None,
             };
             match (with_enables, mapping) {
                 (true, Some(m)) if !is_last => {
-                    b.dispatch_enable(ids[i], vec![EnableSpec { successor: succ, mapping: m }]);
+                    b.dispatch_enable(
+                        ids[i],
+                        vec![EnableSpec {
+                            successor: succ,
+                            mapping: m,
+                        }],
+                    );
                 }
                 (true, Some(m)) if is_last => {
                     // loop back-edge: overlap into the next iteration's
@@ -157,7 +163,10 @@ impl CasperConfig {
                     // is preprocessable)
                     b.dispatch_enable_branch_independent(
                         ids[i],
-                        vec![EnableSpec { successor: succ, mapping: m }],
+                        vec![EnableSpec {
+                            successor: succ,
+                            mapping: m,
+                        }],
                     );
                 }
                 _ => {

@@ -307,7 +307,9 @@ impl RedBlackGrid {
         for r in 1..n - 1 {
             for c in 1..n - 1 {
                 let idx = r * n + c;
-                let lap = self.vals[idx - n] + self.vals[idx + n] + self.vals[idx - 1]
+                let lap = self.vals[idx - n]
+                    + self.vals[idx + n]
+                    + self.vals[idx - 1]
                     + self.vals[idx + 1]
                     - 4.0 * self.vals[idx];
                 worst = worst.max(lap.abs());
@@ -422,7 +424,11 @@ mod tests {
         for r in 1..8 {
             for c in 1..8 {
                 if b.color(r, c) == Color::Black {
-                    assert_eq!(g.get(r, c), before[r * 9 + c], "black cell moved in red sweep");
+                    assert_eq!(
+                        g.get(r, c),
+                        before[r * 9 + c],
+                        "black cell moved in red sweep"
+                    );
                 }
             }
         }

@@ -144,11 +144,7 @@ pub fn fragment_forward(m_granules: u32, n: u32, seed: u64) -> (ArrayProgram, Fo
     let a = p.array("A", n);
     let b = p.array("B", n);
     let c = p.array("C", n);
-    let m = p.map(
-        "IMAP",
-        targets.iter().map(|&t| vec![t]).collect(),
-        true,
-    );
+    let m = p.map("IMAP", targets.iter().map(|&t| vec![t]).collect(), true);
     p.parallel(LoopPhase {
         name: "B(IMAP(I))=A(IMAP(I))".into(),
         granules: m_granules,
@@ -168,11 +164,7 @@ pub fn fragment_forward(m_granules: u32, n: u32, seed: u64) -> (ArrayProgram, Fo
 
 /// Build a runnable two-phase simulation program for any fragment:
 /// classification output feeds straight into the executive.
-pub fn fragment_simulation(
-    program: &ArrayProgram,
-    cost: CostModel,
-    with_enable: bool,
-) -> Program {
+pub fn fragment_simulation(program: &ArrayProgram, cost: CostModel, with_enable: bool) -> Program {
     let phases: Vec<&LoopPhase> = program.parallel_phases().map(|(_, p)| p).collect();
     assert_eq!(phases.len(), 2, "fragments have exactly two phases");
     let serial = false; // fragments have no serial gaps

@@ -26,9 +26,7 @@ impl CostShape {
     pub fn model(self, mean: u64) -> CostModel {
         match self {
             CostShape::Constant => CostModel::constant(mean),
-            CostShape::Jittered => {
-                CostModel::new(DurationDist::uniform(mean / 2, mean * 3 / 2))
-            }
+            CostShape::Jittered => CostModel::new(DurationDist::uniform(mean / 2, mean * 3 / 2)),
             CostShape::Exponential => CostModel::new(DurationDist::exponential(mean)),
             CostShape::Straggler => {
                 CostModel::new(DurationDist::bimodal((mean / 2).max(1), mean * 5, 0.1))
@@ -99,10 +97,7 @@ impl GeneratorConfig {
                     let t: Vec<u32> = (0..self.granules)
                         .map(|_| rng.gen_range(0..self.granules))
                         .collect();
-                    EnablementMapping::ForwardIndirect(Arc::new(ForwardMap::new(
-                        t,
-                        self.granules,
-                    )))
+                    EnablementMapping::ForwardIndirect(Arc::new(ForwardMap::new(t, self.granules)))
                 }
                 MappingKind::ReverseIndirect => {
                     let req: Vec<Vec<u32>> = (0..self.granules)
@@ -122,9 +117,7 @@ impl GeneratorConfig {
                     let req: Vec<Vec<u32>> = (0..self.granules)
                         .map(|r| vec![r, (r + 1) % self.granules])
                         .collect();
-                    EnablementMapping::Seam(Arc::new(pax_core::mapping::SeamMap {
-                        requires: req,
-                    }))
+                    EnablementMapping::Seam(Arc::new(pax_core::mapping::SeamMap { requires: req }))
                 }
             };
             if matches!(mapping, EnablementMapping::Null) {
@@ -173,8 +166,7 @@ mod tests {
                     mapping,
                     ..GeneratorConfig::default()
                 };
-                let mut sim =
-                    Simulation::new(MachineConfig::ideal(4), OverlapPolicy::overlap());
+                let mut sim = Simulation::new(MachineConfig::ideal(4), OverlapPolicy::overlap());
                 sim.add_job(cfg.build(true));
                 let r = sim
                     .run()
@@ -202,8 +194,8 @@ mod tests {
             ..GeneratorConfig::default()
         };
         let run = || {
-            let mut sim = Simulation::new(MachineConfig::ideal(4), OverlapPolicy::overlap())
-                .with_seed(99);
+            let mut sim =
+                Simulation::new(MachineConfig::ideal(4), OverlapPolicy::overlap()).with_seed(99);
             sim.add_job(cfg.build(true));
             sim.run().unwrap().makespan
         };

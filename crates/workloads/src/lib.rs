@@ -27,8 +27,7 @@ pub mod mini_casper;
 pub use casper::{casper_declared_census, CasperConfig, CASPER_PHASES};
 pub use checkerboard::{checkerboard_program, Checkerboard, Color, RedBlackGrid};
 pub use fragments::{
-    fragment_forward, fragment_identity, fragment_reverse, fragment_simulation,
-    fragment_universal,
+    fragment_forward, fragment_identity, fragment_reverse, fragment_simulation, fragment_universal,
 };
 pub use generators::{CostShape, GeneratorConfig};
 pub use mini_casper::MiniCasper;

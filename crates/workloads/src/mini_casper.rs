@@ -229,16 +229,14 @@ impl MiniCasper {
             .collect();
         let maps = self.mappings();
         for t in 0..self.timesteps {
-            let serial_here =
-                self.serial_every > 0 && t > 0 && t % self.serial_every == 0;
+            let serial_here = self.serial_every > 0 && t > 0 && t % self.serial_every == 0;
             if serial_here {
                 b.serial(mean_cost * 4, "convergence decision");
             }
             for (k, &id) in ids.iter().enumerate() {
                 let last_phase_of_last_step = t + 1 == self.timesteps && k + 1 == ids.len();
-                let serial_next = self.serial_every > 0
-                    && k + 1 == ids.len()
-                    && (t + 1) % self.serial_every == 0;
+                let serial_next =
+                    self.serial_every > 0 && k + 1 == ids.len() && (t + 1) % self.serial_every == 0;
                 if last_phase_of_last_step || serial_next {
                     // null mapping: no ENABLE across a serial decision
                     b.dispatch(id);
@@ -293,9 +291,8 @@ mod tests {
         let (u_short, _) = short.reference();
         let (u_long, _) = long.reference();
         let (u0_vals, _) = (short.initial_u(), ());
-        let delta = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let delta =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         // the field keeps moving early; later steps move less
         let d_early = delta(&u_short, &u0_vals);
         assert!(d_early > 0.0);
@@ -406,7 +403,10 @@ mod tests {
     fn mappings_match_the_documented_table() {
         let spec = MiniCasper::new(32, 4, 2, 0, 9);
         let maps = spec.mappings();
-        assert_eq!(maps[0].1.kind(), pax_core::mapping::MappingKind::ReverseIndirect);
+        assert_eq!(
+            maps[0].1.kind(),
+            pax_core::mapping::MappingKind::ReverseIndirect
+        );
         assert_eq!(maps[1].1.kind(), pax_core::mapping::MappingKind::Identity);
         assert_eq!(maps[2].1.kind(), pax_core::mapping::MappingKind::Universal);
         assert_eq!(maps[3].1.kind(), pax_core::mapping::MappingKind::Universal);

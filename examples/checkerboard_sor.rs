@@ -33,9 +33,7 @@ fn part1_paper_arithmetic() {
     println!("== part 1: the paper's 1024²/1000-processor arithmetic ==");
     let board = Checkerboard::new(1024);
     let granules = board.granules(Color::Red);
-    println!(
-        "granules per phase: {granules} (2^20 grid points, half per color)"
-    );
+    println!("granules per phase: {granules} (2^20 grid points, half per color)");
     println!(
         "on 1000 processors: {} full waves, {} left over -> {} processors idle in the final wave",
         granules / 1000,
@@ -51,9 +49,7 @@ fn part1_paper_arithmetic() {
     sim.add_job(program);
     let r = sim.run().expect("simulation");
     let end = r.phases[0].stats.completed_at.unwrap();
-    let final_busy = r
-        .busy_trace
-        .value_at(pax_sim::SimTime(end.ticks() - 50));
+    let final_busy = r.busy_trace.value_at(pax_sim::SimTime(end.ticks() - 50));
     println!(
         "simulated: final wave busy = {final_busy}, idle = {}, phase utilization {:.3}%\n",
         1000 - final_busy,
@@ -130,8 +126,8 @@ fn part3_real_threads() {
             return;
         }
         let idx = r * n + c;
-        let avg = 0.25
-            * (grid.get(idx - n) + grid.get(idx + n) + grid.get(idx - 1) + grid.get(idx + 1));
+        let avg =
+            0.25 * (grid.get(idx - n) + grid.get(idx + n) + grid.get(idx - 1) + grid.get(idx + 1));
         grid.set(idx, grid.get(idx) + omega * (avg - grid.get(idx)));
     };
 

@@ -60,9 +60,8 @@ fn main() {
     println!("workload: 4 identity-mapped phases x 1024 jittered granules\n");
 
     let run = |label: &str, layout: DataLayout, assignment: AssignmentPolicy| {
-        let machine = MachineConfig::new(processors).with_locality(
-            LocalityModel::new(clusters, SimDuration(stall)).with_layout(layout),
-        );
+        let machine = MachineConfig::new(processors)
+            .with_locality(LocalityModel::new(clusters, SimDuration(stall)).with_layout(layout));
         let policy = OverlapPolicy::overlap()
             .with_split_strategy(SplitStrategy::PreSplit)
             .with_assignment(assignment);

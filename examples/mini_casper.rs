@@ -44,7 +44,9 @@ fn main() {
         "mini-CASPER: {cells} cells × {steps} timesteps on {workers} threads \
          (fan-4 dynamic IMAP, serial decision every 2 steps)\n"
     );
-    println!("per-timestep mappings: power -REVERSE-> interp -IDENTITY-> apply -UNIVERSAL-> structural");
+    println!(
+        "per-timestep mappings: power -REVERSE-> interp -IDENTITY-> apply -UNIVERSAL-> structural"
+    );
     println!("every 2nd step boundary: serial convergence decision (NULL)\n");
 
     let run_mode = |label: &str, f: &dyn Fn() -> std::time::Duration| {

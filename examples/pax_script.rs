@@ -59,10 +59,12 @@ fn main() {
     let script = parse(script_src).expect("parses");
     match compile(&script, &bindings) {
         Ok(compiled) => {
-            println!("compiled: {} phases, {} steps, {} counters",
+            println!(
+                "compiled: {} phases, {} steps, {} counters",
                 compiled.program.phases.len(),
                 compiled.program.steps.len(),
-                compiled.program.counters);
+                compiled.program.counters
+            );
             for w in &compiled.warnings {
                 println!("  note: {w}");
             }

@@ -157,7 +157,10 @@ fn main() {
         print!(
             "{}",
             pax_sim::metrics::step_traces_csv(
-                &[("strict", &strict.busy_trace), ("overlap", &over.busy_trace)],
+                &[
+                    ("strict", &strict.busy_trace),
+                    ("overlap", &over.busy_trace)
+                ],
                 pax_sim::SimTime(0),
                 end,
                 200,
@@ -178,11 +181,7 @@ fn main() {
         let t = span * i as u64 / width as u64;
         let s = bar(&strict, t);
         let o = bar(&over, t);
-        println!(
-            "{t:>10}  {:<22}{:<22}",
-            "#".repeat(s),
-            "#".repeat(o)
-        );
+        println!("{t:>10}  {:<22}{:<22}", "#".repeat(s), "#".repeat(o));
     }
     println!(
         "\nstrict:  makespan {:>9}  utilization {:>6.2}%",
@@ -197,8 +196,14 @@ fn main() {
         over.total_overlap_granules()
     );
     for (i, p) in strict.phases.iter().enumerate() {
-        let sw = strict.rundown_of(i).map(|w| w.idle_processor_time).unwrap_or(0);
-        let ow = over.rundown_of(i).map(|w| w.idle_processor_time).unwrap_or(0);
+        let sw = strict
+            .rundown_of(i)
+            .map(|w| w.idle_processor_time)
+            .unwrap_or(0);
+        let ow = over
+            .rundown_of(i)
+            .map(|w| w.idle_processor_time)
+            .unwrap_or(0);
         println!(
             "  {:<10} rundown idle: strict {:>8}  overlap {:>8}",
             p.name, sw, ow

@@ -1,0 +1,16 @@
+//! Umbrella package for the PAX rundown reproduction.
+//!
+//! This crate carries no logic of its own: it exists to own the
+//! cross-crate integration suites in `tests/` and the runnable
+//! `examples/`, and re-exports every workspace crate so downstream
+//! code (and `cargo doc`) can reach the whole stack from one place.
+
+#![warn(missing_docs)]
+
+pub use pax_analyze as analyze;
+pub use pax_bench as bench;
+pub use pax_core as core;
+pub use pax_lang as lang;
+pub use pax_runtime as runtime;
+pub use pax_sim as sim;
+pub use pax_workloads as workloads;

@@ -113,7 +113,10 @@ fn simulated_executive_overlaps_the_pipeline_legally() {
             }
         }
     }
-    assert!(checked > 200, "the reverse-map invariant must fire: {checked}");
+    assert!(
+        checked > 200,
+        "the reverse-map invariant must fire: {checked}"
+    );
 }
 
 #[test]

@@ -87,7 +87,10 @@ fn claim_comp_to_mgmt_200() {
     let r = ex::e5::run(true);
     let lo = r.size_sweep.first().unwrap().comp_to_mgmt;
     let hi = r.size_sweep.last().unwrap().comp_to_mgmt;
-    assert!(lo < 200.0 && hi > 200.0, "sweep {lo:.0}..{hi:.0} must bracket 200");
+    assert!(
+        lo < 200.0 && hi > 200.0,
+        "sweep {lo:.0}..{hi:.0} must bracket 200"
+    );
 }
 
 /// "there should be at the outset of the current-phase work at least two

@@ -14,14 +14,15 @@ use pax_workloads::checkerboard::checkerboard_program;
 use pax_workloads::generators::{CostShape, GeneratorConfig};
 
 fn clustered(processors: usize, clusters: usize, stall: u64) -> MachineConfig {
-    MachineConfig::ideal(processors)
-        .with_locality(LocalityModel::new(clusters, SimDuration(stall)))
+    MachineConfig::ideal(processors).with_locality(LocalityModel::new(clusters, SimDuration(stall)))
 }
 
 fn proximity(window: usize) -> OverlapPolicy {
     OverlapPolicy::overlap()
         .with_split_strategy(SplitStrategy::PreSplit)
-        .with_assignment(AssignmentPolicy::DataProximity { scan_window: window })
+        .with_assignment(AssignmentPolicy::DataProximity {
+            scan_window: window,
+        })
 }
 
 /// Every compute span in the Gantt trace must agree with the report's
@@ -70,8 +71,11 @@ fn gantt_spans_agree_with_remote_accounting() {
 fn proximity_preserves_seam_enablement_on_checkerboard() {
     let n = 12;
     let program = checkerboard_program(n, 2, CostModel::constant(10), true);
-    let mut sim = Simulation::new(clustered(5, 2, 4), proximity(8).with_sizing(TaskSizing::Fixed(2)))
-        .with_gantt();
+    let mut sim = Simulation::new(
+        clustered(5, 2, 4),
+        proximity(8).with_sizing(TaskSizing::Fixed(2)),
+    )
+    .with_gantt();
     sim.add_job(program);
     let r = sim.run().unwrap();
 
@@ -121,7 +125,10 @@ fn proximity_preserves_seam_enablement_on_checkerboard() {
             }
         }
     }
-    assert!(checked > 100, "seam invariant must actually fire: {checked}");
+    assert!(
+        checked > 100,
+        "seam invariant must actually fire: {checked}"
+    );
     // every granule of every phase executed
     for ph in &r.phases {
         assert_eq!(ph.stats.executed_granules, ph.granules);
@@ -182,8 +189,7 @@ fn proximity_wins_with_real_management_costs() {
         seed: 99,
     }
     .build(true);
-    let machine = MachineConfig::new(16)
-        .with_locality(LocalityModel::new(4, SimDuration(100)));
+    let machine = MachineConfig::new(16).with_locality(LocalityModel::new(4, SimDuration(100)));
     let fifo = {
         let mut s = Simulation::new(
             machine.clone(),
@@ -223,9 +229,8 @@ fn cyclic_layout_remote_fraction_is_invariant() {
     .build(true);
     let mut fracs = Vec::new();
     for window in [0usize, 8, 64] {
-        let machine = MachineConfig::ideal(8).with_locality(
-            LocalityModel::new(4, SimDuration(5)).with_layout(DataLayout::Cyclic),
-        );
+        let machine = MachineConfig::ideal(8)
+            .with_locality(LocalityModel::new(4, SimDuration(5)).with_layout(DataLayout::Cyclic));
         let mut s = Simulation::new(machine, proximity(window));
         s.add_job(program.clone());
         let r = s.run().unwrap();

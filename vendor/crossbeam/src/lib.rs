@@ -1,0 +1,206 @@
+//! Minimal, API-compatible subset of `crossbeam`, vendored so the
+//! workspace builds with no network access.
+//!
+//! Only [`deque`] is provided — [`deque::Worker`], [`deque::Stealer`],
+//! [`deque::Injector`], and [`deque::Steal`] — implemented over locked
+//! `VecDeque`s. The lock-free performance of the real crate is traded
+//! for simplicity; the scheduling *semantics* (FIFO hand-off, peer
+//! stealing, batch-and-pop from the injector) are identical, which is
+//! what the lateral executor's correctness tests exercise.
+
+#![warn(missing_docs)]
+
+/// Work-stealing deques: `Worker`, `Stealer`, `Injector`, `Steal`.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A race was lost; retry.
+        Retry,
+    }
+
+    fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        q.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The owner's end of a work-stealing deque.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        lifo: bool,
+    }
+
+    impl<T> Worker<T> {
+        /// Create a FIFO deque (the variant the executors use).
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: false,
+            }
+        }
+
+        /// Create a LIFO deque: the owner pops its own most recent push;
+        /// stealers still take from the opposite (oldest) end.
+        pub fn new_lifo() -> Worker<T> {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: true,
+            }
+        }
+
+        /// Push a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            locked(&self.queue).push_back(task);
+        }
+
+        /// Pop a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = locked(&self.queue);
+            if self.lifo {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+
+        /// A handle peers use to steal from this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A peer's handle for stealing from a [`Worker`]'s deque.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the victim's opposite end.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// A global FIFO injector queue shared by all workers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Injector<T> {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Create an empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the global queue.
+        pub fn push(&self, task: T) {
+            locked(&self.queue).push_back(task);
+        }
+
+        /// Pop one task directly.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Move a batch of tasks into `dest` and return the first one.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = locked(&self.queue);
+            let first = match q.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            // hand off up to half the remainder (capped) like crossbeam
+            let extra = (q.len() / 2).min(16);
+            if extra > 0 {
+                let mut dq = locked(&dest.queue);
+                for _ in 0..extra {
+                    match q.pop_front() {
+                        Some(t) => dq.push_back(t),
+                        None => break,
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn lifo_owner_pops_newest_stealer_takes_oldest() {
+            let w: Worker<u32> = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(2));
+        }
+
+        #[test]
+        fn fifo_and_steal_semantics() {
+            let w: Worker<u32> = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn injector_batch_pop_moves_work() {
+            let inj: Injector<u32> = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_fifo();
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+            // half of the remaining 9 moved over
+            let mut moved = 0;
+            while w.pop().is_some() {
+                moved += 1;
+            }
+            assert_eq!(moved, 4);
+        }
+    }
+}

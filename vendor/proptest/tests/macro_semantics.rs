@@ -1,0 +1,73 @@
+//! Meta-tests: the `proptest!` macro must actually run the configured
+//! number of cases, feed generated values through, and report failures.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static CASES_RUN: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(37))]
+
+    // no #[test] here: invoked (and counted) by the meta-test below
+    fn counts_cases(x in 0u32..100) {
+        CASES_RUN.fetch_add(1, Ordering::SeqCst);
+        prop_assert!(x < 100);
+    }
+}
+
+#[test]
+fn macro_runs_exactly_the_configured_cases() {
+    counts_cases();
+    assert_eq!(CASES_RUN.load(Ordering::SeqCst), 37);
+}
+
+proptest! {
+    #[test]
+    fn values_vary_across_cases(x in 0u64..u64::MAX) {
+        // record a few draws; the strategy must not return a constant
+        use std::sync::Mutex;
+        static SEEN: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let mut seen = SEEN.lock().unwrap();
+        seen.push(x);
+        if seen.len() >= 10 {
+            let first = seen[0];
+            prop_assert!(seen.iter().any(|&v| v != first), "constant stream");
+        }
+    }
+}
+
+#[test]
+fn failing_case_panics_with_inputs() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(5))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    });
+    let err = result.expect_err("must panic");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("inputs:"), "panic message was: {msg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn collections_and_tuples(
+        v in proptest::collection::vec(0u32..50, 1..9),
+        exact in proptest::collection::vec(0u8..4, 4),
+        pair in (0u64..10, 1usize..3),
+        flag in proptest::bool::ANY,
+        choice in prop_oneof![Just(1u8), Just(2u8)],
+    ) {
+        prop_assert!(!v.is_empty() && v.len() < 9);
+        prop_assert_eq!(exact.len(), 4);
+        prop_assert!(pair.0 < 10 && (1..3).contains(&pair.1));
+        let _ = flag;
+        prop_assert!(choice == 1 || choice == 2);
+    }
+}
