@@ -144,6 +144,104 @@ fn bench_locality_remote_count(c: &mut Criterion) {
     g.finish();
 }
 
+/// The enablement-heavy hot loop end to end: a two-phase identity-mapped
+/// program at 10⁴–10⁵ granules with single-granule tasks and demand
+/// splitting, so every dispatch mirrors a successor split and every
+/// completion releases a conflict-queued piece. This is the scenario the
+/// allocation-free completion path (scratch buffers, interned steps, O(1)
+/// live-list removal) is measured by; `BENCH_rundown.json` tracks the same
+/// shape against the recorded pre-optimization baseline.
+fn bench_enablement_completion(c: &mut Criterion) {
+    use pax_core::prelude::*;
+    use pax_sim::machine::MachineConfig;
+    use pax_sim::CostModel;
+    let mut g = c.benchmark_group("enablement_completion");
+    g.sample_size(5);
+    for &n in &[10_000u32, 100_000] {
+        g.bench_with_input(BenchmarkId::new("identity_demand_split", n), &n, |b, &n| {
+            let mut pb = ProgramBuilder::new();
+            let a = pb.phase(PhaseDef::new("a", n, CostModel::constant(100)));
+            let s = pb.phase(PhaseDef::new("b", n, CostModel::constant(100)));
+            pb.dispatch_enable(
+                a,
+                vec![EnableSpec {
+                    successor: s,
+                    mapping: EnablementMapping::Identity,
+                }],
+            );
+            pb.dispatch(s);
+            let program = pb.build().unwrap();
+            b.iter(|| {
+                let policy = OverlapPolicy::overlap()
+                    .with_sizing(TaskSizing::Fixed(1))
+                    .with_split_strategy(SplitStrategy::DemandSplit);
+                let mut sim = Simulation::new(MachineConfig::new(16), policy).with_seed(7);
+                sim.add_job(program.clone());
+                sim.run().unwrap().events
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("reverse_fan2", n), &n, |b, &n| {
+            let req: Vec<Vec<u32>> = (0..n).map(|r| vec![r, (r + 1) % n]).collect();
+            let mapping =
+                EnablementMapping::ReverseIndirect(std::sync::Arc::new(ReverseMap::new(req, n)));
+            let mut pb = ProgramBuilder::new();
+            let a = pb.phase(PhaseDef::new("a", n, CostModel::constant(100)));
+            let s = pb.phase(PhaseDef::new("b", n, CostModel::constant(100)));
+            pb.dispatch_enable(
+                a,
+                vec![EnableSpec {
+                    successor: s,
+                    mapping,
+                }],
+            );
+            pb.dispatch(s);
+            let program = pb.build().unwrap();
+            b.iter(|| {
+                let policy = OverlapPolicy::overlap().with_sizing(TaskSizing::Fixed(1));
+                let mut sim = Simulation::new(MachineConfig::new(16), policy).with_seed(7);
+                sim.add_job(program.clone());
+                sim.run().unwrap().events
+            })
+        });
+    }
+    g.finish();
+}
+
+/// RangeSet churn at 10⁴–10⁶ granules: interleaved odd/even stripe inserts
+/// (worst-case run fragmentation) followed by gap subtraction through the
+/// borrowing `subtract_into` API — the release-residual pattern the
+/// executive performs when a phase barrier falls.
+fn bench_rangeset_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rangeset_churn");
+    g.sample_size(5);
+    for &n in &[10_000u32, 100_000, 1_000_000] {
+        g.bench_with_input(BenchmarkId::new("stripe_then_subtract", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = RangeSet::new();
+                // Even stripes first: maximal run count, every odd insert
+                // later bridges two neighbors (the merge-on-completion
+                // pattern at its most adversarial).
+                let stripe = 8u32;
+                let mut lo = 0u32;
+                while lo + stripe <= n {
+                    s.insert(GranuleRange::new(lo, lo + stripe));
+                    lo += 2 * stripe;
+                }
+                let mut gaps = Vec::new();
+                s.subtract_into(GranuleRange::new(0, n), &mut gaps);
+                let gap_total: u64 = gaps.iter().map(|r| r.len() as u64).sum();
+                let mut lo = stripe;
+                while lo + stripe <= n {
+                    s.insert(GranuleRange::new(lo, lo + stripe));
+                    lo += 2 * stripe;
+                }
+                (s.run_count() as u64, gap_total, s.len())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -152,6 +250,8 @@ criterion_group!(
     bench_conflict_queue,
     bench_classifier,
     bench_waiting_queue_scan,
-    bench_locality_remote_count
+    bench_locality_remote_count,
+    bench_enablement_completion,
+    bench_rangeset_churn
 );
 criterion_main!(benches);

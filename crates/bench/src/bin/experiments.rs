@@ -5,7 +5,12 @@
 //! cargo run --release -p pax-bench --bin experiments            # all
 //! cargo run --release -p pax-bench --bin experiments -- e1 e5   # subset
 //! cargo run --release -p pax-bench --bin experiments -- --quick # small sizes
+//! cargo run --release -p pax-bench --bin experiments -- --bench-json BENCH_rundown.json
 //! ```
+//!
+//! `--bench-json PATH` runs the rundown performance harness instead of the
+//! claim experiments and writes machine-readable throughput numbers (plus
+//! the recorded pre-optimization baseline) to PATH.
 
 use pax_bench::experiments as ex;
 use std::time::Instant;
@@ -13,6 +18,20 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
+        // The value is optional; a following flag is not a path.
+        let path = args
+            .get(pos + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_rundown.json".to_string());
+        let measurements = pax_bench::rundown::run_all(quick);
+        let json = pax_bench::rundown::to_json(&measurements);
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("{json}");
+        println!("rundown bench written to {path}");
+        return;
+    }
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

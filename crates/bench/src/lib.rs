@@ -22,4 +22,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod rundown;
 pub mod table;

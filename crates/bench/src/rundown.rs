@@ -1,0 +1,339 @@
+//! Rundown performance harness: wall-clock throughput of the executive's
+//! completion-processing path, emitted as machine-readable JSON.
+//!
+//! The paper's argument lives in the executive's *management* path —
+//! completion processing, enablement-counter decrements, queue service —
+//! so this harness measures how fast the reproduction's hot loop actually
+//! runs, at granule counts (10⁴–10⁶) far beyond what the claim-level
+//! experiments need. The numbers land in `BENCH_rundown.json` so the
+//! perf trajectory of the engine is tracked across PRs.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p pax-bench --bin experiments -- --bench-json BENCH_rundown.json
+//! ```
+
+use pax_core::prelude::*;
+use pax_sim::dist::CostModel;
+use pax_sim::machine::MachineConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which enablement structure a scenario stresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RundownShape {
+    /// Two identity-mapped phases: every completion releases a conflict-
+    /// queued successor piece (the dominant CASPER mapping, 9/22 phases).
+    Identity,
+    /// Two universal phases: successor fills the predecessor's rundown.
+    Universal,
+    /// Reverse-indirect fan-2: every completion decrements enablement
+    /// counters through the composite granule map.
+    ReverseFan2,
+}
+
+impl RundownShape {
+    fn label(self) -> &'static str {
+        match self {
+            RundownShape::Identity => "identity",
+            RundownShape::Universal => "universal",
+            RundownShape::ReverseFan2 => "reverse-fan2",
+        }
+    }
+}
+
+/// One benchmark scenario: a two-phase overlapped program at scale.
+#[derive(Debug, Clone)]
+pub struct RundownScenario {
+    /// Stable name used as the JSON key (and in perf history).
+    pub name: &'static str,
+    /// Granules per phase.
+    pub granules: u32,
+    /// Fixed task size in granules.
+    pub task_size: u32,
+    /// Worker processors.
+    pub processors: usize,
+    /// Enablement structure.
+    pub shape: RundownShape,
+    /// Timed repetitions (the minimum wall time is reported).
+    pub reps: u32,
+}
+
+/// The scenario list. `quick` keeps only the 10⁴-granule sizes (CI smoke).
+pub fn scenarios(quick: bool) -> Vec<RundownScenario> {
+    let mut v = vec![
+        RundownScenario {
+            name: "identity_1e4_t1",
+            granules: 10_000,
+            task_size: 1,
+            processors: 16,
+            shape: RundownShape::Identity,
+            reps: 3,
+        },
+        RundownScenario {
+            name: "reverse_1e4_t1",
+            granules: 10_000,
+            task_size: 1,
+            processors: 16,
+            shape: RundownShape::ReverseFan2,
+            reps: 3,
+        },
+    ];
+    if !quick {
+        v.push(RundownScenario {
+            name: "identity_1e5_t1",
+            granules: 100_000,
+            task_size: 1,
+            processors: 16,
+            shape: RundownShape::Identity,
+            reps: 2,
+        });
+        v.push(RundownScenario {
+            name: "universal_1e5_t16",
+            granules: 100_000,
+            task_size: 16,
+            processors: 16,
+            shape: RundownShape::Universal,
+            reps: 2,
+        });
+        v.push(RundownScenario {
+            name: "identity_1e6_t64",
+            granules: 1_000_000,
+            task_size: 64,
+            processors: 16,
+            shape: RundownShape::Identity,
+            reps: 2,
+        });
+    }
+    v
+}
+
+/// A measured scenario.
+#[derive(Debug, Clone)]
+pub struct RundownMeasurement {
+    /// Scenario name.
+    pub name: String,
+    /// Shape label.
+    pub shape: &'static str,
+    /// Granules per phase.
+    pub granules: u32,
+    /// Fixed task size.
+    pub task_size: u32,
+    /// Simulator events processed in one run.
+    pub events: u64,
+    /// Tasks dispatched in one run.
+    pub tasks: u64,
+    /// Simulated makespan (ticks).
+    pub makespan: u64,
+    /// Best wall-clock time for one run, milliseconds.
+    pub wall_ms: f64,
+    /// Events processed per wall-clock second (throughput headline).
+    pub events_per_sec: f64,
+}
+
+fn build_program(s: &RundownScenario) -> Program {
+    let mut b = ProgramBuilder::new();
+    let cost = CostModel::constant(100);
+    let pa = b.phase(PhaseDef::new("a", s.granules, cost.clone()));
+    let pb = b.phase(PhaseDef::new("b", s.granules, cost));
+    let mapping = match s.shape {
+        RundownShape::Identity => EnablementMapping::Identity,
+        RundownShape::Universal => EnablementMapping::Universal,
+        RundownShape::ReverseFan2 => {
+            // successor r needs current granules {r, (r+1) mod n}
+            let n = s.granules;
+            let req: Vec<Vec<u32>> = (0..n).map(|r| vec![r, (r + 1) % n]).collect();
+            EnablementMapping::ReverseIndirect(Arc::new(ReverseMap::new(req, n)))
+        }
+    };
+    b.dispatch_enable(
+        pa,
+        vec![EnableSpec {
+            successor: pb,
+            mapping,
+        }],
+    );
+    b.dispatch(pb);
+    b.build().expect("rundown scenario program")
+}
+
+fn run_once(s: &RundownScenario, program: &Program) -> (RunReport, f64) {
+    let policy = OverlapPolicy::overlap()
+        .with_sizing(TaskSizing::Fixed(s.task_size))
+        .with_split_strategy(SplitStrategy::DemandSplit);
+    let mut sim = Simulation::new(MachineConfig::new(s.processors), policy).with_seed(7);
+    sim.add_job(program.clone());
+    let t = Instant::now();
+    let report = sim.run().expect("rundown scenario run");
+    let wall = t.elapsed().as_secs_f64() * 1e3;
+    (report, wall)
+}
+
+/// Measure one scenario: `reps` timed runs, minimum wall time reported.
+pub fn measure(s: &RundownScenario) -> RundownMeasurement {
+    let program = build_program(s);
+    let mut best_wall = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..s.reps.max(1) {
+        let (r, wall) = run_once(s, &program);
+        if wall < best_wall {
+            best_wall = wall;
+        }
+        report = Some(r);
+    }
+    let r = report.expect("at least one rep");
+    RundownMeasurement {
+        name: s.name.to_string(),
+        shape: s.shape.label(),
+        granules: s.granules,
+        task_size: s.task_size,
+        events: r.events,
+        tasks: r.tasks_dispatched,
+        makespan: r.makespan.ticks(),
+        wall_ms: best_wall,
+        events_per_sec: r.events as f64 / (best_wall / 1e3),
+    }
+}
+
+/// Measure every scenario, printing progress to stderr.
+pub fn run_all(quick: bool) -> Vec<RundownMeasurement> {
+    scenarios(quick)
+        .iter()
+        .map(|s| {
+            eprintln!("[rundown] measuring {} ...", s.name);
+            let m = measure(s);
+            eprintln!(
+                "[rundown]   {:>10.3} ms  ({:.0} events/s)",
+                m.wall_ms, m.events_per_sec
+            );
+            m
+        })
+        .collect()
+}
+
+/// Wall-clock milliseconds per scenario measured at the pre-PR seed
+/// (commit 37ecaec, per-event `clone()`/`collect()` completion path,
+/// O(live) descriptor removal), on the same machine class that generates
+/// `BENCH_rundown.json`. Kept here so every regeneration of the JSON
+/// records the trajectory the allocation-free rework started from.
+pub const PRE_PR_BASELINE_WALL_MS: &[(&str, f64)] = &[
+    ("identity_1e4_t1", 16.881),
+    ("reverse_1e4_t1", 137.993),
+    ("identity_1e5_t1", 872.493),
+    ("universal_1e5_t16", 3.403),
+    ("identity_1e6_t64", 30.649),
+];
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render measurements (plus the recorded pre-PR baseline) as JSON.
+pub fn to_json(measurements: &[RundownMeasurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"pax-bench-rundown/v1\",\n");
+    out.push_str(
+        "  \"note\": \"wall_ms is the best-of-reps wall time of one full simulation run; \
+         baseline_wall_ms is the same scenario measured at the pre-optimization seed commit\",\n",
+    );
+    out.push_str(
+        "  \"baseline_caveat\": \"baselines were recorded on the machine that generated the \
+         checked-in BENCH_rundown.json; speedup_vs_baseline is only meaningful on that host \
+         class — on other hosts (e.g. shared CI runners) treat it as indicative, and compare \
+         wall_ms across commits from the same runner instead\",\n",
+    );
+    out.push_str("  \"scenarios\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let baseline = PRE_PR_BASELINE_WALL_MS
+            .iter()
+            .find(|(n, _)| *n == m.name)
+            .map(|&(_, ms)| ms)
+            .unwrap_or(f64::NAN);
+        let speedup = baseline / m.wall_ms;
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", m.name));
+        out.push_str(&format!("      \"shape\": \"{}\",\n", m.shape));
+        out.push_str(&format!("      \"granules\": {},\n", m.granules));
+        out.push_str(&format!("      \"task_size\": {},\n", m.task_size));
+        out.push_str(&format!("      \"events\": {},\n", m.events));
+        out.push_str(&format!("      \"tasks\": {},\n", m.tasks));
+        out.push_str(&format!("      \"makespan_ticks\": {},\n", m.makespan));
+        out.push_str(&format!("      \"wall_ms\": {},\n", json_f64(m.wall_ms)));
+        out.push_str(&format!(
+            "      \"events_per_sec\": {},\n",
+            json_f64(m.events_per_sec)
+        ));
+        out.push_str(&format!(
+            "      \"baseline_wall_ms\": {},\n",
+            json_f64(baseline)
+        ));
+        out.push_str(&format!(
+            "      \"speedup_vs_baseline\": {}\n",
+            json_f64(speedup)
+        ));
+        out.push_str(if i + 1 == measurements.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_identity_scenario_runs() {
+        let s = RundownScenario {
+            name: "tiny",
+            granules: 64,
+            task_size: 1,
+            processors: 4,
+            shape: RundownShape::Identity,
+            reps: 1,
+        };
+        let m = measure(&s);
+        assert_eq!(m.granules, 64);
+        assert!(m.events > 0);
+        assert!(m.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let s = RundownScenario {
+            name: "identity_1e4_t1",
+            granules: 32,
+            task_size: 1,
+            processors: 2,
+            shape: RundownShape::Universal,
+            reps: 1,
+        };
+        let j = to_json(&[measure(&s)]);
+        assert!(j.starts_with('{') && j.ends_with("}\n"));
+        assert!(j.contains("\"identity_1e4_t1\""));
+        assert!(j.contains("\"baseline_wall_ms\""));
+        // balanced braces (cheap sanity; no serde in the vendored tree)
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn baseline_table_covers_all_full_scenarios() {
+        for s in scenarios(false) {
+            assert!(
+                PRE_PR_BASELINE_WALL_MS.iter().any(|(n, _)| *n == s.name),
+                "no baseline entry for {}",
+                s.name
+            );
+        }
+    }
+}

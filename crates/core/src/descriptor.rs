@@ -76,6 +76,10 @@ pub struct Descriptor {
     owner: Option<DescId>,
     /// Slot generation, to catch stale ids in debug builds.
     gen: u32,
+    /// Position of this description in its instance's live list, maintained
+    /// by the engine so completion processing removes it in O(1) instead of
+    /// scanning (`u32::MAX` = untracked).
+    pub(crate) live_idx: u32,
 }
 
 impl Descriptor {
@@ -93,6 +97,7 @@ impl Descriptor {
             prev: None,
             owner: None,
             gen,
+            live_idx: u32::MAX,
         }
     }
 
@@ -217,12 +222,13 @@ impl DescArena {
         }
     }
 
-    /// Detach and return every member of `owner`'s conflict queue, in
-    /// insertion order. Members come back with state `Fresh` and no links.
-    pub fn cq_drain(&mut self, owner: DescId) -> Vec<DescId> {
-        let mut out = Vec::new();
+    /// Detach every member of `owner`'s conflict queue into `out` (which
+    /// is *not* cleared), in insertion order. Members come back with state
+    /// `Fresh` and no links. Taking the output buffer from the caller lets
+    /// completion processing reuse one vector across every event.
+    pub fn cq_drain_into(&mut self, owner: DescId, out: &mut Vec<DescId>) {
         let Some(head) = self.get(owner).cq_head else {
-            return out;
+            return;
         };
         let mut cur = head;
         loop {
@@ -241,6 +247,14 @@ impl DescArena {
             cur = next;
         }
         self.get_mut(owner).cq_head = None;
+    }
+
+    /// Detach and return every member of `owner`'s conflict queue, in
+    /// insertion order. Allocating wrapper over
+    /// [`DescArena::cq_drain_into`] for tests and cold paths.
+    pub fn cq_drain(&mut self, owner: DescId) -> Vec<DescId> {
+        let mut out = Vec::new();
+        self.cq_drain_into(owner, &mut out);
         out
     }
 
@@ -271,11 +285,11 @@ impl DescArena {
         m.state = DescState::Fresh;
     }
 
-    /// Iterate members of `owner`'s conflict queue without detaching.
-    pub fn cq_members(&self, owner: DescId) -> Vec<DescId> {
-        let mut out = Vec::new();
+    /// Collect members of `owner`'s conflict queue into `out` (not
+    /// cleared) without detaching them.
+    pub fn cq_members_into(&self, owner: DescId, out: &mut Vec<DescId>) {
         let Some(head) = self.get(owner).cq_head else {
-            return out;
+            return;
         };
         let mut cur = head;
         loop {
@@ -286,6 +300,13 @@ impl DescArena {
             }
             cur = next;
         }
+    }
+
+    /// Iterate members of `owner`'s conflict queue without detaching.
+    /// Allocating wrapper over [`DescArena::cq_members_into`].
+    pub fn cq_members(&self, owner: DescId) -> Vec<DescId> {
+        let mut out = Vec::new();
+        self.cq_members_into(owner, &mut out);
         out
     }
 

@@ -34,10 +34,10 @@ use crate::phase::PhaseStats;
 use crate::policy::{AssignmentPolicy, CompositeBuild, OverlapPolicy, SplitStrategy};
 use crate::program::{Lookahead, Program, Step};
 use crate::queue::WaitingQueue;
-use crate::rangeset::{coalesce_indices, RangeSet};
+use crate::rangeset::{coalesce_indices_into, RangeSet};
 use crate::report::{JobReport, PhaseReport, RunReport};
+use pax_sim::calendar::Calendar;
 use pax_sim::dist::DurationDist;
-use pax_sim::event::EventQueue;
 use pax_sim::machine::{ExecutivePlacement, MachineConfig};
 use pax_sim::metrics::{Activity, GanttTrace, Span, StepTrace};
 use pax_sim::time::{SimDuration, SimTime};
@@ -45,6 +45,8 @@ use pax_sim::trace::TraceLog;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::VecDeque;
+use std::mem::take;
+use std::sync::Arc;
 
 /// Lane-time slice for chunked background composite-map construction.
 const BUILD_CHUNK_TICKS: u64 = 64;
@@ -124,7 +126,14 @@ enum InstState {
 #[derive(Debug)]
 struct CounterState {
     mapping: EnablementMapping,
-    composite: Option<CompositeMap>,
+    /// The active composite granule map (decrements flow through it).
+    /// `Arc`-shared so the cost probe, the builder, and completion
+    /// processing all reference one constructed map instead of cloning
+    /// counter vectors.
+    composite: Option<Arc<CompositeMap>>,
+    /// A map constructed by the background cost probe but not yet applied;
+    /// [`Engine::build_composite`] takes it instead of rebuilding.
+    prebuilt: Option<Arc<CompositeMap>>,
     /// Remaining requirement per successor granule, only the first
     /// `early_limit` entries are active.
     counters: Vec<u32>,
@@ -151,9 +160,15 @@ struct Instance {
     stats: PhaseStats,
 }
 
+/// Per-job runtime state. The job's [`Program`] is decomposed at engine
+/// construction: phase definitions move here, and the step list is
+/// interned behind an `Arc<[Step]>` — a single copy that the interpreter
+/// can hold across `&mut self` calls without cloning `Vec`/`String`
+/// payloads per step executed.
 #[derive(Debug)]
 struct JobRt {
-    program: Program,
+    phases: Vec<crate::phase::PhaseDef>,
+    steps: Arc<[Step]>,
     pc: usize,
     counters: Vec<i64>,
     /// Successor instance initiated by overlap, keyed by the dispatch step
@@ -249,6 +264,34 @@ impl Simulation {
     }
 }
 
+/// Reusable buffers for the executive's per-event processing. Every
+/// vector is taken (`std::mem::take`), filled, drained, cleared, and put
+/// back, so the steady-state completion path performs no heap allocation:
+/// each buffer reaches its high-water capacity during warm-up and is
+/// recycled for the rest of the run. Fields are grouped by the path that
+/// uses them; no two users of one field are ever live at the same time
+/// (release paths called while a buffer is out never touch that buffer).
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Conflict-queue members drained at completion.
+    members: Vec<DescId>,
+    /// Conflict-queue members mirrored during a demand split.
+    split_members: Vec<DescId>,
+    /// Successor granules whose enablement counters just reached zero.
+    freed: Vec<u32>,
+    /// Null-set-enabled granules discovered at composite-map build.
+    zero_now: Vec<u32>,
+    /// Enabling current-phase granules (priority elevation).
+    indices: Vec<u32>,
+    /// Coalesced granule runs about to be released.
+    runs: Vec<GranuleRange>,
+    /// `(descriptor, range)` pairs snapshotted from live lists.
+    desc_ranges: Vec<(DescId, GranuleRange)>,
+    /// Successor-splitting tiles: range plus the predecessor piece (if
+    /// any) whose conflict queue receives it.
+    pieces: Vec<(GranuleRange, Option<DescId>)>,
+}
+
 struct Engine {
     cfg: MachineConfig,
     policy: OverlapPolicy,
@@ -256,7 +299,8 @@ struct Engine {
     instances: Vec<Instance>,
     arena: DescArena,
     waiting: WaitingQueue,
-    events: EventQueue<Ev>,
+    events: Calendar<Ev>,
+    scratch: Scratch,
     now: SimTime,
     exec_lanes: Vec<SimTime>,
     exec_backlog: VecDeque<ExecTask>,
@@ -286,9 +330,15 @@ impl Engine {
             .programs
             .into_iter()
             .map(|program| {
-                let counters = vec![0i64; program.counters];
+                let Program {
+                    phases,
+                    steps,
+                    counters,
+                } = program;
+                let counters = vec![0i64; counters];
                 JobRt {
-                    program,
+                    phases,
+                    steps: steps.into(),
                     pc: 0,
                     counters,
                     pending_successor: None,
@@ -305,7 +355,8 @@ impl Engine {
             jobs,
             instances: Vec::new(),
             arena: DescArena::new(),
-            events: EventQueue::new(),
+            events: Calendar::from_kind(s.cfg.calendar),
+            scratch: Scratch::default(),
             now: SimTime::ZERO,
             exec_lanes: vec![SimTime::ZERO; s.cfg.executive_lanes],
             exec_backlog: VecDeque::new(),
@@ -433,7 +484,7 @@ impl Engine {
         predecessor: Option<InstanceId>,
         enabled_by: Option<MappingKind>,
     ) -> InstanceId {
-        let d = &self.jobs[job].program.phases[def.0 as usize];
+        let d = &self.jobs[job].phases[def.0 as usize];
         let granules = d.granules;
         let task_size = self
             .policy
@@ -462,12 +513,37 @@ impl Engine {
         id
     }
 
+    #[inline]
     fn inst(&self, id: InstanceId) -> &Instance {
         &self.instances[id.0 as usize]
     }
 
+    #[inline]
     fn inst_mut(&mut self, id: InstanceId) -> &mut Instance {
         &mut self.instances[id.0 as usize]
+    }
+
+    /// Track `d` on its instance's live list, recording the slot index on
+    /// the descriptor so completion can remove it in O(1).
+    #[inline]
+    fn live_push(&mut self, inst_id: InstanceId, d: DescId) {
+        let live = &mut self.instances[inst_id.0 as usize].live_descs;
+        self.arena.get_mut(d).live_idx = live.len() as u32;
+        live.push(d);
+    }
+
+    /// Untrack `d` from its instance's live list (O(1) swap-remove via the
+    /// index stored at [`Engine::live_push`] time).
+    #[inline]
+    fn live_remove(&mut self, inst_id: InstanceId, d: DescId) {
+        let idx = self.arena.get(d).live_idx as usize;
+        let live = &mut self.instances[inst_id.0 as usize].live_descs;
+        debug_assert_eq!(live.get(idx), Some(&d), "live index out of sync");
+        live.swap_remove(idx);
+        if let Some(&moved) = live.get(idx) {
+            self.arena.get_mut(moved).live_idx = idx as u32;
+        }
+        self.arena.get_mut(d).live_idx = u32::MAX;
     }
 
     /// Release a granule range of `inst` into the waiting queue. With the
@@ -507,7 +583,7 @@ impl Engine {
                     .arena
                     .alloc(inst_id, JobId(job as u32), GranuleRange::new(lo, hi));
                 self.arena.get_mut(d).enabling = enabling;
-                self.inst_mut(inst_id).live_descs.push(d);
+                self.live_push(inst_id, d);
                 self.enqueue(d, class, false);
                 if hi < range.hi {
                     *cost += self.cfg.costs.split;
@@ -518,7 +594,7 @@ impl Engine {
         } else {
             let d = self.arena.alloc(inst_id, JobId(job as u32), range);
             self.arena.get_mut(d).enabling = enabling;
-            self.inst_mut(inst_id).live_descs.push(d);
+            self.live_push(inst_id, d);
             self.enqueue(d, class, false);
         }
     }
@@ -527,11 +603,14 @@ impl Engine {
     /// falling when its predecessor completes).
     fn release_residual(&mut self, succ_id: InstanceId, cost: &mut SimDuration) {
         let full = GranuleRange::new(0, self.inst(succ_id).granules);
-        let gaps = self.inst(succ_id).released.gaps_in(full);
-        for g in gaps {
+        let mut gaps = take(&mut self.scratch.runs);
+        self.inst(succ_id).released.subtract_into(full, &mut gaps);
+        for &g in &gaps {
             *cost += self.cfg.costs.release;
             self.release_range(succ_id, g, QueueClass::Normal, cost);
         }
+        gaps.clear();
+        self.scratch.runs = gaps;
     }
 
     // ------------------------------------------------------------------
@@ -541,32 +620,39 @@ impl Engine {
     /// Execute program steps for `job` starting at step `pc` until a
     /// dispatch takes effect, a serial region is scheduled, or the program
     /// ends.
+    ///
+    /// The step list is interned behind an `Arc` at engine construction;
+    /// holding a reference-counted handle (one pointer bump per call, not
+    /// per step) lets the interpreter borrow each step across the `&mut
+    /// self` state changes it triggers, where indexing `self.jobs` afresh
+    /// used to force a deep `Step::clone` per step executed.
     fn run_program(&mut self, job: usize, mut pc: usize) {
+        let steps = Arc::clone(&self.jobs[job].steps);
         loop {
-            let step = self.jobs[job].program.steps[pc].clone();
-            match step {
+            match &steps[pc] {
                 Step::End => {
                     self.jobs[job].done = true;
                     self.jobs[job].finished_at = Some(self.now);
                     return;
                 }
                 Step::Incr { idx, delta } => {
-                    self.jobs[job].counters[idx] += delta;
+                    self.jobs[job].counters[*idx] += delta;
                     pc += 1;
                 }
-                Step::Goto(t) => pc = t,
+                Step::Goto(t) => pc = *t,
                 Step::Branch {
                     test,
                     on_true,
                     on_false,
                 } => {
                     pc = if test.eval(&self.jobs[job].counters) {
-                        on_true
+                        *on_true
                     } else {
-                        on_false
+                        *on_false
                     };
                 }
                 Step::Serial { duration, label } => {
+                    let duration = *duration;
                     let (_s, end) = self.exec_service_serial(self.now, duration);
                     self.jobs[job].pc = pc;
                     self.jobs[job].pending_serial_gap += duration;
@@ -577,6 +663,7 @@ impl Engine {
                     return;
                 }
                 Step::Dispatch { phase, .. } => {
+                    let phase = *phase;
                     // Was a successor already initiated for this step?
                     if let Some((pred_step, inst_id)) = self.jobs[job].pending_successor.take() {
                         if pred_step == pc {
@@ -657,15 +744,19 @@ impl Engine {
             let p = self.inst(pred_id);
             (p.job, p.dispatch_step)
         };
-        let (enables, branch_independent) = match &self.jobs[job].program.steps[dispatch_step] {
+        // Borrow the ENABLE clause from the interned step list instead of
+        // cloning the spec vector (and its mapping payloads) per overlap.
+        let steps = Arc::clone(&self.jobs[job].steps);
+        let (enables, branch_independent) = match &steps[dispatch_step] {
             Step::Dispatch {
                 enables,
                 branch_independent,
                 ..
-            } => (enables.clone(), *branch_independent),
+            } => (enables, *branch_independent),
             _ => return,
         };
-        let la = self.jobs[job].program.lookahead(
+        let la = crate::program::lookahead_steps(
+            &steps,
             dispatch_step,
             &self.jobs[job].counters,
             branch_independent,
@@ -678,16 +769,12 @@ impl Engine {
             if !enables.is_empty() {
                 let names: Vec<&str> = enables
                     .iter()
-                    .map(|e| {
-                        self.jobs[job].program.phases[e.successor.0 as usize]
-                            .name
-                            .as_str()
-                    })
+                    .map(|e| self.jobs[job].phases[e.successor.0 as usize].name.as_str())
                     .collect();
                 self.warnings.push(format!(
                     "interlock: ENABLE clause of step {dispatch_step} names {names:?} but \
                      the following phase is '{}' — no overlap applied",
-                    self.jobs[job].program.phases[succ_phase.0 as usize].name
+                    self.jobs[job].phases[succ_phase.0 as usize].name
                 ));
             }
             return;
@@ -698,7 +785,7 @@ impl Engine {
         }
         if kind == MappingKind::Identity {
             let pg = self.inst(pred_id).granules;
-            let sg = self.jobs[job].program.phases[succ_phase.0 as usize].granules;
+            let sg = self.jobs[job].phases[succ_phase.0 as usize].granules;
             if pg != sg {
                 self.warnings.push(format!(
                     "identity mapping requires equal granule counts ({pg} vs {sg}); \
@@ -750,24 +837,30 @@ impl Engine {
     /// completed release immediately.
     fn init_identity(&mut self, pred_id: InstanceId, succ_id: InstanceId, cost: &mut SimDuration) {
         let job = JobId(self.inst(succ_id).job as u32);
-        let pred_live: Vec<(DescId, GranuleRange)> = self
-            .inst(pred_id)
-            .live_descs
-            .iter()
-            .map(|&d| (d, self.arena.get(d).range))
-            .collect();
-        for (pd, range) in pred_live {
+        let mut pred_live = take(&mut self.scratch.desc_ranges);
+        pred_live.extend(
+            self.inst(pred_id)
+                .live_descs
+                .iter()
+                .map(|&d| (d, self.arena.get(d).range)),
+        );
+        for &(pd, range) in &pred_live {
             let sd = self.arena.alloc(succ_id, job, range);
-            self.inst_mut(succ_id).live_descs.push(sd);
+            self.live_push(succ_id, sd);
             self.inst_mut(succ_id).released.insert(range);
             self.arena.cq_push(pd, sd);
         }
-        let done_runs: Vec<GranuleRange> = self.inst(pred_id).completed.iter_runs().collect();
+        pred_live.clear();
+        self.scratch.desc_ranges = pred_live;
+        let mut done_runs = take(&mut self.scratch.runs);
+        done_runs.extend(self.inst(pred_id).completed.iter_runs());
         let rclass = self.released_class();
-        for r in done_runs {
+        for &r in &done_runs {
             *cost += self.cfg.costs.release;
             self.release_range(succ_id, r, rclass, cost);
         }
+        done_runs.clear();
+        self.scratch.runs = done_runs;
     }
 
     /// Indirect (forward/reverse/seam) overlap: set status bits on the
@@ -784,14 +877,18 @@ impl Engine {
         self.inst_mut(succ_id).counter_state = Some(CounterState {
             mapping,
             composite: None,
+            prebuilt: None,
             counters: Vec::new(),
             early_limit,
         });
         // Status bit on every live description of the current phase.
-        let live: Vec<DescId> = self.inst(pred_id).live_descs.clone();
-        for d in live {
+        let mut live = take(&mut self.scratch.members);
+        live.extend_from_slice(&self.inst(pred_id).live_descs);
+        for &d in &live {
             self.arena.get_mut(d).enabling = true;
         }
+        live.clear();
+        self.scratch.members = live;
         match self.policy.composite_build {
             CompositeBuild::Immediate => self.build_composite(succ_id, cost),
             CompositeBuild::Background => {
@@ -818,18 +915,23 @@ impl Engine {
             return;
         };
         let pred_granules = self.inst(pred_id).granules;
-        let (mapping, early_limit) = {
+        let (comp, early_limit) = {
             let cs = self
-                .inst(succ_id)
+                .inst_mut(succ_id)
                 .counter_state
-                .as_ref()
+                .as_mut()
                 .expect("counted gate");
             if cs.composite.is_some() {
                 return;
             }
-            (cs.mapping.clone(), cs.early_limit)
+            // The background cost probe may have constructed the map
+            // already; share that one instead of building twice.
+            let comp = cs
+                .prebuilt
+                .take()
+                .unwrap_or_else(|| Arc::new(CompositeMap::build(&cs.mapping, pred_granules)));
+            (comp, cs.early_limit)
         };
-        let comp = CompositeMap::build(&mapping, pred_granules);
         // Only entries that feed the chosen early subset are constructed
         // (the paper's subset advice caps the enablement problem's size).
         let useful_entries = comp.targets.iter().filter(|&&r| r < early_limit).count() as u64;
@@ -838,21 +940,21 @@ impl Engine {
         let mut counters: Vec<u32> = comp.requires[..early_limit as usize].to_vec();
         // Null-set-enabled granules in the early window behave like a
         // universal successor: queue them behind the current phase.
-        let mut zero_now: Vec<u32> = (0..early_limit)
-            .filter(|&r| counters[r as usize] == 0)
-            .collect();
+        let mut zero_now = take(&mut self.scratch.zero_now);
+        zero_now.extend((0..early_limit).filter(|&r| counters[r as usize] == 0));
         // Decrements for predecessor granules that completed before the
-        // map was built (background construction).
-        let done_runs: Vec<GranuleRange> = self.inst(pred_id).completed.iter_runs().collect();
-        let mut freed: Vec<u32> = Vec::new();
-        for run in done_runs {
+        // map was built (background construction). `comp` is an owned
+        // handle, so the completed runs iterate without materializing.
+        let mut freed = take(&mut self.scratch.freed);
+        let decrement_cost = self.cfg.costs.counter_decrement;
+        for run in self.inst(pred_id).completed.iter_runs() {
             for g in run.iter() {
                 for &r in comp.dependents_of(g) {
                     if r < early_limit {
                         let c = &mut counters[r as usize];
                         debug_assert!(*c > 0);
                         *c -= 1;
-                        *cost += self.cfg.costs.counter_decrement;
+                        *cost += decrement_cost;
                         if *c == 0 {
                             freed.push(r);
                         }
@@ -860,15 +962,25 @@ impl Engine {
                 }
             }
         }
-        for run in coalesce_indices(&mut zero_now) {
+        let mut runs = take(&mut self.scratch.runs);
+        coalesce_indices_into(&mut zero_now, &mut runs);
+        for &run in &runs {
             *cost += self.cfg.costs.release;
             self.release_range(succ_id, run, QueueClass::Normal, cost);
         }
+        runs.clear();
         let rclass = self.released_class();
-        for run in coalesce_indices(&mut freed) {
+        coalesce_indices_into(&mut freed, &mut runs);
+        for &run in &runs {
             *cost += self.cfg.costs.release;
             self.release_range(succ_id, run, rclass, cost);
         }
+        runs.clear();
+        self.scratch.runs = runs;
+        zero_now.clear();
+        self.scratch.zero_now = zero_now;
+        freed.clear();
+        self.scratch.freed = freed;
         if self.policy.elevate_enabling {
             // Only granules that enable the chosen early subset are worth
             // elevating ("identify a subset group of successor-phase
@@ -876,12 +988,16 @@ impl Engine {
             // enablement problem"); and if most of the current phase is
             // enabling, elevation is a no-op by definition — skip it
             // rather than shatter the master description.
-            let enabling: Vec<u32> = (0..pred_granules)
-                .filter(|&i| comp.dependents_of(i).iter().any(|&r| r < early_limit))
-                .collect();
+            let mut enabling = take(&mut self.scratch.indices);
+            enabling.extend(
+                (0..pred_granules)
+                    .filter(|&i| comp.dependents_of(i).iter().any(|&r| r < early_limit)),
+            );
             if enabling.len() * 2 <= pred_granules as usize {
-                self.elevate_enabling_granules(pred_id, enabling, cost);
+                self.elevate_enabling_granules(pred_id, &mut enabling, cost);
             }
+            enabling.clear();
+            self.scratch.indices = enabling;
         }
         let cs = self
             .inst_mut(succ_id)
@@ -898,20 +1014,23 @@ impl Engine {
     fn elevate_enabling_granules(
         &mut self,
         pred_id: InstanceId,
-        mut enabling: Vec<u32>,
+        enabling: &mut Vec<u32>,
         cost: &mut SimDuration,
     ) {
-        let runs = coalesce_indices(&mut enabling);
-        for run in runs {
+        let mut runs = take(&mut self.scratch.runs);
+        coalesce_indices_into(enabling, &mut runs);
+        let mut candidates = take(&mut self.scratch.desc_ranges);
+        for &run in &runs {
             // Find waiting descriptors of the predecessor intersecting run.
-            let candidates: Vec<(DescId, GranuleRange)> = self
-                .inst(pred_id)
-                .live_descs
-                .iter()
-                .filter(|&&d| matches!(self.arena.get(d).state, DescState::Waiting))
-                .filter_map(|&d| self.arena.get(d).range.intersect(run).map(|ovl| (d, ovl)))
-                .collect();
-            for (d, ovl) in candidates {
+            candidates.clear();
+            candidates.extend(
+                self.inst(pred_id)
+                    .live_descs
+                    .iter()
+                    .filter(|&&d| matches!(self.arena.get(d).state, DescState::Waiting))
+                    .filter_map(|&d| self.arena.get(d).range.intersect(run).map(|ovl| (d, ovl))),
+            );
+            for &(d, ovl) in &candidates {
                 // The descriptor may have been replaced by an earlier carve
                 // in this same loop; re-check.
                 if !matches!(self.arena.get(d).state, DescState::Waiting) {
@@ -931,17 +1050,20 @@ impl Engine {
                     self.waiting.push_back(d, class, job);
                     continue;
                 }
-                // Split out the overlapping middle.
+                // Split out the overlapping middle. At most a leading and
+                // a trailing non-enabling piece exist; two slots replace
+                // the old per-candidate vector.
                 self.waiting.remove(d);
                 let job = self.arena.get(d).job;
-                let mut pieces: Vec<DescId> = Vec::with_capacity(3);
+                let mut lead: Option<DescId> = None;
+                let mut tail: Option<DescId> = None;
                 let mut cur = d;
                 if ovl.lo > drange.lo {
                     let rem = self.arena.split(cur, ovl.lo - drange.lo);
                     self.splits += 1;
                     *cost += self.cfg.costs.split;
-                    self.inst_mut(pred_id).live_descs.push(rem);
-                    pieces.push(cur); // leading non-enabling part
+                    self.live_push(pred_id, rem);
+                    lead = Some(cur); // leading non-enabling part
                     cur = rem;
                 }
                 if ovl.hi < self.arena.get(cur).range.hi {
@@ -949,14 +1071,14 @@ impl Engine {
                     let rem = self.arena.split(cur, tail_at);
                     self.splits += 1;
                     *cost += self.cfg.costs.split;
-                    self.inst_mut(pred_id).live_descs.push(rem);
-                    pieces.push(rem); // trailing non-enabling part
+                    self.live_push(pred_id, rem);
+                    tail = Some(rem); // trailing non-enabling part
                 }
                 // `cur` is now exactly the enabling overlap.
                 self.arena.get_mut(cur).class = QueueClass::Elevated;
                 self.waiting.push_back(cur, QueueClass::Elevated, job);
                 self.arena.get_mut(cur).state = DescState::Waiting;
-                for p in pieces {
+                for p in [lead, tail].into_iter().flatten() {
                     self.arena.get_mut(p).class = QueueClass::Normal;
                     self.waiting.push_front(p, QueueClass::Normal, job);
                     self.arena.get_mut(p).state = DescState::Waiting;
@@ -964,6 +1086,10 @@ impl Engine {
                 self.wake_workers(2);
             }
         }
+        candidates.clear();
+        self.scratch.desc_ranges = candidates;
+        runs.clear();
+        self.scratch.runs = runs;
     }
 
     // ------------------------------------------------------------------
@@ -1078,26 +1204,30 @@ impl Engine {
         let has_conflicts = self.arena.get(d).has_conflicts();
         if has_conflicts && self.policy.split_strategy == SplitStrategy::SuccessorSplitTask {
             // Detach successors into background splitting tasks first.
-            let members = self.arena.cq_drain(d);
-            for m in members {
+            let mut members = take(&mut self.scratch.split_members);
+            self.arena.cq_drain_into(d, &mut members);
+            for &m in &members {
                 self.arena.get_mut(m).state = DescState::Detached;
                 self.exec_backlog.push_back(ExecTask::SplitSuccessor {
                     succ_desc: m,
                     pred: inst_id,
                 });
             }
+            members.clear();
+            self.scratch.split_members = members;
             self.kick_exec();
         }
         let rem = self.arena.split(d, task_size);
         self.splits += 1;
         *cost += self.cfg.costs.split;
-        self.inst_mut(inst_id).live_descs.push(rem);
+        self.live_push(inst_id, rem);
         if self.arena.get(d).has_conflicts() {
             // Demand split (also the fallback when presplit pieces grew
             // conflicts): mirror the split onto every queued successor.
             let front = self.arena.get(d).range;
-            let members = self.arena.cq_members(d);
-            for m in members {
+            let mut members = take(&mut self.scratch.split_members);
+            self.arena.cq_members_into(d, &mut members);
+            for &m in &members {
                 let mrange = self.arena.get(m).range;
                 if mrange.hi <= front.hi {
                     continue; // wholly within the dispatched piece
@@ -1113,9 +1243,11 @@ impl Engine {
                 self.splits += 1;
                 *cost += self.cfg.costs.split;
                 let succ_inst = self.arena.get(m).instance;
-                self.inst_mut(succ_inst).live_descs.push(mrem);
+                self.live_push(succ_inst, mrem);
                 self.arena.cq_push(rem, mrem);
             }
+            members.clear();
+            self.scratch.split_members = members;
         }
         // Remainder keeps its place at the head of its class.
         let class = self.arena.get(rem).class;
@@ -1127,20 +1259,21 @@ impl Engine {
     }
 
     fn sample_task_time(&mut self, inst_id: InstanceId, range: GranuleRange) -> SimDuration {
-        let def = {
-            let inst = self.inst(inst_id);
-            &self.jobs[inst.job].program.phases[inst.def.0 as usize]
-        };
-        let model = def.cost.clone();
+        let inst = &self.instances[inst_id.0 as usize];
+        // Disjoint field borrows: the model stays borrowed from `jobs`
+        // while the RNG advances, so nothing is cloned per dispatch
+        // (bimodal models heap-allocate their arms on clone).
+        let model = &self.jobs[inst.job].phases[inst.def.0 as usize].cost;
         // Fast path: constant cost, no conditional skip.
         if model.skip_probability == 0.0 {
             if let DurationDist::Constant(c) = model.dist {
                 return c * range.len() as u64;
             }
         }
+        let rng = &mut self.rng;
         let mut total = SimDuration::ZERO;
         for _ in range.iter() {
-            total += model.sample(&mut self.rng);
+            total += model.sample(rng);
         }
         total
     }
@@ -1197,21 +1330,22 @@ impl Engine {
             if ran_during_predecessor {
                 inst.stats.overlap_granules += range.len();
             }
-            if let Some(pos) = inst.live_descs.iter().position(|&x| x == d) {
-                inst.live_descs.swap_remove(pos);
-            }
         }
+        self.live_remove(inst_id, d);
 
         // Release everything on the conflict queue: "Upon completion of
         // the described computation, all the queued conflicting
         // computations became unconditionally computable and were placed
         // in the waiting computation queue" (ahead of normal work).
-        let members = self.arena.cq_drain(d);
+        let mut members = take(&mut self.scratch.members);
+        self.arena.cq_drain_into(d, &mut members);
         let rclass = self.released_class();
-        for m in members {
+        for &m in &members {
             cost += self.cfg.costs.release;
             self.enqueue(m, rclass, false);
         }
+        members.clear();
+        self.scratch.members = members;
 
         // Status bit: decrement enablement counters of the successor.
         if enabling {
@@ -1243,12 +1377,14 @@ impl Engine {
     ) {
         let decrement_cost = self.cfg.costs.counter_decrement;
         let release_cost = self.cfg.costs.release;
-        let mut freed: Vec<u32> = Vec::new();
+        let mut freed = take(&mut self.scratch.freed);
         {
             let Some(cs) = self.inst_mut(succ_id).counter_state.as_mut() else {
+                self.scratch.freed = freed;
                 return;
             };
             let Some(comp) = cs.composite.as_ref() else {
+                self.scratch.freed = freed;
                 return; // map not built yet; build applies these later
             };
             let early = cs.early_limit;
@@ -1267,10 +1403,16 @@ impl Engine {
             }
         }
         let rclass = self.released_class();
-        for run in coalesce_indices(&mut freed) {
+        let mut runs = take(&mut self.scratch.runs);
+        coalesce_indices_into(&mut freed, &mut runs);
+        for &run in &runs {
             *cost += release_cost;
             self.release_range(succ_id, run, rclass, cost);
         }
+        runs.clear();
+        self.scratch.runs = runs;
+        freed.clear();
+        self.scratch.freed = freed;
     }
 
     fn kick_exec(&mut self) {
@@ -1293,7 +1435,14 @@ impl Engine {
             ExecTask::BuildComposite { inst, prepaid } => {
                 let total = self.composite_build_cost(inst);
                 match total {
-                    None => {} // stale: barrier already lifted, drop it
+                    None => {
+                        // Stale: barrier already lifted, drop the task —
+                        // and any map the cost probe cached for it, which
+                        // would otherwise be retained until run end.
+                        if let Some(cs) = self.inst_mut(inst).counter_state.as_mut() {
+                            cs.prebuilt = None;
+                        }
+                    }
                     Some(total) => {
                         let chunk = SimDuration(BUILD_CHUNK_TICKS);
                         if prepaid + chunk < total {
@@ -1328,8 +1477,11 @@ impl Engine {
 
     /// Lane time required to construct the composite map for `succ`
     /// (subset-limited), or `None` when the build is stale (the successor
-    /// already became current or fully released).
-    fn composite_build_cost(&self, succ_id: InstanceId) -> Option<SimDuration> {
+    /// already became current or fully released). The map constructed for
+    /// the estimate is cached on the counter state ([`CounterState::prebuilt`])
+    /// and handed to [`Engine::build_composite`], which used to build the
+    /// whole CSR structure a second time.
+    fn composite_build_cost(&mut self, succ_id: InstanceId) -> Option<SimDuration> {
         let full = GranuleRange::new(0, self.inst(succ_id).granules);
         if self.inst(succ_id).state != InstState::Initiated
             || self.inst(succ_id).released.contains_range(full)
@@ -1338,13 +1490,17 @@ impl Engine {
         }
         let pred_id = self.inst(succ_id).predecessor?;
         let pred_granules = self.inst(pred_id).granules;
-        let cs = self.inst(succ_id).counter_state.as_ref()?;
+        let per_entry = self.cfg.costs.composite_map_per_entry;
+        let cs = self.inst_mut(succ_id).counter_state.as_mut()?;
         if cs.composite.is_some() {
             return None;
         }
-        let comp = CompositeMap::build(&cs.mapping, pred_granules);
+        if cs.prebuilt.is_none() {
+            cs.prebuilt = Some(Arc::new(CompositeMap::build(&cs.mapping, pred_granules)));
+        }
+        let comp = cs.prebuilt.as_ref().expect("just built");
         let useful = comp.targets.iter().filter(|&&r| r < cs.early_limit).count() as u64;
-        Some(self.cfg.costs.composite_map_per_entry * useful)
+        Some(per_entry * useful)
     }
 
     /// Execute a successor-splitting task: distribute the detached
@@ -1365,22 +1521,23 @@ impl Engine {
 
         // Pieces: completed predecessor sub-ranges release immediately;
         // live predecessor descriptors get matching conflicted pieces.
-        let mut pieces: Vec<(GranuleRange, Option<DescId>)> = Vec::new();
-        for r in self.inst(pred).completed.covered_in(range) {
-            pieces.push((r, None));
-        }
-        let live: Vec<(DescId, GranuleRange)> = self
-            .inst(pred)
-            .live_descs
-            .iter()
-            .map(|&pd| (pd, self.arena.get(pd).range))
-            .collect();
-        for (pd, prange) in live {
-            if let Some(ovl) = prange.intersect(range) {
-                pieces.push((ovl, Some(pd)));
-            }
-        }
-        pieces.sort_by_key(|(r, _)| r.lo);
+        let mut pieces = take(&mut self.scratch.pieces);
+        pieces.extend(
+            self.inst(pred)
+                .completed
+                .covered_in_iter(range)
+                .map(|r| (r, None)),
+        );
+        pieces.extend(self.inst(pred).live_descs.iter().filter_map(|&pd| {
+            self.arena
+                .get(pd)
+                .range
+                .intersect(range)
+                .map(|ovl| (ovl, Some(pd)))
+        }));
+        // Piece lo values are distinct (they tile the range), so the
+        // unstable sort is behavior-identical and allocation-free.
+        pieces.sort_unstable_by_key(|(r, _)| r.lo);
         debug_assert_eq!(
             pieces.iter().map(|(r, _)| r.len() as u64).sum::<u64>(),
             range.len() as u64,
@@ -1400,13 +1557,15 @@ impl Engine {
                     self.enqueue(succ_desc, rc, false);
                 }
             }
+            pieces.clear();
+            self.scratch.pieces = pieces;
             return;
         }
 
         // Slice the detached descriptor front-to-back.
         let mut cur = succ_desc;
         self.arena.get_mut(cur).state = DescState::Fresh;
-        for (i, (r, target)) in pieces.iter().enumerate() {
+        for (i, &(r, target)) in pieces.iter().enumerate() {
             let piece = if i + 1 == pieces.len() {
                 cur
             } else {
@@ -1414,14 +1573,14 @@ impl Engine {
                 let rem = self.arena.split(cur, at);
                 self.splits += 1;
                 *cost += self.cfg.costs.split;
-                self.inst_mut(succ_inst).live_descs.push(rem);
+                self.live_push(succ_inst, rem);
                 let piece = cur;
                 cur = rem;
                 piece
             };
-            debug_assert_eq!(self.arena.get(piece).range, *r);
+            debug_assert_eq!(self.arena.get(piece).range, r);
             match target {
-                Some(pd) => self.arena.cq_push(*pd, piece),
+                Some(pd) => self.arena.cq_push(pd, piece),
                 None => {
                     *cost += self.cfg.costs.release;
                     let _ = job;
@@ -1430,6 +1589,8 @@ impl Engine {
                 }
             }
         }
+        pieces.clear();
+        self.scratch.pieces = pieces;
     }
 
     fn on_serial_done(&mut self, job: usize) {
@@ -1497,9 +1658,7 @@ impl Engine {
             .enumerate()
             .map(|(i, inst)| PhaseReport {
                 instance: InstanceId(i as u32),
-                name: self.jobs[inst.job].program.phases[inst.def.0 as usize]
-                    .name
-                    .clone(),
+                name: self.jobs[inst.job].phases[inst.def.0 as usize].name.clone(),
                 job: inst.job as u32,
                 granules: inst.granules,
                 enabled_by: inst.enabled_by,

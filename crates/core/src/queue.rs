@@ -22,24 +22,38 @@ pub struct WaitingQueue {
     len: usize,
 }
 
+/// Initial per-segment capacity: enough for every release of a typical
+/// phase (two tasks per processor on a large machine) before the segment
+/// deques ever reallocate.
+const SEGMENT_CAPACITY: usize = 128;
+
 impl WaitingQueue {
-    /// Queue serving `jobs` job streams (≥ 1).
+    /// Queue serving `jobs` job streams (≥ 1), with segment storage
+    /// pre-reserved so steady-state pushes stay allocation-free.
     pub fn new(jobs: usize) -> WaitingQueue {
+        Self::with_capacity(jobs, SEGMENT_CAPACITY)
+    }
+
+    /// Queue serving `jobs` job streams with `cap` slots pre-reserved per
+    /// segment (sized from the expected task count per phase).
+    pub fn with_capacity(jobs: usize, cap: usize) -> WaitingQueue {
         assert!(jobs > 0, "need at least one job stream");
         WaitingQueue {
-            elevated: VecDeque::new(),
-            normal: (0..jobs).map(|_| VecDeque::new()).collect(),
+            elevated: VecDeque::with_capacity(cap),
+            normal: (0..jobs).map(|_| VecDeque::with_capacity(cap)).collect(),
             rr_cursor: 0,
             len: 0,
         }
     }
 
     /// Total queued descriptions.
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// True when nothing is queued.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -47,6 +61,7 @@ impl WaitingQueue {
     /// Append to the back of the given class ("behind the current phase
     /// description" for universal successors is achieved by normal-class
     /// FIFO order).
+    #[inline]
     pub fn push_back(&mut self, id: DescId, class: QueueClass, job: JobId) {
         self.len += 1;
         match class {
@@ -57,6 +72,7 @@ impl WaitingQueue {
 
     /// Push to the *front* of the given class. Used for split remainders so
     /// the current phase keeps its place ahead of anything queued behind it.
+    #[inline]
     pub fn push_front(&mut self, id: DescId, class: QueueClass, job: JobId) {
         self.len += 1;
         match class {

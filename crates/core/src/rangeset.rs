@@ -14,28 +14,57 @@ pub struct RangeSet {
     runs: Vec<(u32, u32)>, // half-open [lo, hi), sorted, non-overlapping, non-adjacent
 }
 
+/// What [`RangeSet::insert_run`] did: the coalesced run that now covers the
+/// inserted range, how many pre-existing runs it swallowed, and how many
+/// indices were newly added. Lets completion processing merge a range and
+/// learn the merge shape in one pass, instead of re-querying the set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunInsert {
+    /// The single stored run that contains the inserted range after
+    /// coalescing.
+    pub merged: GranuleRange,
+    /// Number of previously stored runs merged into `merged` (0 means the
+    /// inserted range was disjoint from — and non-adjacent to — everything).
+    pub absorbed: usize,
+    /// Indices newly covered by this insert (0 when already fully covered).
+    pub added: u64,
+}
+
 impl RangeSet {
     /// Empty set.
+    #[inline]
     pub fn new() -> RangeSet {
         RangeSet { runs: Vec::new() }
     }
 
+    /// Empty set with room for `cap` runs before reallocating.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> RangeSet {
+        RangeSet {
+            runs: Vec::with_capacity(cap),
+        }
+    }
+
     /// Number of stored runs (for diagnostics; merging keeps this small).
+    #[inline]
     pub fn run_count(&self) -> usize {
         self.runs.len()
     }
 
     /// Total number of indices covered.
+    #[inline]
     pub fn len(&self) -> u64 {
         self.runs.iter().map(|&(lo, hi)| (hi - lo) as u64).sum()
     }
 
     /// True when the set is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.runs.is_empty()
     }
 
     /// True when `g` is in the set.
+    #[inline]
     pub fn contains(&self, g: u32) -> bool {
         match self.runs.binary_search_by(|&(lo, _)| lo.cmp(&g)) {
             Ok(_) => true,
@@ -45,6 +74,7 @@ impl RangeSet {
     }
 
     /// True when the whole range `[lo, hi)` is covered.
+    #[inline]
     pub fn contains_range(&self, r: GranuleRange) -> bool {
         if r.is_empty() {
             return true;
@@ -58,44 +88,68 @@ impl RangeSet {
 
     /// Insert `[lo, hi)`, merging with any overlapping or adjacent runs.
     /// Inserting an already-covered or empty range is a no-op.
+    #[inline]
     pub fn insert(&mut self, r: GranuleRange) {
-        if r.is_empty() {
-            return;
+        if !r.is_empty() {
+            let _ = self.insert_run(r);
         }
+    }
+
+    /// Insert `[lo, hi)` and report the merge: the coalesced run now
+    /// covering it, how many stored runs were absorbed, and how many
+    /// indices were newly added. `r` must be non-empty (the executive
+    /// never merges an empty completion; use [`RangeSet::insert`] when an
+    /// empty range may flow through).
+    pub fn insert_run(&mut self, r: GranuleRange) -> RunInsert {
+        debug_assert!(!r.is_empty(), "insert_run of empty range");
         let (mut lo, mut hi) = (r.lo, r.hi);
         // Find the first run whose end is >= lo (candidate for merging).
         let start = self.runs.partition_point(|&(_, rhi)| rhi < lo);
         let mut end = start;
+        let mut covered: u64 = 0;
         while end < self.runs.len() && self.runs[end].0 <= hi {
             lo = lo.min(self.runs[end].0);
             hi = hi.max(self.runs[end].1);
+            covered += (self.runs[end].1 - self.runs[end].0) as u64;
             end += 1;
         }
-        self.runs.splice(start..end, std::iter::once((lo, hi)));
+        let absorbed = end - start;
+        if absorbed == 1 {
+            // Common completion-processing case: extend one run in place —
+            // no element shifting, no splice machinery.
+            self.runs[start] = (lo, hi);
+        } else {
+            self.runs.splice(start..end, std::iter::once((lo, hi)));
+        }
+        RunInsert {
+            merged: GranuleRange::new(lo, hi),
+            absorbed,
+            added: (hi - lo) as u64 - covered,
+        }
     }
 
     /// Iterate the stored runs as `GranuleRange`s.
+    #[inline]
     pub fn iter_runs(&self) -> impl Iterator<Item = GranuleRange> + '_ {
         self.runs.iter().map(|&(lo, hi)| GranuleRange::new(lo, hi))
     }
 
-    /// Iterate the *gaps* (uncovered sub-ranges) inside the window
-    /// `[win.lo, win.hi)`.
-    pub fn gaps_in(&self, win: GranuleRange) -> Vec<GranuleRange> {
-        let mut gaps = Vec::new();
+    /// Append the *gaps* (uncovered sub-ranges) inside the window
+    /// `[win.lo, win.hi)` to `out` — the set-subtraction `win − self`,
+    /// written into a caller-reused buffer so the steady-state release
+    /// path never allocates. `out` is *not* cleared first.
+    pub fn subtract_into(&self, win: GranuleRange, out: &mut Vec<GranuleRange>) {
         if win.is_empty() {
-            return gaps;
+            return;
         }
         let mut cursor = win.lo;
-        for &(lo, hi) in &self.runs {
-            if hi <= cursor {
-                continue;
-            }
+        let start = self.runs.partition_point(|&(_, rhi)| rhi <= win.lo);
+        for &(lo, hi) in &self.runs[start..] {
             if lo >= win.hi {
                 break;
             }
             if lo > cursor {
-                gaps.push(GranuleRange::new(cursor, lo.min(win.hi)));
+                out.push(GranuleRange::new(cursor, lo.min(win.hi)));
             }
             cursor = cursor.max(hi);
             if cursor >= win.hi {
@@ -103,38 +157,51 @@ impl RangeSet {
             }
         }
         if cursor < win.hi {
-            gaps.push(GranuleRange::new(cursor, win.hi));
+            out.push(GranuleRange::new(cursor, win.hi));
         }
+    }
+
+    /// The gaps inside the window, as a fresh vector. Convenience wrapper
+    /// over [`RangeSet::subtract_into`] for tests and cold paths.
+    pub fn gaps_in(&self, win: GranuleRange) -> Vec<GranuleRange> {
+        let mut gaps = Vec::new();
+        self.subtract_into(win, &mut gaps);
         gaps
     }
 
-    /// The covered sub-ranges intersecting the window.
+    /// Iterate the covered sub-ranges intersecting the window, without
+    /// materializing them.
+    pub fn covered_in_iter(&self, win: GranuleRange) -> impl Iterator<Item = GranuleRange> + '_ {
+        let start = self.runs.partition_point(|&(_, rhi)| rhi <= win.lo);
+        self.runs[start..]
+            .iter()
+            .take_while(move |&&(lo, _)| lo < win.hi)
+            .filter_map(move |&(lo, hi)| {
+                let l = lo.max(win.lo);
+                let h = hi.min(win.hi);
+                (l < h).then(|| GranuleRange::new(l, h))
+            })
+    }
+
+    /// The covered sub-ranges intersecting the window, as a fresh vector.
+    /// Convenience wrapper over [`RangeSet::covered_in_iter`].
     pub fn covered_in(&self, win: GranuleRange) -> Vec<GranuleRange> {
-        let mut out = Vec::new();
-        for &(lo, hi) in &self.runs {
-            if hi <= win.lo {
-                continue;
-            }
-            if lo >= win.hi {
-                break;
-            }
-            out.push(GranuleRange::new(lo.max(win.lo), hi.min(win.hi)));
-        }
-        out
+        self.covered_in_iter(win).collect()
     }
 }
 
 /// Coalesce a sorted-or-unsorted list of granule indices into maximal
-/// contiguous ranges. Used when enablement counters release many successor
-/// granules in one completion-processing step: the executive creates one
-/// description per contiguous run rather than one per granule.
-pub fn coalesce_indices(indices: &mut Vec<u32>) -> Vec<GranuleRange> {
+/// contiguous ranges, appended to `out` (which is *not* cleared). Used
+/// when enablement counters release many successor granules in one
+/// completion-processing step: the executive creates one description per
+/// contiguous run rather than one per granule, and reuses both buffers
+/// across events.
+pub fn coalesce_indices_into(indices: &mut Vec<u32>, out: &mut Vec<GranuleRange>) {
     if indices.is_empty() {
-        return Vec::new();
+        return;
     }
     indices.sort_unstable();
     indices.dedup();
-    let mut out = Vec::new();
     let mut lo = indices[0];
     let mut prev = indices[0];
     for &g in &indices[1..] {
@@ -147,6 +214,13 @@ pub fn coalesce_indices(indices: &mut Vec<u32>) -> Vec<GranuleRange> {
         }
     }
     out.push(GranuleRange::new(lo, prev + 1));
+}
+
+/// Coalesce into a fresh vector. Convenience wrapper over
+/// [`coalesce_indices_into`] for tests and cold paths.
+pub fn coalesce_indices(indices: &mut Vec<u32>) -> Vec<GranuleRange> {
+    let mut out = Vec::new();
+    coalesce_indices_into(indices, &mut out);
     out
 }
 
@@ -249,5 +323,62 @@ mod tests {
         let mut v = vec![3, 3, 4, 4, 5];
         let runs = coalesce_indices(&mut v);
         assert_eq!(runs, vec![r(3, 6)]);
+    }
+
+    #[test]
+    fn insert_run_reports_merge_shape() {
+        let mut s = RangeSet::new();
+        let i = s.insert_run(r(5, 10));
+        assert_eq!(i.merged, r(5, 10));
+        assert_eq!(i.absorbed, 0);
+        assert_eq!(i.added, 5);
+
+        // extend one run in place
+        let i = s.insert_run(r(10, 12));
+        assert_eq!(i.merged, r(5, 12));
+        assert_eq!(i.absorbed, 1);
+        assert_eq!(i.added, 2);
+
+        // bridge two runs
+        s.insert(r(20, 25));
+        let i = s.insert_run(r(12, 20));
+        assert_eq!(i.merged, r(5, 25));
+        assert_eq!(i.absorbed, 2);
+        assert_eq!(i.added, 8);
+        assert_eq!(s.run_count(), 1);
+
+        // already covered: nothing added
+        let i = s.insert_run(r(6, 7));
+        assert_eq!(i.merged, r(5, 25));
+        assert_eq!(i.absorbed, 1);
+        assert_eq!(i.added, 0);
+    }
+
+    #[test]
+    fn subtract_into_appends_without_clearing() {
+        let mut s = RangeSet::new();
+        s.insert(r(2, 4));
+        let mut out = vec![r(0, 1)];
+        s.subtract_into(r(0, 6), &mut out);
+        assert_eq!(out, vec![r(0, 1), r(0, 2), r(4, 6)]);
+    }
+
+    #[test]
+    fn covered_in_iter_matches_covered_in() {
+        let mut s = RangeSet::new();
+        s.insert(r(2, 4));
+        s.insert(r(6, 8));
+        s.insert(r(10, 20));
+        for win in [r(0, 25), r(3, 7), r(4, 6), r(8, 10), r(5, 5)] {
+            let a: Vec<GranuleRange> = s.covered_in_iter(win).collect();
+            assert_eq!(a, s.covered_in(win), "window {win}");
+        }
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let s = RangeSet::with_capacity(16);
+        assert!(s.is_empty());
+        assert_eq!(s.run_count(), 0);
     }
 }

@@ -1,0 +1,95 @@
+//! Counting-allocator regression test for the executive's steady state.
+//!
+//! The allocation-free rework (scratch-buffer reuse, interned steps,
+//! O(1) live-list removal, `Arc`-shared composite maps) promises that
+//! processing one completion event in identity-mapping steady state
+//! performs **zero** heap allocations. Proving "zero per event" from
+//! inside one process has a subtlety: long-lived vectors (descriptor
+//! slab, waiting queue, metric delta logs) legitimately double a
+//! logarithmic number of times as a run grows. So the test runs the same
+//! identity-overlap workload at two sizes and checks that the *extra*
+//! allocations per *extra* event are (far) below one — the per-event term
+//! is zero, only the `O(log n)` growth term remains.
+//!
+//! This file contains exactly one `#[test]` on purpose: the counter is a
+//! process-wide global, and a concurrently running sibling test would
+//! bleed allocations into the measurement window.
+
+use pax_core::prelude::*;
+use pax_sim::dist::CostModel;
+use pax_sim::machine::MachineConfig;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Run a two-phase identity-overlap program (single-granule tasks, demand
+/// splitting — the configuration with the most completion events per
+/// granule) and report the run plus the allocations it performed.
+fn identity_run(granules: u32) -> (RunReport, u64) {
+    let mut b = ProgramBuilder::new();
+    let pa = b.phase(PhaseDef::new("a", granules, CostModel::constant(100)));
+    let pb = b.phase(PhaseDef::new("b", granules, CostModel::constant(100)));
+    b.dispatch_enable(
+        pa,
+        vec![EnableSpec {
+            successor: pb,
+            mapping: EnablementMapping::Identity,
+        }],
+    );
+    b.dispatch(pb);
+    let program = b.build().unwrap();
+    let policy = OverlapPolicy::overlap()
+        .with_sizing(TaskSizing::Fixed(1))
+        .with_split_strategy(SplitStrategy::DemandSplit);
+    let mut sim = Simulation::new(MachineConfig::new(8), policy).with_seed(1);
+    sim.add_job(program);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let report = sim.run().unwrap();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (report, after - before)
+}
+
+#[test]
+fn steady_state_completion_processing_is_allocation_free() {
+    // Warm-up absorbs lazy one-time initialization.
+    let _ = identity_run(256);
+    let (r1, a1) = identity_run(2_048);
+    let (r2, a2) = identity_run(8_192);
+    assert_eq!(r1.phases[0].stats.executed_granules, 2_048);
+    assert_eq!(r2.phases[0].stats.executed_granules, 8_192);
+    let extra_events = r2.events - r1.events;
+    assert!(
+        extra_events > 10_000,
+        "scenario too small to measure ({extra_events} extra events)"
+    );
+    let extra_allocs = a2.saturating_sub(a1);
+    let per_event = extra_allocs as f64 / extra_events as f64;
+    assert!(
+        per_event < 0.01,
+        "completion processing allocates: {per_event:.4} allocations/event \
+         ({extra_allocs} extra allocations over {extra_events} extra events; \
+         run sizes {a1} vs {a2})"
+    );
+}

@@ -255,6 +255,147 @@ proptest! {
         prop_assert!(cheap.makespan <= costly.makespan);
         prop_assert!(costly.makespan <= stolen.makespan);
     }
+
+    /// The time-wheel event calendar is an observably identical drop-in
+    /// for the binary heap: whole simulations produce the same report,
+    /// event for event, across mappings, seeds, and wheel sizes (small
+    /// wheels force heavy overflow-rail traffic).
+    #[test]
+    fn time_wheel_runs_match_heap_runs(
+        granules in 2u32..24,
+        procs in 1usize..9,
+        cost in 1u64..60,
+        seed in 0u64..1000,
+        map_seed in 0usize..5,
+        slots in 1usize..600,
+    ) {
+        let maps: Vec<EnablementMapping> = (0..2).map(|i| {
+            match (i + map_seed) % 5 {
+                0 => EnablementMapping::Universal,
+                1 => EnablementMapping::Identity,
+                2 => EnablementMapping::Null,
+                3 => {
+                    let t: Vec<u32> = (0..granules).map(|g| (g * 7 + 3) % granules).collect();
+                    EnablementMapping::ForwardIndirect(Arc::new(ForwardMap::new(t, granules)))
+                }
+                _ => {
+                    let req: Vec<Vec<u32>> =
+                        (0..granules).map(|r| vec![r % granules, (r + 1) % granules]).collect();
+                    EnablementMapping::ReverseIndirect(Arc::new(ReverseMap::new(req, granules)))
+                }
+            }
+        }).collect();
+        let program = linear(
+            granules,
+            vec![DurationDist::uniform(1, 1 + cost); 3],
+            maps,
+        );
+        let run = |calendar: pax_sim::calendar::CalendarKind| {
+            let cfg = MachineConfig::new(procs).with_calendar(calendar);
+            let mut s = Simulation::new(cfg, OverlapPolicy::overlap()).with_seed(seed);
+            s.add_job(program.clone());
+            s.run().unwrap()
+        };
+        let heap = run(pax_sim::calendar::CalendarKind::BinaryHeap);
+        let wheel = run(pax_sim::calendar::CalendarKind::TimeWheel { slots });
+        prop_assert_eq!(heap.makespan, wheel.makespan);
+        prop_assert_eq!(heap.events, wheel.events);
+        prop_assert_eq!(heap.tasks_dispatched, wheel.tasks_dispatched);
+        prop_assert_eq!(heap.splits, wheel.splits);
+        prop_assert_eq!(heap.compute_time, wheel.compute_time);
+        prop_assert_eq!(heap.mgmt_time, wheel.mgmt_time);
+        prop_assert_eq!(heap.descriptors_created, wheel.descriptors_created);
+    }
+}
+
+mod rangeset_props {
+    use pax_core::ids::GranuleRange;
+    use pax_core::rangeset::RangeSet;
+    use proptest::prelude::*;
+
+    fn build(ranges: &[(u32, u32)]) -> RangeSet {
+        let mut s = RangeSet::new();
+        for &(lo, len) in ranges {
+            s.insert(GranuleRange::new(lo, lo + len));
+        }
+        s
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// `subtract_into` (the borrowing gap iterator) agrees with the
+        /// reference definition: every index in the window is either in
+        /// the set or in exactly one reported gap.
+        #[test]
+        fn subtract_into_partitions_the_window(
+            ranges in proptest::collection::vec((0u32..200, 1u32..20), 0..20),
+            win_lo in 0u32..200,
+            win_len in 0u32..100,
+        ) {
+            let s = build(&ranges);
+            let win = GranuleRange::new(win_lo, win_lo + win_len);
+            let mut gaps = Vec::new();
+            s.subtract_into(win, &mut gaps);
+            // gaps are sorted, disjoint, within the window
+            for w in gaps.windows(2) {
+                prop_assert!(w[0].hi <= w[1].lo);
+            }
+            for g in win.iter() {
+                let in_gap = gaps.iter().any(|r| r.contains(g));
+                prop_assert_eq!(in_gap, !s.contains(g), "index {}", g);
+            }
+            for r in &gaps {
+                prop_assert!(r.lo >= win.lo && r.hi <= win.hi && !r.is_empty());
+            }
+        }
+
+        /// The borrowing covered iterator agrees with the gap view:
+        /// covered ∪ gaps tiles the window exactly.
+        #[test]
+        fn covered_iter_complements_gaps(
+            ranges in proptest::collection::vec((0u32..200, 1u32..20), 0..20),
+            win_lo in 0u32..200,
+            win_len in 0u32..100,
+        ) {
+            let s = build(&ranges);
+            let win = GranuleRange::new(win_lo, win_lo + win_len);
+            let covered: Vec<GranuleRange> = s.covered_in_iter(win).collect();
+            prop_assert_eq!(&covered, &s.covered_in(win));
+            let gaps = s.gaps_in(win);
+            let mut tiles: Vec<GranuleRange> = covered;
+            tiles.extend(gaps.iter().copied());
+            tiles.sort_by_key(|r| r.lo);
+            let total: u64 = tiles.iter().map(|r| r.len() as u64).sum();
+            prop_assert_eq!(total, win.len() as u64);
+            for w in tiles.windows(2) {
+                prop_assert_eq!(w[0].hi, w[1].lo, "tiles must abut");
+            }
+        }
+
+        /// `insert_run`'s merge report is consistent with the set's
+        /// before/after state: run counts, coverage, and the merged span.
+        #[test]
+        fn insert_run_merge_info_is_consistent(
+            ranges in proptest::collection::vec((0u32..200, 1u32..20), 0..20),
+            lo in 0u32..200,
+            len in 1u32..30,
+        ) {
+            let mut s = build(&ranges);
+            let before_runs = s.run_count();
+            let before_len = s.len();
+            let r = GranuleRange::new(lo, lo + len);
+            let info = s.insert_run(r);
+            // merged span is a stored run and covers the insert
+            prop_assert!(s.iter_runs().any(|run| run == info.merged));
+            prop_assert!(info.merged.lo <= r.lo && info.merged.hi >= r.hi);
+            // run-count arithmetic: absorbed runs collapse into one
+            prop_assert_eq!(s.run_count(), before_runs - info.absorbed + 1);
+            // coverage arithmetic: added indices are exactly the growth
+            prop_assert_eq!(s.len(), before_len + info.added);
+            prop_assert!(info.added <= r.len() as u64);
+        }
+    }
 }
 
 mod assignment_props {

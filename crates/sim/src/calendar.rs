@@ -1,0 +1,446 @@
+//! Indexed event calendar: a bucketed time wheel with a binary-heap
+//! overflow rail.
+//!
+//! The future-event list is the other per-event cost center of the
+//! simulation (after completion processing itself): every dispatch and
+//! completion pays an `O(log n)` heap reshuffle in
+//! [`EventQueue`](crate::event::EventQueue). A discrete-event executive,
+//! however, schedules almost everything a short, bounded distance into
+//! the future (task end times, service completions), which is exactly the
+//! access pattern a *calendar queue* serves in `O(1)`: a ring of buckets,
+//! one tick per bucket, indexed by `time % size`. Events beyond the
+//! wheel's horizon wait on a conventional binary-heap *overflow rail* and
+//! migrate into the wheel as the cursor approaches them.
+//!
+//! # Determinism contract
+//!
+//! [`TimeWheel`] pops events in exactly the same order as
+//! [`EventQueue`](crate::event::EventQueue): ascending time, insertion
+//! order within a tick. Two mechanisms guarantee the tie-break without
+//! storing per-event sequence numbers in the buckets:
+//!
+//! * a bucket only ever holds events of a single due time (granularity is
+//!   one tick and scheduling into the past is forbidden), so FIFO bucket
+//!   order *is* insertion order; and
+//! * the overflow rail is drained into the wheel **eagerly on every
+//!   cursor advance** — before any later `schedule` can append an
+//!   in-window event — so migrated events always precede directly
+//!   inserted ones of the same tick, matching their older sequence
+//!   numbers. (The rail itself is a `(time, seq)` min-heap.)
+//!
+//! The one contract difference from the heap: events must not be
+//! scheduled before the most recently popped time (the executive never
+//! does — it schedules at `now` or later). Debug builds assert this;
+//! release builds clamp to the cursor.
+
+use crate::event::Scheduled;
+use crate::time::SimTime;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Default number of wheel buckets (ticks of horizon). Past this distance
+/// events ride the overflow rail until the cursor closes in.
+pub const DEFAULT_WHEEL_SLOTS: usize = 4096;
+
+/// A bucketed time wheel, deterministic drop-in for
+/// [`EventQueue`](crate::event::EventQueue).
+///
+/// ```
+/// use pax_sim::calendar::TimeWheel;
+/// use pax_sim::time::SimTime;
+///
+/// let mut w = TimeWheel::new(16);
+/// w.schedule(SimTime(5), "b");
+/// w.schedule(SimTime(3), "a");
+/// w.schedule(SimTime(5), "c");
+/// w.schedule(SimTime(5_000), "overflow");
+/// assert_eq!(w.pop(), Some((SimTime(3), "a")));
+/// assert_eq!(w.pop(), Some((SimTime(5), "b"))); // insertion order at t=5
+/// assert_eq!(w.pop(), Some((SimTime(5), "c")));
+/// assert_eq!(w.pop(), Some((SimTime(5_000), "overflow")));
+/// assert_eq!(w.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeWheel<E> {
+    /// Ring of buckets; bucket `t & mask` holds events due at tick `t`
+    /// for `t` in `[cursor, cursor + buckets.len())`.
+    buckets: Vec<VecDeque<(SimTime, E)>>,
+    /// `buckets.len() - 1`; the length is a power of two.
+    mask: u64,
+    /// Tick the wheel is currently serving. Only advances.
+    cursor: u64,
+    /// Events stored in the wheel.
+    wheel_len: usize,
+    /// Events beyond the horizon, keyed `(time, seq)`.
+    overflow: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> TimeWheel<E> {
+    /// A wheel with at least `slots` buckets (rounded up to a power of
+    /// two) of one-tick granularity.
+    pub fn new(slots: usize) -> TimeWheel<E> {
+        let n = slots.max(2).next_power_of_two();
+        TimeWheel {
+            buckets: (0..n).map(|_| VecDeque::new()).collect(),
+            mask: (n - 1) as u64,
+            cursor: 0,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// A wheel with the default horizon.
+    pub fn with_default_slots() -> TimeWheel<E> {
+        Self::new(DEFAULT_WHEEL_SLOTS)
+    }
+
+    /// Number of buckets (the wheel's horizon in ticks).
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Schedule `payload` to fire at `at`. Must not precede the most
+    /// recently popped time while events are pending (debug-asserted;
+    /// clamped in release). With nothing pending the wheel rewinds freely.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        if at.0 < self.cursor && self.is_empty() {
+            self.cursor = at.0;
+        }
+        debug_assert!(
+            at.0 >= self.cursor,
+            "time wheel cannot schedule into the past ({} < cursor {})",
+            at,
+            self.cursor
+        );
+        let at = SimTime(at.0.max(self.cursor));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        if at.0 - self.cursor < self.buckets.len() as u64 {
+            self.buckets[(at.0 & self.mask) as usize].push_back((at, payload));
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Scheduled { at, seq, payload });
+        }
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.wheel_len == 0 {
+            // Nothing within the horizon: jump the cursor straight to the
+            // earliest overflow event and pull its cohort in.
+            let t = self.overflow.peek()?.at;
+            self.cursor = t.0;
+            self.migrate();
+            debug_assert!(self.wheel_len > 0);
+        }
+        // Scan forward from the cursor; bounded by the wheel size because
+        // every wheel event lies within the horizon, and amortized O(1)
+        // because the cursor never retreats.
+        loop {
+            let bucket = &mut self.buckets[(self.cursor & self.mask) as usize];
+            if let Some(&(t, _)) = bucket.front() {
+                debug_assert_eq!(t.0, self.cursor, "bucket holds a single due time");
+                let (t, payload) = bucket.pop_front().expect("checked front");
+                self.wheel_len -= 1;
+                return Some((t, payload));
+            }
+            self.cursor += 1;
+            // The horizon moved: adopt overflow events that now fit. Doing
+            // this on every advance (before any schedule() can run) keeps
+            // migrated events ahead of later same-tick insertions.
+            self.migrate();
+        }
+    }
+
+    /// Due time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.wheel_len > 0 {
+            // The scan pop() would perform, without the mutation.
+            let n = self.buckets.len() as u64;
+            (self.cursor..self.cursor + n).find_map(|t| {
+                self.buckets[(t & self.mask) as usize]
+                    .front()
+                    .map(|&(at, _)| at)
+            })
+        } else {
+            self.overflow.peek().map(|o| o.at)
+        }
+    }
+
+    /// Move overflow events that fit inside `[cursor, cursor + slots)`
+    /// into their buckets, in `(time, seq)` order.
+    fn migrate(&mut self) {
+        let horizon = self.cursor + self.buckets.len() as u64;
+        while let Some(o) = self.overflow.peek() {
+            if o.at.0 >= horizon {
+                break;
+            }
+            let o = self.overflow.pop().expect("peeked");
+            self.buckets[(o.at.0 & self.mask) as usize].push_back((o.at, o.payload));
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever scheduled (for run statistics).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+/// Which future-event list implementation a simulation uses.
+///
+/// Part of [`MachineConfig`](crate::machine::MachineConfig); both produce
+/// bit-identical schedules, so this is purely a host-performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CalendarKind {
+    /// The `(time, seq)` binary min-heap — `O(log n)` per operation,
+    /// no tuning. The default.
+    #[default]
+    BinaryHeap,
+    /// The bucketed time wheel with `slots` ticks of horizon (rounded up
+    /// to a power of two) and a heap overflow rail — amortized `O(1)` for
+    /// the near-future traffic that dominates executive scheduling.
+    TimeWheel {
+        /// Wheel horizon in ticks; [`DEFAULT_WHEEL_SLOTS`] is a good
+        /// default (use `CalendarKind::time_wheel()`).
+        slots: usize,
+    },
+}
+
+impl CalendarKind {
+    /// The time wheel with the default horizon.
+    pub fn time_wheel() -> CalendarKind {
+        CalendarKind::TimeWheel {
+            slots: DEFAULT_WHEEL_SLOTS,
+        }
+    }
+}
+
+/// A future-event list of either implementation, chosen at runtime from
+/// [`CalendarKind`]. This is what the executive actually holds; the
+/// indirection is one predictable branch per operation.
+#[derive(Debug, Clone)]
+pub enum Calendar<E> {
+    /// Binary-heap backend.
+    Heap(crate::event::EventQueue<E>),
+    /// Time-wheel backend.
+    Wheel(TimeWheel<E>),
+}
+
+impl<E> Calendar<E> {
+    /// Construct the backend `kind` asks for.
+    pub fn from_kind(kind: CalendarKind) -> Calendar<E> {
+        match kind {
+            CalendarKind::BinaryHeap => Calendar::Heap(crate::event::EventQueue::new()),
+            CalendarKind::TimeWheel { slots } => Calendar::Wheel(TimeWheel::new(slots)),
+        }
+    }
+
+    /// Schedule `payload` at `at`.
+    #[inline]
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        match self {
+            Calendar::Heap(q) => q.schedule(at, payload),
+            Calendar::Wheel(w) => w.schedule(at, payload),
+        }
+    }
+
+    /// Remove and return the earliest event, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            Calendar::Heap(q) => q.pop(),
+            Calendar::Wheel(w) => w.pop(),
+        }
+    }
+
+    /// Due time of the earliest pending event.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            Calendar::Heap(q) => q.peek_time(),
+            Calendar::Wheel(w) => w.peek_time(),
+        }
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Calendar::Heap(q) => q.len(),
+            Calendar::Wheel(w) => w.len(),
+        }
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever scheduled.
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        match self {
+            Calendar::Heap(q) => q.scheduled_total(),
+            Calendar::Wheel(w) => w.scheduled_total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventQueue;
+
+    #[test]
+    fn pops_in_time_order_across_horizon() {
+        let mut w = TimeWheel::new(8);
+        w.schedule(SimTime(300), 3); // overflow (≥ 8)
+        w.schedule(SimTime(1), 1);
+        w.schedule(SimTime(5), 2);
+        w.schedule(SimTime(1_000_000), 4); // deep overflow
+        let order: Vec<i32> = std::iter::from_fn(|| w.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order_including_migration() {
+        // Events at the same tick, some via overflow, some direct: the
+        // overflow ones carry earlier sequence numbers and must pop first.
+        let mut w = TimeWheel::new(8);
+        w.schedule(SimTime(100), "early-overflow"); // overflow at cursor 0
+        w.schedule(SimTime(0), "starter");
+        assert_eq!(w.pop(), Some((SimTime(0), "starter")));
+        // popping advanced the cursor only to 0; now walk time forward
+        w.schedule(SimTime(96), "stepper"); // still overflow (96 >= 0+8)... keep walking
+        let (t, e) = w.pop().unwrap();
+        assert_eq!((t, e), (SimTime(96), "stepper"));
+        // cursor now 96; 100 is in-window and already migrated. A direct
+        // insertion at 100 must land *behind* it.
+        w.schedule(SimTime(100), "late-direct");
+        assert_eq!(w.pop(), Some((SimTime(100), "early-overflow")));
+        assert_eq!(w.pop(), Some((SimTime(100), "late-direct")));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn wraps_around_the_ring_many_times() {
+        let mut w = TimeWheel::new(4);
+        let mut expected = Vec::new();
+        let mut now = 0u64;
+        for i in 0..100u64 {
+            now += i % 7;
+            w.schedule(SimTime(now), i);
+            expected.push((now, i));
+        }
+        expected.sort_by_key(|&(t, i)| (t, i)); // seq == i here
+        let got: Vec<(u64, u64)> = std::iter::from_fn(|| w.pop().map(|(t, e)| (t.0, e))).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_matches_heap() {
+        let mut w = TimeWheel::new(16);
+        let mut q = EventQueue::new();
+        let mut now = 0u64;
+        // A deterministic but irregular schedule/pop interleaving.
+        for step in 0..500u64 {
+            let burst = (step * 7 + 3) % 5;
+            for k in 0..burst {
+                let dt = (step * 13 + k * 29) % 200; // crosses the horizon
+                w.schedule(SimTime(now + dt), (step, k));
+                q.schedule(SimTime(now + dt), (step, k));
+            }
+            if step % 3 != 0 {
+                let a = w.pop();
+                let b = q.pop();
+                assert_eq!(a, b, "divergence at step {step}");
+                if let Some((t, _)) = a {
+                    now = t.0;
+                }
+            }
+        }
+        loop {
+            let a = w.pop();
+            let b = q.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn len_and_scheduled_total() {
+        let mut w: TimeWheel<()> = TimeWheel::new(8);
+        assert!(w.is_empty());
+        w.schedule(SimTime(1), ());
+        w.schedule(SimTime(1_000), ());
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.scheduled_total(), 2);
+        w.pop();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn peek_time_matches_pop_without_mutating() {
+        let mut w = TimeWheel::new(8);
+        assert_eq!(w.peek_time(), None);
+        w.schedule(SimTime(9), 1); // overflow
+        assert_eq!(w.peek_time(), Some(SimTime(9)));
+        w.schedule(SimTime(4), 2);
+        assert_eq!(w.peek_time(), Some(SimTime(4)));
+        assert_eq!(w.pop(), Some((SimTime(4), 2)));
+        assert_eq!(w.peek_time(), Some(SimTime(9)));
+    }
+
+    #[test]
+    fn calendar_kind_round_trip() {
+        let mut heap: Calendar<u32> = Calendar::from_kind(CalendarKind::BinaryHeap);
+        let mut wheel: Calendar<u32> = Calendar::from_kind(CalendarKind::time_wheel());
+        for (t, e) in [(5u64, 1u32), (2, 2), (5, 3), (9_999_999, 4)] {
+            heap.schedule(SimTime(t), e);
+            wheel.schedule(SimTime(t), e);
+        }
+        assert_eq!(heap.len(), wheel.len());
+        assert_eq!(heap.peek_time(), wheel.peek_time());
+        loop {
+            let a = heap.pop();
+            let b = wheel.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(heap.scheduled_total(), 4);
+        assert_eq!(wheel.scheduled_total(), 4);
+    }
+
+    #[test]
+    fn tiny_slot_count_rounds_up() {
+        let w: TimeWheel<()> = TimeWheel::new(1);
+        assert_eq!(w.slots(), 2);
+        let w: TimeWheel<()> = TimeWheel::new(100);
+        assert_eq!(w.slots(), 128);
+    }
+}

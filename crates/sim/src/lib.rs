@@ -14,6 +14,11 @@
 //! * [`event`] — a deterministic future-event list ([`event::EventQueue`])
 //!   with insertion-order tie-breaking, so runs are bit-for-bit
 //!   reproducible.
+//! * [`calendar`] — an indexed event calendar ([`calendar::TimeWheel`]):
+//!   a bucketed time wheel with a binary-heap overflow rail, pop-for-pop
+//!   identical to [`event::EventQueue`] but amortized `O(1)` for the
+//!   near-future scheduling that dominates executive traffic. Selected
+//!   per machine via [`machine::MachineConfig`].
 //! * [`dist`] — granule execution-time distributions, including the
 //!   conditional-skip behaviour the paper reports from CASPER.
 //! * [`machine`] — processor pools, executive placement
@@ -31,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod dist;
 pub mod event;
 pub mod locality;
@@ -39,6 +45,7 @@ pub mod metrics;
 pub mod time;
 pub mod trace;
 
+pub use calendar::{Calendar, CalendarKind, TimeWheel};
 pub use dist::{CostModel, DurationDist};
 pub use event::EventQueue;
 pub use locality::{DataLayout, LocalityModel};

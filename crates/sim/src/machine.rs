@@ -11,6 +11,7 @@
 //! recognition, successor scheduling, merging, and composite-map
 //! construction for indirect mappings.
 
+use crate::calendar::CalendarKind;
 use crate::locality::LocalityModel;
 use crate::time::SimDuration;
 
@@ -124,6 +125,10 @@ pub struct MachineConfig {
     /// data-proximity assignment policy something to optimize (the third
     /// strategy the paper names as under development).
     pub locality: Option<LocalityModel>,
+    /// Future-event list implementation. Both choices pop bit-identically;
+    /// [`CalendarKind::TimeWheel`] trades a fixed bucket ring for
+    /// amortized `O(1)` scheduling on event-dense runs.
+    pub calendar: CalendarKind,
 }
 
 impl MachineConfig {
@@ -137,6 +142,7 @@ impl MachineConfig {
             costs: ManagementCosts::pax_default(),
             executive_lanes: 1,
             locality: None,
+            calendar: CalendarKind::BinaryHeap,
         }
     }
 
@@ -149,6 +155,7 @@ impl MachineConfig {
             costs: ManagementCosts::free(),
             executive_lanes: 1,
             locality: None,
+            calendar: CalendarKind::BinaryHeap,
         }
     }
 
@@ -177,6 +184,12 @@ impl MachineConfig {
         self.locality = Some(locality);
         self
     }
+
+    /// Builder-style: choose the future-event list implementation.
+    pub fn with_calendar(mut self, calendar: CalendarKind) -> MachineConfig {
+        self.calendar = calendar;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -202,9 +215,12 @@ mod tests {
     fn builder_chain() {
         let m = MachineConfig::new(4)
             .with_executive(ExecutivePlacement::StealsWorker)
-            .with_costs(ManagementCosts::free());
+            .with_costs(ManagementCosts::free())
+            .with_calendar(CalendarKind::time_wheel());
         assert_eq!(m.executive, ExecutivePlacement::StealsWorker);
         assert_eq!(m.costs.dispatch, SimDuration::ZERO);
+        assert!(matches!(m.calendar, CalendarKind::TimeWheel { .. }));
+        assert_eq!(MachineConfig::new(4).calendar, CalendarKind::BinaryHeap);
     }
 
     #[test]

@@ -1,11 +1,74 @@
 //! Property-based tests for the simulation substrate.
 
+use pax_sim::calendar::TimeWheel;
 use pax_sim::event::EventQueue;
 use pax_sim::metrics::step::StepTrace;
 use pax_sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 
 proptest! {
+    /// The bucketed time wheel pops bit-identically to the binary-heap
+    /// event queue on randomized schedules: same times, same payloads,
+    /// same tie-break order — including events past the wheel horizon
+    /// (overflow rail) and schedules interleaved with pops.
+    #[test]
+    fn time_wheel_matches_heap_on_random_schedules(
+        slots in 1usize..700,
+        ops in proptest::collection::vec((0u64..3000, 1usize..6, proptest::bool::ANY), 1..120),
+    ) {
+        let mut wheel = TimeWheel::new(slots);
+        let mut heap = EventQueue::new();
+        let mut now = 0u64;
+        let mut id = 0u64;
+        for &(dt, burst, do_pop) in &ops {
+            // Schedule a burst at or after `now` (the executive's
+            // contract: never into the past).
+            for k in 0..burst {
+                let at = SimTime(now + (dt + k as u64 * 37) % 3000);
+                wheel.schedule(at, id);
+                heap.schedule(at, id);
+                id += 1;
+            }
+            if do_pop {
+                let a = wheel.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b, "pop divergence");
+                if let Some((t, _)) = a {
+                    now = t.0;
+                }
+            }
+        }
+        // Drain both completely.
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b, "drain divergence");
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.scheduled_total(), heap.scheduled_total());
+    }
+
+    /// `peek_time` never lies: it always names the time of the next pop.
+    #[test]
+    fn time_wheel_peek_matches_pop(
+        slots in 1usize..100,
+        times in proptest::collection::vec(0u64..5000, 1..80),
+    ) {
+        // All schedules happen before the first pop, so the cursor is
+        // still at zero and any future time is legal.
+        let mut wheel = TimeWheel::new(slots);
+        for (i, &t) in times.iter().enumerate() {
+            wheel.schedule(SimTime(t), i);
+        }
+        while let Some(peeked) = wheel.peek_time() {
+            let (t, _) = wheel.pop().expect("peek implies pending");
+            prop_assert_eq!(peeked, t);
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
     /// Events always pop in non-decreasing time order, and equal-time
     /// events pop in insertion order.
     #[test]
