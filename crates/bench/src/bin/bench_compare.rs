@@ -1,0 +1,70 @@
+//! CI perf gate: compare two rundown bench JSON files.
+//!
+//! ```text
+//! cargo run --release -p pax-bench --bin bench-compare -- \
+//!     BASELINE.json CURRENT.json [--threshold 1.25]
+//! ```
+//!
+//! Prints a Markdown report (the CI workflow tees it into
+//! `$GITHUB_STEP_SUMMARY`) and exits non-zero when any scenario present
+//! in both files regressed beyond the threshold ratio (default 1.25 =
+//! 25 % slower). New or removed scenarios are reported but never fail
+//! the gate; neither does a cross-host comparison flagged by mismatched
+//! `host` fingerprints — it is annotated as indicative instead.
+
+use pax_bench::compare;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: bench-compare BASELINE.json CURRENT.json [--threshold RATIO]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 1.25f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ if a.starts_with("--") => usage(),
+            _ => paths.push(a.clone()),
+        }
+    }
+    if paths.len() != 2 || threshold <= 1.0 {
+        usage();
+    }
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bench-compare: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = compare::parse_rundown(&read(&paths[0]));
+    let current = compare::parse_rundown(&read(&paths[1]));
+    if current.scenarios.is_empty() {
+        eprintln!("bench-compare: no scenarios found in {}", paths[1]);
+        return ExitCode::from(2);
+    }
+    let rows = compare::compare(&baseline, &current);
+    print!(
+        "{}",
+        compare::markdown_report(&baseline, &current, &rows, threshold)
+    );
+    let cross_host = compare::host_mismatch(&baseline, &current);
+    let bad = compare::regressions(&rows, threshold);
+    if !bad.is_empty() && !cross_host {
+        eprintln!(
+            "bench-compare: {} scenario(s) regressed beyond {threshold}x",
+            bad.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

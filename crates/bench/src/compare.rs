@@ -1,0 +1,315 @@
+//! Rundown-bench JSON comparison: the CI perf gate.
+//!
+//! Reads two `BENCH_rundown.json` files (a baseline — the previous CI
+//! run's artifact or the checked-in copy — and the current measurement),
+//! matches scenarios by name, and reports the per-scenario wall-time
+//! ratio as a Markdown table (rendered into `$GITHUB_STEP_SUMMARY` by
+//! the workflow). A ratio above the threshold on any scenario present in
+//! both files is a **regression** and fails the gate.
+//!
+//! The parser is a deliberately small scanner for the format
+//! [`crate::rundown::to_json`] emits (the repo vendors no serde): it
+//! pairs each `"name"` with the following `"wall_ms"` inside the
+//! `scenarios` array and also captures the top-level `"host"` so the
+//! table can flag cross-host comparisons, which are informational only.
+
+/// One scenario measurement extracted from a rundown JSON file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRun {
+    /// Host fingerprint recorded in the file (absent in pre-v2 files).
+    pub host: Option<String>,
+    /// `(scenario name, wall_ms)` in file order.
+    pub scenarios: Vec<(String, f64)>,
+}
+
+/// Extract the string value following `key` on a JSON line like
+/// `  "key": "value",`.
+fn string_value(line: &str) -> Option<String> {
+    let (_, rest) = line.split_once(':')?;
+    let rest = rest.trim().trim_end_matches(',');
+    let rest = rest.strip_prefix('"')?.strip_suffix('"')?;
+    Some(rest.to_string())
+}
+
+/// Extract the numeric value following `key` on a JSON line like
+/// `  "key": 12.5,` (returns `None` for `null`).
+fn number_value(line: &str) -> Option<f64> {
+    let (_, rest) = line.split_once(':')?;
+    rest.trim().trim_end_matches(',').parse().ok()
+}
+
+/// Parse a rundown JSON document (format of [`crate::rundown::to_json`]).
+pub fn parse_rundown(json: &str) -> ParsedRun {
+    let mut host = None;
+    let mut scenarios = Vec::new();
+    let mut in_scenarios = false;
+    let mut pending_name: Option<String> = None;
+    for line in json.lines() {
+        let t = line.trim_start();
+        if !in_scenarios {
+            if t.starts_with("\"host\"") {
+                host = string_value(t);
+            }
+            if t.starts_with("\"scenarios\"") {
+                in_scenarios = true;
+            }
+            continue;
+        }
+        if t.starts_with("\"name\"") {
+            pending_name = string_value(t);
+        } else if t.starts_with("\"wall_ms\"") {
+            if let (Some(name), Some(ms)) = (pending_name.take(), number_value(t)) {
+                scenarios.push((name, ms));
+            }
+        }
+    }
+    ParsedRun { host, scenarios }
+}
+
+/// One row of the gate's comparison table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Scenario name.
+    pub name: String,
+    /// Baseline wall time, ms (`None`: scenario is new).
+    pub baseline_ms: Option<f64>,
+    /// Current wall time, ms (`None`: scenario was removed).
+    pub current_ms: Option<f64>,
+}
+
+impl Row {
+    /// current / baseline, when both sides exist.
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.baseline_ms, self.current_ms) {
+            (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+            _ => None,
+        }
+    }
+}
+
+/// Match baseline and current scenarios by name (current file order,
+/// then baseline-only leftovers).
+pub fn compare(baseline: &ParsedRun, current: &ParsedRun) -> Vec<Row> {
+    let mut rows: Vec<Row> = current
+        .scenarios
+        .iter()
+        .map(|(name, c)| Row {
+            name: name.clone(),
+            baseline_ms: baseline
+                .scenarios
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, b)| b),
+            current_ms: Some(*c),
+        })
+        .collect();
+    for (name, b) in &baseline.scenarios {
+        if !current.scenarios.iter().any(|(n, _)| n == name) {
+            rows.push(Row {
+                name: name.clone(),
+                baseline_ms: Some(*b),
+                current_ms: None,
+            });
+        }
+    }
+    rows
+}
+
+/// Rows whose wall time regressed beyond `threshold` (a ratio: `1.25`
+/// = fail when current is more than 25 % slower than baseline).
+pub fn regressions(rows: &[Row], threshold: f64) -> Vec<&Row> {
+    rows.iter()
+        .filter(|r| r.ratio().is_some_and(|x| x > threshold))
+        .collect()
+}
+
+fn fmt_ms(v: Option<f64>) -> String {
+    v.map_or_else(|| "—".to_string(), |x| format!("{x:.3}"))
+}
+
+/// True when the two runs cannot be confirmed to come from the same host
+/// class: differing fingerprints, or a file (e.g. a pre-fingerprint-era
+/// artifact) that records none. Unknown provenance is treated as
+/// cross-host — a lenient gate during a format transition or runner-class
+/// rotation beats a spurious red CI.
+pub fn host_mismatch(baseline: &ParsedRun, current: &ParsedRun) -> bool {
+    match (&baseline.host, &current.host) {
+        (Some(b), Some(c)) => b != c,
+        _ => true,
+    }
+}
+
+/// Render the comparison as a Markdown document: verdict, host caveat
+/// when fingerprints differ, and the per-scenario table.
+pub fn markdown_report(
+    baseline: &ParsedRun,
+    current: &ParsedRun,
+    rows: &[Row],
+    threshold: f64,
+) -> String {
+    let mut out = String::new();
+    let bad = regressions(rows, threshold);
+    let cross_host = host_mismatch(baseline, current);
+    out.push_str("## Rundown perf gate\n\n");
+    if bad.is_empty() {
+        out.push_str(&format!(
+            "**PASS** — no scenario regressed beyond {:.0} % (threshold ratio {threshold}).\n\n",
+            (threshold - 1.0) * 100.0
+        ));
+    } else if cross_host {
+        // the gate won't fail on a foreign baseline, so don't say FAIL
+        out.push_str(&format!(
+            "**INFORMATIONAL** — {} scenario(s) exceed the {:.0} % threshold, but the \
+             baseline is from a different host class, so the gate does not fail.\n\n",
+            bad.len(),
+            (threshold - 1.0) * 100.0
+        ));
+    } else {
+        out.push_str(&format!(
+            "**FAIL** — {} scenario(s) regressed beyond {:.0} %.\n\n",
+            bad.len(),
+            (threshold - 1.0) * 100.0
+        ));
+    }
+    if cross_host {
+        let b = baseline.host.as_deref().unwrap_or("unrecorded");
+        let c = current.host.as_deref().unwrap_or("unrecorded");
+        out.push_str(&format!(
+            "> ⚠ cross-host comparison (baseline `{b}`, current `{c}`): \
+             ratios are indicative only.\n\n"
+        ));
+    }
+    out.push_str("| scenario | baseline ms | current ms | ratio | verdict |\n");
+    out.push_str("|---|---:|---:|---:|---|\n");
+    for r in rows {
+        let (ratio, verdict) = match r.ratio() {
+            Some(x) if x > threshold => (format!("{x:.3}"), "❌ regressed"),
+            Some(x) if x < 1.0 / threshold => (format!("{x:.3}"), "🚀 improved"),
+            Some(x) => (format!("{x:.3}"), "✓ ok"),
+            None if r.baseline_ms.is_none() => ("—".to_string(), "new scenario"),
+            None => ("—".to_string(), "removed"),
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            r.name,
+            fmt_ms(r.baseline_ms),
+            fmt_ms(r.current_ms),
+            ratio,
+            verdict
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(host: &str, pairs: &[(&str, f64)]) -> String {
+        let mut s = String::from("{\n  \"schema\": \"pax-bench-rundown/v1\",\n");
+        s.push_str(&format!("  \"host\": \"{host}\",\n  \"scenarios\": [\n"));
+        for (n, ms) in pairs {
+            s.push_str(&format!(
+                "    {{\n      \"name\": \"{n}\",\n      \"events\": 5,\n      \
+                 \"wall_ms\": {ms},\n      \"speedup_vs_baseline\": null\n    }},\n"
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    #[test]
+    fn parses_names_hosts_and_wall_ms() {
+        let p = parse_rundown(&sample("h1/2cpu/x", &[("a", 1.5), ("b", 2.0)]));
+        assert_eq!(p.host.as_deref(), Some("h1/2cpu/x"));
+        assert_eq!(
+            p.scenarios,
+            vec![("a".to_string(), 1.5), ("b".to_string(), 2.0)]
+        );
+    }
+
+    #[test]
+    fn parses_checked_in_format_without_host() {
+        // pre-v2 files had no host field
+        let json = "{\n  \"schema\": \"x\",\n  \"scenarios\": [\n    {\n      \
+                    \"name\": \"s\",\n      \"wall_ms\": 7.500,\n    }\n  ]\n}\n";
+        let p = parse_rundown(json);
+        assert_eq!(p.host, None);
+        assert_eq!(p.scenarios, vec![("s".to_string(), 7.5)]);
+    }
+
+    #[test]
+    fn flags_only_regressions_beyond_threshold() {
+        let base = parse_rundown(&sample("h", &[("a", 10.0), ("b", 10.0), ("c", 10.0)]));
+        let cur = parse_rundown(&sample("h", &[("a", 12.4), ("b", 12.6), ("c", 3.0)]));
+        let rows = compare(&base, &cur);
+        let bad = regressions(&rows, 1.25);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "b");
+    }
+
+    #[test]
+    fn new_and_removed_scenarios_never_fail_the_gate() {
+        let base = parse_rundown(&sample("h", &[("gone", 10.0), ("kept", 5.0)]));
+        let cur = parse_rundown(&sample("h", &[("kept", 5.5), ("fresh", 99.0)]));
+        let rows = compare(&base, &cur);
+        assert!(regressions(&rows, 1.25).is_empty());
+        let report = markdown_report(&base, &cur, &rows, 1.25);
+        assert!(report.contains("new scenario"));
+        assert!(report.contains("removed"));
+        assert!(report.contains("**PASS**"));
+    }
+
+    #[test]
+    fn cross_host_comparison_is_called_out() {
+        let base = parse_rundown(&sample("host-a/1cpu/x", &[("a", 10.0)]));
+        let cur = parse_rundown(&sample("host-b/8cpu/y", &[("a", 20.0)]));
+        let rows = compare(&base, &cur);
+        let report = markdown_report(&base, &cur, &rows, 1.25);
+        assert!(report.contains("cross-host comparison"));
+        // the gate never fails on a foreign baseline, so the headline
+        // must not claim failure
+        assert!(report.contains("**INFORMATIONAL**"));
+        assert!(!report.contains("**FAIL**"));
+    }
+
+    #[test]
+    fn unknown_host_provenance_is_treated_as_cross_host() {
+        // pre-fingerprint-era artifact: no "host" field at all
+        let old = parse_rundown(
+            "{\n  \"schema\": \"x\",\n  \"scenarios\": [\n    {\n      \
+             \"name\": \"a\",\n      \"wall_ms\": 10.0,\n    }\n  ]\n}\n",
+        );
+        let cur = parse_rundown(&sample("h/1cpu/x", &[("a", 20.0)]));
+        assert!(host_mismatch(&old, &cur));
+        let rows = compare(&old, &cur);
+        let report = markdown_report(&old, &cur, &rows, 1.25);
+        assert!(report.contains("**INFORMATIONAL**"), "{report}");
+        assert!(report.contains("`unrecorded`"), "{report}");
+        // matching fingerprints keep the gate strict
+        let same = parse_rundown(&sample("h/1cpu/x", &[("a", 10.0)]));
+        assert!(!host_mismatch(&same, &cur));
+    }
+
+    #[test]
+    fn real_emitter_output_round_trips() {
+        // the gate must understand whatever rundown::to_json writes
+        let m = crate::rundown::RundownMeasurement {
+            name: "identity_1e4_t1".into(),
+            shape: "identity",
+            granules: 16,
+            task_size: 1,
+            events: 10,
+            tasks: 5,
+            makespan: 100,
+            wall_ms: 4.25,
+            events_per_sec: 1000.0,
+        };
+        let p = parse_rundown(&crate::rundown::to_json_for_host(
+            &[m],
+            "ci-runner/4cpu/x86_64",
+        ));
+        assert_eq!(p.host.as_deref(), Some("ci-runner/4cpu/x86_64"));
+        assert_eq!(p.scenarios, vec![("identity_1e4_t1".to_string(), 4.25)]);
+    }
+}

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod experiments;
 pub mod rundown;
 pub mod table;

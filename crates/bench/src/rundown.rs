@@ -31,6 +31,9 @@ pub enum RundownShape {
     /// Reverse-indirect fan-2: every completion decrements enablement
     /// counters through the composite granule map.
     ReverseFan2,
+    /// Identity with the presplit strategy: the whole task population is
+    /// carved into descriptors at release time (peak arena load).
+    IdentityPresplit,
 }
 
 impl RundownShape {
@@ -39,6 +42,7 @@ impl RundownShape {
             RundownShape::Identity => "identity",
             RundownShape::Universal => "universal",
             RundownShape::ReverseFan2 => "reverse-fan2",
+            RundownShape::IdentityPresplit => "identity-presplit",
         }
     }
 }
@@ -56,7 +60,8 @@ pub struct RundownScenario {
     pub processors: usize,
     /// Enablement structure.
     pub shape: RundownShape,
-    /// Timed repetitions (the minimum wall time is reported).
+    /// Timed repetitions (the minimum wall time is reported — on shared
+    /// hosts the minimum needs several draws to find a quiet slot).
     pub reps: u32,
 }
 
@@ -69,7 +74,7 @@ pub fn scenarios(quick: bool) -> Vec<RundownScenario> {
             task_size: 1,
             processors: 16,
             shape: RundownShape::Identity,
-            reps: 3,
+            reps: 7,
         },
         RundownScenario {
             name: "reverse_1e4_t1",
@@ -77,7 +82,7 @@ pub fn scenarios(quick: bool) -> Vec<RundownScenario> {
             task_size: 1,
             processors: 16,
             shape: RundownShape::ReverseFan2,
-            reps: 3,
+            reps: 5,
         },
     ];
     if !quick {
@@ -87,7 +92,7 @@ pub fn scenarios(quick: bool) -> Vec<RundownScenario> {
             task_size: 1,
             processors: 16,
             shape: RundownShape::Identity,
-            reps: 2,
+            reps: 4,
         });
         v.push(RundownScenario {
             name: "universal_1e5_t16",
@@ -95,7 +100,7 @@ pub fn scenarios(quick: bool) -> Vec<RundownScenario> {
             task_size: 16,
             processors: 16,
             shape: RundownShape::Universal,
-            reps: 2,
+            reps: 4,
         });
         v.push(RundownScenario {
             name: "identity_1e6_t64",
@@ -103,7 +108,18 @@ pub fn scenarios(quick: bool) -> Vec<RundownScenario> {
             task_size: 64,
             processors: 16,
             shape: RundownShape::Identity,
-            reps: 2,
+            reps: 3,
+        });
+        // Arena-stress shapes added with the SoA descriptor store: the
+        // presplit strategy materializes the whole descriptor population
+        // up front (maximal arena churn + conflict-queue mirroring).
+        v.push(RundownScenario {
+            name: "identity_presplit_1e5_t8",
+            granules: 100_000,
+            task_size: 8,
+            processors: 16,
+            shape: RundownShape::IdentityPresplit,
+            reps: 4,
         });
     }
     v
@@ -138,7 +154,7 @@ fn build_program(s: &RundownScenario) -> Program {
     let pa = b.phase(PhaseDef::new("a", s.granules, cost.clone()));
     let pb = b.phase(PhaseDef::new("b", s.granules, cost));
     let mapping = match s.shape {
-        RundownShape::Identity => EnablementMapping::Identity,
+        RundownShape::Identity | RundownShape::IdentityPresplit => EnablementMapping::Identity,
         RundownShape::Universal => EnablementMapping::Universal,
         RundownShape::ReverseFan2 => {
             // successor r needs current granules {r, (r+1) mod n}
@@ -159,9 +175,13 @@ fn build_program(s: &RundownScenario) -> Program {
 }
 
 fn run_once(s: &RundownScenario, program: &Program) -> (RunReport, f64) {
+    let strategy = match s.shape {
+        RundownShape::IdentityPresplit => SplitStrategy::PreSplit,
+        _ => SplitStrategy::DemandSplit,
+    };
     let policy = OverlapPolicy::overlap()
         .with_sizing(TaskSizing::Fixed(s.task_size))
-        .with_split_strategy(SplitStrategy::DemandSplit);
+        .with_split_strategy(strategy);
     let mut sim = Simulation::new(MachineConfig::new(s.processors), policy).with_seed(7);
     sim.add_job(program.clone());
     let t = Instant::now();
@@ -225,6 +245,34 @@ pub const PRE_PR_BASELINE_WALL_MS: &[(&str, f64)] = &[
     ("identity_1e6_t64", 30.649),
 ];
 
+/// Fingerprint of the host that recorded [`PRE_PR_BASELINE_WALL_MS`] (and
+/// the checked-in `BENCH_rundown.json`). `speedup_vs_baseline` is emitted
+/// as JSON `null` whenever the measuring host's [`host_fingerprint`]
+/// differs — cross-host wall-time ratios are noise, not trajectory (the
+/// JSON's own `baseline_caveat` said so; now the field enforces it).
+pub const BASELINE_HOST: &str = "Intel(R) Xeon(R) Processor @ 2.10GHz/1cpu/x86_64";
+
+/// Coarse host-class fingerprint: CPU model name (Linux; OS name
+/// elsewhere) × logical CPU count × architecture. Deliberately ignores
+/// boot-to-boot noise (frequency governor, load) — it distinguishes
+/// *host classes*, the granularity at which wall-time comparison is
+/// meaningful.
+pub fn host_fingerprint() -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| std::env::consts::OS.to_string());
+    format!("{model}/{cpus}cpu/{}", std::env::consts::ARCH)
+}
+
 fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.3}")
@@ -235,6 +283,15 @@ fn json_f64(x: f64) -> String {
 
 /// Render measurements (plus the recorded pre-PR baseline) as JSON.
 pub fn to_json(measurements: &[RundownMeasurement]) -> String {
+    to_json_for_host(measurements, &host_fingerprint())
+}
+
+/// [`to_json`] with an explicit measuring-host fingerprint (testable).
+/// `speedup_vs_baseline` is `null` unless `host` matches
+/// [`BASELINE_HOST`]; the fingerprints of both hosts are recorded so a
+/// later reader can tell which comparison would be legitimate.
+pub fn to_json_for_host(measurements: &[RundownMeasurement], host: &str) -> String {
+    let same_host = host == BASELINE_HOST;
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"pax-bench-rundown/v1\",\n");
@@ -243,11 +300,13 @@ pub fn to_json(measurements: &[RundownMeasurement]) -> String {
          baseline_wall_ms is the same scenario measured at the pre-optimization seed commit\",\n",
     );
     out.push_str(
-        "  \"baseline_caveat\": \"baselines were recorded on the machine that generated the \
-         checked-in BENCH_rundown.json; speedup_vs_baseline is only meaningful on that host \
-         class — on other hosts (e.g. shared CI runners) treat it as indicative, and compare \
-         wall_ms across commits from the same runner instead\",\n",
+        "  \"baseline_caveat\": \"baselines were recorded on the host identified by \
+         baseline_host; speedup_vs_baseline is null when the measuring host differs — \
+         cross-host wall-time ratios are not comparable. Compare wall_ms across commits \
+         from the same runner instead (the CI perf gate does exactly that)\",\n",
     );
+    out.push_str(&format!("  \"host\": \"{host}\",\n"));
+    out.push_str(&format!("  \"baseline_host\": \"{BASELINE_HOST}\",\n"));
     out.push_str("  \"scenarios\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let baseline = PRE_PR_BASELINE_WALL_MS
@@ -255,7 +314,11 @@ pub fn to_json(measurements: &[RundownMeasurement]) -> String {
             .find(|(n, _)| *n == m.name)
             .map(|&(_, ms)| ms)
             .unwrap_or(f64::NAN);
-        let speedup = baseline / m.wall_ms;
+        let speedup = if same_host {
+            baseline / m.wall_ms
+        } else {
+            f64::NAN // json_f64 renders NaN as null
+        };
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", m.name));
         out.push_str(&format!("      \"shape\": \"{}\",\n", m.shape));
@@ -327,13 +390,61 @@ mod tests {
     }
 
     #[test]
-    fn baseline_table_covers_all_full_scenarios() {
+    fn baseline_table_covers_all_seed_era_scenarios() {
+        // Scenarios that existed at the pre-optimization seed commit must
+        // keep their recorded baseline; later-added arena-stress shapes
+        // legitimately have none (their speedup field renders null).
         for s in scenarios(false) {
+            if s.name == "identity_presplit_1e5_t8" {
+                continue;
+            }
             assert!(
                 PRE_PR_BASELINE_WALL_MS.iter().any(|(n, _)| *n == s.name),
                 "no baseline entry for {}",
                 s.name
             );
         }
+    }
+
+    #[test]
+    fn host_fingerprint_is_stable_and_structured() {
+        let a = host_fingerprint();
+        assert_eq!(a, host_fingerprint(), "fingerprint must be deterministic");
+        assert!(a.contains("cpu/"), "fingerprint shape: {a}");
+    }
+
+    #[test]
+    fn speedup_is_null_on_foreign_host() {
+        let s = RundownScenario {
+            name: "identity_1e4_t1",
+            granules: 32,
+            task_size: 1,
+            processors: 2,
+            shape: RundownShape::Identity,
+            reps: 1,
+        };
+        let m = [measure(&s)];
+        let foreign = to_json_for_host(&m, "some-other-box/64cpu/riscv");
+        assert!(foreign.contains("\"speedup_vs_baseline\": null"));
+        assert!(foreign.contains("\"host\": \"some-other-box/64cpu/riscv\""));
+        let native = to_json_for_host(&m, BASELINE_HOST);
+        assert!(!native.contains("\"speedup_vs_baseline\": null"));
+        // both record which host the baselines came from
+        assert!(foreign.contains("\"baseline_host\""));
+    }
+
+    #[test]
+    fn presplit_scenario_runs() {
+        let s = RundownScenario {
+            name: "tiny_presplit",
+            granules: 128,
+            task_size: 8,
+            processors: 4,
+            shape: RundownShape::IdentityPresplit,
+            reps: 1,
+        };
+        let m = measure(&s);
+        assert_eq!(m.shape, "identity-presplit");
+        assert!(m.events > 0);
     }
 }

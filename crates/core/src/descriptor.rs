@@ -8,9 +8,35 @@
 //! conflicting computational granules" — on completion, everything on that
 //! queue becomes unconditionally computable.
 //!
-//! [`DescArena`] is a slab of [`Descriptor`]s with a free list (completed
-//! descriptions are recycled), and implements the circular doubly-linked
-//! conflict queue over arena indices, so no unsafe code is needed.
+//! [`DescArena`] stores descriptions **struct-of-arrays**: one parallel
+//! lane per field class, indexed by [`DescId`]. Completion processing — the
+//! executive's hot loop — touches the `ranges`, identity, and `flags`
+//! lanes of a few descriptors per event; with the old array-of-structs
+//! slab every such touch dragged a whole ~56-byte `Descriptor` through the
+//! cache, most of it (links, state, generation) dead weight for that
+//! access. The lanes are:
+//!
+//! | lane        | element                 | used by                          |
+//! |-------------|-------------------------|----------------------------------|
+//! | `ranges`    | `GranuleRange` (8 B)    | dispatch, split, completion merge |
+//! | `instances` | `InstanceId` (4 B)      | completion, dispatch             |
+//! | `jobs`      | `JobId` (4 B)           | enqueue                          |
+//! | `flags`     | `u8` bitset             | enabling / overlap / queue class |
+//! | `links`     | `Links` + `DescState`   | conflict-queue ops, lifecycle    |
+//! | `live_idx`  | `u32`                   | O(1) live-list removal           |
+//!
+//! Lifecycle state rides in the `links` lane rather than its own vector:
+//! every conflict-queue operation writes state and links together
+//! (queued ⇒ `Conflicted`, drained ⇒ `Fresh`), so a separate state lane
+//! would cost each cq op one extra random cache line for nothing — and
+//! the hot completion scan reads no state at all.
+//!
+//! Callers never see the layout: every operation goes through the typed
+//! [`DescId`] accessor API (`range`, `instance`, `state`, `set_state`,
+//! `enabling`, …), so `engine.rs`, `queue.rs`, and the dispatch path are
+//! layout-agnostic. The conflict queue is still a double circularly-linked
+//! list over arena indices (`u32::MAX` = nil), so no unsafe code is
+//! needed. Completed descriptions are recycled through a free list.
 
 use crate::ids::{DescId, GranuleRange, InstanceId, JobId, WorkerId};
 
@@ -44,85 +70,54 @@ pub enum DescState {
     Done,
 }
 
-/// One computation description: a contiguous granule range of one phase
-/// instance, plus its conflict-queue linkage.
-#[derive(Debug, Clone)]
-pub struct Descriptor {
-    /// Phase instance the granules belong to.
-    pub instance: InstanceId,
-    /// Job stream (multi-job environments).
-    pub job: JobId,
-    /// Covered granules `[lo, hi)`.
-    pub range: GranuleRange,
-    /// Scheduling class when waiting.
-    pub class: QueueClass,
-    /// The paper's status bit: completion of this description must
-    /// decrement enablement counters of dependent successor granules.
-    pub enabling: bool,
-    /// Set at dispatch when the owning instance's predecessor was still
-    /// incomplete — i.e. this task executes *during* the predecessor's
-    /// phase, which is the overlap the paper measures.
-    pub overlap: bool,
-    /// Lifecycle state.
-    pub state: DescState,
-    /// Head of this description's conflict queue (successor descriptions
-    /// enabled by our completion).
-    cq_head: Option<DescId>,
-    /// Circular links used while *this* description sits on some conflict
-    /// queue.
-    next: Option<DescId>,
-    prev: Option<DescId>,
-    /// The description whose conflict queue we are on.
-    owner: Option<DescId>,
-    /// Slot generation, to catch stale ids in debug builds.
-    gen: u32,
-    /// Position of this description in its instance's live list, maintained
-    /// by the engine so completion processing removes it in O(1) instead of
-    /// scanning (`u32::MAX` = untracked).
-    pub(crate) live_idx: u32,
+/// Nil link sentinel (`Option<DescId>` without the extra word).
+const NIL: u32 = u32::MAX;
+
+/// Flag lane bits.
+const F_ENABLING: u8 = 1 << 0;
+const F_OVERLAP: u8 = 1 << 1;
+const F_ELEVATED: u8 = 1 << 2;
+
+/// Conflict-queue linkage of one description: the head of its own queue,
+/// the circular links used while *it* sits on some queue, and the owner
+/// whose queue it is on. Grouped in one lane because the four fields are
+/// only ever read and written together, by the cq operations.
+#[derive(Debug, Clone, Copy)]
+struct Links {
+    cq_head: u32,
+    next: u32,
+    prev: u32,
+    owner: u32,
+    /// Lifecycle state lives with the links: every conflict-queue
+    /// operation writes state and links together, so splitting them
+    /// apart costs one extra cache line per op for nothing — the
+    /// completion scan never reads state.
+    state: DescState,
 }
 
-impl Descriptor {
-    fn new(instance: InstanceId, job: JobId, range: GranuleRange, gen: u32) -> Descriptor {
-        Descriptor {
-            instance,
-            job,
-            range,
-            class: QueueClass::Normal,
-            enabling: false,
-            overlap: false,
-            state: DescState::Fresh,
-            cq_head: None,
-            next: None,
-            prev: None,
-            owner: None,
-            gen,
-            live_idx: u32::MAX,
-        }
-    }
-
-    /// Number of granules covered.
-    pub fn len(&self) -> u32 {
-        self.range.len()
-    }
-
-    /// True when the description covers no granules (never the case for
-    /// live descriptions; present for API completeness).
-    pub fn is_empty(&self) -> bool {
-        self.range.is_empty()
-    }
-
-    /// True when the conflict queue of this description is non-empty.
-    pub fn has_conflicts(&self) -> bool {
-        self.cq_head.is_some()
-    }
+impl Links {
+    const EMPTY: Links = Links {
+        cq_head: NIL,
+        next: NIL,
+        prev: NIL,
+        owner: NIL,
+        state: DescState::Fresh,
+    };
 }
 
-/// Slab arena of descriptions with free-list recycling and conflict-queue
-/// operations.
+/// Struct-of-arrays arena of computation descriptions with free-list
+/// recycling and conflict-queue operations. See the module docs for the
+/// lane layout.
 #[derive(Debug, Default)]
 pub struct DescArena {
-    slots: Vec<Descriptor>,
+    ranges: Vec<GranuleRange>,
+    instances: Vec<InstanceId>,
+    jobs: Vec<JobId>,
+    flags: Vec<u8>,
+    links: Vec<Links>,
+    /// Position in the owning instance's live list, maintained by the
+    /// engine so completion removes a descriptor in O(1) (`NIL` = untracked).
+    live_idx: Vec<u32>,
     free: Vec<u32>,
     live: usize,
     peak_live: usize,
@@ -135,18 +130,41 @@ impl DescArena {
         DescArena::default()
     }
 
+    /// Empty arena with every lane pre-sized for `cap` descriptions.
+    pub fn with_capacity(cap: usize) -> DescArena {
+        DescArena {
+            ranges: Vec::with_capacity(cap),
+            instances: Vec::with_capacity(cap),
+            jobs: Vec::with_capacity(cap),
+            flags: Vec::with_capacity(cap),
+            links: Vec::with_capacity(cap),
+            live_idx: Vec::with_capacity(cap),
+            ..DescArena::default()
+        }
+    }
+
     /// Allocate a description for `range` of `instance`.
     pub fn alloc(&mut self, instance: InstanceId, job: JobId, range: GranuleRange) -> DescId {
         self.live += 1;
         self.peak_live = self.peak_live.max(self.live);
         self.created_total += 1;
         if let Some(idx) = self.free.pop() {
-            let gen = self.slots[idx as usize].gen.wrapping_add(1);
-            self.slots[idx as usize] = Descriptor::new(instance, job, range, gen);
+            let i = idx as usize;
+            self.ranges[i] = range;
+            self.instances[i] = instance;
+            self.jobs[i] = job;
+            self.flags[i] = 0;
+            self.links[i] = Links::EMPTY;
+            self.live_idx[i] = NIL;
             DescId(idx)
         } else {
-            let idx = self.slots.len() as u32;
-            self.slots.push(Descriptor::new(instance, job, range, 0));
+            let idx = self.ranges.len() as u32;
+            self.ranges.push(range);
+            self.instances.push(instance);
+            self.jobs.push(job);
+            self.flags.push(0);
+            self.links.push(Links::EMPTY);
+            self.live_idx.push(NIL);
             DescId(idx)
         }
     }
@@ -154,26 +172,138 @@ impl DescArena {
     /// Recycle a completed description. Its conflict queue must already be
     /// empty and it must not sit on anyone else's queue.
     pub fn release(&mut self, id: DescId) {
-        let d = &mut self.slots[id.0 as usize];
-        debug_assert!(d.cq_head.is_none(), "releasing descriptor with conflicts");
-        debug_assert!(d.owner.is_none(), "releasing descriptor still on a queue");
-        debug_assert!(!matches!(d.state, DescState::Done), "double release");
-        d.state = DescState::Done;
+        let i = id.0 as usize;
+        debug_assert!(
+            self.links[i].cq_head == NIL,
+            "releasing descriptor with conflicts"
+        );
+        debug_assert!(
+            self.links[i].owner == NIL,
+            "releasing descriptor still on a queue"
+        );
+        debug_assert!(
+            !matches!(self.links[i].state, DescState::Done),
+            "double release"
+        );
+        self.links[i].state = DescState::Done;
         self.live -= 1;
         self.free.push(id.0);
     }
 
-    /// Borrow a description.
+    // --- typed field accessors (the layout firewall) -------------------
+
+    /// Covered granules `[lo, hi)`.
     #[inline]
-    pub fn get(&self, id: DescId) -> &Descriptor {
-        &self.slots[id.0 as usize]
+    pub fn range(&self, id: DescId) -> GranuleRange {
+        self.ranges[id.0 as usize]
     }
 
-    /// Mutably borrow a description.
+    /// Phase instance the granules belong to.
     #[inline]
-    pub fn get_mut(&mut self, id: DescId) -> &mut Descriptor {
-        &mut self.slots[id.0 as usize]
+    pub fn instance(&self, id: DescId) -> InstanceId {
+        self.instances[id.0 as usize]
     }
+
+    /// Job stream (multi-job environments).
+    #[inline]
+    pub fn job(&self, id: DescId) -> JobId {
+        self.jobs[id.0 as usize]
+    }
+
+    /// Lifecycle state.
+    #[inline]
+    pub fn state(&self, id: DescId) -> DescState {
+        self.links[id.0 as usize].state
+    }
+
+    /// Set the lifecycle state.
+    #[inline]
+    pub fn set_state(&mut self, id: DescId, s: DescState) {
+        self.links[id.0 as usize].state = s;
+    }
+
+    /// Scheduling class when waiting.
+    #[inline]
+    pub fn class(&self, id: DescId) -> QueueClass {
+        if self.flags[id.0 as usize] & F_ELEVATED != 0 {
+            QueueClass::Elevated
+        } else {
+            QueueClass::Normal
+        }
+    }
+
+    /// Set the scheduling class.
+    #[inline]
+    pub fn set_class(&mut self, id: DescId, c: QueueClass) {
+        let f = &mut self.flags[id.0 as usize];
+        match c {
+            QueueClass::Elevated => *f |= F_ELEVATED,
+            QueueClass::Normal => *f &= !F_ELEVATED,
+        }
+    }
+
+    /// The paper's status bit: completion of this description must
+    /// decrement enablement counters of dependent successor granules.
+    #[inline]
+    pub fn enabling(&self, id: DescId) -> bool {
+        self.flags[id.0 as usize] & F_ENABLING != 0
+    }
+
+    /// Set the enabling status bit.
+    #[inline]
+    pub fn set_enabling(&mut self, id: DescId, v: bool) {
+        let f = &mut self.flags[id.0 as usize];
+        if v {
+            *f |= F_ENABLING;
+        } else {
+            *f &= !F_ENABLING;
+        }
+    }
+
+    /// Set at dispatch when the owning instance's predecessor was still
+    /// incomplete — i.e. this task executes *during* the predecessor's
+    /// phase, which is the overlap the paper measures.
+    #[inline]
+    pub fn overlap(&self, id: DescId) -> bool {
+        self.flags[id.0 as usize] & F_OVERLAP != 0
+    }
+
+    /// Set the overlap marker.
+    #[inline]
+    pub fn set_overlap(&mut self, id: DescId, v: bool) {
+        let f = &mut self.flags[id.0 as usize];
+        if v {
+            *f |= F_OVERLAP;
+        } else {
+            *f &= !F_OVERLAP;
+        }
+    }
+
+    /// Number of granules covered by `id`.
+    #[inline]
+    pub fn granules(&self, id: DescId) -> u32 {
+        self.ranges[id.0 as usize].len()
+    }
+
+    /// True when the conflict queue of `id` is non-empty.
+    #[inline]
+    pub fn has_conflicts(&self, id: DescId) -> bool {
+        self.links[id.0 as usize].cq_head != NIL
+    }
+
+    /// Live-list slot of `id` (`u32::MAX` = untracked).
+    #[inline]
+    pub(crate) fn live_idx(&self, id: DescId) -> u32 {
+        self.live_idx[id.0 as usize]
+    }
+
+    /// Record the live-list slot of `id`.
+    #[inline]
+    pub(crate) fn set_live_idx(&mut self, id: DescId, idx: u32) {
+        self.live_idx[id.0 as usize] = idx;
+    }
+
+    // --- population statistics -----------------------------------------
 
     /// Currently live descriptions.
     pub fn live(&self) -> usize {
@@ -191,35 +321,38 @@ impl DescArena {
         self.created_total
     }
 
+    /// Number of slots across all lanes (live + recyclable).
+    pub fn slots(&self) -> usize {
+        self.ranges.len()
+    }
+
     // --- conflict queue (double circularly-linked list) ---------------
 
     /// Append `member` to `owner`'s conflict queue.
     pub fn cq_push(&mut self, owner: DescId, member: DescId) {
         debug_assert!(owner != member);
-        debug_assert!(self.get(member).owner.is_none());
-        match self.get(owner).cq_head {
-            None => {
-                let m = self.get_mut(member);
-                m.next = Some(member);
-                m.prev = Some(member);
-                m.owner = Some(owner);
-                m.state = DescState::Conflicted;
-                self.get_mut(owner).cq_head = Some(member);
+        debug_assert!(self.links[member.0 as usize].owner == NIL);
+        let head = self.links[owner.0 as usize].cq_head;
+        if head == NIL {
+            let m = &mut self.links[member.0 as usize];
+            m.next = member.0;
+            m.prev = member.0;
+            m.owner = owner.0;
+            self.links[owner.0 as usize].cq_head = member.0;
+        } else {
+            // insert before head == append at tail of circular list
+            let tail = self.links[head as usize].prev;
+            debug_assert!(tail != NIL, "circular list invariant");
+            {
+                let m = &mut self.links[member.0 as usize];
+                m.next = head;
+                m.prev = tail;
+                m.owner = owner.0;
             }
-            Some(head) => {
-                // insert before head == append at tail of circular list
-                let tail = self.get(head).prev.expect("circular list invariant");
-                {
-                    let m = self.get_mut(member);
-                    m.next = Some(head);
-                    m.prev = Some(tail);
-                    m.owner = Some(owner);
-                    m.state = DescState::Conflicted;
-                }
-                self.get_mut(tail).next = Some(member);
-                self.get_mut(head).prev = Some(member);
-            }
+            self.links[tail as usize].next = member.0;
+            self.links[head as usize].prev = member.0;
         }
+        self.links[member.0 as usize].state = DescState::Conflicted;
     }
 
     /// Detach every member of `owner`'s conflict queue into `out` (which
@@ -227,26 +360,28 @@ impl DescArena {
     /// `Fresh` and no links. Taking the output buffer from the caller lets
     /// completion processing reuse one vector across every event.
     pub fn cq_drain_into(&mut self, owner: DescId, out: &mut Vec<DescId>) {
-        let Some(head) = self.get(owner).cq_head else {
+        let head = self.links[owner.0 as usize].cq_head;
+        if head == NIL {
             return;
-        };
+        }
         let mut cur = head;
         loop {
-            let next = self.get(cur).next.expect("circular list invariant");
+            let next = self.links[cur as usize].next;
+            debug_assert!(next != NIL, "circular list invariant");
             {
-                let m = self.get_mut(cur);
-                m.next = None;
-                m.prev = None;
-                m.owner = None;
-                m.state = DescState::Fresh;
+                let m = &mut self.links[cur as usize];
+                m.next = NIL;
+                m.prev = NIL;
+                m.owner = NIL;
             }
-            out.push(cur);
+            self.links[cur as usize].state = DescState::Fresh;
+            out.push(DescId(cur));
             if next == head {
                 break;
             }
             cur = next;
         }
-        self.get_mut(owner).cq_head = None;
+        self.links[owner.0 as usize].cq_head = NIL;
     }
 
     /// Detach and return every member of `owner`'s conflict queue, in
@@ -260,41 +395,40 @@ impl DescArena {
 
     /// Remove a single `member` from whatever conflict queue it is on.
     pub fn cq_remove(&mut self, member: DescId) {
-        let (owner, next, prev) = {
-            let m = self.get(member);
-            (
-                m.owner.expect("cq_remove on unqueued descriptor"),
-                m.next.expect("circular list invariant"),
-                m.prev.expect("circular list invariant"),
-            )
-        };
-        if next == member {
+        let Links {
+            owner, next, prev, ..
+        } = self.links[member.0 as usize];
+        assert!(owner != NIL, "cq_remove on unqueued descriptor");
+        debug_assert!(next != NIL && prev != NIL, "circular list invariant");
+        if next == member.0 {
             // sole member
-            self.get_mut(owner).cq_head = None;
+            self.links[owner as usize].cq_head = NIL;
         } else {
-            self.get_mut(prev).next = Some(next);
-            self.get_mut(next).prev = Some(prev);
-            if self.get(owner).cq_head == Some(member) {
-                self.get_mut(owner).cq_head = Some(next);
+            self.links[prev as usize].next = next;
+            self.links[next as usize].prev = prev;
+            if self.links[owner as usize].cq_head == member.0 {
+                self.links[owner as usize].cq_head = next;
             }
         }
-        let m = self.get_mut(member);
-        m.next = None;
-        m.prev = None;
-        m.owner = None;
-        m.state = DescState::Fresh;
+        let m = &mut self.links[member.0 as usize];
+        m.next = NIL;
+        m.prev = NIL;
+        m.owner = NIL;
+        self.links[member.0 as usize].state = DescState::Fresh;
     }
 
     /// Collect members of `owner`'s conflict queue into `out` (not
     /// cleared) without detaching them.
     pub fn cq_members_into(&self, owner: DescId, out: &mut Vec<DescId>) {
-        let Some(head) = self.get(owner).cq_head else {
+        let head = self.links[owner.0 as usize].cq_head;
+        if head == NIL {
             return;
-        };
+        }
         let mut cur = head;
         loop {
-            out.push(cur);
-            let next = self.get(cur).next.expect("circular list invariant");
+            out.push(DescId(cur));
+            let next = self.links[cur as usize].next;
+            debug_assert!(next != NIL, "circular list invariant");
             if next == head {
                 break;
             }
@@ -318,19 +452,15 @@ impl DescArena {
     ///
     /// Returns the remainder's id.
     pub fn split(&mut self, id: DescId, at: u32) -> DescId {
-        let (instance, job, range, class, enabling) = {
-            let d = self.get(id);
-            (d.instance, d.job, d.range, d.class, d.enabling)
-        };
+        let i = id.0 as usize;
+        let range = self.ranges[i];
         assert!(at > 0 && at < range.len(), "split must be strictly inside");
+        let (instance, job) = (self.instances[i], self.jobs[i]);
+        let inherited = self.flags[i] & (F_ELEVATED | F_ENABLING);
         let (front, back) = range.split_at(at);
-        self.get_mut(id).range = front;
+        self.ranges[i] = front;
         let rem = self.alloc(instance, job, back);
-        {
-            let r = self.get_mut(rem);
-            r.class = class;
-            r.enabling = enabling;
-        }
+        self.flags[rem.0 as usize] = inherited;
         rem
     }
 }
@@ -364,6 +494,12 @@ mod tests {
         assert_eq!(a.live(), 3);
         assert_eq!(a.peak_live(), 3);
         assert_eq!(a.created_total(), 4);
+        assert_eq!(a.slots(), 3);
+        // recycled slot comes back fully reset
+        assert_eq!(a.state(d), DescState::Fresh);
+        assert_eq!(a.class(d), QueueClass::Normal);
+        assert!(!a.enabling(d) && !a.overlap(d));
+        assert!(!a.has_conflicts(d));
     }
 
     #[test]
@@ -372,12 +508,12 @@ mod tests {
         a.cq_push(ids[0], ids[1]);
         a.cq_push(ids[0], ids[2]);
         a.cq_push(ids[0], ids[3]);
-        assert!(a.get(ids[0]).has_conflicts());
-        assert_eq!(a.get(ids[1]).state, DescState::Conflicted);
+        assert!(a.has_conflicts(ids[0]));
+        assert_eq!(a.state(ids[1]), DescState::Conflicted);
         let drained = a.cq_drain(ids[0]);
         assert_eq!(drained, vec![ids[1], ids[2], ids[3]]);
-        assert!(!a.get(ids[0]).has_conflicts());
-        assert_eq!(a.get(ids[1]).state, DescState::Fresh);
+        assert!(!a.has_conflicts(ids[0]));
+        assert_eq!(a.state(ids[1]), DescState::Fresh);
         assert!(a.cq_drain(ids[0]).is_empty());
     }
 
@@ -401,22 +537,26 @@ mod tests {
         a.cq_remove(ids[1]); // head
         assert_eq!(a.cq_members(ids[0]), vec![ids[2]]);
         a.cq_remove(ids[2]); // sole member
-        assert!(!a.get(ids[0]).has_conflicts());
+        assert!(!a.has_conflicts(ids[0]));
     }
 
     #[test]
     fn split_preserves_attributes() {
         let mut a = DescArena::new();
         let d = a.alloc(InstanceId(2), JobId(1), GranuleRange::new(0, 100));
-        a.get_mut(d).class = QueueClass::Elevated;
-        a.get_mut(d).enabling = true;
+        a.set_class(d, QueueClass::Elevated);
+        a.set_enabling(d, true);
         let rem = a.split(d, 30);
-        assert_eq!(a.get(d).range, GranuleRange::new(0, 30));
-        assert_eq!(a.get(rem).range, GranuleRange::new(30, 100));
-        assert_eq!(a.get(rem).class, QueueClass::Elevated);
-        assert!(a.get(rem).enabling);
-        assert_eq!(a.get(rem).instance, InstanceId(2));
-        assert_eq!(a.get(rem).job, JobId(1));
+        assert_eq!(a.range(d), GranuleRange::new(0, 30));
+        assert_eq!(a.range(rem), GranuleRange::new(30, 100));
+        assert_eq!(a.class(rem), QueueClass::Elevated);
+        assert!(a.enabling(rem));
+        assert_eq!(a.instance(rem), InstanceId(2));
+        assert_eq!(a.job(rem), JobId(1));
+        // overlap is a dispatch-time marker and must NOT be inherited
+        a.set_overlap(d, true);
+        let rem2 = a.split(d, 10);
+        assert!(!a.overlap(rem2));
     }
 
     #[test]
@@ -440,5 +580,30 @@ mod tests {
         let drained = a.cq_drain(ids[0]);
         assert_eq!(drained, vec![ids[1]]);
         assert_eq!(a.cq_members(ids[1]), vec![ids[2]]);
+    }
+
+    #[test]
+    fn flag_lane_bits_are_independent() {
+        let (mut a, ids) = arena_with(1);
+        let d = ids[0];
+        a.set_enabling(d, true);
+        a.set_overlap(d, true);
+        a.set_class(d, QueueClass::Elevated);
+        assert!(a.enabling(d) && a.overlap(d));
+        assert_eq!(a.class(d), QueueClass::Elevated);
+        a.set_enabling(d, false);
+        assert!(!a.enabling(d) && a.overlap(d));
+        assert_eq!(a.class(d), QueueClass::Elevated);
+        a.set_class(d, QueueClass::Normal);
+        assert!(a.overlap(d));
+        assert_eq!(a.class(d), QueueClass::Normal);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let a = DescArena::with_capacity(64);
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.slots(), 0);
+        assert_eq!(a.created_total(), 0);
     }
 }

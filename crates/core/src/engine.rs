@@ -439,12 +439,9 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn enqueue(&mut self, desc: DescId, class: QueueClass, front: bool) {
-        let job = self.arena.get(desc).job;
-        {
-            let d = self.arena.get_mut(desc);
-            d.class = class;
-            d.state = DescState::Waiting;
-        }
+        let job = self.arena.job(desc);
+        self.arena.set_class(desc, class);
+        self.arena.set_state(desc, DescState::Waiting);
         if front {
             self.waiting.push_front(desc, class, job);
         } else {
@@ -528,7 +525,7 @@ impl Engine {
     #[inline]
     fn live_push(&mut self, inst_id: InstanceId, d: DescId) {
         let live = &mut self.instances[inst_id.0 as usize].live_descs;
-        self.arena.get_mut(d).live_idx = live.len() as u32;
+        self.arena.set_live_idx(d, live.len() as u32);
         live.push(d);
     }
 
@@ -536,14 +533,14 @@ impl Engine {
     /// index stored at [`Engine::live_push`] time).
     #[inline]
     fn live_remove(&mut self, inst_id: InstanceId, d: DescId) {
-        let idx = self.arena.get(d).live_idx as usize;
+        let idx = self.arena.live_idx(d) as usize;
         let live = &mut self.instances[inst_id.0 as usize].live_descs;
         debug_assert_eq!(live.get(idx), Some(&d), "live index out of sync");
         live.swap_remove(idx);
         if let Some(&moved) = live.get(idx) {
-            self.arena.get_mut(moved).live_idx = idx as u32;
+            self.arena.set_live_idx(moved, idx as u32);
         }
-        self.arena.get_mut(d).live_idx = u32::MAX;
+        self.arena.set_live_idx(d, u32::MAX);
     }
 
     /// Release a granule range of `inst` into the waiting queue. With the
@@ -582,7 +579,7 @@ impl Engine {
                 let d = self
                     .arena
                     .alloc(inst_id, JobId(job as u32), GranuleRange::new(lo, hi));
-                self.arena.get_mut(d).enabling = enabling;
+                self.arena.set_enabling(d, enabling);
                 self.live_push(inst_id, d);
                 self.enqueue(d, class, false);
                 if hi < range.hi {
@@ -593,7 +590,7 @@ impl Engine {
             }
         } else {
             let d = self.arena.alloc(inst_id, JobId(job as u32), range);
-            self.arena.get_mut(d).enabling = enabling;
+            self.arena.set_enabling(d, enabling);
             self.live_push(inst_id, d);
             self.enqueue(d, class, false);
         }
@@ -842,7 +839,7 @@ impl Engine {
             self.inst(pred_id)
                 .live_descs
                 .iter()
-                .map(|&d| (d, self.arena.get(d).range)),
+                .map(|&d| (d, self.arena.range(d))),
         );
         for &(pd, range) in &pred_live {
             let sd = self.arena.alloc(succ_id, job, range);
@@ -885,7 +882,7 @@ impl Engine {
         let mut live = take(&mut self.scratch.members);
         live.extend_from_slice(&self.inst(pred_id).live_descs);
         for &d in &live {
-            self.arena.get_mut(d).enabling = true;
+            self.arena.set_enabling(d, true);
         }
         live.clear();
         self.scratch.members = live;
@@ -1027,16 +1024,16 @@ impl Engine {
                 self.inst(pred_id)
                     .live_descs
                     .iter()
-                    .filter(|&&d| matches!(self.arena.get(d).state, DescState::Waiting))
-                    .filter_map(|&d| self.arena.get(d).range.intersect(run).map(|ovl| (d, ovl))),
+                    .filter(|&&d| matches!(self.arena.state(d), DescState::Waiting))
+                    .filter_map(|&d| self.arena.range(d).intersect(run).map(|ovl| (d, ovl))),
             );
             for &(d, ovl) in &candidates {
                 // The descriptor may have been replaced by an earlier carve
                 // in this same loop; re-check.
-                if !matches!(self.arena.get(d).state, DescState::Waiting) {
+                if !matches!(self.arena.state(d), DescState::Waiting) {
                     continue;
                 }
-                let drange = self.arena.get(d).range;
+                let drange = self.arena.range(d);
                 let Some(ovl) = drange.intersect(ovl) else {
                     continue;
                 };
@@ -1045,8 +1042,8 @@ impl Engine {
                     // elevated segment.
                     self.waiting.remove(d);
                     let class = QueueClass::Elevated;
-                    let job = self.arena.get(d).job;
-                    self.arena.get_mut(d).class = class;
+                    let job = self.arena.job(d);
+                    self.arena.set_class(d, class);
                     self.waiting.push_back(d, class, job);
                     continue;
                 }
@@ -1054,7 +1051,7 @@ impl Engine {
                 // a trailing non-enabling piece exist; two slots replace
                 // the old per-candidate vector.
                 self.waiting.remove(d);
-                let job = self.arena.get(d).job;
+                let job = self.arena.job(d);
                 let mut lead: Option<DescId> = None;
                 let mut tail: Option<DescId> = None;
                 let mut cur = d;
@@ -1066,8 +1063,8 @@ impl Engine {
                     lead = Some(cur); // leading non-enabling part
                     cur = rem;
                 }
-                if ovl.hi < self.arena.get(cur).range.hi {
-                    let tail_at = ovl.hi - self.arena.get(cur).range.lo;
+                if ovl.hi < self.arena.range(cur).hi {
+                    let tail_at = ovl.hi - self.arena.range(cur).lo;
                     let rem = self.arena.split(cur, tail_at);
                     self.splits += 1;
                     *cost += self.cfg.costs.split;
@@ -1075,13 +1072,13 @@ impl Engine {
                     tail = Some(rem); // trailing non-enabling part
                 }
                 // `cur` is now exactly the enabling overlap.
-                self.arena.get_mut(cur).class = QueueClass::Elevated;
+                self.arena.set_class(cur, QueueClass::Elevated);
                 self.waiting.push_back(cur, QueueClass::Elevated, job);
-                self.arena.get_mut(cur).state = DescState::Waiting;
+                self.arena.set_state(cur, DescState::Waiting);
                 for p in [lead, tail].into_iter().flatten() {
-                    self.arena.get_mut(p).class = QueueClass::Normal;
+                    self.arena.set_class(p, QueueClass::Normal);
                     self.waiting.push_front(p, QueueClass::Normal, job);
-                    self.arena.get_mut(p).state = DescState::Waiting;
+                    self.arena.set_state(p, DescState::Waiting);
                 }
                 self.wake_workers(2);
             }
@@ -1109,9 +1106,8 @@ impl Engine {
                 let arena = &self.arena;
                 let instances = &self.instances;
                 self.waiting.pop_matching(scan_window, |id| {
-                    let desc = arena.get(id);
-                    let total = instances[desc.instance.0 as usize].granules;
-                    loc.home_cluster(desc.range.lo, total) == wc
+                    let total = instances[arena.instance(id).0 as usize].granules;
+                    loc.home_cluster(arena.range(id).lo, total) == wc
                 })
             }
             _ => self.waiting.pop(),
@@ -1144,15 +1140,15 @@ impl Engine {
             self.idle_workers.push(w);
             return;
         };
-        let inst_id = self.arena.get(d).instance;
+        let inst_id = self.arena.instance(d);
         let task_size = self.inst(inst_id).task_size;
         let mut cost = self.cfg.costs.dispatch;
-        if self.arena.get(d).range.len() > task_size {
+        if self.arena.range(d).len() > task_size {
             d = self.dispatch_split(d, task_size, &mut cost);
         }
         // Sample execution time for the granules of this task, plus any
         // remote-access stall under a clustered-memory machine.
-        let range = self.arena.get(d).range;
+        let range = self.arena.range(d);
         let exec = self.sample_task_time(inst_id, range) + self.locality_stall(w, inst_id, range);
         let (svc_start, svc_end) = self.exec_service(self.now, cost);
         self.record_dispatch_gantt(w, svc_start, svc_end);
@@ -1161,11 +1157,8 @@ impl Engine {
             .predecessor
             .map(|p| self.inst(p).state != InstState::Complete)
             .unwrap_or(false);
-        {
-            let desc = self.arena.get_mut(d);
-            desc.state = DescState::Running(w);
-            desc.overlap = overlapping;
-        }
+        self.arena.set_state(d, DescState::Running(w));
+        self.arena.set_overlap(d, overlapping);
         let start = svc_end;
         let end = start + exec;
         self.compute_deltas.push((start, 1));
@@ -1200,14 +1193,14 @@ impl Engine {
     /// worker; handle any queued identity successors per the policy's
     /// split strategy. Returns the descriptor to dispatch.
     fn dispatch_split(&mut self, d: DescId, task_size: u32, cost: &mut SimDuration) -> DescId {
-        let inst_id = self.arena.get(d).instance;
-        let has_conflicts = self.arena.get(d).has_conflicts();
+        let inst_id = self.arena.instance(d);
+        let has_conflicts = self.arena.has_conflicts(d);
         if has_conflicts && self.policy.split_strategy == SplitStrategy::SuccessorSplitTask {
             // Detach successors into background splitting tasks first.
             let mut members = take(&mut self.scratch.split_members);
             self.arena.cq_drain_into(d, &mut members);
             for &m in &members {
-                self.arena.get_mut(m).state = DescState::Detached;
+                self.arena.set_state(m, DescState::Detached);
                 self.exec_backlog.push_back(ExecTask::SplitSuccessor {
                     succ_desc: m,
                     pred: inst_id,
@@ -1221,14 +1214,14 @@ impl Engine {
         self.splits += 1;
         *cost += self.cfg.costs.split;
         self.live_push(inst_id, rem);
-        if self.arena.get(d).has_conflicts() {
+        if self.arena.has_conflicts(d) {
             // Demand split (also the fallback when presplit pieces grew
             // conflicts): mirror the split onto every queued successor.
-            let front = self.arena.get(d).range;
+            let front = self.arena.range(d);
             let mut members = take(&mut self.scratch.split_members);
             self.arena.cq_members_into(d, &mut members);
             for &m in &members {
-                let mrange = self.arena.get(m).range;
+                let mrange = self.arena.range(m);
                 if mrange.hi <= front.hi {
                     continue; // wholly within the dispatched piece
                 }
@@ -1242,7 +1235,7 @@ impl Engine {
                 let mrem = self.arena.split(m, at);
                 self.splits += 1;
                 *cost += self.cfg.costs.split;
-                let succ_inst = self.arena.get(m).instance;
+                let succ_inst = self.arena.instance(m);
                 self.live_push(succ_inst, mrem);
                 self.arena.cq_push(rem, mrem);
             }
@@ -1250,9 +1243,9 @@ impl Engine {
             self.scratch.split_members = members;
         }
         // Remainder keeps its place at the head of its class.
-        let class = self.arena.get(rem).class;
-        let job = self.arena.get(rem).job;
-        self.arena.get_mut(rem).state = DescState::Waiting;
+        let class = self.arena.class(rem);
+        let job = self.arena.job(rem);
+        self.arena.set_state(rem, DescState::Waiting);
         self.waiting.push_front(rem, class, job);
         self.wake_workers(1);
         d
@@ -1315,14 +1308,14 @@ impl Engine {
     }
 
     fn on_task_done(&mut self, w: WorkerId, d: DescId) {
-        let inst_id = self.arena.get(d).instance;
-        let range = self.arena.get(d).range;
-        let enabling = self.arena.get(d).enabling;
+        let inst_id = self.arena.instance(d);
+        let range = self.arena.range(d);
+        let enabling = self.arena.enabling(d);
         let mut cost = self.cfg.costs.completion;
 
         // Merge the completed range back into the phase's accounting.
         {
-            let ran_during_predecessor = self.arena.get(d).overlap;
+            let ran_during_predecessor = self.arena.overlap(d);
             let inst = self.inst_mut(inst_id);
             inst.completed.insert(range);
             inst.remaining -= range.len();
@@ -1512,12 +1505,12 @@ impl Engine {
         pred: InstanceId,
         cost: &mut SimDuration,
     ) {
-        if !matches!(self.arena.get(succ_desc).state, DescState::Detached) {
+        if !matches!(self.arena.state(succ_desc), DescState::Detached) {
             return; // already handled elsewhere
         }
-        let range = self.arena.get(succ_desc).range;
-        let succ_inst = self.arena.get(succ_desc).instance;
-        let job = self.arena.get(succ_desc).job;
+        let range = self.arena.range(succ_desc);
+        let succ_inst = self.arena.instance(succ_desc);
+        let job = self.arena.job(succ_desc);
 
         // Pieces: completed predecessor sub-ranges release immediately;
         // live predecessor descriptors get matching conflicted pieces.
@@ -1530,8 +1523,7 @@ impl Engine {
         );
         pieces.extend(self.inst(pred).live_descs.iter().filter_map(|&pd| {
             self.arena
-                .get(pd)
-                .range
+                .range(pd)
                 .intersect(range)
                 .map(|ovl| (ovl, Some(pd)))
         }));
@@ -1548,7 +1540,7 @@ impl Engine {
             let (_, target) = pieces[0];
             match target {
                 Some(pd) => {
-                    self.arena.get_mut(succ_desc).state = DescState::Fresh;
+                    self.arena.set_state(succ_desc, DescState::Fresh);
                     self.arena.cq_push(pd, succ_desc);
                 }
                 None => {
@@ -1564,12 +1556,12 @@ impl Engine {
 
         // Slice the detached descriptor front-to-back.
         let mut cur = succ_desc;
-        self.arena.get_mut(cur).state = DescState::Fresh;
+        self.arena.set_state(cur, DescState::Fresh);
         for (i, &(r, target)) in pieces.iter().enumerate() {
             let piece = if i + 1 == pieces.len() {
                 cur
             } else {
-                let at = r.hi - self.arena.get(cur).range.lo;
+                let at = r.hi - self.arena.range(cur).lo;
                 let rem = self.arena.split(cur, at);
                 self.splits += 1;
                 *cost += self.cfg.costs.split;
@@ -1578,7 +1570,7 @@ impl Engine {
                 cur = rem;
                 piece
             };
-            debug_assert_eq!(self.arena.get(piece).range, r);
+            debug_assert_eq!(self.arena.range(piece), r);
             match target {
                 Some(pd) => self.arena.cq_push(pd, piece),
                 None => {

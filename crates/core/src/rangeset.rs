@@ -9,10 +9,28 @@
 use crate::ids::GranuleRange;
 
 /// Sorted, disjoint, coalesced set of `u32` indices.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Carries a one-element **completed-run hint**: the index of the run the
+/// last [`RangeSet::insert_run`] merged into. Identity-mapped phases
+/// complete granules almost in order, so the overwhelmingly common insert
+/// extends that same run — the hint turns the binary search into an O(1)
+/// bounds check plus an in-place extend. The hint is pure acceleration
+/// state: it never changes results, and equality ignores it.
+#[derive(Debug, Clone, Default)]
 pub struct RangeSet {
     runs: Vec<(u32, u32)>, // half-open [lo, hi), sorted, non-overlapping, non-adjacent
+    /// Index into `runs` of the last merged run (stale values are safe:
+    /// the fast path re-validates before use).
+    hint: usize,
 }
+
+impl PartialEq for RangeSet {
+    fn eq(&self, other: &RangeSet) -> bool {
+        self.runs == other.runs // the hint is not part of the value
+    }
+}
+
+impl Eq for RangeSet {}
 
 /// What [`RangeSet::insert_run`] did: the coalesced run that now covers the
 /// inserted range, how many pre-existing runs it swallowed, and how many
@@ -34,7 +52,10 @@ impl RangeSet {
     /// Empty set.
     #[inline]
     pub fn new() -> RangeSet {
-        RangeSet { runs: Vec::new() }
+        RangeSet {
+            runs: Vec::new(),
+            hint: 0,
+        }
     }
 
     /// Empty set with room for `cap` runs before reallocating.
@@ -42,6 +63,7 @@ impl RangeSet {
     pub fn with_capacity(cap: usize) -> RangeSet {
         RangeSet {
             runs: Vec::with_capacity(cap),
+            hint: 0,
         }
     }
 
@@ -102,6 +124,34 @@ impl RangeSet {
     /// empty range may flow through).
     pub fn insert_run(&mut self, r: GranuleRange) -> RunInsert {
         debug_assert!(!r.is_empty(), "insert_run of empty range");
+        // Completed-run hint fast path: the common in-order insert touches
+        // only the run merged into last time. Handled here when the insert
+        // lands wholly inside it, or extends its tail without reaching the
+        // next stored run — both cases absorb exactly that one run, so the
+        // result is identical to the search below.
+        if let Some(&(hlo, hhi)) = self.runs.get(self.hint) {
+            if r.lo >= hlo && r.lo <= hhi {
+                if r.hi <= hhi {
+                    return RunInsert {
+                        merged: GranuleRange::new(hlo, hhi),
+                        absorbed: 1,
+                        added: 0,
+                    };
+                }
+                let clear_of_next = match self.runs.get(self.hint + 1) {
+                    Some(&(nlo, _)) => r.hi < nlo, // `==` would coalesce: slow path
+                    None => true,
+                };
+                if clear_of_next {
+                    self.runs[self.hint].1 = r.hi;
+                    return RunInsert {
+                        merged: GranuleRange::new(hlo, r.hi),
+                        absorbed: 1,
+                        added: (r.hi - hhi) as u64,
+                    };
+                }
+            }
+        }
         let (mut lo, mut hi) = (r.lo, r.hi);
         // Find the first run whose end is >= lo (candidate for merging).
         let start = self.runs.partition_point(|&(_, rhi)| rhi < lo);
@@ -121,6 +171,7 @@ impl RangeSet {
         } else {
             self.runs.splice(start..end, std::iter::once((lo, hi)));
         }
+        self.hint = start;
         RunInsert {
             merged: GranuleRange::new(lo, hi),
             absorbed,
@@ -380,5 +431,66 @@ mod tests {
         let s = RangeSet::with_capacity(16);
         assert!(s.is_empty());
         assert_eq!(s.run_count(), 0);
+    }
+
+    #[test]
+    fn hint_fast_path_in_order_extends() {
+        // The identity-rundown pattern: strictly in-order single-granule
+        // completions. Every insert after the first must hit the hint.
+        let mut s = RangeSet::new();
+        for g in 0..1000u32 {
+            let i = s.insert_run(r(g, g + 1));
+            assert_eq!(i.merged, r(0, g + 1));
+            assert_eq!(i.added, 1);
+            assert_eq!(i.absorbed, usize::from(g > 0));
+        }
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn hint_does_not_break_bridging_insert() {
+        let mut s = RangeSet::new();
+        s.insert(r(0, 5)); // hint -> run 0
+        s.insert(r(10, 15)); // hint -> run 1
+        s.insert(r(4, 6)); // behind the hinted run: slow path
+        assert_eq!(s.run_count(), 2);
+        assert!(s.contains_range(r(0, 6)));
+        // adjacent-to-next must coalesce, not stop at the hint run
+        let mut t = RangeSet::new();
+        t.insert(r(0, 5));
+        t.insert(r(5, 10)); // hint on the merged run
+        t.insert(r(12, 20));
+        let i = t.insert_run(r(10, 12)); // extends hint run right up to next
+        assert_eq!(i.merged, r(0, 20));
+        assert_eq!(i.absorbed, 2);
+        assert_eq!(t.run_count(), 1);
+    }
+
+    #[test]
+    fn hint_is_not_part_of_equality() {
+        let mut a = RangeSet::new();
+        a.insert(r(0, 5));
+        a.insert(r(10, 15));
+        let mut b = RangeSet::new();
+        b.insert(r(10, 15));
+        b.insert(r(0, 5));
+        assert_eq!(a, b, "same runs, different hint history");
+    }
+
+    #[test]
+    fn hint_survives_interleaved_queries() {
+        // Mixed access: inserts out of order, with covered/stale hints.
+        let mut s = RangeSet::new();
+        s.insert(r(50, 60));
+        s.insert(r(0, 10));
+        let i = s.insert_run(r(55, 58)); // inside the now-shifted run
+        assert_eq!(i.merged, r(50, 60));
+        assert_eq!(i.added, 0);
+        s.insert(r(20, 30));
+        let i = s.insert_run(r(25, 35)); // extend middle run
+        assert_eq!(i.merged, r(20, 35));
+        assert_eq!(i.added, 5);
+        assert_eq!(s.run_count(), 3);
     }
 }

@@ -44,10 +44,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static COUNTER: CountingAlloc = CountingAlloc;
 
-/// Run a two-phase identity-overlap program (single-granule tasks, demand
-/// splitting — the configuration with the most completion events per
-/// granule) and report the run plus the allocations it performed.
-fn identity_run(granules: u32) -> (RunReport, u64) {
+/// Run a two-phase identity-overlap program (single-granule tasks — the
+/// configuration with the most completion events per granule) under the
+/// given split strategy and report the run plus the allocations it
+/// performed.
+fn identity_run(granules: u32, strategy: SplitStrategy) -> (RunReport, u64) {
     let mut b = ProgramBuilder::new();
     let pa = b.phase(PhaseDef::new("a", granules, CostModel::constant(100)));
     let pb = b.phase(PhaseDef::new("b", granules, CostModel::constant(100)));
@@ -62,7 +63,7 @@ fn identity_run(granules: u32) -> (RunReport, u64) {
     let program = b.build().unwrap();
     let policy = OverlapPolicy::overlap()
         .with_sizing(TaskSizing::Fixed(1))
-        .with_split_strategy(SplitStrategy::DemandSplit);
+        .with_split_strategy(strategy);
     let mut sim = Simulation::new(MachineConfig::new(8), policy).with_seed(1);
     sim.add_job(program);
     let before = ALLOCATIONS.load(Ordering::Relaxed);
@@ -71,12 +72,12 @@ fn identity_run(granules: u32) -> (RunReport, u64) {
     (report, after - before)
 }
 
-#[test]
-fn steady_state_completion_processing_is_allocation_free() {
-    // Warm-up absorbs lazy one-time initialization.
-    let _ = identity_run(256);
-    let (r1, a1) = identity_run(2_048);
-    let (r2, a2) = identity_run(8_192);
+/// Grow a scenario 4× and demand the *extra* allocations per *extra*
+/// event stay (far) below one — the per-event term is zero, only the
+/// `O(log n)` structure-doubling term remains.
+fn assert_steady_state_alloc_free(strategy: SplitStrategy) {
+    let (r1, a1) = identity_run(2_048, strategy);
+    let (r2, a2) = identity_run(8_192, strategy);
     assert_eq!(r1.phases[0].stats.executed_granules, 2_048);
     assert_eq!(r2.phases[0].stats.executed_granules, 8_192);
     let extra_events = r2.events - r1.events;
@@ -88,8 +89,21 @@ fn steady_state_completion_processing_is_allocation_free() {
     let per_event = extra_allocs as f64 / extra_events as f64;
     assert!(
         per_event < 0.01,
-        "completion processing allocates: {per_event:.4} allocations/event \
+        "{strategy:?} completion processing allocates: {per_event:.4} allocations/event \
          ({extra_allocs} extra allocations over {extra_events} extra events; \
          run sizes {a1} vs {a2})"
     );
+}
+
+#[test]
+fn steady_state_completion_processing_is_allocation_free() {
+    // Warm-up absorbs lazy one-time initialization.
+    let _ = identity_run(256, SplitStrategy::DemandSplit);
+    // Demand splitting: every dispatch splits and mirrors the split onto
+    // the queued successor — the paths the SoA arena serves per event.
+    assert_steady_state_alloc_free(SplitStrategy::DemandSplit);
+    // Presplitting: the whole descriptor population is carved at release
+    // time, so the arena's lane growth (amortized, O(log n) doublings)
+    // is the only allocation source left.
+    assert_steady_state_alloc_free(SplitStrategy::PreSplit);
 }

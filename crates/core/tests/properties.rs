@@ -395,6 +395,70 @@ mod rangeset_props {
             prop_assert_eq!(s.len(), before_len + info.added);
             prop_assert!(info.added <= r.len() as u64);
         }
+
+        /// The completed-run hint is pure acceleration: every insert's
+        /// merge report and the resulting run list match an independent
+        /// oracle — a naive boolean-coverage model that derives the
+        /// expected `merged`/`absorbed`/`added` from first principles,
+        /// with no hint, no binary search, and no shared code path.
+        #[test]
+        fn hint_never_changes_insert_run_results(
+            ranges in proptest::collection::vec((0u32..200, 1u32..20), 1..30),
+        ) {
+            const UNIVERSE: usize = 256;
+            let mut s = RangeSet::new(); // hint warmed by every insert
+            let mut covered = [false; UNIVERSE];
+            for (i, &(lo, len)) in ranges.iter().enumerate() {
+                let r = GranuleRange::new(lo, lo + len);
+                // oracle: absorbed = maximal covered runs overlapping or
+                // adjacent to r; merged = r extended through them; added
+                // = indices r newly covers.
+                let touches = |g: usize| {
+                    covered[g] && g + 1 >= lo as usize && g <= (lo + len) as usize
+                };
+                let mut absorbed = 0;
+                let mut in_run = false;
+                for g in 0..UNIVERSE {
+                    let t = touches(g);
+                    absorbed += usize::from(t && !in_run);
+                    in_run = t;
+                }
+                let mut mlo = lo;
+                while mlo > 0 && covered[mlo as usize - 1] {
+                    mlo -= 1;
+                }
+                let mut mhi = lo + len;
+                while (mhi as usize) < UNIVERSE && covered[mhi as usize] {
+                    mhi += 1;
+                }
+                let added = (lo..lo + len).filter(|&g| !covered[g as usize]).count() as u64;
+
+                let info = s.insert_run(r);
+                prop_assert_eq!(info.merged, GranuleRange::new(mlo, mhi), "insert {}", i);
+                prop_assert_eq!(info.absorbed, absorbed, "insert {}", i);
+                prop_assert_eq!(info.added, added, "insert {}", i);
+
+                for g in lo..lo + len {
+                    covered[g as usize] = true;
+                }
+                // the stored runs must equal the model's maximal runs
+                let mut model_runs = Vec::new();
+                let mut g = 0;
+                while g < UNIVERSE {
+                    if covered[g] {
+                        let start = g;
+                        while g < UNIVERSE && covered[g] {
+                            g += 1;
+                        }
+                        model_runs.push(GranuleRange::new(start as u32, g as u32));
+                    } else {
+                        g += 1;
+                    }
+                }
+                let runs: Vec<GranuleRange> = s.iter_runs().collect();
+                prop_assert_eq!(runs, model_runs, "run list diverged at insert {}", i);
+            }
+        }
     }
 }
 

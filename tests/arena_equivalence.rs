@@ -1,0 +1,288 @@
+//! Layout-equivalence pin for the descriptor store.
+//!
+//! The SoA descriptor arena must be *observably identical* to the
+//! array-of-structs layout it replaced: same completion order, same
+//! split/dispatch counts, same overlap statistics, event for event. This
+//! suite runs thirteen scenario shapes — one per experiment family
+//! (E1–E13: strict arithmetic, the census mappings, the three split
+//! strategies, background builds with elevation, serial gaps, multi-job
+//! streams, data proximity, stochastic costs under PAX management
+//! charges) — in quick mode and compares a behavior fingerprint against
+//! goldens recorded with the pre-SoA array-of-structs arena (commit
+//! bf7c64c). Any layout-induced reordering, miscount, or dropped release
+//! changes at least one field of at least one fingerprint.
+//!
+//! If an *intentional* behavior change ever lands, regenerate with:
+//!
+//! ```text
+//! cargo test --test arena_equivalence -- --nocapture print_fingerprints
+//! ```
+
+use pax_core::prelude::*;
+use pax_sim::dist::{CostModel, DurationDist};
+use pax_sim::locality::{DataLayout, LocalityModel};
+use pax_sim::machine::{ExecutivePlacement, MachineConfig, ManagementCosts};
+use pax_sim::time::SimDuration;
+use std::sync::Arc;
+
+/// A scenario: a program, a machine, and a policy, all deterministic.
+struct Shape {
+    name: &'static str,
+    program: Program,
+    cfg: MachineConfig,
+    policy: OverlapPolicy,
+    jobs: usize,
+}
+
+fn two_phase(granules: u32, cost: CostModel, mapping: EnablementMapping) -> Program {
+    let mut b = ProgramBuilder::new();
+    let pa = b.phase(PhaseDef::new("a", granules, cost.clone()));
+    let pb = b.phase(PhaseDef::new("b", granules, cost));
+    b.dispatch_enable(
+        pa,
+        vec![EnableSpec {
+            successor: pb,
+            mapping,
+        }],
+    );
+    b.dispatch(pb);
+    b.build().unwrap()
+}
+
+fn reverse_fan2(n: u32) -> EnablementMapping {
+    let req: Vec<Vec<u32>> = (0..n).map(|r| vec![r, (r + 1) % n]).collect();
+    EnablementMapping::ReverseIndirect(Arc::new(ReverseMap::new(req, n)))
+}
+
+fn shapes() -> Vec<Shape> {
+    let c10 = CostModel::constant(10);
+    let fixed1 = |p: OverlapPolicy| p.with_sizing(TaskSizing::Fixed(1));
+    let mut v = Vec::new();
+
+    // E1: strict-barrier rundown arithmetic (null mappings).
+    v.push(Shape {
+        name: "e1_strict_null",
+        program: two_phase(96, c10.clone(), EnablementMapping::Null),
+        cfg: MachineConfig::ideal(8),
+        policy: fixed1(OverlapPolicy::strict()),
+        jobs: 1,
+    });
+    // E2: the census's dominant mapping — identity, demand split.
+    v.push(Shape {
+        name: "e2_identity_demand",
+        program: two_phase(128, c10.clone(), EnablementMapping::Identity),
+        cfg: MachineConfig::ideal(8),
+        policy: fixed1(OverlapPolicy::overlap()).with_split_strategy(SplitStrategy::DemandSplit),
+        jobs: 1,
+    });
+    // E3: universal overlap filling the rundown.
+    v.push(Shape {
+        name: "e3_universal",
+        program: two_phase(100, c10.clone(), EnablementMapping::Universal),
+        cfg: MachineConfig::ideal(8),
+        policy: fixed1(OverlapPolicy::overlap()),
+        jobs: 1,
+    });
+    // E4: two-tasks-per-processor sizing rule (default sizing).
+    v.push(Shape {
+        name: "e4_task_sizing",
+        program: two_phase(96, c10.clone(), EnablementMapping::Identity),
+        cfg: MachineConfig::ideal(6),
+        policy: OverlapPolicy::overlap(),
+        jobs: 1,
+    });
+    // E5: PAX management costs, executive stealing worker time.
+    v.push(Shape {
+        name: "e5_mgmt_costs",
+        program: two_phase(64, CostModel::constant(100), EnablementMapping::Identity),
+        cfg: MachineConfig::new(4)
+            .with_executive(ExecutivePlacement::StealsWorker)
+            .with_costs(ManagementCosts::pax_default()),
+        policy: fixed1(OverlapPolicy::overlap()),
+        jobs: 1,
+    });
+    // E6: two parallel job streams sharing the machine.
+    v.push(Shape {
+        name: "e6_multi_job",
+        program: two_phase(48, c10.clone(), EnablementMapping::Identity),
+        cfg: MachineConfig::ideal(6),
+        policy: fixed1(OverlapPolicy::overlap()),
+        jobs: 2,
+    });
+    // E7: presplit and successor-splitting-task strategies.
+    v.push(Shape {
+        name: "e7_presplit",
+        program: two_phase(80, c10.clone(), EnablementMapping::Identity),
+        cfg: MachineConfig::ideal(8),
+        policy: OverlapPolicy::overlap()
+            .with_sizing(TaskSizing::Fixed(4))
+            .with_split_strategy(SplitStrategy::PreSplit),
+        jobs: 1,
+    });
+    v.push(Shape {
+        name: "e7_succ_split_task",
+        program: two_phase(80, c10.clone(), EnablementMapping::Identity),
+        cfg: MachineConfig::ideal(8),
+        policy: OverlapPolicy::overlap()
+            .with_sizing(TaskSizing::Fixed(4))
+            .with_split_strategy(SplitStrategy::SuccessorSplitTask),
+        jobs: 1,
+    });
+    // E8: reverse-indirect with immediate build, and with background
+    // build + priority elevation + early subset.
+    v.push(Shape {
+        name: "e8_reverse_immediate",
+        program: two_phase(64, c10.clone(), reverse_fan2(64)),
+        cfg: MachineConfig::ideal(8),
+        policy: fixed1(OverlapPolicy::overlap()),
+        jobs: 1,
+    });
+    v.push(Shape {
+        name: "e8_reverse_background",
+        program: two_phase(64, c10.clone(), reverse_fan2(64)),
+        cfg: MachineConfig::new(8).with_costs(ManagementCosts::pax_default()),
+        policy: fixed1(OverlapPolicy::overlap())
+            .with_composite_build(CompositeBuild::Background)
+            .with_elevate_enabling(true)
+            .with_indirect_subset(16),
+        jobs: 1,
+    });
+    // E10: serial region between phases (language's serial construct).
+    v.push(Shape {
+        name: "e10_serial_gap",
+        program: {
+            let mut b = ProgramBuilder::new();
+            let pa = b.phase(PhaseDef::new("a", 40, c10.clone()));
+            let pb = b.phase(PhaseDef::new("b", 40, c10.clone()));
+            b.dispatch_enable(
+                pa,
+                vec![EnableSpec {
+                    successor: pb,
+                    mapping: EnablementMapping::Universal,
+                }],
+            );
+            b.serial(25, "decide");
+            b.dispatch(pb);
+            b.build().unwrap()
+        },
+        cfg: MachineConfig::ideal(4),
+        policy: fixed1(OverlapPolicy::overlap()),
+        jobs: 1,
+    });
+    // E11/E13-flavored: looping dispatch under stochastic granule costs.
+    v.push(Shape {
+        name: "e13_stochastic_loop",
+        program: {
+            let mut b = ProgramBuilder::new();
+            let pa = b.phase(PhaseDef::new(
+                "a",
+                48,
+                CostModel::new(DurationDist::uniform(5, 50)),
+            ));
+            let k = b.counter();
+            let top = b.next_index();
+            b.dispatch(pa);
+            b.incr(k, 1);
+            b.step(Step::Branch {
+                test: BranchTest::CounterLt(k, 3),
+                on_true: top,
+                on_false: top + 3,
+            });
+            b.build().unwrap()
+        },
+        cfg: MachineConfig::new(6).with_costs(ManagementCosts::pax_default()),
+        policy: OverlapPolicy::overlap(),
+        jobs: 1,
+    });
+    // E12: clustered memory with the data-proximity assignment scan.
+    v.push(Shape {
+        name: "e12_proximity",
+        program: two_phase(128, c10, EnablementMapping::Identity),
+        cfg: MachineConfig::ideal(8)
+            .with_locality(LocalityModel::new(4, SimDuration(7)).with_layout(DataLayout::Block)),
+        policy: OverlapPolicy::overlap()
+            .with_assignment(AssignmentPolicy::DataProximity { scan_window: 16 }),
+        jobs: 1,
+    });
+    v
+}
+
+/// Everything about a run that a descriptor-layout change could disturb:
+/// event count, makespan, dispatch/split/descriptor counts, per-phase
+/// granule and overlap totals, and the locality traffic split.
+fn fingerprint(shape: &Shape) -> String {
+    let mut sim = Simulation::new(shape.cfg.clone(), shape.policy.clone()).with_seed(7);
+    for _ in 0..shape.jobs {
+        sim.add_job(shape.program.clone());
+    }
+    let r = sim.run().unwrap_or_else(|e| panic!("{}: {e}", shape.name));
+    let phase_sig: String = r
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{}:{}+{}",
+                p.job, p.stats.executed_granules, p.stats.overlap_granules
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{} ev={} mk={} tasks={} splits={} descs={} peak={} mgmt={} remote={} phases=[{}]",
+        shape.name,
+        r.events,
+        r.makespan.ticks(),
+        r.tasks_dispatched,
+        r.splits,
+        r.descriptors_created,
+        r.descriptors_peak,
+        r.mgmt_time.ticks(),
+        r.remote_granules,
+        phase_sig
+    )
+}
+
+/// Goldens recorded with the array-of-structs `Descriptor` slab at commit
+/// bf7c64c (PR 2), seed 7. The SoA arena must reproduce every line.
+const GOLDEN: &[&str] = &[
+    "e1_strict_null ev=392 mk=240 tasks=192 splits=190 descs=192 peak=9 mgmt=0 remote=0 phases=[0:96+0,0:96+0]",
+    "e2_identity_demand ev=520 mk=320 tasks=256 splits=254 descs=256 peak=136 mgmt=0 remote=0 phases=[0:128+0,0:128+0]",
+    "e3_universal ev=408 mk=250 tasks=200 splits=198 descs=200 peak=10 mgmt=0 remote=0 phases=[0:100+0,0:100+4]",
+    "e4_task_sizing ev=56 mk=320 tasks=24 splits=22 descs=24 peak=18 mgmt=0 remote=0 phases=[0:96+0,0:96+0]",
+    "e5_mgmt_costs ev=380 mk=3331 tasks=128 splits=126 descs=128 peak=68 mgmt=576 remote=0 phases=[0:64+0,0:64+3]",
+    "e6_multi_job ev=438 mk=320 tasks=192 splits=188 descs=192 peak=102 mgmt=0 remote=0 phases=[0:48+0,0:48+0,1:48+0,1:48+0]",
+    "e7_presplit ev=88 mk=200 tasks=40 splits=19 descs=40 peak=40 mgmt=0 remote=0 phases=[0:80+0,0:80+16]",
+    "e7_succ_split_task ev=91 mk=200 tasks=40 splits=38 descs=40 peak=26 mgmt=0 remote=0 phases=[0:80+0,0:80+16]",
+    "e8_reverse_immediate ev=265 mk=160 tasks=128 splits=64 descs=128 peak=64 mgmt=0 remote=0 phases=[0:64+0,0:64+0]",
+    "e8_reverse_background ev=286 mk=579 tasks=128 splits=125 descs=128 peak=10 mgmt=576 remote=0 phases=[0:64+0,0:64+7]",
+    "e10_serial_gap ev=169 mk=225 tasks=80 splits=78 descs=80 peak=5 mgmt=0 remote=0 phases=[0:40+0,0:40+0]",
+    "e13_stochastic_loop ev=88 mk=837 tasks=36 splits=33 descs=36 peak=7 mgmt=144 remote=0 phases=[0:48+0,0:48+0,0:48+0]",
+    "e12_proximity ev=80 mk=512 tasks=32 splits=30 descs=32 peak=18 mgmt=0 remote=112 phases=[0:128+0,0:128+112]",
+];
+
+#[test]
+fn soa_arena_matches_aos_goldens() {
+    let shapes = shapes();
+    assert_eq!(shapes.len(), 13, "one scenario per experiment family");
+    let actual: Vec<String> = shapes.iter().map(fingerprint).collect();
+    let mut mismatches = Vec::new();
+    for (i, a) in actual.iter().enumerate() {
+        match GOLDEN.get(i) {
+            Some(&g) if g == a => {}
+            got => mismatches.push(format!("  expected: {:?}\n  actual:   {a}", got)),
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "descriptor-layout behavior drift:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// Regeneration helper: `cargo test --test arena_equivalence -- --nocapture print_fingerprints`
+#[test]
+fn print_fingerprints() {
+    for line in shapes().iter().map(fingerprint) {
+        println!("    \"{line}\",");
+    }
+}

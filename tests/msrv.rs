@@ -1,0 +1,73 @@
+//! MSRV enforcement: the README's claimed minimum supported Rust version
+//! must be declared by every crate in the workspace and match the single
+//! source of truth (`[workspace.package] rust-version`), so `cargo`
+//! refuses old toolchains everywhere and the CI MSRV job tests exactly
+//! the documented version.
+
+use std::path::Path;
+
+/// The version CI's MSRV matrix entry installs. If this changes, update
+/// `.github/workflows/ci.yml` and the README together.
+const MSRV: &str = "1.87";
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(rel: &str) -> String {
+    let p = workspace_root().join(rel);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("reading {}: {e}", p.display()))
+}
+
+#[test]
+fn workspace_declares_the_documented_msrv() {
+    let root = read("Cargo.toml");
+    assert!(
+        root.contains(&format!("rust-version = \"{MSRV}\"")),
+        "workspace Cargo.toml must pin rust-version = \"{MSRV}\""
+    );
+}
+
+#[test]
+fn every_crate_inherits_the_workspace_msrv() {
+    let mut checked = 0;
+    for dir in ["crates", "vendor"] {
+        let base = workspace_root().join(dir);
+        for entry in std::fs::read_dir(&base).unwrap() {
+            let path = entry.unwrap().path().join("Cargo.toml");
+            if !path.is_file() {
+                continue;
+            }
+            let manifest = std::fs::read_to_string(&path).unwrap();
+            assert!(
+                manifest.contains("rust-version.workspace = true")
+                    || manifest.contains(&format!("rust-version = \"{MSRV}\"")),
+                "{} does not declare the workspace MSRV",
+                path.display()
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 12,
+        "expected all 7 crates + 5 vendored stubs, found {checked}"
+    );
+}
+
+#[test]
+fn ci_tests_the_documented_msrv() {
+    let ci = read(".github/workflows/ci.yml");
+    assert!(
+        ci.contains(&format!("toolchain: \"{MSRV}\"")),
+        "ci.yml must carry a matrix entry for the MSRV toolchain {MSRV}"
+    );
+}
+
+#[test]
+fn readme_states_the_documented_msrv() {
+    let readme = read("README.md");
+    assert!(
+        readme.contains(MSRV),
+        "README must state the MSRV ({MSRV}) it advertises"
+    );
+}

@@ -12,9 +12,12 @@
 //! * [`prop_assert!`] / [`prop_assert_eq!`].
 //!
 //! Unlike the real crate there is **no shrinking** and no persistence:
-//! a failing case panics with the failing values' debug representation.
-//! Generation is deterministic per test-function name, so failures
-//! reproduce across runs.
+//! a failing case panics with the failing values' debug representation
+//! plus the `PROPTEST_SEED=…` invocation that replays the stream.
+//! Generation is deterministic per test-function name — optionally
+//! perturbed by the `PROPTEST_SEED` environment variable (CI pins it,
+//! so red CI runs replay locally bit-for-bit; `0` ≡ unset) — so
+//! failures reproduce across runs.
 
 #![warn(missing_docs)]
 
@@ -241,8 +244,10 @@ macro_rules! proptest {
                             $(&$crate::strategy::Strategy::new_value($arg, &mut replay)),*
                         );
                         panic!(
-                            "proptest case {}/{} failed: {}\n  inputs: {}",
-                            case + 1, config.cases, e, values
+                            "proptest case {}/{} failed: {}\n  inputs: {}\n  \
+                             replay: PROPTEST_SEED={:#x} cargo test {}",
+                            case + 1, config.cases, e, values,
+                            rng.env_seed_in_effect(), stringify!($name)
                         );
                     }
                 }

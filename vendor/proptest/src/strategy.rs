@@ -6,14 +6,37 @@ use std::ops::{Range, RangeInclusive};
 /// The deterministic generator driving every proptest run.
 ///
 /// Seeded from the test function's name so each test draws an
-/// independent, reproducible stream.
+/// independent, reproducible stream. The `PROPTEST_SEED` environment
+/// variable (decimal or `0x…` hex `u64`) is mixed into every per-test
+/// seed: CI exports a fixed value so red runs replay locally with the
+/// identical stream, and setting a different value explores a different
+/// deterministic stream. `PROPTEST_SEED=0` is equivalent to unset.
 #[derive(Debug, Clone)]
 pub struct TestRng {
     state: u64,
+    env_seed: u64,
+}
+
+/// Parse `PROPTEST_SEED` (decimal or `0x…`/`0X…` hex). Unset ⇒ 0.
+/// Malformed values abort loudly rather than silently de-randomizing.
+pub fn env_seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Err(_) => 0,
+        Ok(s) => parse_seed(&s).unwrap_or_else(|| panic!("PROPTEST_SEED={s:?} is not a u64")),
+    }
+}
+
+/// Seed syntax accepted by [`env_seed`].
+fn parse_seed(s: &str) -> Option<u64> {
+    let t = s.trim();
+    match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => t.parse().ok(),
+    }
 }
 
 impl TestRng {
-    /// RNG for the named test function.
+    /// RNG for the named test function, perturbed by `PROPTEST_SEED`.
     pub fn for_test(name: &str) -> TestRng {
         // FNV-1a over the name gives a stable per-test seed
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -21,7 +44,28 @@ impl TestRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng { state: h }
+        let env_seed = env_seed();
+        // splitmix the env seed before XOR so PROPTEST_SEED=1 and =2
+        // yield unrelated streams; 0 applies no perturbation at all, so
+        // unset (and the CI default) keep the historical per-name stream.
+        let perturb = if env_seed == 0 {
+            0
+        } else {
+            let mut z = env_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            state: h ^ perturb,
+            env_seed,
+        }
+    }
+
+    /// The `PROPTEST_SEED` value in effect (0 = unset), for failure
+    /// messages: re-exporting it replays the failing stream exactly.
+    pub fn env_seed_in_effect(&self) -> u64 {
+        self.env_seed
     }
 
     /// Next 64 random bits (splitmix64).
@@ -461,6 +505,31 @@ mod tests {
             let t = "[A-Za-z0-9 /=\\[\\]():.,\n-]*".new_value(&mut rng);
             assert!(t.len() <= 16);
             let _ = "\\PC*".new_value(&mut rng);
+        }
+    }
+
+    #[test]
+    fn seed_syntax_parses_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed(" 0x2A "), Some(42));
+        assert_eq!(parse_seed("0XFF"), Some(255));
+        assert_eq!(parse_seed("18446744073709551615"), Some(u64::MAX));
+        assert_eq!(parse_seed("nope"), None);
+        assert_eq!(parse_seed("0xZZ"), None);
+        assert_eq!(parse_seed(""), None);
+    }
+
+    #[test]
+    fn default_stream_is_per_name_and_reports_seed() {
+        // without PROPTEST_SEED in the environment the historical
+        // name-derived stream is preserved
+        let mut a = TestRng::for_test("some_test");
+        let mut b = TestRng::for_test("some_test");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("other_test");
+        assert_ne!(a.next_u64(), c.next_u64());
+        if std::env::var("PROPTEST_SEED").is_err() {
+            assert_eq!(a.env_seed_in_effect(), 0);
         }
     }
 

@@ -1,0 +1,24 @@
+//! The contract CI relies on: a failing proptest case panics with the
+//! exact `PROPTEST_SEED=… cargo test <name>` invocation that replays the
+//! failing stream locally, plus the generated inputs.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    #[should_panic(expected = "replay: PROPTEST_SEED=")]
+    fn failing_case_prints_replay_seed(x in 0u32..100) {
+        // always fails; the panic payload must carry the replay line
+        prop_assert!(x > 1000, "forced failure with x = {}", x);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    #[should_panic(expected = "inputs: (x = ")]
+    fn failing_case_prints_inputs(x in 0u32..100) {
+        prop_assert!(x > 1000, "forced failure with x = {}", x);
+    }
+}
