@@ -6,11 +6,19 @@
 //! ```
 //!
 //! Prints a Markdown report (the CI workflow tees it into
-//! `$GITHUB_STEP_SUMMARY`) and exits non-zero when any scenario present
-//! in both files regressed beyond the threshold ratio (default 1.25 =
-//! 25 % slower). New or removed scenarios are reported but never fail
-//! the gate; neither does a cross-host comparison flagged by mismatched
-//! `host` fingerprints — it is annotated as indicative instead.
+//! `$GITHUB_STEP_SUMMARY`) and exits with a code that names the
+//! disposition:
+//!
+//! * `0` — comparable baseline, nothing regressed (cross-host baselines
+//!   are informational only; new/removed scenarios never fail the gate);
+//! * `1` — at least one scenario regressed beyond the threshold ratio
+//!   (default 1.25 = 25 % slower) against a same-host baseline;
+//! * `2` — usage error, or the *current* file is missing/empty (the gate
+//!   was invoked wrong);
+//! * `3` — the **baseline** is missing, unreadable, or corrupt: the gate
+//!   could not compare. The workflow treats 3 as "annotate and continue"
+//!   (the fresh measurements become the next baseline) — but the step
+//!   summary says so out loud instead of silently passing.
 
 use pax_bench::compare;
 use std::process::ExitCode;
@@ -40,31 +48,34 @@ fn main() -> ExitCode {
     if paths.len() != 2 || threshold <= 1.0 {
         usage();
     }
-    let read = |p: &str| {
-        std::fs::read_to_string(p).unwrap_or_else(|e| {
-            eprintln!("bench-compare: cannot read {p}: {e}");
-            std::process::exit(2);
-        })
-    };
-    let baseline = compare::parse_rundown(&read(&paths[0]));
-    let current = compare::parse_rundown(&read(&paths[1]));
+    // A broken *current* file is a usage error (the gate just measured
+    // it); a broken *baseline* is the NoBaseline outcome with its own
+    // exit code — the artifact download can legitimately fail.
+    let current_text = std::fs::read_to_string(&paths[1]).unwrap_or_else(|e| {
+        eprintln!("bench-compare: cannot read {}: {e}", paths[1]);
+        std::process::exit(2);
+    });
+    let current = compare::parse_rundown(&current_text);
     if current.scenarios.is_empty() {
         eprintln!("bench-compare: no scenarios found in {}", paths[1]);
         return ExitCode::from(2);
     }
-    let rows = compare::compare(&baseline, &current);
-    print!(
-        "{}",
-        compare::markdown_report(&baseline, &current, &rows, threshold)
-    );
-    let cross_host = compare::host_mismatch(&baseline, &current);
-    let bad = compare::regressions(&rows, threshold);
-    if !bad.is_empty() && !cross_host {
-        eprintln!(
-            "bench-compare: {} scenario(s) regressed beyond {threshold}x",
-            bad.len()
-        );
-        return ExitCode::FAILURE;
+    let baseline = std::fs::read_to_string(&paths[0])
+        .ok()
+        .map(|text| compare::parse_rundown(&text));
+    let (outcome, report) = compare::gate(baseline.as_ref(), &current, threshold);
+    print!("{report}");
+    match outcome {
+        compare::GateOutcome::Pass => {}
+        compare::GateOutcome::Regressed => {
+            eprintln!("bench-compare: scenario(s) regressed beyond {threshold}x");
+        }
+        compare::GateOutcome::NoBaseline => {
+            eprintln!(
+                "bench-compare: baseline {} missing or corrupt — nothing to compare",
+                paths[0]
+            );
+        }
     }
-    ExitCode::SUCCESS
+    ExitCode::from(outcome.exit_code())
 }

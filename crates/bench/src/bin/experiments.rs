@@ -10,7 +10,8 @@
 //!
 //! `--bench-json PATH` runs the rundown performance harness instead of the
 //! claim experiments and writes machine-readable throughput numbers (plus
-//! the recorded pre-optimization baseline) to PATH.
+//! the recorded pre-optimization baseline and the executive lane-scaling
+//! sweep; `--no-lane-sweep` skips the sweep) to PATH.
 
 use pax_bench::experiments as ex;
 use std::time::Instant;
@@ -26,7 +27,18 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "BENCH_rundown.json".to_string());
         let measurements = pax_bench::rundown::run_all(quick);
-        let json = pax_bench::rundown::to_json(&measurements);
+        // The lane/calendar sweep rides along unless suppressed (the CI
+        // smoke gate only diffs the headline scenarios either way).
+        let lanes = if args.iter().any(|a| a == "--no-lane-sweep") {
+            Vec::new()
+        } else {
+            pax_bench::rundown::lane_scaling(quick)
+        };
+        let json = pax_bench::rundown::to_json_full(
+            &measurements,
+            &lanes,
+            &pax_bench::rundown::host_fingerprint(),
+        );
         std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("{json}");
         println!("rundown bench written to {path}");

@@ -139,6 +139,69 @@ pub fn host_mismatch(baseline: &ParsedRun, current: &ParsedRun) -> bool {
     }
 }
 
+/// Exit disposition of the perf gate, mapped to distinct process exit
+/// codes so the workflow can tell "regressed" from "could not compare"
+/// without scraping output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateOutcome {
+    /// A comparable baseline existed and nothing regressed (or the
+    /// baseline was cross-host: informational only).
+    Pass,
+    /// At least one scenario regressed beyond the threshold against a
+    /// same-host baseline.
+    Regressed,
+    /// The baseline file is missing, unreadable, or contains no
+    /// scenarios — the gate cannot compare. This must be loud (its own
+    /// exit code and step-summary note), not a silent pass: a gate that
+    /// quietly skips itself protects nothing.
+    NoBaseline,
+}
+
+impl GateOutcome {
+    /// Process exit code: 0 = pass, 1 = regressed, 3 = no usable
+    /// baseline. (2 stays reserved for usage/IO errors.)
+    pub fn exit_code(self) -> u8 {
+        match self {
+            GateOutcome::Pass => 0,
+            GateOutcome::Regressed => 1,
+            GateOutcome::NoBaseline => 3,
+        }
+    }
+}
+
+/// Run the whole gate decision: `baseline` is `None` when the baseline
+/// file could not be read at all. Returns the outcome plus the Markdown
+/// report destined for the step summary.
+pub fn gate(
+    baseline: Option<&ParsedRun>,
+    current: &ParsedRun,
+    threshold: f64,
+) -> (GateOutcome, String) {
+    let usable = baseline.filter(|b| !b.scenarios.is_empty());
+    let Some(baseline) = usable else {
+        let why = match baseline {
+            None => "the baseline file is missing or unreadable",
+            Some(_) => "the baseline file contains no scenarios (corrupt or wrong format)",
+        };
+        let report = format!(
+            "## Rundown perf gate\n\n**NO BASELINE** — {why}; \
+             the perf gate could not compare this run against anything. \
+             Current measurements were recorded and uploaded as the next \
+             baseline.\n"
+        );
+        return (GateOutcome::NoBaseline, report);
+    };
+    let rows = compare(baseline, current);
+    let report = markdown_report(baseline, current, &rows, threshold);
+    let outcome = if !regressions(&rows, threshold).is_empty() && !host_mismatch(baseline, current)
+    {
+        GateOutcome::Regressed
+    } else {
+        GateOutcome::Pass
+    };
+    (outcome, report)
+}
+
 /// Render the comparison as a Markdown document: verdict, host caveat
 /// when fingerprints differ, and the per-scenario table.
 pub fn markdown_report(
@@ -289,6 +352,42 @@ mod tests {
         // matching fingerprints keep the gate strict
         let same = parse_rundown(&sample("h/1cpu/x", &[("a", 10.0)]));
         assert!(!host_mismatch(&same, &cur));
+    }
+
+    #[test]
+    fn gate_missing_baseline_is_a_distinct_loud_outcome() {
+        let cur = parse_rundown(&sample("h/1cpu/x", &[("a", 10.0)]));
+        // unreadable baseline file
+        let (outcome, report) = gate(None, &cur, 1.25);
+        assert_eq!(outcome, GateOutcome::NoBaseline);
+        assert_eq!(outcome.exit_code(), 3);
+        assert!(report.contains("**NO BASELINE**"), "{report}");
+        assert!(report.contains("missing or unreadable"), "{report}");
+        // readable but corrupt: parses to zero scenarios
+        let corrupt = parse_rundown("{ \"scenarios\": [ garbage\n");
+        let (outcome, report) = gate(Some(&corrupt), &cur, 1.25);
+        assert_eq!(outcome, GateOutcome::NoBaseline);
+        assert!(report.contains("no scenarios"), "{report}");
+    }
+
+    #[test]
+    fn gate_pass_and_regressed_exit_codes() {
+        let base = parse_rundown(&sample("h/1cpu/x", &[("a", 10.0), ("b", 10.0)]));
+        let ok = parse_rundown(&sample("h/1cpu/x", &[("a", 10.5), ("b", 9.0)]));
+        let (outcome, report) = gate(Some(&base), &ok, 1.25);
+        assert_eq!(outcome, GateOutcome::Pass);
+        assert_eq!(outcome.exit_code(), 0);
+        assert!(report.contains("**PASS**"));
+        let bad = parse_rundown(&sample("h/1cpu/x", &[("a", 20.0), ("b", 9.0)]));
+        let (outcome, report) = gate(Some(&base), &bad, 1.25);
+        assert_eq!(outcome, GateOutcome::Regressed);
+        assert_eq!(outcome.exit_code(), 1);
+        assert!(report.contains("**FAIL**"));
+        // cross-host regressions stay informational (exit 0)
+        let foreign = parse_rundown(&sample("other/8cpu/y", &[("a", 50.0)]));
+        let (outcome, report) = gate(Some(&base), &foreign, 1.25);
+        assert_eq!(outcome, GateOutcome::Pass);
+        assert!(report.contains("**INFORMATIONAL**"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! ```
 
 use pax_core::prelude::*;
+use pax_sim::calendar::CalendarKind;
 use pax_sim::dist::CostModel;
 use pax_sim::machine::MachineConfig;
 use std::sync::Arc;
@@ -175,6 +176,10 @@ fn build_program(s: &RundownScenario) -> Program {
 }
 
 fn run_once(s: &RundownScenario, program: &Program) -> (RunReport, f64) {
+    run_once_on(s, program, MachineConfig::new(s.processors))
+}
+
+fn run_once_on(s: &RundownScenario, program: &Program, cfg: MachineConfig) -> (RunReport, f64) {
     let strategy = match s.shape {
         RundownShape::IdentityPresplit => SplitStrategy::PreSplit,
         _ => SplitStrategy::DemandSplit,
@@ -182,7 +187,7 @@ fn run_once(s: &RundownScenario, program: &Program) -> (RunReport, f64) {
     let policy = OverlapPolicy::overlap()
         .with_sizing(TaskSizing::Fixed(s.task_size))
         .with_split_strategy(strategy);
-    let mut sim = Simulation::new(MachineConfig::new(s.processors), policy).with_seed(7);
+    let mut sim = Simulation::new(cfg, policy).with_seed(7);
     sim.add_job(program.clone());
     let t = Instant::now();
     let report = sim.run().expect("rundown scenario run");
@@ -230,6 +235,86 @@ pub fn run_all(quick: bool) -> Vec<RundownMeasurement> {
             m
         })
         .collect()
+}
+
+/// Lane counts measured by the [`lane_scaling`] sweep.
+pub const LANE_SWEEP_LANES: &[usize] = &[1, 4, 16, 64];
+
+/// One lane-scaling data point: a rundown scenario re-run with a given
+/// executive lane count (which also bounds the batched drain) on a given
+/// calendar backend.
+#[derive(Debug, Clone)]
+pub struct LaneScalingMeasurement {
+    /// Scenario name (matches a headline scenario).
+    pub scenario: String,
+    /// Executive lane count (= maximum completions drained per service
+    /// round under the default `BatchPolicy::Coincident`).
+    pub lanes: usize,
+    /// Calendar backend label: `"heap"` or `"wheel"`.
+    pub calendar: &'static str,
+    /// Simulator events processed in one run.
+    pub events: u64,
+    /// Simulated makespan (ticks) — lanes > 1 legitimately shorten it on
+    /// management-bound runs (the middle-management effect).
+    pub makespan: u64,
+    /// Best wall-clock time for one run, milliseconds.
+    pub wall_ms: f64,
+    /// Events processed per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// The lane-scaling sweep: every rundown scenario × lanes ∈
+/// [`LANE_SWEEP_LANES`] × both calendar backends, under the default
+/// batched drain. Two readings per row: `makespan` (simulated — how much
+/// a parallel executive helps the *machine being modelled*) and
+/// `wall_ms` (host — what the batched drain and each calendar cost the
+/// *simulator*, the data the time-wheel-by-default decision needs).
+pub fn lane_scaling(quick: bool) -> Vec<LaneScalingMeasurement> {
+    lane_scaling_for(&scenarios(quick))
+}
+
+/// [`lane_scaling`] over an explicit scenario list (testable at tiny
+/// sizes).
+pub fn lane_scaling_for(scenarios: &[RundownScenario]) -> Vec<LaneScalingMeasurement> {
+    let mut out = Vec::new();
+    for s in scenarios.iter().cloned() {
+        let program = build_program(&s);
+        let reps = s.reps.clamp(1, 3);
+        for &lanes in LANE_SWEEP_LANES {
+            for (label, kind) in [
+                ("heap", CalendarKind::BinaryHeap),
+                ("wheel", CalendarKind::time_wheel()),
+            ] {
+                let cfg = MachineConfig::new(s.processors)
+                    .with_executive_lanes(lanes)
+                    .with_calendar(kind);
+                let mut best_wall = f64::INFINITY;
+                let mut report = None;
+                for _ in 0..reps {
+                    let (r, wall) = run_once_on(&s, &program, cfg.clone());
+                    best_wall = best_wall.min(wall);
+                    report = Some(r);
+                }
+                let r = report.expect("at least one rep");
+                eprintln!(
+                    "[lane_scaling] {} lanes={lanes:<2} {label:<5} {:>9.3} ms  mk={}",
+                    s.name,
+                    best_wall,
+                    r.makespan.ticks()
+                );
+                out.push(LaneScalingMeasurement {
+                    scenario: s.name.to_string(),
+                    lanes,
+                    calendar: label,
+                    events: r.events,
+                    makespan: r.makespan.ticks(),
+                    wall_ms: best_wall,
+                    events_per_sec: r.events as f64 / (best_wall / 1e3),
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Wall-clock milliseconds per scenario measured at the pre-PR seed
@@ -291,10 +376,23 @@ pub fn to_json(measurements: &[RundownMeasurement]) -> String {
 /// [`BASELINE_HOST`]; the fingerprints of both hosts are recorded so a
 /// later reader can tell which comparison would be legitimate.
 pub fn to_json_for_host(measurements: &[RundownMeasurement], host: &str) -> String {
+    to_json_full(measurements, &[], host)
+}
+
+/// Full document: headline scenarios plus the lane-scaling sweep. The
+/// `lane_scaling` array is emitted *before* `scenarios` on purpose: the
+/// perf-gate parser ([`crate::compare::parse_rundown`]) starts capturing
+/// at the `scenarios` key, so sweep rows can never be mistaken for
+/// headline measurements (they reuse scenario names).
+pub fn to_json_full(
+    measurements: &[RundownMeasurement],
+    lanes: &[LaneScalingMeasurement],
+    host: &str,
+) -> String {
     let same_host = host == BASELINE_HOST;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"pax-bench-rundown/v1\",\n");
+    out.push_str("  \"schema\": \"pax-bench-rundown/v2\",\n");
     out.push_str(
         "  \"note\": \"wall_ms is the best-of-reps wall time of one full simulation run; \
          baseline_wall_ms is the same scenario measured at the pre-optimization seed commit\",\n",
@@ -307,6 +405,34 @@ pub fn to_json_for_host(measurements: &[RundownMeasurement], host: &str) -> Stri
     );
     out.push_str(&format!("  \"host\": \"{host}\",\n"));
     out.push_str(&format!("  \"baseline_host\": \"{BASELINE_HOST}\",\n"));
+    if !lanes.is_empty() {
+        out.push_str(
+            "  \"lane_scaling_note\": \"executive-lane sweep under the default batched \
+             drain: makespan_ticks is simulated time (lanes model the paper's parallel \
+             executive), wall_ms is host time (what the batched drain and the calendar \
+             backend cost the simulator)\",\n",
+        );
+        out.push_str("  \"lane_scaling\": [\n");
+        for (i, m) in lanes.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"scenario\": \"{}\",\n", m.scenario));
+            out.push_str(&format!("      \"lanes\": {},\n", m.lanes));
+            out.push_str(&format!("      \"calendar\": \"{}\",\n", m.calendar));
+            out.push_str(&format!("      \"events\": {},\n", m.events));
+            out.push_str(&format!("      \"makespan_ticks\": {},\n", m.makespan));
+            out.push_str(&format!("      \"wall_ms\": {},\n", json_f64(m.wall_ms)));
+            out.push_str(&format!(
+                "      \"events_per_sec\": {}\n",
+                json_f64(m.events_per_sec)
+            ));
+            out.push_str(if i + 1 == lanes.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+    }
     out.push_str("  \"scenarios\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let baseline = PRE_PR_BASELINE_WALL_MS
@@ -431,6 +557,72 @@ mod tests {
         assert!(!native.contains("\"speedup_vs_baseline\": null"));
         // both record which host the baselines came from
         assert!(foreign.contains("\"baseline_host\""));
+    }
+
+    #[test]
+    fn lane_sweep_covers_the_grid_and_agrees_across_calendars() {
+        let s = RundownScenario {
+            name: "tiny_sweep",
+            granules: 96,
+            task_size: 1,
+            processors: 4,
+            shape: RundownShape::Identity,
+            reps: 1,
+        };
+        let rows = lane_scaling_for(&[s]);
+        assert_eq!(rows.len(), LANE_SWEEP_LANES.len() * 2);
+        for &lanes in LANE_SWEEP_LANES {
+            let of_lanes: Vec<_> = rows.iter().filter(|r| r.lanes == lanes).collect();
+            assert_eq!(of_lanes.len(), 2);
+            // heap and wheel simulate the same machine: identical events
+            // and makespan, only wall time may differ
+            assert_eq!(of_lanes[0].events, of_lanes[1].events, "lanes {lanes}");
+            assert_eq!(of_lanes[0].makespan, of_lanes[1].makespan, "lanes {lanes}");
+        }
+        // more lanes never lengthen the simulated run (management cost
+        // spreads over lanes; this machine uses pax_default costs)
+        let mk = |lanes: usize| {
+            rows.iter()
+                .find(|r| r.lanes == lanes && r.calendar == "heap")
+                .unwrap()
+                .makespan
+        };
+        assert!(mk(64) <= mk(1), "64 lanes {} > 1 lane {}", mk(64), mk(1));
+    }
+
+    #[test]
+    fn lane_sweep_rows_do_not_confuse_the_gate_parser() {
+        // Sweep rows reuse headline scenario names; the perf-gate parser
+        // must capture only the headline scenarios array.
+        let s = RundownScenario {
+            name: "identity_1e4_t1",
+            granules: 32,
+            task_size: 1,
+            processors: 2,
+            shape: RundownShape::Identity,
+            reps: 1,
+        };
+        let m = measure(&s);
+        let lanes = vec![LaneScalingMeasurement {
+            scenario: "identity_1e4_t1".into(),
+            lanes: 4,
+            calendar: "wheel",
+            events: 10,
+            makespan: 5,
+            wall_ms: 123.456,
+            events_per_sec: 10.0,
+        }];
+        let j = to_json_full(&[m], &lanes, "h/1cpu/x");
+        assert!(j.contains("\"lane_scaling\""));
+        assert!(j.contains("\"calendar\": \"wheel\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let p = crate::compare::parse_rundown(&j);
+        assert_eq!(
+            p.scenarios.len(),
+            1,
+            "gate parser must not ingest lane_scaling rows"
+        );
+        assert_ne!(p.scenarios[0].1, 123.456, "sweep wall_ms leaked into gate");
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //! * **successor-splitting tasks** and **presplitting** as alternatives to
 //!   demand splitting of queued successors;
 //! * serial executive service (optionally multi-lane), either stealing
-//!   worker time (UNIVAC 1100) or on a dedicated processor.
+//!   worker time (UNIVAC 1100) or on a dedicated processor. With more
+//!   than one lane the run loop drains up to `lanes` coincident
+//!   completion events per service round (see
+//!   [`BatchPolicy`](pax_sim::machine::BatchPolicy)) — the batched drain
+//!   is pinned run-identical to single-event service.
 //!
 //! State changes are applied at event time; the *costs* of management
 //! operations are accumulated per event and charged to the executive
@@ -38,7 +42,7 @@ use crate::rangeset::{coalesce_indices_into, RangeSet};
 use crate::report::{JobReport, PhaseReport, RunReport};
 use pax_sim::calendar::Calendar;
 use pax_sim::dist::DurationDist;
-use pax_sim::machine::{ExecutivePlacement, MachineConfig};
+use pax_sim::machine::{BatchPolicy, ExecutivePlacement, MachineConfig};
 use pax_sim::metrics::{Activity, GanttTrace, Span, StepTrace};
 use pax_sim::time::{SimDuration, SimTime};
 use pax_sim::trace::TraceLog;
@@ -273,7 +277,12 @@ impl Simulation {
 /// (release paths called while a buffer is out never touch that buffer).
 #[derive(Debug, Default)]
 struct Scratch {
-    /// Conflict-queue members drained at completion.
+    /// Conflict-queue members drained at completion. Owned by the batched
+    /// completion service for a whole drain (several events), so it must
+    /// not be shared with paths reachable from completion processing —
+    /// `members` below serves those.
+    wakeups: Vec<DescId>,
+    /// Conflict-queue members snapshotted at overlap initiation.
     members: Vec<DescId>,
     /// Conflict-queue members mirrored during a demand split.
     split_members: Vec<DescId>,
@@ -1307,59 +1316,74 @@ impl Engine {
         }
     }
 
-    fn on_task_done(&mut self, w: WorkerId, d: DescId) {
-        let inst_id = self.arena.instance(d);
-        let range = self.arena.range(d);
-        let enabling = self.arena.enabling(d);
-        let mut cost = self.cfg.costs.completion;
+    /// Service a run of coincident completion events in calendar order —
+    /// the multi-lane executive's batched drain. The conflict-queue
+    /// wakeup buffer is taken once for the whole batch and every event's
+    /// merge, wakeups, enablement decrements, and (possible) instance
+    /// completion are applied in event order with per-event service
+    /// charges, so a batched drain is observably identical to servicing
+    /// the same events one pop at a time ([`BatchPolicy::Single`]) —
+    /// the equivalence the fingerprint tests pin. Coalescings that would
+    /// change descriptor granularity (merging freed runs *across* events
+    /// into wider releases) are deliberately not performed: they would
+    /// alter split/release charges and break the reference semantics.
+    fn service_completions(&mut self, dones: &[(WorkerId, DescId)]) {
+        let mut wakeups = take(&mut self.scratch.wakeups);
+        for &(w, d) in dones {
+            let inst_id = self.arena.instance(d);
+            let range = self.arena.range(d);
+            let enabling = self.arena.enabling(d);
+            let mut cost = self.cfg.costs.completion;
 
-        // Merge the completed range back into the phase's accounting.
-        {
-            let ran_during_predecessor = self.arena.overlap(d);
-            let inst = self.inst_mut(inst_id);
-            inst.completed.insert(range);
-            inst.remaining -= range.len();
-            inst.stats.executed_granules += range.len();
-            if ran_during_predecessor {
-                inst.stats.overlap_granules += range.len();
+            // Merge the completed range back into the phase's accounting.
+            {
+                let ran_during_predecessor = self.arena.overlap(d);
+                let inst = self.inst_mut(inst_id);
+                inst.completed.insert(range);
+                inst.remaining -= range.len();
+                inst.stats.executed_granules += range.len();
+                if ran_during_predecessor {
+                    inst.stats.overlap_granules += range.len();
+                }
             }
-        }
-        self.live_remove(inst_id, d);
+            self.live_remove(inst_id, d);
 
-        // Release everything on the conflict queue: "Upon completion of
-        // the described computation, all the queued conflicting
-        // computations became unconditionally computable and were placed
-        // in the waiting computation queue" (ahead of normal work).
-        let mut members = take(&mut self.scratch.members);
-        self.arena.cq_drain_into(d, &mut members);
-        let rclass = self.released_class();
-        for &m in &members {
-            cost += self.cfg.costs.release;
-            self.enqueue(m, rclass, false);
-        }
-        members.clear();
-        self.scratch.members = members;
-
-        // Status bit: decrement enablement counters of the successor.
-        if enabling {
-            if let Some(succ_id) = self.inst(inst_id).successor {
-                self.apply_decrements(succ_id, range, &mut cost);
+            // Release everything on the conflict queue: "Upon completion
+            // of the described computation, all the queued conflicting
+            // computations became unconditionally computable and were
+            // placed in the waiting computation queue" (ahead of normal
+            // work).
+            wakeups.clear();
+            self.arena.cq_drain_into(d, &mut wakeups);
+            let rclass = self.released_class();
+            for &m in &wakeups {
+                cost += self.cfg.costs.release;
+                self.enqueue(m, rclass, false);
             }
+
+            // Status bit: decrement enablement counters of the successor.
+            if enabling {
+                if let Some(succ_id) = self.inst(inst_id).successor {
+                    self.apply_decrements(succ_id, range, &mut cost);
+                }
+            }
+
+            self.arena.release(d);
+
+            if self.inst(inst_id).remaining == 0 && self.inst(inst_id).state == InstState::Current {
+                self.complete_instance(inst_id, &mut cost);
+            }
+
+            let (svc_start, svc_end) = self.exec_service(self.now, cost);
+            self.record_dispatch_gantt(w, svc_start, svc_end);
+            let seek_at = match self.cfg.executive {
+                ExecutivePlacement::StealsWorker => svc_end,
+                ExecutivePlacement::Dedicated => self.now,
+            };
+            self.events.schedule(seek_at, Ev::Seek(w));
         }
-
-        self.arena.release(d);
-
-        if self.inst(inst_id).remaining == 0 && self.inst(inst_id).state == InstState::Current {
-            self.complete_instance(inst_id, &mut cost);
-        }
-
-        let (svc_start, svc_end) = self.exec_service(self.now, cost);
-        self.record_dispatch_gantt(w, svc_start, svc_end);
-        let seek_at = match self.cfg.executive {
-            ExecutivePlacement::StealsWorker => svc_end,
-            ExecutivePlacement::Dedicated => self.now,
-        };
-        self.events.schedule(seek_at, Ev::Seek(w));
+        wakeups.clear();
+        self.scratch.wakeups = wakeups;
     }
 
     fn apply_decrements(
@@ -1605,16 +1629,88 @@ impl Engine {
         }
     }
 
-    fn run_loop(mut self) -> Result<RunReport, EngineError> {
-        while let Some((t, ev)) = self.events.pop() {
+    /// Events the executive drains per service round: one in the pinned
+    /// reference mode, up to the lane count otherwise (the paper's
+    /// parallel executive services the queue with every idle lane).
+    fn batch_capacity(&self) -> usize {
+        match self.cfg.batch {
+            BatchPolicy::Single => 1,
+            BatchPolicy::Coincident | BatchPolicy::Lookahead { .. } => {
+                self.cfg.executive_lanes.max(1)
+            }
+        }
+    }
+
+    /// Handle one drained coincident group in calendar order. Runs of
+    /// adjacent completion events go through the batched completion
+    /// service; state evolution is identical to popping the same events
+    /// one at a time.
+    fn process_batch(&mut self, batch: &[(SimTime, Ev)], dones: &mut Vec<(WorkerId, DescId)>) {
+        let mut i = 0;
+        while i < batch.len() {
+            let (t, ev) = batch[i];
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
-            self.events_processed += 1;
             match ev {
-                Ev::Seek(w) => self.on_seek(w),
-                Ev::TaskDone { worker, desc } => self.on_task_done(worker, desc),
-                Ev::ExecKick => self.on_exec_kick(),
-                Ev::SerialDone { job } => self.on_serial_done(job),
+                Ev::TaskDone { worker, desc } => {
+                    dones.clear();
+                    dones.push((worker, desc));
+                    while let Some(&(t2, Ev::TaskDone { worker, desc })) = batch.get(i + 1) {
+                        debug_assert_eq!(t2, t, "coincident group spans ticks");
+                        dones.push((worker, desc));
+                        i += 1;
+                    }
+                    self.events_processed += dones.len() as u64;
+                    self.service_completions(dones);
+                }
+                Ev::Seek(w) => {
+                    self.events_processed += 1;
+                    self.on_seek(w);
+                }
+                Ev::ExecKick => {
+                    self.events_processed += 1;
+                    self.on_exec_kick();
+                }
+                Ev::SerialDone { job } => {
+                    self.events_processed += 1;
+                    self.on_serial_done(job);
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn run_loop(mut self) -> Result<RunReport, EngineError> {
+        let cap = self.batch_capacity();
+        let mut batch: Vec<(SimTime, Ev)> = Vec::with_capacity(cap);
+        let mut dones: Vec<(WorkerId, DescId)> = Vec::with_capacity(cap);
+        loop {
+            batch.clear();
+            let drained = self.events.pop_coincident_into(cap, &mut batch);
+            if drained == 0 {
+                break;
+            }
+            let round_start = batch[0].0;
+            self.process_batch(&batch, &mut dones);
+            if let BatchPolicy::Lookahead { horizon } = self.cfg.batch {
+                // Top the round up with later coincident groups inside the
+                // horizon. Each group is drained from the live calendar
+                // only after the previous one was fully serviced, so
+                // events scheduled mid-round keep their deterministic
+                // (time, insertion) place.
+                let mut served = drained;
+                while served < cap {
+                    match self.events.peek_time() {
+                        Some(t) if t.0 <= round_start.0.saturating_add(horizon) => {
+                            batch.clear();
+                            let n = self.events.pop_coincident_into(cap - served, &mut batch);
+                            debug_assert!(n > 0, "peeked event must drain");
+                            served += n;
+                            self.process_batch(&batch, &mut dones);
+                        }
+                        _ => break,
+                    }
+                }
             }
         }
         let unfinished: Vec<usize> = self

@@ -168,8 +168,22 @@ impl RangeSet {
             // Common completion-processing case: extend one run in place —
             // no element shifting, no splice machinery.
             self.runs[start] = (lo, hi);
+        } else if absorbed == 0 {
+            // Disjoint insert: `Vec::insert` is already a reserve + one
+            // memmove of the tail.
+            self.runs.insert(start, (lo, hi));
         } else {
-            self.runs.splice(start..end, std::iter::once((lo, hi)));
+            // Bridging insert (≥2 runs coalesce, the batched-drain merge
+            // shape): write the coalesced run in place and batch-shift
+            // the tail left with one `copy_within` (a single memmove),
+            // instead of `splice`'s per-element drain/relocate machinery
+            // — the dominant cost of `rangeset_churn/1e6` at high
+            // fragmentation. A chunked/tree layout would remove the
+            // O(runs) shift entirely; this is the cheap guard until that
+            // lands.
+            self.runs[start] = (lo, hi);
+            self.runs.copy_within(end.., start + 1);
+            self.runs.truncate(self.runs.len() - (absorbed - 1));
         }
         self.hint = start;
         RunInsert {
@@ -403,6 +417,31 @@ mod tests {
         assert_eq!(i.merged, r(5, 25));
         assert_eq!(i.absorbed, 1);
         assert_eq!(i.added, 0);
+    }
+
+    #[test]
+    fn wide_bridging_insert_batch_shifts_the_tail() {
+        // Exercise the copy_within shift: one insert absorbing many runs
+        // with a long surviving tail behind them.
+        let mut s = RangeSet::new();
+        for k in 0..100u32 {
+            s.insert(r(k * 10, k * 10 + 4));
+        }
+        assert_eq!(s.run_count(), 100);
+        let i = s.insert_run(r(100, 196));
+        assert_eq!(i.absorbed, 10);
+        assert_eq!(i.merged, r(100, 196));
+        assert_eq!(i.added, 96 - 40);
+        assert_eq!(s.run_count(), 91);
+        // head, merged middle, and shifted tail all intact
+        assert!(s.contains_range(r(90, 94)));
+        assert!(s.contains_range(r(100, 196)));
+        assert!(!s.contains(196));
+        for k in 20..100u32 {
+            assert!(s.contains_range(r(k * 10, k * 10 + 4)), "tail run {k}");
+            assert!(!s.contains(k * 10 + 4));
+        }
+        assert_eq!(s.len(), 400 + 56);
     }
 
     #[test]

@@ -46,9 +46,10 @@ static COUNTER: CountingAlloc = CountingAlloc;
 
 /// Run a two-phase identity-overlap program (single-granule tasks — the
 /// configuration with the most completion events per granule) under the
-/// given split strategy and report the run plus the allocations it
-/// performed.
-fn identity_run(granules: u32, strategy: SplitStrategy) -> (RunReport, u64) {
+/// given split strategy and executive lane count (lanes > 1 exercises
+/// the batched drain: whole coincident completion groups per service
+/// round) and report the run plus the allocations it performed.
+fn identity_run(granules: u32, strategy: SplitStrategy, lanes: usize) -> (RunReport, u64) {
     let mut b = ProgramBuilder::new();
     let pa = b.phase(PhaseDef::new("a", granules, CostModel::constant(100)));
     let pb = b.phase(PhaseDef::new("b", granules, CostModel::constant(100)));
@@ -64,7 +65,8 @@ fn identity_run(granules: u32, strategy: SplitStrategy) -> (RunReport, u64) {
     let policy = OverlapPolicy::overlap()
         .with_sizing(TaskSizing::Fixed(1))
         .with_split_strategy(strategy);
-    let mut sim = Simulation::new(MachineConfig::new(8), policy).with_seed(1);
+    let mut sim =
+        Simulation::new(MachineConfig::new(8).with_executive_lanes(lanes), policy).with_seed(1);
     sim.add_job(program);
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let report = sim.run().unwrap();
@@ -75,9 +77,9 @@ fn identity_run(granules: u32, strategy: SplitStrategy) -> (RunReport, u64) {
 /// Grow a scenario 4× and demand the *extra* allocations per *extra*
 /// event stay (far) below one — the per-event term is zero, only the
 /// `O(log n)` structure-doubling term remains.
-fn assert_steady_state_alloc_free(strategy: SplitStrategy) {
-    let (r1, a1) = identity_run(2_048, strategy);
-    let (r2, a2) = identity_run(8_192, strategy);
+fn assert_steady_state_alloc_free(strategy: SplitStrategy, lanes: usize) {
+    let (r1, a1) = identity_run(2_048, strategy, lanes);
+    let (r2, a2) = identity_run(8_192, strategy, lanes);
     assert_eq!(r1.phases[0].stats.executed_granules, 2_048);
     assert_eq!(r2.phases[0].stats.executed_granules, 8_192);
     let extra_events = r2.events - r1.events;
@@ -89,7 +91,8 @@ fn assert_steady_state_alloc_free(strategy: SplitStrategy) {
     let per_event = extra_allocs as f64 / extra_events as f64;
     assert!(
         per_event < 0.01,
-        "{strategy:?} completion processing allocates: {per_event:.4} allocations/event \
+        "{strategy:?} (lanes {lanes}) completion processing allocates: \
+         {per_event:.4} allocations/event \
          ({extra_allocs} extra allocations over {extra_events} extra events; \
          run sizes {a1} vs {a2})"
     );
@@ -98,12 +101,19 @@ fn assert_steady_state_alloc_free(strategy: SplitStrategy) {
 #[test]
 fn steady_state_completion_processing_is_allocation_free() {
     // Warm-up absorbs lazy one-time initialization.
-    let _ = identity_run(256, SplitStrategy::DemandSplit);
+    let _ = identity_run(256, SplitStrategy::DemandSplit, 1);
+    let _ = identity_run(256, SplitStrategy::DemandSplit, 8);
     // Demand splitting: every dispatch splits and mirrors the split onto
     // the queued successor — the paths the SoA arena serves per event.
-    assert_steady_state_alloc_free(SplitStrategy::DemandSplit);
+    assert_steady_state_alloc_free(SplitStrategy::DemandSplit, 1);
     // Presplitting: the whole descriptor population is carved at release
     // time, so the arena's lane growth (amortized, O(log n) doublings)
     // is the only allocation source left.
-    assert_steady_state_alloc_free(SplitStrategy::PreSplit);
+    assert_steady_state_alloc_free(SplitStrategy::PreSplit, 1);
+    // Multi-lane batched drains: whole coincident completion groups are
+    // serviced per round through the shared wakeup buffer — still zero
+    // allocations per event (the round's drain/done buffers are sized
+    // once at run start).
+    assert_steady_state_alloc_free(SplitStrategy::DemandSplit, 8);
+    assert_steady_state_alloc_free(SplitStrategy::PreSplit, 64);
 }

@@ -157,6 +157,47 @@ impl<E> TimeWheel<E> {
         }
     }
 
+    /// Remove up to `max` events sharing the earliest pending due time
+    /// (the *coincident group*) and append them to `out`, in exactly the
+    /// order repeated [`TimeWheel::pop`] calls would return them. `out`
+    /// is not cleared. Returns the number of events moved — 0 when the
+    /// wheel is empty or `max` is 0.
+    ///
+    /// Because a bucket only ever holds events of a single due time, the
+    /// whole group lives at the front of one bucket once the cursor
+    /// reaches it: the drain is a straight `pop_front` run with no
+    /// per-event cursor scan or heap reshuffle — the wheel's natural
+    /// batch operation.
+    pub fn pop_coincident_into(&mut self, max: usize, out: &mut Vec<(SimTime, E)>) -> usize {
+        if max == 0 || self.is_empty() {
+            return 0;
+        }
+        if self.wheel_len == 0 {
+            // Nothing within the horizon: jump to the earliest overflow
+            // cohort exactly as pop() would.
+            let t = self.overflow.peek().expect("checked non-empty").at;
+            self.cursor = t.0;
+            self.migrate();
+            debug_assert!(self.wheel_len > 0);
+        }
+        loop {
+            let bucket = &mut self.buckets[(self.cursor & self.mask) as usize];
+            if !bucket.is_empty() {
+                let mut n = 0;
+                while n < max {
+                    let Some(&(t, _)) = bucket.front() else { break };
+                    debug_assert_eq!(t.0, self.cursor, "bucket holds a single due time");
+                    out.push(bucket.pop_front().expect("checked front"));
+                    n += 1;
+                }
+                self.wheel_len -= n;
+                return n;
+            }
+            self.cursor += 1;
+            self.migrate();
+        }
+    }
+
     /// Due time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         if self.wheel_len > 0 {
@@ -281,6 +322,19 @@ impl<E> Calendar<E> {
         }
     }
 
+    /// Remove up to `max` events sharing the earliest pending due time
+    /// and append them to `out`, preserving the deterministic `(time,
+    /// insertion)` pop order. Returns the number of events moved. Both
+    /// backends produce identical batches; the wheel drains its bucket
+    /// front in one pass while the heap pays a reshuffle per event.
+    #[inline]
+    pub fn pop_coincident_into(&mut self, max: usize, out: &mut Vec<(SimTime, E)>) -> usize {
+        match self {
+            Calendar::Heap(q) => q.pop_coincident_into(max, out),
+            Calendar::Wheel(w) => w.pop_coincident_into(max, out),
+        }
+    }
+
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
@@ -387,6 +441,75 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn pop_coincident_matches_repeated_pops_across_backends() {
+        // Same schedule into wheel, heap, and a reference heap popped one
+        // at a time: batch pops must reproduce the reference order, batch
+        // boundaries included (ties via seq, overflow migration, partial
+        // bucket drains).
+        let mk = |mut sched: Vec<(u64, u32)>| {
+            let mut wheel: Calendar<u32> =
+                Calendar::from_kind(CalendarKind::TimeWheel { slots: 8 });
+            let mut heap: Calendar<u32> = Calendar::from_kind(CalendarKind::BinaryHeap);
+            for &(t, e) in sched.iter() {
+                wheel.schedule(SimTime(t), e);
+                heap.schedule(SimTime(t), e);
+            }
+            sched.clear();
+            (wheel, heap)
+        };
+        let sched: Vec<(u64, u32)> = vec![
+            (5, 0),
+            (5, 1),
+            (5, 2),
+            (9, 3),
+            (200, 4), // overflow
+            (200, 5),
+            (9, 6),
+        ];
+        for max in [1usize, 2, 3, 16] {
+            let (mut wheel, mut heap) = mk(sched.clone());
+            let mut reference: Calendar<u32> = Calendar::from_kind(CalendarKind::BinaryHeap);
+            for &(t, e) in &sched {
+                reference.schedule(SimTime(t), e);
+            }
+            let (mut wo, mut ho) = (Vec::new(), Vec::new());
+            loop {
+                let nw = wheel.pop_coincident_into(max, &mut wo);
+                let nh = heap.pop_coincident_into(max, &mut ho);
+                assert_eq!(nw, nh, "batch size divergence at max={max}");
+                if nw == 0 {
+                    break;
+                }
+                let batch = &wo[wo.len() - nw..];
+                assert!(batch.iter().all(|&(t, _)| t == batch[0].0));
+                for got in batch {
+                    assert_eq!(Some(*got), reference.pop(), "order divergence at max={max}");
+                }
+            }
+            assert_eq!(wo, ho);
+            assert_eq!(reference.pop(), None, "batch pops must drain everything");
+        }
+    }
+
+    #[test]
+    fn pop_coincident_partial_bucket_then_schedule() {
+        // Draining part of a coincident group leaves the rest poppable,
+        // and a same-tick schedule after the partial drain lands behind
+        // the leftovers (insertion order within the tick).
+        let mut w = TimeWheel::new(4);
+        for i in 0..4u32 {
+            w.schedule(SimTime(2), i);
+        }
+        let mut out = Vec::new();
+        assert_eq!(w.pop_coincident_into(2, &mut out), 2);
+        w.schedule(SimTime(2), 99);
+        assert_eq!(w.pop_coincident_into(8, &mut out), 3);
+        let got: Vec<u32> = out.iter().map(|&(_, e)| e).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 99]);
+        assert!(w.is_empty());
     }
 
     #[test]

@@ -111,6 +111,28 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|s| s.at)
     }
 
+    /// Remove up to `max` events sharing the earliest pending due time
+    /// (the *coincident group*) and append them to `out`, in exactly the
+    /// order repeated [`EventQueue::pop`] calls would return them. `out`
+    /// is not cleared. Returns the number of events moved — 0 when the
+    /// queue is empty or `max` is 0. This is the multi-lane executive's
+    /// batch pop: one call drains a whole service round.
+    pub fn pop_coincident_into(&mut self, max: usize, out: &mut Vec<(SimTime, E)>) -> usize {
+        let Some(t) = self.peek_time() else { return 0 };
+        let mut n = 0;
+        while n < max {
+            match self.heap.peek() {
+                Some(s) if s.at == t => {
+                    let s = self.heap.pop().expect("peeked");
+                    out.push((s.at, s.payload));
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        n
+    }
+
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
@@ -175,6 +197,40 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime(4)));
         q.pop();
         assert_eq!(q.peek_time(), Some(SimTime(9)));
+    }
+
+    #[test]
+    fn pop_coincident_takes_only_the_earliest_tick() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5), "a");
+        q.schedule(SimTime(5), "b");
+        q.schedule(SimTime(7), "c");
+        q.schedule(SimTime(5), "d");
+        let mut out = Vec::new();
+        assert_eq!(q.pop_coincident_into(8, &mut out), 3);
+        assert_eq!(
+            out,
+            vec![(SimTime(5), "a"), (SimTime(5), "b"), (SimTime(5), "d")]
+        );
+        assert_eq!(q.pop(), Some((SimTime(7), "c")));
+        assert_eq!(q.pop_coincident_into(4, &mut out), 0);
+    }
+
+    #[test]
+    fn pop_coincident_respects_max_and_appends() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(SimTime(3), i);
+        }
+        let mut out = vec![(SimTime(0), 99)];
+        assert_eq!(q.pop_coincident_into(2, &mut out), 2);
+        assert_eq!(
+            out,
+            vec![(SimTime(0), 99), (SimTime(3), 0), (SimTime(3), 1)]
+        );
+        assert_eq!(q.pop_coincident_into(0, &mut out), 0);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((SimTime(3), 2)));
     }
 
     #[test]

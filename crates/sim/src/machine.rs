@@ -105,6 +105,39 @@ impl Default for ManagementCosts {
     }
 }
 
+/// How many queued simulator events the executive drains per service
+/// round — the paper's "middle management" parallel executive serviced
+/// the completion queue with idle processors instead of letting them
+/// wait on a serial executive, and batching the drain is how the engine
+/// models (and measures) that amortization.
+///
+/// Every mode produces **bit-identical runs**: a batch is always a
+/// prefix of the deterministic `(time, insertion)` event order, and each
+/// event in it is serviced exactly as [`BatchPolicy::Single`] would
+/// service it. The policy is therefore a host-performance knob (how the
+/// run loop talks to the calendar), pinned by equivalence tests — not a
+/// scheduling-semantics knob. Scheduling semantics live in
+/// [`MachineConfig::executive_lanes`], which also bounds the batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// One event per service round — the pinned deterministic reference
+    /// mode equivalence tests diff the batched modes against.
+    Single,
+    /// Drain up to `executive_lanes` same-timestamp events per round
+    /// (one coincident group). The default.
+    #[default]
+    Coincident,
+    /// [`BatchPolicy::Coincident`], and while the round still has idle
+    /// lanes keep draining successive coincident groups whose due time
+    /// is within `horizon` ticks of the round's first event. Each group
+    /// is fully serviced before the next is pulled, so later-scheduled
+    /// events keep their place in the deterministic order.
+    Lookahead {
+        /// Bounded lookahead past the round's first event, in ticks.
+        horizon: u64,
+    },
+}
+
 /// Complete machine description for a simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
@@ -129,6 +162,9 @@ pub struct MachineConfig {
     /// [`CalendarKind::TimeWheel`] trades a fixed bucket ring for
     /// amortized `O(1)` scheduling on event-dense runs.
     pub calendar: CalendarKind,
+    /// Event-drain batching per executive service round (bounded by
+    /// [`MachineConfig::executive_lanes`]); every mode is run-identical.
+    pub batch: BatchPolicy,
 }
 
 impl MachineConfig {
@@ -143,6 +179,7 @@ impl MachineConfig {
             executive_lanes: 1,
             locality: None,
             calendar: CalendarKind::BinaryHeap,
+            batch: BatchPolicy::default(),
         }
     }
 
@@ -156,6 +193,7 @@ impl MachineConfig {
             executive_lanes: 1,
             locality: None,
             calendar: CalendarKind::BinaryHeap,
+            batch: BatchPolicy::default(),
         }
     }
 
@@ -190,6 +228,12 @@ impl MachineConfig {
         self.calendar = calendar;
         self
     }
+
+    /// Builder-style: set the executive's event-drain batching policy.
+    pub fn with_batch_policy(mut self, batch: BatchPolicy) -> MachineConfig {
+        self.batch = batch;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +265,21 @@ mod tests {
         assert_eq!(m.costs.dispatch, SimDuration::ZERO);
         assert!(matches!(m.calendar, CalendarKind::TimeWheel { .. }));
         assert_eq!(MachineConfig::new(4).calendar, CalendarKind::BinaryHeap);
+    }
+
+    #[test]
+    fn batch_policy_defaults_and_builder() {
+        // Batched drains are the default; `Single` is the pinned
+        // reference mode the equivalence tests diff against.
+        assert_eq!(MachineConfig::new(4).batch, BatchPolicy::Coincident);
+        assert_eq!(MachineConfig::ideal(4).batch, BatchPolicy::Coincident);
+        let m = MachineConfig::new(4)
+            .with_executive_lanes(16)
+            .with_batch_policy(BatchPolicy::Lookahead { horizon: 8 });
+        assert_eq!(m.batch, BatchPolicy::Lookahead { horizon: 8 });
+        assert_eq!(m.executive_lanes, 16);
+        let s = MachineConfig::new(4).with_batch_policy(BatchPolicy::Single);
+        assert_eq!(s.batch, BatchPolicy::Single);
     }
 
     #[test]

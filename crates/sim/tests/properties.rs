@@ -50,6 +50,61 @@ proptest! {
         prop_assert_eq!(wheel.scheduled_total(), heap.scheduled_total());
     }
 
+    /// Batch pops are a pure regrouping of single pops: on any schedule
+    /// (including overflow-rail traffic and interleaved scheduling), both
+    /// calendar backends drain identical coincident groups, and the
+    /// concatenation of those groups equals the single-pop event order.
+    #[test]
+    fn pop_coincident_is_a_regrouped_pop_order(
+        slots in 1usize..300,
+        max in 1usize..9,
+        ops in proptest::collection::vec((0u64..2000, 1usize..6, proptest::bool::ANY), 1..100),
+    ) {
+        use pax_sim::calendar::TimeWheel;
+        let mut wheel = TimeWheel::new(slots);
+        let mut heap = EventQueue::new();
+        let mut reference = EventQueue::new();
+        let mut now = 0u64;
+        let mut id = 0u64;
+        let (mut wo, mut ho) = (Vec::new(), Vec::new());
+        for &(dt, burst, do_pop) in &ops {
+            for k in 0..burst {
+                let at = SimTime(now + (dt + k as u64 * 41) % 2000);
+                wheel.schedule(at, id);
+                heap.schedule(at, id);
+                reference.schedule(at, id);
+                id += 1;
+            }
+            if do_pop {
+                let nw = wheel.pop_coincident_into(max, &mut wo);
+                let nh = heap.pop_coincident_into(max, &mut ho);
+                prop_assert_eq!(nw, nh, "batch size divergence");
+                let batch = &wo[wo.len() - nw..];
+                // all coincident, and exactly the next nw single pops
+                prop_assert!(batch.iter().all(|&(t, _)| Some(t) == batch.first().map(|b| b.0)));
+                for got in batch {
+                    prop_assert_eq!(Some(*got), reference.pop(), "regrouping divergence");
+                }
+                if let Some(&(t, _)) = batch.last() {
+                    now = t.0;
+                }
+            }
+        }
+        loop {
+            let nw = wheel.pop_coincident_into(max, &mut wo);
+            let nh = heap.pop_coincident_into(max, &mut ho);
+            prop_assert_eq!(nw, nh);
+            for got in &wo[wo.len() - nw..] {
+                prop_assert_eq!(Some(*got), reference.pop());
+            }
+            if nw == 0 {
+                break;
+            }
+        }
+        prop_assert_eq!(wo, ho, "backends must drain identical batches");
+        prop_assert_eq!(reference.pop(), None);
+    }
+
     /// `peek_time` never lies: it always names the time of the next pop.
     #[test]
     fn time_wheel_peek_matches_pop(

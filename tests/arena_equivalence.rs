@@ -1,4 +1,6 @@
-//! Layout-equivalence pin for the descriptor store.
+//! Layout-equivalence pin for the descriptor store, and batching-
+//! equivalence pin for the multi-lane executive's drained service rounds
+//! (`batched_drain_matches_single_service_on_all_shapes`).
 //!
 //! The SoA descriptor arena must be *observably identical* to the
 //! array-of-structs layout it replaced: same completion order, same
@@ -211,7 +213,13 @@ fn shapes() -> Vec<Shape> {
 /// event count, makespan, dispatch/split/descriptor counts, per-phase
 /// granule and overlap totals, and the locality traffic split.
 fn fingerprint(shape: &Shape) -> String {
-    let mut sim = Simulation::new(shape.cfg.clone(), shape.policy.clone()).with_seed(7);
+    fingerprint_on(shape, shape.cfg.clone())
+}
+
+/// [`fingerprint`] under an overridden machine (lane-count / batch-policy
+/// sweeps over the same scenario).
+fn fingerprint_on(shape: &Shape, cfg: MachineConfig) -> String {
+    let mut sim = Simulation::new(cfg, shape.policy.clone()).with_seed(7);
     for _ in 0..shape.jobs {
         sim.add_job(shape.program.clone());
     }
@@ -275,6 +283,54 @@ fn soa_arena_matches_aos_goldens() {
     assert!(
         mismatches.is_empty(),
         "descriptor-layout behavior drift:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// The multi-lane executive's batched drain must be *observably
+/// identical* to single-event service: a batch is a prefix of the
+/// deterministic event order and each event in it is serviced exactly as
+/// `BatchPolicy::Single` services it. Diff the full fingerprint (events,
+/// makespan, tasks, splits, descriptors, management time, overlap
+/// totals) across batch policies on every experiment shape, at several
+/// lane counts — any drift in merge order, wakeup order, or cost
+/// charging changes at least one field.
+#[test]
+fn batched_drain_matches_single_service_on_all_shapes() {
+    use pax_sim::machine::BatchPolicy;
+    let shapes = shapes();
+    assert_eq!(shapes.len(), 13, "one scenario per experiment family");
+    let mut mismatches = Vec::new();
+    for lanes in [1usize, 2, 7, 64] {
+        for shape in &shapes {
+            let with = |batch: BatchPolicy| {
+                fingerprint_on(
+                    shape,
+                    shape
+                        .cfg
+                        .clone()
+                        .with_executive_lanes(lanes)
+                        .with_batch_policy(batch),
+                )
+            };
+            let single = with(BatchPolicy::Single);
+            for batched in [
+                BatchPolicy::Coincident,
+                BatchPolicy::Lookahead { horizon: 0 },
+                BatchPolicy::Lookahead { horizon: 25 },
+            ] {
+                let b = with(batched);
+                if b != single {
+                    mismatches.push(format!(
+                        "  lanes={lanes} {batched:?}\n  single:  {single}\n  batched: {b}"
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "batched executive service drifted from the Single reference:\n{}",
         mismatches.join("\n")
     );
 }

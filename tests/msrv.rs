@@ -64,6 +64,57 @@ fn ci_tests_the_documented_msrv() {
 }
 
 #[test]
+fn ci_lints_the_msrv_toolchain() {
+    // The MSRV matrix entry must run clippy, not just build and test:
+    // lints that only hold on stable are worthless to a crate claiming
+    // 1.87 support. Two things make that true in ci.yml — the MSRV
+    // include block carries `clippy: true`, and the clippy step is
+    // parameterized over the matrix toolchain.
+    let ci = read(".github/workflows/ci.yml");
+    let lines: Vec<&str> = ci.lines().collect();
+    let at = lines
+        .iter()
+        .position(|l| l.contains(&format!("toolchain: \"{MSRV}\"")))
+        .expect("MSRV matrix entry present (asserted above)");
+    let block = lines[at..(at + 4).min(lines.len())].join("\n");
+    assert!(
+        block.contains("clippy: true"),
+        "the {MSRV} matrix entry must set `clippy: true` (got:\n{block})"
+    );
+    assert!(
+        ci.contains("cargo +${{ matrix.toolchain }} clippy"),
+        "the build-test clippy step must use the matrix toolchain so the \
+         {MSRV} entry is linted too"
+    );
+    assert!(
+        ci.contains("--component clippy"),
+        "matrix toolchain installs must include the clippy component"
+    );
+}
+
+#[test]
+fn ci_has_the_tiered_matrix() {
+    // The tiered layout: a fast `check` job gates the build-test matrix
+    // and the bench smoke, and a scheduled bench-sweep job owns the full
+    // lane/calendar sweep with an artifact retention policy.
+    let ci = read(".github/workflows/ci.yml");
+    for needle in [
+        "check:",
+        "needs: check",
+        "bench-sweep:",
+        "schedule:",
+        "workflow_dispatch:",
+        "retention-days:",
+    ] {
+        assert!(ci.contains(needle), "ci.yml tiered matrix lost `{needle}`");
+    }
+    assert!(
+        ci.matches("needs: check").count() >= 2,
+        "both build-test and bench-smoke must be gated on the fast check job"
+    );
+}
+
+#[test]
 fn readme_states_the_documented_msrv() {
     let readme = read("README.md");
     assert!(
