@@ -298,6 +298,67 @@ fn bench_rangeset_bridging(c: &mut Criterion) {
     g.finish();
 }
 
+/// The run-storage decision data at structure level: the identical
+/// stripe-churn insert sequence (even stripes, then odd stripes each
+/// paying a disjoint middle insert plus a bridging insert) driven
+/// through both backends. The contiguous Vec pays an O(runs) tail
+/// memmove per odd-stripe insert; the chunked layout pays an O(chunk)
+/// rewrite plus the hint-anchored summary skip. `random` adds the
+/// hint-hostile variant: inserts scattered by a multiplicative hash, so
+/// every insert is a cold lookup (the chunked backend's worst case —
+/// the O(chunks) summary walk with no hint to anchor it).
+fn bench_rangeset_storage(c: &mut Criterion) {
+    use pax_sim::machine::RunStorageKind;
+    let backends = [
+        ("vec", RunStorageKind::VecRuns),
+        ("chunked32", RunStorageKind::chunked()),
+    ];
+    let mut g = c.benchmark_group("rangeset_storage");
+    g.sample_size(5);
+    for &n in &[100_000u32, 1_000_000] {
+        // One canonical insert sequence for every churn measurement —
+        // the same driver the storage_scaling structure rows use.
+        let ranges = pax_workloads::stripe_churn_ranges(n, 8);
+        for (label, kind) in backends {
+            let ranges = &ranges;
+            g.bench_with_input(
+                BenchmarkId::new(format!("churn_{label}"), n),
+                &n,
+                move |b, _| {
+                    b.iter(|| {
+                        let mut s = RangeSet::with_storage(kind);
+                        for &r in ranges {
+                            s.insert(r);
+                        }
+                        (s.run_count() as u64, s.len())
+                    })
+                },
+            );
+        }
+    }
+    for &n in &[10_000u32, 100_000] {
+        for (label, kind) in backends {
+            g.bench_with_input(
+                BenchmarkId::new(format!("random_{label}"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        let mut s = RangeSet::with_storage(kind);
+                        let mut x = 0x9E37u32;
+                        for _ in 0..n / 4 {
+                            x = x.wrapping_mul(2654435761).wrapping_add(1);
+                            let lo = x % (n * 2);
+                            s.insert(GranuleRange::new(lo, lo + 3));
+                        }
+                        (s.run_count() as u64, s.len())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -309,6 +370,7 @@ criterion_group!(
     bench_locality_remote_count,
     bench_enablement_completion,
     bench_rangeset_churn,
-    bench_rangeset_bridging
+    bench_rangeset_bridging,
+    bench_rangeset_storage
 );
 criterion_main!(benches);

@@ -10,8 +10,10 @@
 //!
 //! `--bench-json PATH` runs the rundown performance harness instead of the
 //! claim experiments and writes machine-readable throughput numbers (plus
-//! the recorded pre-optimization baseline and the executive lane-scaling
-//! sweep; `--no-lane-sweep` skips the sweep) to PATH.
+//! the recorded pre-optimization baseline, the executive lane-scaling
+//! sweep with its wheel-coarseness rows, and the run-storage scaling
+//! sweep; `--no-lane-sweep` / `--no-storage-sweep` skip the respective
+//! sweep) to PATH.
 
 use pax_bench::experiments as ex;
 use std::time::Instant;
@@ -28,15 +30,24 @@ fn main() {
             .unwrap_or_else(|| "BENCH_rundown.json".to_string());
         let measurements = pax_bench::rundown::run_all(quick);
         // The lane/calendar sweep rides along unless suppressed (the CI
-        // smoke gate only diffs the headline scenarios either way).
+        // smoke gate only diffs the headline scenarios either way); the
+        // wheel-coarseness rows join it, since they share the row shape.
         let lanes = if args.iter().any(|a| a == "--no-lane-sweep") {
             Vec::new()
         } else {
-            pax_bench::rundown::lane_scaling(quick)
+            let mut lanes = pax_bench::rundown::lane_scaling(quick);
+            lanes.extend(pax_bench::rundown::wheel_coarseness(quick));
+            lanes
+        };
+        let storage = if args.iter().any(|a| a == "--no-storage-sweep") {
+            Vec::new()
+        } else {
+            pax_bench::rundown::storage_scaling(quick)
         };
         let json = pax_bench::rundown::to_json_full(
             &measurements,
             &lanes,
+            &storage,
             &pax_bench::rundown::host_fingerprint(),
         );
         std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));

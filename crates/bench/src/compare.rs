@@ -242,6 +242,29 @@ pub fn markdown_report(
              ratios are indicative only.\n\n"
         ));
     }
+    // A baseline scenario the current run never measured is a hole in
+    // the gate's coverage, not a pass: say so loudly (non-fatal — a
+    // rename or deliberate removal is legitimate, but it must be a
+    // visible decision, not a silent one).
+    let missing: Vec<&str> = rows
+        .iter()
+        .filter(|r| r.current_ms.is_none())
+        .map(|r| r.name.as_str())
+        .collect();
+    if !missing.is_empty() {
+        out.push_str(&format!(
+            "> ⚠ **MISSING SCENARIOS** — {} baseline scenario(s) were not measured in \
+             this run: {}. The gate cannot see regressions in scenarios it does not \
+             measure; if the removal or rename was intentional, the next baseline \
+             refresh clears this warning.\n\n",
+            missing.len(),
+            missing
+                .iter()
+                .map(|n| format!("`{n}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
     out.push_str("| scenario | baseline ms | current ms | ratio | verdict |\n");
     out.push_str("|---|---:|---:|---:|---|\n");
     for r in rows {
@@ -321,6 +344,37 @@ mod tests {
         assert!(report.contains("new scenario"));
         assert!(report.contains("removed"));
         assert!(report.contains("**PASS**"));
+    }
+
+    #[test]
+    fn missing_baseline_scenarios_warn_loudly_but_do_not_fail() {
+        // A scenario present in the baseline but absent from the current
+        // run used to slip through as a quiet table row; it must be a
+        // loud step-summary warning while staying non-fatal.
+        let base = parse_rundown(&sample(
+            "h/1cpu/x",
+            &[("kept", 10.0), ("gone_a", 5.0), ("gone_b", 7.0)],
+        ));
+        let cur = parse_rundown(&sample("h/1cpu/x", &[("kept", 10.2)]));
+        let (outcome, report) = gate(Some(&base), &cur, 1.25);
+        assert_eq!(
+            outcome,
+            GateOutcome::Pass,
+            "missing scenarios are non-fatal"
+        );
+        assert!(report.contains("**MISSING SCENARIOS**"), "{report}");
+        assert!(report.contains("2 baseline scenario(s)"), "{report}");
+        assert!(
+            report.contains("`gone_a`") && report.contains("`gone_b`"),
+            "{report}"
+        );
+        // a run measuring everything emits no such warning
+        let full = parse_rundown(&sample(
+            "h/1cpu/x",
+            &[("kept", 10.0), ("gone_a", 5.0), ("gone_b", 7.0)],
+        ));
+        let (_, clean) = gate(Some(&base), &full, 1.25);
+        assert!(!clean.contains("MISSING SCENARIOS"), "{clean}");
     }
 
     #[test]

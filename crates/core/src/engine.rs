@@ -153,7 +153,9 @@ struct Instance {
     granules: u32,
     remaining: u32,
     task_size: u32,
-    /// Granules with an existing descriptor or already completed.
+    /// Granules with an existing descriptor or already completed. Both
+    /// sets run on the storage backend `MachineConfig::run_storage`
+    /// selects (result-identical; a host-performance knob).
     released: RangeSet,
     completed: RangeSet,
     live_descs: Vec<DescId>,
@@ -507,8 +509,8 @@ impl Engine {
             granules,
             remaining: granules,
             task_size,
-            released: RangeSet::new(),
-            completed: RangeSet::new(),
+            released: RangeSet::with_storage(self.cfg.run_storage),
+            completed: RangeSet::with_storage(self.cfg.run_storage),
             live_descs: Vec::new(),
             predecessor,
             successor: None,
@@ -2178,6 +2180,39 @@ mod tests {
         let names: Vec<&str> = r.phases.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(names, vec!["a", "c"]);
         assert!(r.phases[1].stats.overlap_granules > 0);
+    }
+
+    #[test]
+    fn chunked_run_storage_is_run_identical() {
+        // The run-storage knob is a host-performance choice: the same
+        // program on the same machine must produce bit-identical runs on
+        // every backend, fragmentation-heavy chunk sizes included.
+        use pax_sim::machine::RunStorageKind;
+        let mk = |storage| {
+            let p = linear_program(64, 3, 10, |_| EnablementMapping::Identity);
+            let cfg = MachineConfig::ideal(4).with_run_storage(storage);
+            let policy = OverlapPolicy::overlap()
+                .with_sizing(crate::policy::TaskSizing::Fixed(1))
+                .with_split_strategy(SplitStrategy::DemandSplit);
+            let mut sim = Simulation::new(cfg, policy).with_seed(11);
+            sim.add_job(p);
+            sim.run().unwrap()
+        };
+        let vec = mk(RunStorageKind::VecRuns);
+        for storage in [
+            RunStorageKind::chunked(),
+            RunStorageKind::ChunkedRuns { chunk_runs: 2 },
+        ] {
+            let c = mk(storage);
+            assert_eq!(c.makespan, vec.makespan, "{storage:?}");
+            assert_eq!(c.events, vec.events, "{storage:?}");
+            assert_eq!(c.tasks_dispatched, vec.tasks_dispatched, "{storage:?}");
+            assert_eq!(c.splits, vec.splits, "{storage:?}");
+            assert_eq!(
+                c.descriptors_created, vec.descriptors_created,
+                "{storage:?}"
+            );
+        }
     }
 
     #[test]

@@ -7,26 +7,34 @@
 //! [`EventQueue`](crate::event::EventQueue). A discrete-event executive,
 //! however, schedules almost everything a short, bounded distance into
 //! the future (task end times, service completions), which is exactly the
-//! access pattern a *calendar queue* serves in `O(1)`: a ring of buckets,
-//! one tick per bucket, indexed by `time % size`. Events beyond the
-//! wheel's horizon wait on a conventional binary-heap *overflow rail* and
-//! migrate into the wheel as the cursor approaches them.
+//! access pattern a *calendar queue* serves in `O(1)`: a ring of buckets
+//! indexed by `(time / bucket_ticks) % size`. Events beyond the wheel's
+//! horizon wait on a conventional binary-heap *overflow rail* and migrate
+//! into the wheel as the cursor approaches them.
+//!
+//! Buckets default to **one tick** of granularity; the `bucket_ticks`
+//! knob coarsens them so the same number of slots covers a
+//! `slots × bucket_ticks` horizon — the lever for event-sparse
+//! long-makespan runs, where a fine-grained cursor scans thousands of
+//! empty buckets between events (the failure mode the nightly sweep
+//! measured against the heap).
 //!
 //! # Determinism contract
 //!
 //! [`TimeWheel`] pops events in exactly the same order as
 //! [`EventQueue`](crate::event::EventQueue): ascending time, insertion
-//! order within a tick. Two mechanisms guarantee the tie-break without
-//! storing per-event sequence numbers in the buckets:
+//! order within a tick. Every bucket entry carries its global sequence
+//! number and each bucket is kept sorted by `(time, seq)`:
 //!
-//! * a bucket only ever holds events of a single due time (granularity is
-//!   one tick and scheduling into the past is forbidden), so FIFO bucket
-//!   order *is* insertion order; and
-//! * the overflow rail is drained into the wheel **eagerly on every
-//!   cursor advance** — before any later `schedule` can append an
-//!   in-window event — so migrated events always precede directly
-//!   inserted ones of the same tick, matching their older sequence
-//!   numbers. (The rail itself is a `(time, seq)` min-heap.)
+//! * with one-tick buckets an insertion lands at the back (earlier
+//!   entries of the same tick always carry smaller sequence numbers), so
+//!   the sort degenerates to the FIFO push of the classic design;
+//! * with coarse buckets the sorted insert is what keeps the several due
+//!   times sharing a bucket in calendar order; and
+//! * the overflow rail (a `(time, seq)` min-heap) is drained into the
+//!   wheel **eagerly on every bucket advance**, and its entries keep
+//!   their original sequence numbers, so migrated events order correctly
+//!   against directly inserted ones of the same tick.
 //!
 //! The one contract difference from the heap: events must not be
 //! scheduled before the most recently popped time (the executive never
@@ -37,8 +45,8 @@ use crate::event::Scheduled;
 use crate::time::SimTime;
 use std::collections::{BinaryHeap, VecDeque};
 
-/// Default number of wheel buckets (ticks of horizon). Past this distance
-/// events ride the overflow rail until the cursor closes in.
+/// Default number of wheel buckets. Past `slots × bucket_ticks` ticks of
+/// horizon, events ride the overflow rail until the cursor closes in.
 pub const DEFAULT_WHEEL_SLOTS: usize = 4096;
 
 /// A bucketed time wheel, deterministic drop-in for
@@ -61,11 +69,15 @@ pub const DEFAULT_WHEEL_SLOTS: usize = 4096;
 /// ```
 #[derive(Debug, Clone)]
 pub struct TimeWheel<E> {
-    /// Ring of buckets; bucket `t & mask` holds events due at tick `t`
-    /// for `t` in `[cursor, cursor + buckets.len())`.
-    buckets: Vec<VecDeque<(SimTime, E)>>,
+    /// Ring of buckets; bucket `(t / bucket_ticks) & mask` holds events
+    /// due in the `bucket_ticks`-wide window containing `t`, for `t`
+    /// within the horizon. Entries are `(time, seq, payload)`, sorted by
+    /// `(time, seq)`.
+    buckets: Vec<VecDeque<(SimTime, u64, E)>>,
     /// `buckets.len() - 1`; the length is a power of two.
     mask: u64,
+    /// Ticks covered by one bucket (≥ 1).
+    bucket_ticks: u64,
     /// Tick the wheel is currently serving. Only advances.
     cursor: u64,
     /// Events stored in the wheel.
@@ -80,10 +92,18 @@ impl<E> TimeWheel<E> {
     /// A wheel with at least `slots` buckets (rounded up to a power of
     /// two) of one-tick granularity.
     pub fn new(slots: usize) -> TimeWheel<E> {
+        Self::with_bucket_ticks(slots, 1)
+    }
+
+    /// A wheel with at least `slots` buckets of `bucket_ticks` ticks
+    /// each (`bucket_ticks` < 1 is clamped to 1), covering a
+    /// `slots × bucket_ticks` horizon.
+    pub fn with_bucket_ticks(slots: usize, bucket_ticks: u64) -> TimeWheel<E> {
         let n = slots.max(2).next_power_of_two();
         TimeWheel {
             buckets: (0..n).map(|_| VecDeque::new()).collect(),
             mask: (n - 1) as u64,
+            bucket_ticks: bucket_ticks.max(1),
             cursor: 0,
             wheel_len: 0,
             overflow: BinaryHeap::new(),
@@ -92,15 +112,51 @@ impl<E> TimeWheel<E> {
         }
     }
 
-    /// A wheel with the default horizon.
+    /// A wheel with the default horizon and one-tick buckets.
     pub fn with_default_slots() -> TimeWheel<E> {
         Self::new(DEFAULT_WHEEL_SLOTS)
     }
 
-    /// Number of buckets (the wheel's horizon in ticks).
+    /// Number of buckets.
     #[inline]
     pub fn slots(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Ticks covered by one bucket.
+    #[inline]
+    pub fn bucket_ticks(&self) -> u64 {
+        self.bucket_ticks
+    }
+
+    /// Ring index of the bucket holding tick `t`.
+    #[inline]
+    fn bucket_of(&self, t: u64) -> usize {
+        ((t / self.bucket_ticks) & self.mask) as usize
+    }
+
+    /// True when tick `t` (≥ cursor) falls inside the wheel's horizon.
+    #[inline]
+    fn in_window(&self, t: u64) -> bool {
+        t / self.bucket_ticks - self.cursor / self.bucket_ticks < self.buckets.len() as u64
+    }
+
+    /// Insert into the bucket for `at`, keeping the bucket sorted by
+    /// `(time, seq)`. The scan runs from the back: in-order traffic (and
+    /// every one-tick-bucket insert) appends immediately.
+    fn bucket_insert(&mut self, at: SimTime, seq: u64, payload: E) {
+        let idx = self.bucket_of(at.0);
+        let bucket = &mut self.buckets[idx];
+        let mut pos = bucket.len();
+        while pos > 0 {
+            let (t, s, _) = &bucket[pos - 1];
+            if (*t, *s) <= (at, seq) {
+                break;
+            }
+            pos -= 1;
+        }
+        bucket.insert(pos, (at, seq, payload));
+        self.wheel_len += 1;
     }
 
     /// Schedule `payload` to fire at `at`. Must not precede the most
@@ -120,40 +176,54 @@ impl<E> TimeWheel<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        if at.0 - self.cursor < self.buckets.len() as u64 {
-            self.buckets[(at.0 & self.mask) as usize].push_back((at, payload));
-            self.wheel_len += 1;
+        if self.in_window(at.0) {
+            self.bucket_insert(at, seq, payload);
         } else {
             self.overflow.push(Scheduled { at, seq, payload });
         }
     }
 
+    /// Advance the cursor to the first tick of the next bucket and adopt
+    /// any overflow events the moved horizon now covers.
+    #[inline]
+    fn advance_bucket(&mut self) {
+        self.cursor = (self.cursor / self.bucket_ticks + 1) * self.bucket_ticks;
+        self.migrate();
+    }
+
+    /// Jump the cursor straight to the earliest overflow event and pull
+    /// its cohort in (used when nothing is left inside the horizon).
+    fn jump_to_overflow(&mut self) {
+        let t = self.overflow.peek().expect("overflow non-empty").at;
+        self.cursor = t.0;
+        self.migrate();
+        debug_assert!(self.wheel_len > 0);
+    }
+
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         if self.wheel_len == 0 {
-            // Nothing within the horizon: jump the cursor straight to the
-            // earliest overflow event and pull its cohort in.
-            let t = self.overflow.peek()?.at;
-            self.cursor = t.0;
-            self.migrate();
-            debug_assert!(self.wheel_len > 0);
+            if self.overflow.is_empty() {
+                return None;
+            }
+            self.jump_to_overflow();
         }
-        // Scan forward from the cursor; bounded by the wheel size because
-        // every wheel event lies within the horizon, and amortized O(1)
-        // because the cursor never retreats.
+        // Scan forward bucket by bucket; bounded by the wheel size
+        // because every wheel event lies within the horizon, and
+        // amortized O(1) because the cursor never retreats.
         loop {
-            let bucket = &mut self.buckets[(self.cursor & self.mask) as usize];
-            if let Some(&(t, _)) = bucket.front() {
-                debug_assert_eq!(t.0, self.cursor, "bucket holds a single due time");
-                let (t, payload) = bucket.pop_front().expect("checked front");
+            let idx = self.bucket_of(self.cursor);
+            if let Some((t, _, payload)) = self.buckets[idx].pop_front() {
+                debug_assert!(t.0 >= self.cursor, "bucket front behind cursor");
                 self.wheel_len -= 1;
+                self.cursor = t.0;
                 return Some((t, payload));
             }
-            self.cursor += 1;
-            // The horizon moved: adopt overflow events that now fit. Doing
-            // this on every advance (before any schedule() can run) keeps
-            // migrated events ahead of later same-tick insertions.
-            self.migrate();
+            // The horizon moved: adopt overflow events that now fit.
+            // Doing this on every advance (before any schedule() can run)
+            // keeps migrated events ordered ahead of later same-tick
+            // insertions via their smaller sequence numbers.
+            self.advance_bucket();
         }
     }
 
@@ -163,9 +233,8 @@ impl<E> TimeWheel<E> {
     /// is not cleared. Returns the number of events moved — 0 when the
     /// wheel is empty or `max` is 0.
     ///
-    /// Because a bucket only ever holds events of a single due time, the
-    /// whole group lives at the front of one bucket once the cursor
-    /// reaches it: the drain is a straight `pop_front` run with no
+    /// A coincident group is contiguous at the front of one sorted
+    /// bucket, so the drain is a straight `pop_front` run with no
     /// per-event cursor scan or heap reshuffle — the wheel's natural
     /// batch operation.
     pub fn pop_coincident_into(&mut self, max: usize, out: &mut Vec<(SimTime, E)>) -> usize {
@@ -173,57 +242,57 @@ impl<E> TimeWheel<E> {
             return 0;
         }
         if self.wheel_len == 0 {
-            // Nothing within the horizon: jump to the earliest overflow
-            // cohort exactly as pop() would.
-            let t = self.overflow.peek().expect("checked non-empty").at;
-            self.cursor = t.0;
-            self.migrate();
-            debug_assert!(self.wheel_len > 0);
+            self.jump_to_overflow();
         }
         loop {
-            let bucket = &mut self.buckets[(self.cursor & self.mask) as usize];
-            if !bucket.is_empty() {
+            let idx = self.bucket_of(self.cursor);
+            let bucket = &mut self.buckets[idx];
+            if let Some(&(t0, _, _)) = bucket.front() {
                 let mut n = 0;
                 while n < max {
-                    let Some(&(t, _)) = bucket.front() else { break };
-                    debug_assert_eq!(t.0, self.cursor, "bucket holds a single due time");
-                    out.push(bucket.pop_front().expect("checked front"));
-                    n += 1;
+                    match bucket.front() {
+                        Some(&(t, _, _)) if t == t0 => {
+                            let (t, _, payload) = bucket.pop_front().expect("checked front");
+                            out.push((t, payload));
+                            n += 1;
+                        }
+                        _ => break,
+                    }
                 }
                 self.wheel_len -= n;
+                self.cursor = t0.0;
                 return n;
             }
-            self.cursor += 1;
-            self.migrate();
+            self.advance_bucket();
         }
     }
 
     /// Due time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         if self.wheel_len > 0 {
-            // The scan pop() would perform, without the mutation.
-            let n = self.buckets.len() as u64;
-            (self.cursor..self.cursor + n).find_map(|t| {
-                self.buckets[(t & self.mask) as usize]
+            // The bucket scan pop() would perform, without the mutation.
+            // Bucket fronts are per-bucket minima, and bucket windows are
+            // increasing in time, so the first non-empty front wins.
+            let start = self.cursor / self.bucket_ticks;
+            (start..start + self.buckets.len() as u64).find_map(|b| {
+                self.buckets[(b & self.mask) as usize]
                     .front()
-                    .map(|&(at, _)| at)
+                    .map(|&(at, _, _)| at)
             })
         } else {
             self.overflow.peek().map(|o| o.at)
         }
     }
 
-    /// Move overflow events that fit inside `[cursor, cursor + slots)`
-    /// into their buckets, in `(time, seq)` order.
+    /// Move overflow events that now fit inside the horizon into their
+    /// buckets, in `(time, seq)` order.
     fn migrate(&mut self) {
-        let horizon = self.cursor + self.buckets.len() as u64;
         while let Some(o) = self.overflow.peek() {
-            if o.at.0 >= horizon {
+            if !self.in_window(o.at.0) {
                 break;
             }
             let o = self.overflow.pop().expect("peeked");
-            self.buckets[(o.at.0 & self.mask) as usize].push_back((o.at, o.payload));
-            self.wheel_len += 1;
+            self.bucket_insert(o.at, o.seq, o.payload);
         }
     }
 
@@ -248,29 +317,46 @@ impl<E> TimeWheel<E> {
 
 /// Which future-event list implementation a simulation uses.
 ///
-/// Part of [`MachineConfig`](crate::machine::MachineConfig); both produce
-/// bit-identical schedules, so this is purely a host-performance knob.
+/// Part of [`MachineConfig`](crate::machine::MachineConfig); all choices
+/// produce bit-identical schedules, so this is purely a host-performance
+/// knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CalendarKind {
     /// The `(time, seq)` binary min-heap — `O(log n)` per operation,
     /// no tuning. The default.
     #[default]
     BinaryHeap,
-    /// The bucketed time wheel with `slots` ticks of horizon (rounded up
-    /// to a power of two) and a heap overflow rail — amortized `O(1)` for
-    /// the near-future traffic that dominates executive scheduling.
+    /// The bucketed time wheel: `slots` buckets (rounded up to a power
+    /// of two) of `bucket_ticks` ticks each, with a heap overflow rail —
+    /// amortized `O(1)` for the near-future traffic that dominates
+    /// executive scheduling. Coarser buckets stretch the horizon and cut
+    /// empty-bucket scanning on event-sparse runs at the price of a
+    /// sorted insert within each bucket.
     TimeWheel {
-        /// Wheel horizon in ticks; [`DEFAULT_WHEEL_SLOTS`] is a good
-        /// default (use `CalendarKind::time_wheel()`).
+        /// Bucket count; [`DEFAULT_WHEEL_SLOTS`] is a good default (use
+        /// `CalendarKind::time_wheel()`).
         slots: usize,
+        /// Ticks per bucket (< 1 clamps to 1). `time_wheel()` uses 1;
+        /// `time_wheel_coarse(n)` selects a coarsened wheel.
+        bucket_ticks: u64,
     },
 }
 
 impl CalendarKind {
-    /// The time wheel with the default horizon.
+    /// The time wheel with the default horizon and one-tick buckets.
     pub fn time_wheel() -> CalendarKind {
         CalendarKind::TimeWheel {
             slots: DEFAULT_WHEEL_SLOTS,
+            bucket_ticks: 1,
+        }
+    }
+
+    /// The time wheel with the default slot count and `bucket_ticks`-tick
+    /// buckets (a `DEFAULT_WHEEL_SLOTS × bucket_ticks` horizon).
+    pub fn time_wheel_coarse(bucket_ticks: u64) -> CalendarKind {
+        CalendarKind::TimeWheel {
+            slots: DEFAULT_WHEEL_SLOTS,
+            bucket_ticks,
         }
     }
 }
@@ -291,7 +377,10 @@ impl<E> Calendar<E> {
     pub fn from_kind(kind: CalendarKind) -> Calendar<E> {
         match kind {
             CalendarKind::BinaryHeap => Calendar::Heap(crate::event::EventQueue::new()),
-            CalendarKind::TimeWheel { slots } => Calendar::Wheel(TimeWheel::new(slots)),
+            CalendarKind::TimeWheel {
+                slots,
+                bucket_ticks,
+            } => Calendar::Wheel(TimeWheel::with_bucket_ticks(slots, bucket_ticks)),
         }
     }
 
@@ -413,53 +502,79 @@ mod tests {
 
     #[test]
     fn interleaved_schedule_and_pop_matches_heap() {
-        let mut w = TimeWheel::new(16);
-        let mut q = EventQueue::new();
-        let mut now = 0u64;
-        // A deterministic but irregular schedule/pop interleaving.
-        for step in 0..500u64 {
-            let burst = (step * 7 + 3) % 5;
-            for k in 0..burst {
-                let dt = (step * 13 + k * 29) % 200; // crosses the horizon
-                w.schedule(SimTime(now + dt), (step, k));
-                q.schedule(SimTime(now + dt), (step, k));
-            }
-            if step % 3 != 0 {
-                let a = w.pop();
-                let b = q.pop();
-                assert_eq!(a, b, "divergence at step {step}");
-                if let Some((t, _)) = a {
-                    now = t.0;
+        // A deterministic but irregular schedule/pop interleaving, for
+        // one-tick buckets and several coarsenesses (the contract is the
+        // same: bit-identical to the heap).
+        for bucket_ticks in [1u64, 4, 16, 64] {
+            let mut w = TimeWheel::with_bucket_ticks(16, bucket_ticks);
+            let mut q = EventQueue::new();
+            let mut now = 0u64;
+            for step in 0..500u64 {
+                let burst = (step * 7 + 3) % 5;
+                for k in 0..burst {
+                    let dt = (step * 13 + k * 29) % 200; // crosses the horizon
+                    w.schedule(SimTime(now + dt), (step, k));
+                    q.schedule(SimTime(now + dt), (step, k));
+                }
+                if step % 3 != 0 {
+                    let a = w.pop();
+                    let b = q.pop();
+                    assert_eq!(a, b, "divergence at step {step} (bt={bucket_ticks})");
+                    if let Some((t, _)) = a {
+                        now = t.0;
+                    }
                 }
             }
-        }
-        loop {
-            let a = w.pop();
-            let b = q.pop();
-            assert_eq!(a, b);
-            if a.is_none() {
-                break;
+            loop {
+                let a = w.pop();
+                let b = q.pop();
+                assert_eq!(a, b, "drain divergence (bt={bucket_ticks})");
+                if a.is_none() {
+                    break;
+                }
             }
         }
     }
 
     #[test]
+    fn coarse_buckets_keep_calendar_order_within_a_bucket() {
+        // Several due times share one 16-tick bucket; pops must come out
+        // in (time, seq) order, not bucket-FIFO order.
+        let mut w = TimeWheel::with_bucket_ticks(4, 16);
+        w.schedule(SimTime(9), "c");
+        w.schedule(SimTime(2), "a");
+        w.schedule(SimTime(9), "d");
+        w.schedule(SimTime(5), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| w.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn coarse_migration_orders_against_direct_inserts() {
+        // An overflow event and direct inserts landing at the same tick
+        // inside one coarse bucket: older sequence numbers pop first.
+        let mut w = TimeWheel::with_bucket_ticks(2, 8); // horizon 16 ticks
+        w.schedule(SimTime(20), "overflow-first"); // beyond 16: overflow
+        w.schedule(SimTime(0), "starter");
+        assert_eq!(w.pop(), Some((SimTime(0), "starter")));
+        w.schedule(SimTime(7), "walk");
+        assert_eq!(w.pop(), Some((SimTime(7), "walk")));
+        // cursor 7: bucket advance to 8 migrates 20 into the window
+        w.schedule(SimTime(20), "direct-later");
+        w.schedule(SimTime(17), "earlier-time");
+        let order: Vec<&str> = std::iter::from_fn(|| w.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            vec!["earlier-time", "overflow-first", "direct-later"]
+        );
+    }
+
+    #[test]
     fn pop_coincident_matches_repeated_pops_across_backends() {
-        // Same schedule into wheel, heap, and a reference heap popped one
-        // at a time: batch pops must reproduce the reference order, batch
-        // boundaries included (ties via seq, overflow migration, partial
-        // bucket drains).
-        let mk = |mut sched: Vec<(u64, u32)>| {
-            let mut wheel: Calendar<u32> =
-                Calendar::from_kind(CalendarKind::TimeWheel { slots: 8 });
-            let mut heap: Calendar<u32> = Calendar::from_kind(CalendarKind::BinaryHeap);
-            for &(t, e) in sched.iter() {
-                wheel.schedule(SimTime(t), e);
-                heap.schedule(SimTime(t), e);
-            }
-            sched.clear();
-            (wheel, heap)
-        };
+        // Same schedule into wheels (fine and coarse), and a reference
+        // heap popped one at a time: batch pops must reproduce the
+        // reference order, batch boundaries included (ties via seq,
+        // overflow migration, partial bucket drains).
         let sched: Vec<(u64, u32)> = vec![
             (5, 0),
             (5, 1),
@@ -469,28 +584,40 @@ mod tests {
             (200, 5),
             (9, 6),
         ];
-        for max in [1usize, 2, 3, 16] {
-            let (mut wheel, mut heap) = mk(sched.clone());
-            let mut reference: Calendar<u32> = Calendar::from_kind(CalendarKind::BinaryHeap);
-            for &(t, e) in &sched {
-                reference.schedule(SimTime(t), e);
-            }
-            let (mut wo, mut ho) = (Vec::new(), Vec::new());
-            loop {
-                let nw = wheel.pop_coincident_into(max, &mut wo);
-                let nh = heap.pop_coincident_into(max, &mut ho);
-                assert_eq!(nw, nh, "batch size divergence at max={max}");
-                if nw == 0 {
-                    break;
+        for bucket_ticks in [1u64, 4, 32] {
+            for max in [1usize, 2, 3, 16] {
+                let mut wheel: Calendar<u32> = Calendar::from_kind(CalendarKind::TimeWheel {
+                    slots: 8,
+                    bucket_ticks,
+                });
+                let mut heap: Calendar<u32> = Calendar::from_kind(CalendarKind::BinaryHeap);
+                let mut reference: Calendar<u32> = Calendar::from_kind(CalendarKind::BinaryHeap);
+                for &(t, e) in &sched {
+                    wheel.schedule(SimTime(t), e);
+                    heap.schedule(SimTime(t), e);
+                    reference.schedule(SimTime(t), e);
                 }
-                let batch = &wo[wo.len() - nw..];
-                assert!(batch.iter().all(|&(t, _)| t == batch[0].0));
-                for got in batch {
-                    assert_eq!(Some(*got), reference.pop(), "order divergence at max={max}");
+                let (mut wo, mut ho) = (Vec::new(), Vec::new());
+                loop {
+                    let nw = wheel.pop_coincident_into(max, &mut wo);
+                    let nh = heap.pop_coincident_into(max, &mut ho);
+                    assert_eq!(nw, nh, "batch size divergence at max={max}");
+                    if nw == 0 {
+                        break;
+                    }
+                    let batch = &wo[wo.len() - nw..];
+                    assert!(batch.iter().all(|&(t, _)| t == batch[0].0));
+                    for got in batch {
+                        assert_eq!(
+                            Some(*got),
+                            reference.pop(),
+                            "order divergence at max={max} bt={bucket_ticks}"
+                        );
+                    }
                 }
+                assert_eq!(wo, ho);
+                assert_eq!(reference.pop(), None, "batch pops must drain everything");
             }
-            assert_eq!(wo, ho);
-            assert_eq!(reference.pop(), None, "batch pops must drain everything");
         }
     }
 
@@ -498,18 +625,24 @@ mod tests {
     fn pop_coincident_partial_bucket_then_schedule() {
         // Draining part of a coincident group leaves the rest poppable,
         // and a same-tick schedule after the partial drain lands behind
-        // the leftovers (insertion order within the tick).
-        let mut w = TimeWheel::new(4);
-        for i in 0..4u32 {
-            w.schedule(SimTime(2), i);
+        // the leftovers (insertion order within the tick). A coarse
+        // bucket must additionally stop the batch at the group boundary
+        // even though later-time events share the bucket.
+        for bucket_ticks in [1u64, 8] {
+            let mut w = TimeWheel::with_bucket_ticks(4, bucket_ticks);
+            for i in 0..4u32 {
+                w.schedule(SimTime(2), i);
+            }
+            w.schedule(SimTime(3), 77); // same bucket when coarse
+            let mut out = Vec::new();
+            assert_eq!(w.pop_coincident_into(2, &mut out), 2);
+            w.schedule(SimTime(2), 99);
+            assert_eq!(w.pop_coincident_into(8, &mut out), 3);
+            assert_eq!(w.pop_coincident_into(8, &mut out), 1); // the t=3 group
+            let got: Vec<u32> = out.iter().map(|&(_, e)| e).collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 99, 77], "bt={bucket_ticks}");
+            assert!(w.is_empty());
         }
-        let mut out = Vec::new();
-        assert_eq!(w.pop_coincident_into(2, &mut out), 2);
-        w.schedule(SimTime(2), 99);
-        assert_eq!(w.pop_coincident_into(8, &mut out), 3);
-        let got: Vec<u32> = out.iter().map(|&(_, e)| e).collect();
-        assert_eq!(got, vec![0, 1, 2, 3, 99]);
-        assert!(w.is_empty());
     }
 
     #[test]
@@ -527,36 +660,45 @@ mod tests {
 
     #[test]
     fn peek_time_matches_pop_without_mutating() {
-        let mut w = TimeWheel::new(8);
-        assert_eq!(w.peek_time(), None);
-        w.schedule(SimTime(9), 1); // overflow
-        assert_eq!(w.peek_time(), Some(SimTime(9)));
-        w.schedule(SimTime(4), 2);
-        assert_eq!(w.peek_time(), Some(SimTime(4)));
-        assert_eq!(w.pop(), Some((SimTime(4), 2)));
-        assert_eq!(w.peek_time(), Some(SimTime(9)));
+        for bucket_ticks in [1u64, 16] {
+            let mut w = TimeWheel::with_bucket_ticks(8, bucket_ticks);
+            assert_eq!(w.peek_time(), None);
+            w.schedule(SimTime(9 * bucket_ticks), 1); // overflow
+            assert_eq!(w.peek_time(), Some(SimTime(9 * bucket_ticks)));
+            w.schedule(SimTime(4), 2);
+            assert_eq!(w.peek_time(), Some(SimTime(4)));
+            assert_eq!(w.pop(), Some((SimTime(4), 2)));
+            assert_eq!(w.peek_time(), Some(SimTime(9 * bucket_ticks)));
+        }
     }
 
     #[test]
     fn calendar_kind_round_trip() {
         let mut heap: Calendar<u32> = Calendar::from_kind(CalendarKind::BinaryHeap);
         let mut wheel: Calendar<u32> = Calendar::from_kind(CalendarKind::time_wheel());
+        let mut coarse: Calendar<u32> = Calendar::from_kind(CalendarKind::time_wheel_coarse(64));
         for (t, e) in [(5u64, 1u32), (2, 2), (5, 3), (9_999_999, 4)] {
             heap.schedule(SimTime(t), e);
             wheel.schedule(SimTime(t), e);
+            coarse.schedule(SimTime(t), e);
         }
         assert_eq!(heap.len(), wheel.len());
+        assert_eq!(heap.len(), coarse.len());
         assert_eq!(heap.peek_time(), wheel.peek_time());
+        assert_eq!(heap.peek_time(), coarse.peek_time());
         loop {
             let a = heap.pop();
             let b = wheel.pop();
+            let c = coarse.pop();
             assert_eq!(a, b);
+            assert_eq!(a, c);
             if a.is_none() {
                 break;
             }
         }
         assert_eq!(heap.scheduled_total(), 4);
         assert_eq!(wheel.scheduled_total(), 4);
+        assert_eq!(coarse.scheduled_total(), 4);
     }
 
     #[test]
@@ -565,5 +707,10 @@ mod tests {
         assert_eq!(w.slots(), 2);
         let w: TimeWheel<()> = TimeWheel::new(100);
         assert_eq!(w.slots(), 128);
+        assert_eq!(w.bucket_ticks(), 1);
+        let w: TimeWheel<()> = TimeWheel::with_bucket_ticks(8, 0);
+        assert_eq!(w.bucket_ticks(), 1, "bucket_ticks clamps to 1");
+        let w: TimeWheel<()> = TimeWheel::with_bucket_ticks(8, 32);
+        assert_eq!(w.bucket_ticks(), 32);
     }
 }

@@ -49,7 +49,9 @@ pub use calendar::{Calendar, CalendarKind, TimeWheel};
 pub use dist::{CostModel, DurationDist};
 pub use event::EventQueue;
 pub use locality::{DataLayout, LocalityModel};
-pub use machine::{BatchPolicy, ExecutivePlacement, MachineConfig, ManagementCosts};
+pub use machine::{
+    BatchPolicy, ExecutivePlacement, MachineConfig, ManagementCosts, RunStorageKind,
+};
 pub use metrics::{Activity, BusyCounter, GanttTrace, Span, StepTrace, Welford};
 pub use time::{SimDuration, SimTime};
 pub use trace::TraceLog;

@@ -138,6 +138,53 @@ pub enum BatchPolicy {
     },
 }
 
+/// Default run capacity of one [`RunStorageKind::ChunkedRuns`] chunk.
+///
+/// 32 eight-byte runs keep a chunk's payload at 256 B (four cache lines):
+/// big enough that the chunk-summary walk is short, small enough that the
+/// in-chunk memmove a bridging insert pays stays trivial.
+pub const DEFAULT_CHUNK_RUNS: usize = 32;
+
+/// Which backing layout the executive's granule-run sets (`RangeSet` in
+/// `pax-core`) use for their run storage.
+///
+/// Both backends are **result-identical** — equality between sets ignores
+/// layout (and the completed-run hint), and an oracle property test pins
+/// every operation — so this is purely a host-performance knob, like
+/// [`CalendarKind`]:
+///
+/// * [`RunStorageKind::VecRuns`] stores runs in one contiguous sorted
+///   vector. In-order completion is O(1) through the completed-run hint,
+///   but a bridging or disjoint insert in the middle of a fragmented set
+///   shifts the whole tail (O(runs) memmove per event).
+/// * [`RunStorageKind::ChunkedRuns`] stores runs in fixed-capacity chunks
+///   on a linked list with per-chunk run-count + max-end summaries:
+///   lookups skip whole chunks (O(chunks)), and a bridging insert only
+///   shifts within the chunks it touches (O(chunk) per event) — the shape
+///   fragmented rundown phases produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunStorageKind {
+    /// One contiguous sorted `Vec` of runs — the default.
+    #[default]
+    VecRuns,
+    /// Fixed-capacity chunks in a linked list with per-chunk summaries.
+    ChunkedRuns {
+        /// Run capacity of one chunk (values < 2 are clamped to 2);
+        /// [`DEFAULT_CHUNK_RUNS`] is a good default (use
+        /// `RunStorageKind::chunked()`).
+        chunk_runs: usize,
+    },
+}
+
+impl RunStorageKind {
+    /// The chunked backend with the default chunk capacity.
+    pub fn chunked() -> RunStorageKind {
+        RunStorageKind::ChunkedRuns {
+            chunk_runs: DEFAULT_CHUNK_RUNS,
+        }
+    }
+}
+
 /// Complete machine description for a simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
@@ -165,6 +212,11 @@ pub struct MachineConfig {
     /// Event-drain batching per executive service round (bounded by
     /// [`MachineConfig::executive_lanes`]); every mode is run-identical.
     pub batch: BatchPolicy,
+    /// Run-storage layout for the executive's granule-run sets. Both
+    /// choices are result-identical; [`RunStorageKind::ChunkedRuns`]
+    /// trades per-chunk summaries for O(chunk) bridging inserts on
+    /// fragmented phases.
+    pub run_storage: RunStorageKind,
 }
 
 impl MachineConfig {
@@ -180,6 +232,7 @@ impl MachineConfig {
             locality: None,
             calendar: CalendarKind::BinaryHeap,
             batch: BatchPolicy::default(),
+            run_storage: RunStorageKind::default(),
         }
     }
 
@@ -194,6 +247,7 @@ impl MachineConfig {
             locality: None,
             calendar: CalendarKind::BinaryHeap,
             batch: BatchPolicy::default(),
+            run_storage: RunStorageKind::default(),
         }
     }
 
@@ -232,6 +286,12 @@ impl MachineConfig {
     /// Builder-style: set the executive's event-drain batching policy.
     pub fn with_batch_policy(mut self, batch: BatchPolicy) -> MachineConfig {
         self.batch = batch;
+        self
+    }
+
+    /// Builder-style: choose the run-storage layout for granule-run sets.
+    pub fn with_run_storage(mut self, storage: RunStorageKind) -> MachineConfig {
+        self.run_storage = storage;
         self
     }
 }
@@ -286,5 +346,23 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn zero_processors_rejected() {
         let _ = MachineConfig::new(0);
+    }
+
+    #[test]
+    fn run_storage_defaults_and_builder() {
+        // The contiguous Vec layout stays the default until the chunked
+        // backend earns it on the storage_scaling data (see ROADMAP).
+        assert_eq!(MachineConfig::new(4).run_storage, RunStorageKind::VecRuns);
+        assert_eq!(MachineConfig::ideal(4).run_storage, RunStorageKind::VecRuns);
+        let m = MachineConfig::new(4).with_run_storage(RunStorageKind::chunked());
+        assert_eq!(
+            m.run_storage,
+            RunStorageKind::ChunkedRuns {
+                chunk_runs: DEFAULT_CHUNK_RUNS
+            }
+        );
+        let m =
+            MachineConfig::new(4).with_run_storage(RunStorageKind::ChunkedRuns { chunk_runs: 8 });
+        assert_eq!(m.run_storage, RunStorageKind::ChunkedRuns { chunk_runs: 8 });
     }
 }

@@ -10,13 +10,15 @@ proptest! {
     /// The bucketed time wheel pops bit-identically to the binary-heap
     /// event queue on randomized schedules: same times, same payloads,
     /// same tie-break order — including events past the wheel horizon
-    /// (overflow rail) and schedules interleaved with pops.
+    /// (overflow rail), schedules interleaved with pops, and coarse
+    /// buckets holding several due times each.
     #[test]
     fn time_wheel_matches_heap_on_random_schedules(
         slots in 1usize..700,
+        bucket_ticks in 1u64..60,
         ops in proptest::collection::vec((0u64..3000, 1usize..6, proptest::bool::ANY), 1..120),
     ) {
-        let mut wheel = TimeWheel::new(slots);
+        let mut wheel = TimeWheel::with_bucket_ticks(slots, bucket_ticks);
         let mut heap = EventQueue::new();
         let mut now = 0u64;
         let mut id = 0u64;
@@ -57,11 +59,12 @@ proptest! {
     #[test]
     fn pop_coincident_is_a_regrouped_pop_order(
         slots in 1usize..300,
+        bucket_ticks in 1u64..40,
         max in 1usize..9,
         ops in proptest::collection::vec((0u64..2000, 1usize..6, proptest::bool::ANY), 1..100),
     ) {
         use pax_sim::calendar::TimeWheel;
-        let mut wheel = TimeWheel::new(slots);
+        let mut wheel = TimeWheel::with_bucket_ticks(slots, bucket_ticks);
         let mut heap = EventQueue::new();
         let mut reference = EventQueue::new();
         let mut now = 0u64;

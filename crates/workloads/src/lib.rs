@@ -7,6 +7,9 @@
 //! * [`casper`] — a synthetic pipeline matching CASPER's published census
 //!   (22 phases, 1188 parallel lines, 6/9/4/2/1 mapping breakdown) with
 //!   dynamically generated information-selection maps.
+//! * [`fragmentation`] — a strided-release workload that keeps the
+//!   executive's granule-run sets maximally fragmented (the run-storage
+//!   backend stress shape).
 //! * [`fragments`] — the paper's four Fortran fragments as analyzable
 //!   array programs and runnable simulations.
 //! * [`generators`] — parameterized synthetic workloads for the rundown
@@ -20,12 +23,16 @@
 
 pub mod casper;
 pub mod checkerboard;
+pub mod fragmentation;
 pub mod fragments;
 pub mod generators;
 pub mod mini_casper;
 
 pub use casper::{casper_declared_census, CasperConfig, CASPER_PHASES};
 pub use checkerboard::{checkerboard_program, Checkerboard, Color, RedBlackGrid};
+pub use fragmentation::{
+    fragmented_rundown, interleaved_stripes, stripe_churn_ranges, FragmentationConfig,
+};
 pub use fragments::{
     fragment_forward, fragment_identity, fragment_reverse, fragment_simulation, fragment_universal,
 };

@@ -287,6 +287,39 @@ fn soa_arena_matches_aos_goldens() {
     );
 }
 
+/// The run-storage backend is a host-performance knob, not a scheduling
+/// knob: every experiment shape must reproduce the recorded goldens —
+/// bit for bit, the same fingerprints the Vec layout produces — when the
+/// executive's granule-run sets run on the chunked backend, at a
+/// realistic chunk capacity and at the pathological minimum (capacity 2
+/// forces constant chunk splitting and whole-chunk absorption).
+#[test]
+fn chunked_run_storage_matches_goldens_on_all_shapes() {
+    use pax_sim::machine::RunStorageKind;
+    let shapes = shapes();
+    assert_eq!(shapes.len(), 13, "one scenario per experiment family");
+    let mut mismatches = Vec::new();
+    for storage in [
+        RunStorageKind::chunked(),
+        RunStorageKind::ChunkedRuns { chunk_runs: 2 },
+    ] {
+        for (i, shape) in shapes.iter().enumerate() {
+            let actual = fingerprint_on(shape, shape.cfg.clone().with_run_storage(storage));
+            match GOLDEN.get(i) {
+                Some(&g) if g == actual => {}
+                got => mismatches.push(format!(
+                    "  {storage:?}\n  expected: {got:?}\n  actual:   {actual}"
+                )),
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "run-storage behavior drift:\n{}",
+        mismatches.join("\n")
+    );
+}
+
 /// The multi-lane executive's batched drain must be *observably
 /// identical* to single-event service: a batch is a prefix of the
 /// deterministic event order and each event in it is serviced exactly as

@@ -115,6 +115,50 @@ fn ci_has_the_tiered_matrix() {
 }
 
 #[test]
+fn ci_caches_builds_keyed_on_lockfile_and_toolchain() {
+    // Every tier that compiles the workspace must restore a build cache
+    // keyed on the lockfile + toolchain — NOT on source hashes, which
+    // change every push and reduce the cache to a stale-prefix restore
+    // (the cold-build-every-run failure this pin exists to prevent).
+    let ci = read(".github/workflows/ci.yml");
+    assert!(
+        ci.matches("uses: actions/cache@v4").count() >= 4,
+        "check, build-test, bench-smoke, and bench-sweep must all carry a cache step"
+    );
+    assert!(
+        ci.matches("hashFiles('Cargo.lock')").count() >= 4,
+        "every cache key must be keyed on the lockfile"
+    );
+    assert!(
+        !ci.contains("hashFiles('**/Cargo.toml', '**/*.rs')"),
+        "source-hash cache keys cold-build every push; key on Cargo.lock instead"
+    );
+    assert!(
+        ci.contains(
+            "cargo-${{ matrix.toolchain }}-${{ runner.os }}-${{ hashFiles('Cargo.lock') }}"
+        ),
+        "the build-test matrix cache must be keyed per toolchain"
+    );
+    assert!(
+        ci.matches("~/.cargo/registry").count() >= 4,
+        "caches must include the cargo registry alongside target/"
+    );
+    // The key scheme only works if the lockfile is in the checkout: a
+    // gitignored Cargo.lock makes hashFiles('Cargo.lock') the empty
+    // string, every key a constant, and the first run's cache immortal.
+    assert!(
+        workspace_root().join("Cargo.lock").is_file(),
+        "Cargo.lock must exist at the workspace root"
+    );
+    let gitignore = read(".gitignore");
+    assert!(
+        !gitignore.lines().any(|l| l.trim() == "Cargo.lock"),
+        "Cargo.lock must be committed (workspaces with binaries commit it); \
+         ignoring it empties every hashFiles('Cargo.lock') cache key in CI"
+    );
+}
+
+#[test]
 fn readme_states_the_documented_msrv() {
     let readme = read("README.md");
     assert!(
