@@ -11,9 +11,10 @@
 //! `--bench-json PATH` runs the rundown performance harness instead of the
 //! claim experiments and writes machine-readable throughput numbers (plus
 //! the recorded pre-optimization baseline, the executive lane-scaling
-//! sweep with its wheel-coarseness rows, and the run-storage scaling
-//! sweep; `--no-lane-sweep` / `--no-storage-sweep` skip the respective
-//! sweep) to PATH.
+//! sweep with its wheel-coarseness rows, the run-storage scaling sweep,
+//! and the sharded-engine shard-scaling sweep; `--no-lane-sweep` /
+//! `--no-storage-sweep` / `--no-shard-sweep` skip the respective sweep)
+//! to PATH.
 
 use pax_bench::experiments as ex;
 use std::time::Instant;
@@ -44,10 +45,16 @@ fn main() {
         } else {
             pax_bench::rundown::storage_scaling(quick)
         };
+        let shards = if args.iter().any(|a| a == "--no-shard-sweep") {
+            Vec::new()
+        } else {
+            pax_bench::rundown::shard_scaling(quick)
+        };
         let json = pax_bench::rundown::to_json_full(
             &measurements,
             &lanes,
             &storage,
+            &shards,
             &pax_bench::rundown::host_fingerprint(),
         );
         std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));

@@ -265,6 +265,27 @@ pub fn markdown_report(
                 .join(", ")
         ));
     }
+    // The symmetric hole: a scenario the current run measured that the
+    // baseline never did has no ratio, so the gate silently ignores it
+    // until the baseline is refreshed. Also non-fatal, also loud.
+    let fresh: Vec<&str> = rows
+        .iter()
+        .filter(|r| r.baseline_ms.is_none())
+        .map(|r| r.name.as_str())
+        .collect();
+    if !fresh.is_empty() {
+        out.push_str(&format!(
+            "> ⚠ **NEW SCENARIOS** — {} scenario(s) in this run have no baseline \
+             entry: {}. They are reported without a ratio and cannot gate until \
+             the next baseline refresh records them.\n\n",
+            fresh.len(),
+            fresh
+                .iter()
+                .map(|n| format!("`{n}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
     out.push_str("| scenario | baseline ms | current ms | ratio | verdict |\n");
     out.push_str("|---|---:|---:|---:|---|\n");
     for r in rows {
@@ -375,6 +396,33 @@ mod tests {
         ));
         let (_, clean) = gate(Some(&base), &full, 1.25);
         assert!(!clean.contains("MISSING SCENARIOS"), "{clean}");
+    }
+
+    #[test]
+    fn new_scenarios_warn_loudly_but_do_not_fail() {
+        // The mirror image: a scenario measured now but absent from the
+        // baseline has no ratio and must be called out, not buried in an
+        // `n/a` table row — while staying non-fatal.
+        let base = parse_rundown(&sample("h/1cpu/x", &[("kept", 10.0)]));
+        let cur = parse_rundown(&sample(
+            "h/1cpu/x",
+            &[("kept", 10.2), ("fresh_a", 3.0), ("fresh_b", 4.0)],
+        ));
+        let (outcome, report) = gate(Some(&base), &cur, 1.25);
+        assert_eq!(outcome, GateOutcome::Pass, "new scenarios are non-fatal");
+        assert!(report.contains("**NEW SCENARIOS**"), "{report}");
+        assert!(report.contains("2 scenario(s)"), "{report}");
+        assert!(
+            report.contains("`fresh_a`") && report.contains("`fresh_b`"),
+            "{report}"
+        );
+        // a fully-recorded baseline emits no such warning
+        let full = parse_rundown(&sample(
+            "h/1cpu/x",
+            &[("kept", 10.0), ("fresh_a", 3.0), ("fresh_b", 4.0)],
+        ));
+        let (_, clean) = gate(Some(&full), &cur, 1.25);
+        assert!(!clean.contains("NEW SCENARIOS"), "{clean}");
     }
 
     #[test]

@@ -591,6 +591,172 @@ pub fn storage_scaling_for(
     out
 }
 
+/// Shard counts measured by the [`shard_scaling`] sweep (quick mode
+/// stops at 4).
+pub const SHARD_SWEEP_SHARDS: &[usize] = &[1, 2, 4, 8];
+
+/// One shard-scaling data point: a fleet workload re-run at a given
+/// shard count on the threaded epoch-barrier driver.
+#[derive(Debug, Clone)]
+pub struct ShardScalingMeasurement {
+    /// Fleet scenario name.
+    pub scenario: String,
+    /// Shard count (= worker threads; 1 is the single-threaded
+    /// reference drive).
+    pub shards: usize,
+    /// Machine groups in the fleet.
+    pub groups: usize,
+    /// Total granules executed across the fleet.
+    pub granules: u64,
+    /// Simulator events processed (shard-count-invariant by the
+    /// determinism contract — asserted inside the sweep).
+    pub events: u64,
+    /// Simulated makespan in ticks (also shard-count-invariant).
+    pub makespan: u64,
+    /// Best wall-clock time for one run, milliseconds.
+    pub wall_ms: f64,
+    /// Events processed per wall-clock second.
+    pub events_per_sec: f64,
+    /// Wall-time speedup vs the 1-shard row of the same scenario.
+    pub speedup: f64,
+    /// Effective parallelization α (Karp–Flatt style, the figure of
+    /// merit from Végh's "new kind of parallelism" analysis in
+    /// PAPERS.md): `(k/(k-1)) · (S−1)/S` for `k` shards at speedup `S`.
+    /// NaN (JSON `null`) on the 1-shard reference row.
+    pub alpha_eff: f64,
+}
+
+/// One fleet scenario of the shard-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ShardScenario {
+    /// Stable name used as the JSON key.
+    pub name: &'static str,
+    /// The fleet workload (groups, granules, optional admission chain).
+    pub fleet: pax_workloads::FleetConfig,
+    /// Worker processors per machine group.
+    pub processors: usize,
+    /// Timed repetitions (minimum wall time reported).
+    pub reps: u32,
+}
+
+/// The shard-scaling sweep: fleet workloads × shard counts from
+/// [`SHARD_SWEEP_SHARDS`], run on the threaded epoch-barrier driver
+/// (`pax-runtime`). The independent fleet is the best case (one epoch,
+/// no admission traffic); the staged fleet exercises conservative
+/// windows derived from its admission latency. Rows of one scenario are
+/// asserted result-identical across shard counts — sharding is a
+/// host-performance knob, so `events`/`makespan` must not move.
+pub fn shard_scaling(quick: bool) -> Vec<ShardScalingMeasurement> {
+    use pax_sim::time::SimDuration;
+    let fleets = if quick {
+        vec![
+            ShardScenario {
+                name: "fleet_4x8192_t16",
+                fleet: pax_workloads::FleetConfig::independent(4, 8_192),
+                processors: 8,
+                reps: 2,
+            },
+            ShardScenario {
+                name: "fleet_staged_4x4096_t16",
+                fleet: pax_workloads::FleetConfig::staged(4, 4_096, SimDuration(1_000)),
+                processors: 8,
+                reps: 2,
+            },
+        ]
+    } else {
+        vec![
+            ShardScenario {
+                name: "fleet_8x65536_t64",
+                fleet: {
+                    let mut f = pax_workloads::FleetConfig::independent(8, 65_536);
+                    f.task_size = 64;
+                    f
+                },
+                processors: 16,
+                reps: 2,
+            },
+            ShardScenario {
+                name: "fleet_staged_8x16384_t16",
+                fleet: pax_workloads::FleetConfig::staged(8, 16_384, SimDuration(10_000)),
+                processors: 8,
+                reps: 2,
+            },
+        ]
+    };
+    let shard_counts: &[usize] = if quick {
+        &SHARD_SWEEP_SHARDS[..3]
+    } else {
+        SHARD_SWEEP_SHARDS
+    };
+    shard_scaling_for(&fleets, shard_counts)
+}
+
+/// [`shard_scaling`] over explicit fleet and shard-count lists (testable
+/// at tiny sizes).
+pub fn shard_scaling_for(
+    fleets: &[ShardScenario],
+    shard_counts: &[usize],
+) -> Vec<ShardScalingMeasurement> {
+    use pax_sim::ShardPolicy;
+    let mut out = Vec::new();
+    for sc in fleets {
+        let mut reference: Option<(u64, u64)> = None;
+        let mut base_wall = f64::NAN;
+        for &shards in shard_counts {
+            let cfg = MachineConfig::new(sc.processors).with_shards(ShardPolicy::new(shards));
+            let mut best_wall = f64::INFINITY;
+            let mut report = None;
+            for _ in 0..sc.reps.max(1) {
+                let sim = sc.fleet.simulation(cfg.clone(), 7);
+                let t = Instant::now();
+                let r = pax_runtime::run_simulation_sharded(sim).expect("fleet scenario run");
+                best_wall = best_wall.min(t.elapsed().as_secs_f64() * 1e3);
+                report = Some(r);
+            }
+            let r = report.expect("at least one rep");
+            // Sharding is a host-performance knob: the simulated run must
+            // be identical at every shard count, or the sweep is
+            // comparing different machines.
+            let sig = (r.events, r.makespan.ticks());
+            match reference {
+                None => reference = Some(sig),
+                Some(reference) => assert_eq!(
+                    sig, reference,
+                    "{}: run diverged across shard counts",
+                    sc.name
+                ),
+            }
+            if shards == 1 {
+                base_wall = best_wall;
+            }
+            let speedup = base_wall / best_wall;
+            let alpha_eff = if shards > 1 && speedup.is_finite() && speedup > 0.0 {
+                (shards as f64 / (shards as f64 - 1.0)) * (speedup - 1.0) / speedup
+            } else {
+                f64::NAN
+            };
+            eprintln!(
+                "[shard_scaling] {} shards={shards:<2} {best_wall:>9.3} ms  speedup={speedup:.2}  mk={}",
+                sc.name,
+                r.makespan.ticks()
+            );
+            out.push(ShardScalingMeasurement {
+                scenario: sc.name.to_string(),
+                shards,
+                groups: sc.fleet.groups,
+                granules: sc.fleet.total_granules(),
+                events: r.events,
+                makespan: r.makespan.ticks(),
+                wall_ms: best_wall,
+                events_per_sec: r.events as f64 / (best_wall / 1e3),
+                speedup,
+                alpha_eff,
+            });
+        }
+    }
+    out
+}
+
 /// Wall-clock milliseconds per scenario measured at the pre-PR seed
 /// (commit 37ecaec, per-event `clone()`/`collect()` completion path,
 /// O(live) descriptor removal), on the same machine class that generates
@@ -650,12 +816,12 @@ pub fn to_json(measurements: &[RundownMeasurement]) -> String {
 /// [`BASELINE_HOST`]; the fingerprints of both hosts are recorded so a
 /// later reader can tell which comparison would be legitimate.
 pub fn to_json_for_host(measurements: &[RundownMeasurement], host: &str) -> String {
-    to_json_full(measurements, &[], &[], host)
+    to_json_full(measurements, &[], &[], &[], host)
 }
 
-/// Full document: headline scenarios plus the lane-scaling and
-/// storage-scaling sweeps. Both sweep arrays are emitted *before*
-/// `scenarios` on purpose: the perf-gate parser
+/// Full document: headline scenarios plus the lane-scaling,
+/// storage-scaling, and shard-scaling sweeps. Every sweep array is
+/// emitted *before* `scenarios` on purpose: the perf-gate parser
 /// ([`crate::compare::parse_rundown`]) starts capturing at the
 /// `scenarios` key, so sweep rows can never be mistaken for headline
 /// measurements (they reuse scenario names).
@@ -663,6 +829,7 @@ pub fn to_json_full(
     measurements: &[RundownMeasurement],
     lanes: &[LaneScalingMeasurement],
     storage: &[StorageScalingMeasurement],
+    shards: &[ShardScalingMeasurement],
     host: &str,
 ) -> String {
     let same_host = host == BASELINE_HOST;
@@ -732,6 +899,39 @@ pub fn to_json_full(
                 json_f64(m.events_per_sec)
             ));
             out.push_str(if i + 1 == storage.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+    }
+    if !shards.is_empty() {
+        out.push_str(
+            "  \"shard_scaling_note\": \"sharded-engine sweep on the threaded epoch-barrier \
+             driver: one worker thread per shard, machine groups distributed round-robin. \
+             events/makespan are shard-count-invariant by the determinism contract; wall_ms \
+             is host time, speedup is vs the 1-shard row, alpha_eff is the Karp–Flatt-style \
+             effective parallelization (k/(k-1))·(S-1)/S (null on the reference row). Wall \
+             speedup requires a multi-core host — on a 1-cpu runner expect ~1.0\",\n",
+        );
+        out.push_str("  \"shard_scaling\": [\n");
+        for (i, m) in shards.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"scenario\": \"{}\",\n", m.scenario));
+            out.push_str(&format!("      \"shards\": {},\n", m.shards));
+            out.push_str(&format!("      \"groups\": {},\n", m.groups));
+            out.push_str(&format!("      \"granules\": {},\n", m.granules));
+            out.push_str(&format!("      \"events\": {},\n", m.events));
+            out.push_str(&format!("      \"makespan_ticks\": {},\n", m.makespan));
+            out.push_str(&format!("      \"wall_ms\": {},\n", json_f64(m.wall_ms)));
+            out.push_str(&format!(
+                "      \"events_per_sec\": {},\n",
+                json_f64(m.events_per_sec)
+            ));
+            out.push_str(&format!("      \"speedup\": {},\n", json_f64(m.speedup)));
+            out.push_str(&format!("      \"alpha_eff\": {}\n", json_f64(m.alpha_eff)));
+            out.push_str(if i + 1 == shards.len() {
                 "    }\n"
             } else {
                 "    },\n"
@@ -928,17 +1128,32 @@ mod tests {
             wall_ms: 654.321,
             events_per_sec: 10.0,
         }];
-        let j = to_json_full(&[m], &lanes, &storage, "h/1cpu/x");
+        let shards = vec![ShardScalingMeasurement {
+            scenario: "identity_1e4_t1".into(),
+            shards: 4,
+            groups: 4,
+            granules: 100,
+            events: 10,
+            makespan: 5,
+            wall_ms: 987.654,
+            events_per_sec: 10.0,
+            speedup: 1.0,
+            alpha_eff: f64::NAN,
+        }];
+        let j = to_json_full(&[m], &lanes, &storage, &shards, "h/1cpu/x");
         assert!(j.contains("\"lane_scaling\""));
         assert!(j.contains("\"calendar\": \"wheel\""));
         assert!(j.contains("\"storage_scaling\""));
         assert!(j.contains("\"storage\": \"chunked32\""));
+        assert!(j.contains("\"shard_scaling\""));
+        assert!(j.contains("\"shards\": 4"));
+        assert!(j.contains("\"alpha_eff\": null"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         let p = crate::compare::parse_rundown(&j);
         assert_eq!(
             p.scenarios.len(),
             1,
-            "gate parser must not ingest lane_scaling/storage_scaling rows"
+            "gate parser must not ingest lane_scaling/storage_scaling/shard_scaling rows"
         );
         assert_ne!(
             p.scenarios[0].1, 123.456,
@@ -948,6 +1163,45 @@ mod tests {
             p.scenarios[0].1, 654.321,
             "storage sweep wall_ms leaked into gate"
         );
+        assert_ne!(
+            p.scenarios[0].1, 987.654,
+            "shard sweep wall_ms leaked into gate"
+        );
+    }
+
+    #[test]
+    fn shard_sweep_covers_the_grid_and_agrees_across_shard_counts() {
+        use pax_sim::time::SimDuration;
+        let fleets = vec![
+            ShardScenario {
+                name: "tiny_fleet",
+                fleet: pax_workloads::FleetConfig::independent(3, 64),
+                processors: 4,
+                reps: 1,
+            },
+            ShardScenario {
+                name: "tiny_staged_fleet",
+                fleet: pax_workloads::FleetConfig::staged(3, 64, SimDuration(50)),
+                processors: 4,
+                reps: 1,
+            },
+        ];
+        let counts = [1usize, 2, 3];
+        let rows = shard_scaling_for(&fleets, &counts);
+        assert_eq!(rows.len(), fleets.len() * counts.len());
+        for sc in &fleets {
+            let of: Vec<_> = rows.iter().filter(|r| r.scenario == sc.name).collect();
+            // result-identity across shard counts is asserted inside the
+            // sweep itself; spot-check the emitted rows agree here too
+            assert!(of
+                .windows(2)
+                .all(|w| w[0].events == w[1].events && w[0].makespan == w[1].makespan));
+            // the 1-shard reference row: speedup 1, no alpha
+            let base = of.iter().find(|r| r.shards == 1).unwrap();
+            assert!((base.speedup - 1.0).abs() < 1e-9);
+            assert!(base.alpha_eff.is_nan());
+            assert!(of.iter().all(|r| r.groups == 3 && r.granules == 384));
+        }
     }
 
     #[test]

@@ -209,12 +209,18 @@ struct JobRt {
 /// assert_eq!(report.makespan.ticks(), 40);
 /// ```
 pub struct Simulation {
-    cfg: MachineConfig,
-    policy: OverlapPolicy,
-    programs: Vec<Program>,
-    seed: u64,
-    gantt: bool,
-    trace: bool,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) policy: OverlapPolicy,
+    pub(crate) programs: Vec<Program>,
+    /// Machine group of each job in `programs` (parallel vector). Jobs in
+    /// one group share one simulated machine; distinct groups are
+    /// independent machines, coupled only through [`Simulation::link_groups`]
+    /// admission edges — the unit the sharded drivers distribute.
+    pub(crate) groups: Vec<usize>,
+    pub(crate) links: Vec<crate::shard::GroupLink>,
+    pub(crate) seed: u64,
+    pub(crate) gantt: bool,
+    pub(crate) trace: bool,
 }
 
 impl Simulation {
@@ -224,6 +230,8 @@ impl Simulation {
             cfg,
             policy,
             programs: Vec::new(),
+            groups: Vec::new(),
+            links: Vec::new(),
             seed: 0x5EED_CA5E,
             gantt: false,
             trace: false,
@@ -232,8 +240,39 @@ impl Simulation {
 
     /// Add a job stream; returns its id.
     pub fn add_job(&mut self, program: Program) -> JobId {
+        self.add_job_in_group(program, 0)
+    }
+
+    /// Add a job stream to machine group `group`; returns its id.
+    ///
+    /// Jobs in one group run on one shared simulated machine (contending
+    /// for its processors, executive lanes, and waiting queue, exactly as
+    /// [`Simulation::add_job`] jobs do). Jobs in different groups run on
+    /// independent replicas of the machine `cfg` describes. Group indices
+    /// must be dense: adding to group `g` requires groups `0..g` to exist
+    /// already (`run` validates this).
+    pub fn add_job_in_group(&mut self, program: Program, group: usize) -> JobId {
         self.programs.push(program);
+        self.groups.push(group);
         JobId(self.programs.len() as u32 - 1)
+    }
+
+    /// Gate machine group `succ` on machine group `pred`: `succ` is
+    /// admitted (its jobs start) `latency` ticks after the last job of
+    /// `pred` finishes. `latency` must be ≥ 1 tick — it is the minimum
+    /// cross-group event latency the sharded drivers derive their
+    /// conservative epoch windows from.
+    pub fn link_groups(&mut self, pred: usize, succ: usize, latency: SimDuration) {
+        assert!(pred != succ, "a group cannot gate itself");
+        assert!(
+            latency >= SimDuration(1),
+            "cross-group admission latency must be at least one tick"
+        );
+        self.links.push(crate::shard::GroupLink {
+            pred,
+            succ,
+            latency,
+        });
     }
 
     /// Set the RNG seed (deterministic per seed).
@@ -256,7 +295,29 @@ impl Simulation {
     }
 
     /// Execute to completion.
+    ///
+    /// Single-group runs with `cfg.shards ≤ 1` take the classic
+    /// single-threaded drive loop. Everything else goes through the
+    /// sharded core driver ([`crate::shard`]), which is pinned
+    /// bit-identical to it; the threaded driver lives in `pax-runtime`.
     pub fn run(self) -> Result<RunReport, EngineError> {
+        self.validate()?;
+        if self.is_single_group() && self.cfg.shards.shards <= 1 {
+            let mut eng = Engine::new(self);
+            eng.start();
+            eng.run_loop()
+        } else {
+            crate::shard::run_sharded(self.into_sharded()?)
+        }
+    }
+
+    /// True when every job is in group 0 and no admission edges exist —
+    /// the shape [`Simulation::add_job`] alone produces.
+    pub(crate) fn is_single_group(&self) -> bool {
+        self.links.is_empty() && self.groups.iter().all(|&g| g == 0)
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), EngineError> {
         for (i, p) in self.programs.iter().enumerate() {
             p.validate()
                 .map_err(|e| EngineError::InvalidProgram(format!("job {i}: {e}")))?;
@@ -264,9 +325,7 @@ impl Simulation {
         if self.programs.is_empty() {
             return Err(EngineError::InvalidProgram("no jobs".into()));
         }
-        let mut eng = Engine::new(self);
-        eng.start();
-        eng.run_loop()
+        Ok(())
     }
 }
 
@@ -303,7 +362,7 @@ struct Scratch {
     pieces: Vec<(GranuleRange, Option<DescId>)>,
 }
 
-struct Engine {
+pub(crate) struct Engine {
     cfg: MachineConfig,
     policy: OverlapPolicy,
     jobs: Vec<JobRt>,
@@ -333,10 +392,15 @@ struct Engine {
     remote_granules: u64,
     remote_stall: SimDuration,
     warnings: Vec<String>,
+    /// Round buffers for `run_window`, kept on the engine so repeated
+    /// epoch windows reuse one allocation instead of growing fresh
+    /// vectors per window (pinned by the alloc-free regression test).
+    round_batch: Vec<(SimTime, Ev)>,
+    round_dones: Vec<(WorkerId, DescId)>,
 }
 
 impl Engine {
-    fn new(s: Simulation) -> Engine {
+    pub(crate) fn new(s: Simulation) -> Engine {
         let jobs: Vec<JobRt> = s
             .programs
             .into_iter()
@@ -396,6 +460,8 @@ impl Engine {
             remote_granules: 0,
             remote_stall: SimDuration::ZERO,
             warnings: Vec::new(),
+            round_batch: Vec::with_capacity(s.cfg.executive_lanes),
+            round_dones: Vec::with_capacity(s.cfg.executive_lanes),
             cfg: s.cfg,
             policy: s.policy,
         }
@@ -1620,7 +1686,7 @@ impl Engine {
     // run loop & report
     // ------------------------------------------------------------------
 
-    fn start(&mut self) {
+    pub(crate) fn start(&mut self) {
         for j in 0..self.jobs.len() {
             self.jobs[j].started_at = self.now;
             self.run_program(j, 0);
@@ -1629,6 +1695,18 @@ impl Engine {
             self.events
                 .schedule(SimTime::ZERO, Ev::Seek(WorkerId(w as u32)));
         }
+    }
+
+    /// Due time of the next pending event, if any — the sharded
+    /// coordinator's per-group progress lower bound.
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// End time of the last event serviced so far (the local makespan
+    /// once the calendar has drained).
+    pub(crate) fn frontier(&self) -> SimTime {
+        self.last_event_end
     }
 
     /// Events the executive drains per service round: one in the pinned
@@ -1683,15 +1761,36 @@ impl Engine {
     }
 
     fn run_loop(mut self) -> Result<RunReport, EngineError> {
+        let drained = self.run_window(None);
+        debug_assert!(drained, "unbounded window must drain the calendar");
+        self.finish()
+    }
+
+    /// Drain events due at or before `limit` (all remaining events when
+    /// `None`). Returns `true` when the calendar is empty afterwards.
+    ///
+    /// Pausing between windows mutates no engine state, and every batch a
+    /// windowed drain forms is a batch the unbounded loop would form (the
+    /// batch groupings are pinned observably identical to
+    /// [`BatchPolicy::Single`] service anyway), so chopping a run into
+    /// windows at *any* boundaries is result-invariant — the property the
+    /// sharded drivers' determinism contract rests on.
+    pub(crate) fn run_window(&mut self, limit: Option<SimTime>) -> bool {
         let cap = self.batch_capacity();
-        let mut batch: Vec<(SimTime, Ev)> = Vec::with_capacity(cap);
-        let mut dones: Vec<(WorkerId, DescId)> = Vec::with_capacity(cap);
-        loop {
+        let mut batch = take(&mut self.round_batch);
+        let mut dones = take(&mut self.round_dones);
+        let drained_all = loop {
+            match self.events.peek_time() {
+                None => break true,
+                Some(t) => {
+                    if limit.is_some_and(|l| t > l) {
+                        break false;
+                    }
+                }
+            }
             batch.clear();
             let drained = self.events.pop_coincident_into(cap, &mut batch);
-            if drained == 0 {
-                break;
-            }
+            debug_assert!(drained > 0, "peeked event must drain");
             let round_start = batch[0].0;
             self.process_batch(&batch, &mut dones);
             if let BatchPolicy::Lookahead { horizon } = self.cfg.batch {
@@ -1699,7 +1798,11 @@ impl Engine {
                 // horizon. Each group is drained from the live calendar
                 // only after the previous one was fully serviced, so
                 // events scheduled mid-round keep their deterministic
-                // (time, insertion) place.
+                // (time, insertion) place. The window limit does not clip
+                // the horizon: a round the unbounded loop would form is
+                // serviced atomically here too (a round never spans a
+                // window boundary because conservative windows end at
+                // least one full latency past any event they admit).
                 let mut served = drained;
                 while served < cap {
                     match self.events.peek_time() {
@@ -1714,7 +1817,14 @@ impl Engine {
                     }
                 }
             }
-        }
+        };
+        self.round_batch = batch;
+        self.round_dones = dones;
+        drained_all
+    }
+
+    /// Deadlock check plus report construction, once the calendar is dry.
+    pub(crate) fn finish(self) -> Result<RunReport, EngineError> {
         let unfinished: Vec<usize> = self
             .jobs
             .iter()
@@ -1792,8 +1902,10 @@ impl Engine {
     }
 }
 
-/// Convert `(time, ±1)` deltas into a step trace.
-fn deltas_to_trace(mut deltas: Vec<(SimTime, i32)>) -> StepTrace {
+/// Convert `(time, ±1)` deltas into a step trace. Also used by the
+/// sharded merge, where the deltas of several re-based group traces are
+/// superimposed.
+pub(crate) fn deltas_to_trace(mut deltas: Vec<(SimTime, i32)>) -> StepTrace {
     deltas.sort_by_key(|&(t, d)| (t, -d));
     let mut trace = StepTrace::new();
     let mut level: i32 = 0;

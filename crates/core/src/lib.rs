@@ -68,6 +68,7 @@ pub mod program;
 pub mod queue;
 pub mod rangeset;
 pub mod report;
+pub mod shard;
 
 /// Convenient re-exports of the items almost every user needs.
 pub mod prelude {
@@ -82,6 +83,9 @@ pub mod prelude {
     };
     pub use crate::program::{BranchTest, EnableSpec, Lookahead, Program, ProgramBuilder, Step};
     pub use crate::report::{JobReport, PhaseReport, RunReport, RundownWindow};
+    pub use crate::shard::{
+        run_sharded, Coordinator, EpochPlan, GroupLink, ShardEngine, ShardedRun,
+    };
 }
 
 pub use prelude::*;

@@ -1,0 +1,852 @@
+//! Sharded drive of multi-group simulations under conservative
+//! epoch-barrier synchronization.
+//!
+//! ## Why the shard unit is the machine *group*, not the job
+//!
+//! Jobs sharing one simulated machine are coupled through shared state a
+//! serial executive makes global by construction: the round-robin
+//! waiting-computation queue, the idle-worker stack, the executive lane
+//! timeline, and the run's RNG stream. Splitting *inside* a machine while
+//! keeping bit-identical results would require replaying exactly the
+//! single-thread interleaving — i.e. not parallelism. The indivisible
+//! unit this module distributes is therefore the **group**: one replica
+//! of the configured machine plus the jobs submitted to it
+//! ([`crate::engine::Simulation::add_job_in_group`]). Group `g` is owned
+//! by shard `g % S`, and each shard drains its groups' calendars
+//! independently.
+//!
+//! ## Conservative epochs
+//!
+//! Groups interact only through **admission edges**
+//! ([`crate::engine::Simulation::link_groups`]): group `succ` starts
+//! `latency ≥ 1` ticks after the last job of `pred` finishes. A
+//! [`Coordinator`] derives each epoch's window from those latencies: the
+//! window never extends past the earliest instant any unadmitted group
+//! could possibly be admitted (every pred's progress lower bound plus its
+//! edge latency, relaxed transitively), so no shard can observe an
+//! admission "from the past". Each shard drains events up to the window,
+//! deposits progress/finish notes in its **outbox**, and the coordinator
+//! exchanges them at the two-phase barrier (the threaded barrier itself
+//! lives in `pax-runtime`; this module also provides the single-threaded
+//! [`run_sharded`] driver the equivalence suite pins against).
+//!
+//! ## Determinism contract
+//!
+//! Every shard count — including pathological ones like 3 — produces a
+//! bit-identical [`RunReport`]:
+//!
+//! * each group runs on its own [`Engine`] in **local time** (global time
+//!   = admission time + local time), and chopping an engine's drive loop
+//!   into windows at any boundaries is result-invariant (see
+//!   `Engine::run_window`);
+//! * admission times are computed *exactly* (pred's global finish +
+//!   latency), never quantized to a barrier, so they are independent of
+//!   the epoch schedule;
+//! * per-group RNG streams are split deterministically from the scenario
+//!   seed ([`group_seed`]: group 0 keeps the seed unchanged, so
+//!   single-group runs reproduce the classic engine bit-for-bit; group
+//!   `g > 0` gets a splitmix64-derived stream).
+//!
+//! ## Merged report conventions
+//!
+//! A single-group run's report passes through untouched. A multi-group
+//! merge models a *fleet* of `G` machine replicas: `processors` is the
+//! per-group count times `G`; totals (events, compute/management time,
+//! descriptor counts) are sums — `descriptors_peak` sums per-group peaks,
+//! an upper bound on the true fleet-wide peak; step traces are re-based
+//! to global time and superimposed; `phases` are listed group by group
+//! with `job` remapped to the original submission index; per-worker Gantt
+//! traces are not merged (`gantt: None`) since worker ids would collide
+//! across replicas.
+
+use crate::engine::{deltas_to_trace, Engine, EngineError, Simulation};
+use crate::ids::InstanceId;
+use crate::report::{JobReport, RunReport};
+use pax_sim::time::{SimDuration, SimTime};
+
+/// An admission edge between machine groups: `succ` starts `latency`
+/// ticks after the last job of `pred` finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupLink {
+    /// Gating group.
+    pub pred: usize,
+    /// Gated group.
+    pub succ: usize,
+    /// Admission delay past `pred`'s finish (≥ 1 tick; the minimum over
+    /// all edges bounds how short a conservative epoch can get).
+    pub latency: SimDuration,
+}
+
+/// Deterministic per-group RNG seed: group 0 keeps the scenario seed (so
+/// single-group runs match the classic engine exactly); higher groups get
+/// independent streams through the splitmix64 finalizer.
+pub(crate) fn group_seed(seed: u64, group: usize) -> u64 {
+    if group == 0 {
+        return seed;
+    }
+    let mut z = seed ^ (group as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One epoch's progress report for one group, deposited in the owning
+/// shard's outbox and absorbed by the [`Coordinator`] at the barrier.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupNote {
+    /// Group index.
+    pub group: usize,
+    /// Global finish time, once the group's calendar drained.
+    pub finished: Option<SimTime>,
+    /// Lower bound on the group's next activity in global time (its next
+    /// pending event, or its finish). Monotonically non-decreasing; the
+    /// coordinator grows epoch windows from these.
+    pub lower_bound: SimTime,
+}
+
+/// One group's runtime state inside a shard.
+struct GroupCell {
+    group: usize,
+    engine: Engine,
+    /// Global admission time; `None` until every pred finished.
+    admit: Option<SimTime>,
+    started: bool,
+    finished: Option<SimTime>,
+}
+
+/// The per-shard half of the sharded engine: owns the [`Engine`]s of the
+/// groups assigned to this shard and drains them window by window.
+///
+/// `Send` by construction (engines are plain owned state), so the
+/// threaded driver in `pax-runtime` can move one per worker thread.
+pub struct ShardEngine {
+    shard: usize,
+    cells: Vec<GroupCell>,
+    /// Reused across epochs — cleared at the top of [`ShardEngine::run_window`],
+    /// never shrunk, so steady-state epochs allocate nothing.
+    outbox: Vec<GroupNote>,
+}
+
+impl ShardEngine {
+    /// This shard's index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Deliver an admission decided by the coordinator: group `group`
+    /// (owned by this shard) starts at global time `admit`.
+    pub fn deliver(&mut self, group: usize, admit: SimTime) {
+        let cell = self
+            .cells
+            .iter_mut()
+            .find(|c| c.group == group)
+            .expect("admission delivered to the wrong shard");
+        debug_assert!(cell.admit.is_none(), "group admitted twice");
+        cell.admit = Some(admit);
+    }
+
+    /// Drain every admitted, unfinished group up to the global `window`
+    /// (unbounded when `None`), depositing one [`GroupNote`] per such
+    /// group in the outbox.
+    pub fn run_window(&mut self, window: Option<SimTime>) {
+        self.outbox.clear();
+        for cell in &mut self.cells {
+            let Some(admit) = cell.admit else { continue };
+            if cell.finished.is_some() {
+                continue;
+            }
+            if let Some(w) = window {
+                if w < admit {
+                    // Admitted beyond this epoch's window: nothing to
+                    // drain yet; its own admission time bounds it.
+                    self.outbox.push(GroupNote {
+                        group: cell.group,
+                        finished: None,
+                        lower_bound: admit,
+                    });
+                    continue;
+                }
+            }
+            if !cell.started {
+                cell.engine.start();
+                cell.started = true;
+            }
+            // The engine runs in local time; the window converts by the
+            // admission offset.
+            let local_limit = window.map(|w| SimTime(w.0 - admit.0));
+            let drained = cell.engine.run_window(local_limit);
+            let note = if drained {
+                let fin = SimTime(admit.0 + cell.engine.frontier().0);
+                cell.finished = Some(fin);
+                GroupNote {
+                    group: cell.group,
+                    finished: Some(fin),
+                    lower_bound: fin,
+                }
+            } else {
+                let next = cell
+                    .engine
+                    .next_event_time()
+                    .expect("an undrained calendar has a next event");
+                GroupNote {
+                    group: cell.group,
+                    finished: None,
+                    lower_bound: SimTime(admit.0 + next.0),
+                }
+            };
+            self.outbox.push(note);
+        }
+    }
+
+    /// The notes deposited by the last [`ShardEngine::run_window`] call.
+    pub fn notes(&self) -> &[GroupNote] {
+        &self.outbox
+    }
+}
+
+/// What the coordinator decided for the next epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochPlan {
+    /// Every group finished; merge and report.
+    Done,
+    /// No admitted group is still running, yet these groups can never be
+    /// admitted (an admission cycle) — the fleet-level deadlock.
+    Stuck {
+        /// Groups whose admission can never happen.
+        unadmitted: Vec<usize>,
+    },
+    /// Run one more epoch up to `window` (unbounded when every group is
+    /// already admitted).
+    Run {
+        /// Conservative global window: no unadmitted group can possibly
+        /// be admitted at or before it... minus one tick (windows end
+        /// strictly before the earliest possible admission instant never
+        /// matters because admissions take effect at the *next* epoch
+        /// with their exact timestamp).
+        window: Option<SimTime>,
+    },
+}
+
+/// The epoch coordinator: tracks per-group admission/finish state,
+/// absorbs shard outboxes at each barrier, decides admissions, and plans
+/// the next window.
+#[derive(Debug)]
+pub struct Coordinator {
+    links: Vec<GroupLink>,
+    /// Original submission index of every job, per group (restores global
+    /// job numbering in the merged report).
+    group_jobs: Vec<Vec<usize>>,
+    total_jobs: usize,
+    processors_per_group: usize,
+    admitted: Vec<Option<SimTime>>,
+    finished: Vec<Option<SimTime>>,
+    /// Last reported global progress lower bound per group.
+    lower_bound: Vec<SimTime>,
+    /// Admissions decided but not yet delivered to the owning shard.
+    pending: Vec<(usize, SimTime)>,
+    /// Scratch for window relaxation, reused across epochs.
+    est: Vec<Option<SimTime>>,
+}
+
+impl Coordinator {
+    fn n_groups(&self) -> usize {
+        self.group_jobs.len()
+    }
+
+    /// Absorb one shard's epoch notes.
+    pub fn absorb(&mut self, notes: &[GroupNote]) {
+        for n in notes {
+            let g = n.group;
+            self.lower_bound[g] = self.lower_bound[g].max(n.lower_bound);
+            if let Some(fin) = n.finished {
+                debug_assert!(self.finished[g].is_none(), "group finished twice");
+                self.finished[g] = Some(fin);
+            }
+        }
+        // Decide admissions enabled by newly finished preds. Admission
+        // times are exact — max over incoming edges of finish + latency —
+        // and independent of the epoch schedule.
+        for g in 0..self.n_groups() {
+            if self.admitted[g].is_some() {
+                continue;
+            }
+            let mut at = SimTime::ZERO;
+            let mut all_preds_done = true;
+            for l in self.links.iter().filter(|l| l.succ == g) {
+                match self.finished[l.pred] {
+                    Some(fin) => at = at.max(fin + l.latency),
+                    None => {
+                        all_preds_done = false;
+                        break;
+                    }
+                }
+            }
+            if all_preds_done {
+                self.admitted[g] = Some(at);
+                self.pending.push((g, at));
+            }
+        }
+    }
+
+    /// Move decided-but-undelivered admissions into `into` as
+    /// `(group, admit_time)` pairs; the driver routes each to shard
+    /// `group % shard_count`.
+    pub fn drain_admissions(&mut self, into: &mut Vec<(usize, SimTime)>) {
+        into.append(&mut self.pending);
+    }
+
+    /// Plan the next epoch.
+    pub fn plan(&mut self) -> EpochPlan {
+        let n = self.n_groups();
+        if self.finished.iter().all(|f| f.is_some()) {
+            return EpochPlan::Done;
+        }
+        let running = (0..n).any(|g| self.admitted[g].is_some() && self.finished[g].is_none());
+        let has_pending = !self.pending.is_empty();
+        if !running && !has_pending {
+            let unadmitted: Vec<usize> = (0..n).filter(|&g| self.admitted[g].is_none()).collect();
+            return EpochPlan::Stuck { unadmitted };
+        }
+        if (0..n).all(|g| self.admitted[g].is_some()) {
+            // Nothing left to admit: every engine can run to completion.
+            return EpochPlan::Run { window: None };
+        }
+        // Relax per-group finish lower bounds: exact finishes where known,
+        // reported progress bounds for running groups, and for unadmitted
+        // groups the transitive earliest-possible admission (finish ≥
+        // admission). `latency ≥ 1` makes every edge strictly increasing,
+        // so the fixpoint is reached in ≤ n passes on any DAG; cycle
+        // members stay `None` and simply never bound the window.
+        self.est.clear();
+        for g in 0..n {
+            self.est.push(match (self.admitted[g], self.finished[g]) {
+                (_, Some(fin)) => Some(fin),
+                (Some(_), None) => Some(self.lower_bound[g]),
+                (None, None) => None,
+            });
+        }
+        for _ in 0..n {
+            let mut changed = false;
+            for g in 0..n {
+                if self.admitted[g].is_some() || self.est[g].is_some() {
+                    continue;
+                }
+                let mut at = SimTime::ZERO;
+                let mut computable = true;
+                for l in self.links.iter().filter(|l| l.succ == g) {
+                    match self.est[l.pred] {
+                        Some(e) => at = at.max(e + l.latency),
+                        None => {
+                            computable = false;
+                            break;
+                        }
+                    }
+                }
+                if computable {
+                    self.est[g] = Some(at);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let window = (0..n)
+            .filter(|&g| self.admitted[g].is_none())
+            .filter_map(|g| self.est[g])
+            .min();
+        // Unadmittable-only remainder (cycle members): let the admitted
+        // engines run unbounded; the next plan reports Stuck or Done.
+        EpochPlan::Run { window }
+    }
+
+    /// Merge the finished shard engines into one [`RunReport`].
+    ///
+    /// Call only after [`Coordinator::plan`] returned [`EpochPlan::Done`]
+    /// (the drivers do); single-group runs pass through untouched.
+    pub fn finish(self, shards: Vec<ShardEngine>) -> Result<RunReport, EngineError> {
+        let n = self.n_groups();
+        let mut cells: Vec<GroupCell> = shards.into_iter().flat_map(|s| s.cells).collect();
+        cells.sort_by_key(|c| c.group);
+        debug_assert_eq!(cells.len(), n, "every group has exactly one cell");
+        if n == 1 {
+            return cells.remove(0).engine.finish();
+        }
+        let mut merged: Option<RunReport> = None;
+        let mut busy_deltas: Vec<(SimTime, i32)> = Vec::new();
+        let mut mgmt_deltas: Vec<(SimTime, i32)> = Vec::new();
+        let mut jobs: Vec<Option<JobReport>> = (0..self.total_jobs).map(|_| None).collect();
+        for cell in cells {
+            let g = cell.group;
+            let admit = cell
+                .admit
+                .expect("finish called with an unadmitted group")
+                .0;
+            let job_map = &self.group_jobs[g];
+            let report = cell.engine.finish().map_err(|e| match e {
+                EngineError::Deadlock {
+                    unfinished_jobs,
+                    detail,
+                } => EngineError::Deadlock {
+                    unfinished_jobs: unfinished_jobs.iter().map(|&j| job_map[j]).collect(),
+                    detail: format!("machine group {g}: {detail}"),
+                },
+                other => other,
+            })?;
+            trace_to_deltas(&report.busy_trace, admit, &mut busy_deltas);
+            trace_to_deltas(&report.mgmt_trace, admit, &mut mgmt_deltas);
+            for (j, jr) in report.jobs.iter().enumerate() {
+                jobs[job_map[j]] = Some(JobReport {
+                    started_at: SimTime(admit + jr.started_at.0),
+                    finished_at: jr.finished_at.map(|f| SimTime(admit + f.0)),
+                });
+            }
+            let acc = match merged.as_mut() {
+                None => {
+                    let mut first = report;
+                    first.processors = self.processors_per_group * n;
+                    first.makespan = SimDuration(admit + first.makespan.0);
+                    first.gantt = None;
+                    rewrite_group_phases(&mut first, 0, job_map);
+                    prefix_warnings(&mut first.warnings, g);
+                    merged = Some(first);
+                    continue;
+                }
+                Some(acc) => acc,
+            };
+            acc.makespan = SimDuration(acc.makespan.0.max(admit + report.makespan.0));
+            acc.compute_time += report.compute_time;
+            acc.mgmt_time += report.mgmt_time;
+            acc.serial_time += report.serial_time;
+            acc.remote_stall += report.remote_stall;
+            acc.events += report.events;
+            acc.tasks_dispatched += report.tasks_dispatched;
+            acc.splits += report.splits;
+            acc.local_granules += report.local_granules;
+            acc.remote_granules += report.remote_granules;
+            acc.descriptors_created += report.descriptors_created;
+            acc.descriptors_peak += report.descriptors_peak;
+            let instance_base = acc.phases.len() as u32;
+            let mut phases = report.phases;
+            rewrite_phases(&mut phases, instance_base, job_map);
+            acc.phases.append(&mut phases);
+            let mut warnings = report.warnings;
+            prefix_warnings(&mut warnings, g);
+            acc.warnings.append(&mut warnings);
+        }
+        let mut acc = merged.expect("at least one group");
+        acc.busy_trace = deltas_to_trace(busy_deltas);
+        acc.mgmt_trace = deltas_to_trace(mgmt_deltas);
+        acc.jobs = jobs
+            .into_iter()
+            .map(|j| j.expect("every job reported"))
+            .collect();
+        Ok(acc)
+    }
+}
+
+fn rewrite_group_phases(report: &mut RunReport, instance_base: u32, job_map: &[usize]) {
+    rewrite_phases(&mut report.phases, instance_base, job_map);
+}
+
+fn rewrite_phases(
+    phases: &mut [crate::report::PhaseReport],
+    instance_base: u32,
+    job_map: &[usize],
+) {
+    for (i, p) in phases.iter_mut().enumerate() {
+        p.instance = InstanceId(instance_base + i as u32);
+        p.job = job_map[p.job as usize] as u32;
+    }
+}
+
+fn prefix_warnings(warnings: &mut [String], group: usize) {
+    for w in warnings.iter_mut() {
+        *w = format!("group {group}: {w}");
+    }
+}
+
+/// Re-base a local-time step trace by `offset` ticks and append its
+/// changes as `(global_time, ±delta)` pairs.
+fn trace_to_deltas(
+    trace: &pax_sim::metrics::StepTrace,
+    offset: u64,
+    out: &mut Vec<(SimTime, i32)>,
+) {
+    let mut prev: i64 = 0;
+    for &(t, v) in trace.points() {
+        let d = v as i64 - prev;
+        prev = v as i64;
+        if d != 0 {
+            out.push((SimTime(offset + t.0), d as i32));
+        }
+    }
+}
+
+/// A decomposed multi-group simulation, ready for a driver: the
+/// coordinator plus one [`ShardEngine`] per shard.
+pub struct ShardedRun {
+    coordinator: Coordinator,
+    shards: Vec<ShardEngine>,
+}
+
+impl ShardedRun {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Split into the coordinator and the shard engines (the threaded
+    /// driver moves each engine onto its own worker thread).
+    pub fn into_parts(self) -> (Coordinator, Vec<ShardEngine>) {
+        (self.coordinator, self.shards)
+    }
+}
+
+impl Simulation {
+    /// Decompose into per-group engines distributed over
+    /// `cfg.shards.shards` shards (clamped to the group count) plus the
+    /// epoch [`Coordinator`]. Validates programs, group density, and
+    /// admission edges.
+    pub fn into_sharded(self) -> Result<ShardedRun, EngineError> {
+        self.validate()?;
+        let n_groups = self.groups.iter().copied().max().unwrap_or(0) + 1;
+        for (i, &g) in self.groups.iter().enumerate() {
+            if g >= n_groups {
+                return Err(EngineError::InvalidProgram(format!(
+                    "job {i}: group {g} out of range"
+                )));
+            }
+        }
+        for g in 0..n_groups {
+            if !self.groups.contains(&g) {
+                return Err(EngineError::InvalidProgram(format!(
+                    "machine group {g} has no jobs (group indices must be dense)"
+                )));
+            }
+        }
+        for l in &self.links {
+            if l.pred >= n_groups || l.succ >= n_groups {
+                return Err(EngineError::InvalidProgram(format!(
+                    "admission edge {} -> {} names a group with no jobs",
+                    l.pred, l.succ
+                )));
+            }
+        }
+        let shard_count = self.cfg.shards.shards.max(1).min(n_groups);
+        // Per-group sub-simulations: same machine/policy, jobs in
+        // submission order, deterministically split RNG streams.
+        let mut group_jobs: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+        let mut programs: Vec<Vec<crate::program::Program>> =
+            (0..n_groups).map(|_| Vec::new()).collect();
+        for (job, (program, &g)) in self
+            .programs
+            .into_iter()
+            .zip(self.groups.iter())
+            .enumerate()
+        {
+            group_jobs[g].push(job);
+            programs[g].push(program);
+        }
+        let total_jobs = group_jobs.iter().map(|j| j.len()).sum();
+        let has_pred: Vec<bool> = (0..n_groups)
+            .map(|g| self.links.iter().any(|l| l.succ == g))
+            .collect();
+        let mut shards: Vec<ShardEngine> = (0..shard_count)
+            .map(|s| ShardEngine {
+                shard: s,
+                cells: Vec::new(),
+                outbox: Vec::new(),
+            })
+            .collect();
+        let per_group_cfg = self.cfg.clone().with_shards(pax_sim::ShardPolicy::single());
+        for (g, group_programs) in programs.into_iter().enumerate() {
+            let sub = Simulation {
+                cfg: per_group_cfg.clone(),
+                policy: self.policy.clone(),
+                groups: vec![0; group_programs.len()],
+                programs: group_programs,
+                links: Vec::new(),
+                seed: group_seed(self.seed, g),
+                gantt: self.gantt,
+                trace: self.trace,
+            };
+            shards[g % shard_count].cells.push(GroupCell {
+                group: g,
+                engine: Engine::new(sub),
+                admit: if has_pred[g] {
+                    None
+                } else {
+                    Some(SimTime::ZERO)
+                },
+                started: false,
+                finished: None,
+            });
+        }
+        let admitted: Vec<Option<SimTime>> = has_pred
+            .iter()
+            .map(|&p| if p { None } else { Some(SimTime::ZERO) })
+            .collect();
+        let coordinator = Coordinator {
+            links: self.links,
+            group_jobs,
+            total_jobs,
+            processors_per_group: per_group_cfg.processors,
+            admitted,
+            finished: vec![None; n_groups],
+            lower_bound: vec![SimTime::ZERO; n_groups],
+            pending: Vec::new(),
+            est: Vec::with_capacity(n_groups),
+        };
+        Ok(ShardedRun {
+            coordinator,
+            shards,
+        })
+    }
+}
+
+/// Single-threaded reference driver: runs every epoch's shards in shard
+/// order on the calling thread. The pinned baseline the threaded driver
+/// (`pax-runtime`) is diffed against — and the path `Simulation::run`
+/// takes for multi-group or multi-shard configurations.
+pub fn run_sharded(run: ShardedRun) -> Result<RunReport, EngineError> {
+    let (mut coordinator, mut shards) = run.into_parts();
+    let mut admissions: Vec<(usize, SimTime)> = Vec::new();
+    loop {
+        match coordinator.plan() {
+            EpochPlan::Done => break,
+            EpochPlan::Stuck { unadmitted } => {
+                return Err(stuck_error(&coordinator, &unadmitted));
+            }
+            EpochPlan::Run { window } => {
+                for s in &mut shards {
+                    s.run_window(window);
+                }
+                for s in &shards {
+                    coordinator.absorb(s.notes());
+                }
+                admissions.clear();
+                coordinator.drain_admissions(&mut admissions);
+                let shard_count = shards.len();
+                for &(g, at) in &admissions {
+                    shards[g % shard_count].deliver(g, at);
+                }
+            }
+        }
+    }
+    coordinator.finish(shards)
+}
+
+/// Build the fleet-level deadlock error for an admission cycle.
+pub fn stuck_error(coordinator: &Coordinator, unadmitted: &[usize]) -> EngineError {
+    let unfinished_jobs: Vec<usize> = unadmitted
+        .iter()
+        .flat_map(|&g| coordinator.group_jobs[g].iter().copied())
+        .collect();
+    EngineError::Deadlock {
+        unfinished_jobs,
+        detail: format!(
+            "machine groups {unadmitted:?} can never be admitted \
+             (admission-edge cycle or a pred that deadlocked)"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::PhaseDef;
+    use crate::policy::OverlapPolicy;
+    use crate::program::{Program, ProgramBuilder};
+    use pax_sim::dist::CostModel;
+    use pax_sim::machine::MachineConfig;
+    use pax_sim::ShardPolicy;
+
+    fn two_phase_program(granules: u32, cost: u64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.phase(PhaseDef::new("a", granules, CostModel::constant(cost)));
+        let z = b.phase(PhaseDef::new("z", granules, CostModel::constant(cost)));
+        b.dispatch(a);
+        b.dispatch(z);
+        b.build().unwrap()
+    }
+
+    fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64, u64, usize) {
+        (
+            r.events,
+            r.makespan.ticks(),
+            r.tasks_dispatched,
+            r.splits,
+            r.descriptors_created,
+            r.descriptors_peak,
+        )
+    }
+
+    #[test]
+    fn group_seed_splits_deterministically() {
+        assert_eq!(group_seed(7, 0), 7);
+        assert_ne!(group_seed(7, 1), 7);
+        assert_ne!(group_seed(7, 1), group_seed(7, 2));
+        assert_eq!(group_seed(7, 3), group_seed(7, 3));
+    }
+
+    #[test]
+    fn single_group_any_shard_count_is_identical() {
+        let make = |shards: usize| {
+            let mut sim = Simulation::new(
+                MachineConfig::new(4).with_shards(ShardPolicy::new(shards)),
+                OverlapPolicy::strict(),
+            )
+            .with_seed(7);
+            sim.add_job(two_phase_program(64, 5));
+            sim.add_job(two_phase_program(64, 5));
+            sim.run().unwrap()
+        };
+        let base = make(1);
+        for shards in [2, 3, 8] {
+            let sharded = make(shards);
+            assert_eq!(fingerprint(&base), fingerprint(&sharded));
+            assert_eq!(
+                base.busy_trace.points(),
+                sharded.busy_trace.points(),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn independent_groups_merge_and_shard_identically() {
+        let make = |shards: usize| {
+            let mut sim = Simulation::new(
+                MachineConfig::new(4).with_shards(ShardPolicy::new(shards)),
+                OverlapPolicy::strict(),
+            )
+            .with_seed(7);
+            for g in 0..5 {
+                sim.add_job_in_group(two_phase_program(32, 5), g);
+            }
+            sim.run().unwrap()
+        };
+        let base = make(1);
+        // Five replicas of the 4-processor machine.
+        assert_eq!(base.processors, 20);
+        assert_eq!(base.jobs.len(), 5);
+        for shards in [2, 3, 4, 8] {
+            assert_eq!(fingerprint(&base), fingerprint(&make(shards)));
+        }
+    }
+
+    #[test]
+    fn admission_edges_offset_successor_groups_exactly() {
+        let solo = {
+            let mut sim = Simulation::new(MachineConfig::ideal(4), OverlapPolicy::strict());
+            sim.add_job(two_phase_program(32, 5));
+            sim.run().unwrap()
+        };
+        let make = |shards: usize| {
+            let mut sim = Simulation::new(
+                MachineConfig::ideal(4).with_shards(ShardPolicy::new(shards)),
+                OverlapPolicy::strict(),
+            );
+            sim.add_job_in_group(two_phase_program(32, 5), 0);
+            sim.add_job_in_group(two_phase_program(32, 5), 1);
+            sim.link_groups(0, 1, SimDuration(17));
+            sim.run().unwrap()
+        };
+        for shards in [1, 2, 3] {
+            let r = make(shards);
+            // Group 1 starts exactly at group 0's finish + latency,
+            // independent of the epoch schedule.
+            let m = solo.makespan.ticks();
+            assert_eq!(r.jobs[1].started_at.ticks(), m + 17, "shards={shards}");
+            assert_eq!(r.makespan.ticks(), m + 17 + m, "shards={shards}");
+            assert_eq!(r.events, solo.events * 2);
+        }
+    }
+
+    #[test]
+    fn admission_chains_relax_past_unadmitted_preds() {
+        // A -> B -> C with distinct latencies: C's admission estimate
+        // must flow through unadmitted B without stalling the planner.
+        let make = |shards: usize| {
+            let mut sim = Simulation::new(
+                MachineConfig::ideal(2).with_shards(ShardPolicy::new(shards)),
+                OverlapPolicy::strict(),
+            );
+            for g in 0..3 {
+                sim.add_job_in_group(two_phase_program(16, 3), g);
+            }
+            sim.link_groups(0, 1, SimDuration(5));
+            sim.link_groups(1, 2, SimDuration(9));
+            sim.run().unwrap()
+        };
+        let base = make(1);
+        for shards in [2, 3] {
+            let r = make(shards);
+            assert_eq!(fingerprint(&base), fingerprint(&r));
+            assert_eq!(base.jobs[2].started_at, r.jobs[2].started_at);
+        }
+    }
+
+    #[test]
+    fn admission_cycle_is_a_deadlock() {
+        let mut sim = Simulation::new(
+            MachineConfig::ideal(2).with_shards(ShardPolicy::new(2)),
+            OverlapPolicy::strict(),
+        );
+        sim.add_job_in_group(two_phase_program(8, 2), 0);
+        sim.add_job_in_group(two_phase_program(8, 2), 1);
+        sim.add_job_in_group(two_phase_program(8, 2), 2);
+        sim.link_groups(1, 2, SimDuration(3));
+        sim.link_groups(2, 1, SimDuration(3));
+        match sim.run() {
+            Err(EngineError::Deadlock {
+                unfinished_jobs, ..
+            }) => assert_eq!(unfinished_jobs, vec![1, 2]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sparse_group_indices_are_rejected() {
+        let mut sim = Simulation::new(MachineConfig::ideal(2), OverlapPolicy::strict());
+        sim.add_job_in_group(two_phase_program(8, 2), 0);
+        sim.add_job_in_group(two_phase_program(8, 2), 2);
+        match sim.run() {
+            Err(EngineError::InvalidProgram(msg)) => {
+                assert!(msg.contains("group 1"), "{msg}");
+            }
+            other => panic!("expected invalid program, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interleaved_submission_order_is_restored_in_the_report() {
+        // Jobs submitted alternating between groups keep their global
+        // indices in the merged report.
+        let make = |shards: usize| {
+            let mut sim = Simulation::new(
+                MachineConfig::new(2).with_shards(ShardPolicy::new(shards)),
+                OverlapPolicy::strict(),
+            )
+            .with_seed(7);
+            sim.add_job_in_group(two_phase_program(8, 2), 0);
+            sim.add_job_in_group(two_phase_program(24, 2), 1);
+            sim.add_job_in_group(two_phase_program(8, 2), 0);
+            sim.run().unwrap()
+        };
+        for shards in [1, 2] {
+            let r = make(shards);
+            assert_eq!(r.jobs.len(), 3);
+            // Group 1's lone job (global index 1) is the long one.
+            let g1 = &r.jobs[1];
+            let short = &r.jobs[0];
+            assert!(g1.makespan().unwrap() > short.makespan().unwrap());
+            // Phases point back at global job indices.
+            assert!(r.phases.iter().any(|p| p.job == 1));
+            for p in &r.phases {
+                assert!(p.job <= 2);
+            }
+        }
+    }
+}

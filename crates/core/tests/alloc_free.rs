@@ -98,6 +98,75 @@ fn assert_steady_state_alloc_free(strategy: SplitStrategy, lanes: usize) {
     );
 }
 
+/// A staged four-group fleet on the sharded engine (uneven shard count 3,
+/// so one shard carries two groups), admission edges forcing the epoch
+/// coordinator through repeated conservative windows. Same growth
+/// methodology as [`identity_run`].
+fn sharded_fleet_run(granules_per_group: u32) -> (RunReport, u64) {
+    use pax_sim::machine::ShardPolicy;
+    use pax_sim::time::SimDuration;
+    let mut b = ProgramBuilder::new();
+    let pa = b.phase(PhaseDef::new(
+        "a",
+        granules_per_group,
+        CostModel::constant(100),
+    ));
+    let pb = b.phase(PhaseDef::new(
+        "b",
+        granules_per_group,
+        CostModel::constant(100),
+    ));
+    b.dispatch_enable(
+        pa,
+        vec![EnableSpec {
+            successor: pb,
+            mapping: EnablementMapping::Identity,
+        }],
+    );
+    b.dispatch(pb);
+    let program = b.build().unwrap();
+    let policy = OverlapPolicy::overlap()
+        .with_sizing(TaskSizing::Fixed(1))
+        .with_split_strategy(SplitStrategy::DemandSplit);
+    let cfg = MachineConfig::new(4).with_shards(ShardPolicy::new(3));
+    let mut sim = Simulation::new(cfg, policy).with_seed(1);
+    for g in 0..4 {
+        sim.add_job_in_group(program.clone(), g);
+        if g > 0 {
+            sim.link_groups(g - 1, g, SimDuration(500));
+        }
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let report = sim.run().unwrap();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (report, after - before)
+}
+
+/// The sharded engine's steady state: epochs reuse the outbox, note, and
+/// admission buffers, so the extra allocations per extra event across a
+/// 4× growth stay far below one — same bound as the single-group legs
+/// (the merged report's assembly is O(groups + phases), not O(events)).
+fn assert_sharded_steady_state_alloc_free() {
+    let (r1, a1) = sharded_fleet_run(1_024);
+    let (r2, a2) = sharded_fleet_run(4_096);
+    assert_eq!(r1.jobs.len(), 4);
+    assert_eq!(r2.jobs.len(), 4);
+    let extra_events = r2.events - r1.events;
+    assert!(
+        extra_events > 10_000,
+        "scenario too small to measure ({extra_events} extra events)"
+    );
+    let extra_allocs = a2.saturating_sub(a1);
+    let per_event = extra_allocs as f64 / extra_events as f64;
+    assert!(
+        per_event < 0.01,
+        "sharded fleet completion processing allocates: \
+         {per_event:.4} allocations/event \
+         ({extra_allocs} extra allocations over {extra_events} extra events; \
+         run sizes {a1} vs {a2})"
+    );
+}
+
 #[test]
 fn steady_state_completion_processing_is_allocation_free() {
     // Warm-up absorbs lazy one-time initialization.
@@ -116,4 +185,8 @@ fn steady_state_completion_processing_is_allocation_free() {
     // once at run start).
     assert_steady_state_alloc_free(SplitStrategy::DemandSplit, 8);
     assert_steady_state_alloc_free(SplitStrategy::PreSplit, 64);
+    // Sharded fleet: the epoch loop's outbox/note/admission buffers are
+    // reused across epochs, so windowed draining adds no per-event term.
+    let _ = sharded_fleet_run(256);
+    assert_sharded_steady_state_alloc_free();
 }

@@ -1,0 +1,225 @@
+//! Threaded epoch-barrier driver for the sharded simulation core.
+//!
+//! `pax-core`'s [`pax_core::shard`] module decomposes a multi-group
+//! [`Simulation`] into per-shard [`ShardEngine`]s plus an epoch
+//! [`pax_core::shard::Coordinator`], and ships a single-threaded
+//! reference driver ([`pax_core::shard::run_sharded`]). This module runs
+//! the same decomposition on real worker threads: one persistent thread
+//! per shard, synchronized with the coordinator through a **two-phase
+//! barrier** per epoch — the same persistent-pool shape as the central
+//! executive in [`crate::executor`] (a `parking_lot`-guarded shared
+//! state crossed by every worker), with `std::sync::Barrier` standing in
+//! for the condvar handshake because every epoch is a full rendezvous:
+//!
+//! 1. **release** — the coordinator publishes the epoch command (a
+//!    conservative global window, or stop) and all threads cross the
+//!    first barrier; each worker applies its pending admissions and
+//!    drains its shard's calendars up to the window;
+//! 2. **join** — workers deposit their outbox notes into the shared
+//!    exchange and cross the second barrier; the coordinator absorbs the
+//!    notes, decides admissions (exact timestamps, never quantized to
+//!    the barrier), routes them to the owning shards' inboxes, and plans
+//!    the next epoch.
+//!
+//! Determinism is inherited, not re-proven: workers only ever run whole
+//! windows of their own engines, and window boundaries are
+//! result-invariant, so this driver is bit-identical to the
+//! single-threaded one (and to the classic engine) by construction —
+//! the equivalence suite pins it anyway.
+
+use parking_lot::Mutex;
+use pax_core::engine::{EngineError, Simulation};
+use pax_core::report::RunReport;
+use pax_core::shard::{stuck_error, EpochPlan, GroupNote, ShardEngine, ShardedRun};
+use pax_sim::time::SimTime;
+use std::sync::Barrier;
+
+/// Run `sim` to completion on one worker thread per shard
+/// (`sim`'s `MachineConfig::shards`, clamped to the group count).
+///
+/// Falls back to the calling thread when the decomposition yields a
+/// single shard. Results are bit-identical to [`Simulation::run`].
+pub fn run_simulation_sharded(sim: Simulation) -> Result<RunReport, EngineError> {
+    run_sharded_threaded(sim.into_sharded()?)
+}
+
+/// Drive an already-decomposed [`ShardedRun`] on real threads.
+pub fn run_sharded_threaded(run: ShardedRun) -> Result<RunReport, EngineError> {
+    if run.shard_count() <= 1 {
+        // One shard: a thread plus two barriers per epoch would buy
+        // nothing over the reference driver.
+        return pax_core::shard::run_sharded(run);
+    }
+    let (mut coordinator, shards) = run.into_parts();
+    let n = shards.len();
+    let barrier = Barrier::new(n + 1);
+    /// Epoch command: `Some(window)` runs one epoch, `None` stops.
+    type Command = Option<Option<SimTime>>;
+    let command: Mutex<Command> = Mutex::new(None);
+    let exchange: Mutex<Vec<GroupNote>> = Mutex::new(Vec::new());
+    let inboxes: Vec<Mutex<Vec<(usize, SimTime)>>> =
+        (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    let returned: Mutex<Vec<(usize, ShardEngine)>> = Mutex::new(Vec::with_capacity(n));
+
+    let outcome = std::thread::scope(|scope| {
+        for (i, mut shard) in shards.into_iter().enumerate() {
+            let barrier = &barrier;
+            let command = &command;
+            let exchange = &exchange;
+            let inbox = &inboxes[i];
+            let returned = &returned;
+            scope.spawn(move || loop {
+                barrier.wait(); // release: command published
+                let cmd: Command = *command.lock();
+                let Some(window) = cmd else {
+                    returned.lock().push((i, shard));
+                    barrier.wait(); // join: let the coordinator proceed
+                    return;
+                };
+                for (g, at) in inbox.lock().drain(..) {
+                    shard.deliver(g, at);
+                }
+                shard.run_window(window);
+                exchange.lock().extend_from_slice(shard.notes());
+                barrier.wait(); // join: notes published
+            });
+        }
+        let mut admissions: Vec<(usize, SimTime)> = Vec::new();
+        let outcome = loop {
+            match coordinator.plan() {
+                EpochPlan::Done => break Ok(()),
+                EpochPlan::Stuck { unadmitted } => {
+                    break Err(stuck_error(&coordinator, &unadmitted))
+                }
+                EpochPlan::Run { window } => {
+                    *command.lock() = Some(window);
+                    barrier.wait(); // release
+                    barrier.wait(); // join
+                    {
+                        let mut notes = exchange.lock();
+                        coordinator.absorb(&notes);
+                        notes.clear();
+                    }
+                    admissions.clear();
+                    coordinator.drain_admissions(&mut admissions);
+                    for &(g, at) in &admissions {
+                        inboxes[g % n].lock().push((g, at));
+                    }
+                }
+            }
+        };
+        *command.lock() = None;
+        barrier.wait(); // release the stop command
+        barrier.wait(); // join: every engine handed back
+        outcome
+    });
+    outcome?;
+
+    let mut cells: Vec<(usize, ShardEngine)> = {
+        let mut guard = returned.lock();
+        guard.drain(..).collect()
+    };
+    cells.sort_by_key(|&(i, _)| i);
+    coordinator.finish(cells.into_iter().map(|(_, s)| s).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_core::mapping::EnablementMapping;
+    use pax_core::phase::PhaseDef;
+    use pax_core::policy::OverlapPolicy;
+    use pax_core::program::{EnableSpec, Program, ProgramBuilder};
+    use pax_sim::dist::CostModel;
+    use pax_sim::machine::MachineConfig;
+    use pax_sim::time::SimDuration;
+    use pax_sim::ShardPolicy;
+
+    fn overlap_program(granules: u32, cost: u64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.phase(PhaseDef::new("a", granules, CostModel::constant(cost)));
+        let z = b.phase(PhaseDef::new("z", granules, CostModel::constant(cost)));
+        b.dispatch_enable(
+            a,
+            vec![EnableSpec {
+                successor: z,
+                mapping: EnablementMapping::Identity,
+            }],
+        );
+        b.dispatch(z);
+        b.build().unwrap()
+    }
+
+    fn fleet(shards: usize, groups: usize, linked: bool) -> Simulation {
+        let mut sim = Simulation::new(
+            MachineConfig::new(4).with_shards(ShardPolicy::new(shards)),
+            OverlapPolicy::overlap(),
+        )
+        .with_seed(7);
+        for g in 0..groups {
+            sim.add_job_in_group(overlap_program(48, 5), g);
+        }
+        if linked {
+            for g in 1..groups {
+                sim.link_groups(g - 1, g, SimDuration(11));
+            }
+        }
+        sim
+    }
+
+    fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64, u64, usize) {
+        (
+            r.events,
+            r.makespan.ticks(),
+            r.tasks_dispatched,
+            r.splits,
+            r.descriptors_created,
+            r.descriptors_peak,
+        )
+    }
+
+    #[test]
+    fn threaded_driver_matches_reference_driver() {
+        for linked in [false, true] {
+            let base = fleet(1, 6, linked).run().unwrap();
+            for shards in [2, 3, 4] {
+                let threaded = run_simulation_sharded(fleet(shards, 6, linked)).unwrap();
+                assert_eq!(
+                    fingerprint(&base),
+                    fingerprint(&threaded),
+                    "shards={shards} linked={linked}"
+                );
+                assert_eq!(base.busy_trace.points(), threaded.busy_trace.points());
+                assert_eq!(
+                    base.jobs.iter().map(|j| j.finished_at).collect::<Vec<_>>(),
+                    threaded
+                        .jobs
+                        .iter()
+                        .map(|j| j.finished_at)
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_falls_back_inline() {
+        let r = run_simulation_sharded(fleet(1, 2, true)).unwrap();
+        assert_eq!(r.jobs.len(), 2);
+    }
+
+    #[test]
+    fn threaded_driver_surfaces_admission_cycles() {
+        let mut sim = fleet(2, 3, false);
+        sim.link_groups(1, 2, SimDuration(3));
+        sim.link_groups(2, 1, SimDuration(3));
+        match run_simulation_sharded(sim) {
+            Err(EngineError::Deadlock {
+                unfinished_jobs, ..
+            }) => {
+                assert_eq!(unfinished_jobs, vec![1, 2]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+}

@@ -50,7 +50,7 @@ pub use dist::{CostModel, DurationDist};
 pub use event::EventQueue;
 pub use locality::{DataLayout, LocalityModel};
 pub use machine::{
-    BatchPolicy, ExecutivePlacement, MachineConfig, ManagementCosts, RunStorageKind,
+    BatchPolicy, ExecutivePlacement, MachineConfig, ManagementCosts, RunStorageKind, ShardPolicy,
 };
 pub use metrics::{Activity, BusyCounter, GanttTrace, Span, StepTrace, Welford};
 pub use time::{SimDuration, SimTime};

@@ -185,6 +185,51 @@ impl RunStorageKind {
     }
 }
 
+/// How many shards the sharded engine partitions a simulation's *machine
+/// groups* across (`pax-core`'s `Simulation::add_job_in_group` /
+/// `link_groups`).
+///
+/// Jobs that share one simulated machine are coupled through the global
+/// waiting queue, the idle-worker stack, the executive lanes, and the
+/// run's RNG stream, so the indivisible unit of sharding is the **group**
+/// (one machine plus the jobs it runs), never an individual job. Group
+/// `g` is owned by shard `g % shards`; each shard drains its own
+/// calendars up to a conservative epoch boundary, and cross-group
+/// effects (job-admission edges) are exchanged at a two-phase barrier.
+///
+/// Like [`BatchPolicy`], [`CalendarKind`], and [`RunStorageKind`], this
+/// is a **host-performance knob, not a semantics knob**: every shard
+/// count (including pathological ones such as 3) produces bit-identical
+/// reports, pinned by the equivalence suite. Per-group RNG streams are
+/// split deterministically from the scenario seed, so results do not
+/// depend on which shard — or which OS thread — a group lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// Number of shards (≥ 1). Clamped to the number of groups at run
+    /// time; `1` selects the classic single-threaded drive loop.
+    pub shards: usize,
+}
+
+impl ShardPolicy {
+    /// The single-shard (classic single-threaded) policy — the pinned
+    /// reference the sharded drivers are diffed against.
+    pub fn single() -> ShardPolicy {
+        ShardPolicy { shards: 1 }
+    }
+
+    /// A policy with `shards` shards (must be ≥ 1).
+    pub fn new(shards: usize) -> ShardPolicy {
+        assert!(shards > 0, "need at least one shard");
+        ShardPolicy { shards }
+    }
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy::single()
+    }
+}
+
 /// Complete machine description for a simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
@@ -217,6 +262,10 @@ pub struct MachineConfig {
     /// trades per-chunk summaries for O(chunk) bridging inserts on
     /// fragmented phases.
     pub run_storage: RunStorageKind,
+    /// Sharding policy for multi-group simulations. Every shard count is
+    /// result-identical; counts > 1 let the threaded driver in
+    /// `pax-runtime` drain independent machine groups in parallel.
+    pub shards: ShardPolicy,
 }
 
 impl MachineConfig {
@@ -233,6 +282,7 @@ impl MachineConfig {
             calendar: CalendarKind::BinaryHeap,
             batch: BatchPolicy::default(),
             run_storage: RunStorageKind::default(),
+            shards: ShardPolicy::default(),
         }
     }
 
@@ -248,6 +298,7 @@ impl MachineConfig {
             calendar: CalendarKind::BinaryHeap,
             batch: BatchPolicy::default(),
             run_storage: RunStorageKind::default(),
+            shards: ShardPolicy::default(),
         }
     }
 
@@ -292,6 +343,12 @@ impl MachineConfig {
     /// Builder-style: choose the run-storage layout for granule-run sets.
     pub fn with_run_storage(mut self, storage: RunStorageKind) -> MachineConfig {
         self.run_storage = storage;
+        self
+    }
+
+    /// Builder-style: set the sharding policy for multi-group runs.
+    pub fn with_shards(mut self, shards: ShardPolicy) -> MachineConfig {
+        self.shards = shards;
         self
     }
 }
@@ -364,5 +421,23 @@ mod tests {
         let m =
             MachineConfig::new(4).with_run_storage(RunStorageKind::ChunkedRuns { chunk_runs: 8 });
         assert_eq!(m.run_storage, RunStorageKind::ChunkedRuns { chunk_runs: 8 });
+    }
+
+    #[test]
+    fn shard_policy_defaults_and_builder() {
+        // One shard (the classic single-threaded drive loop) stays the
+        // default; higher counts are a host-performance knob pinned
+        // result-identical by the equivalence suite.
+        assert_eq!(MachineConfig::new(4).shards, ShardPolicy::single());
+        assert_eq!(MachineConfig::ideal(4).shards, ShardPolicy::single());
+        assert_eq!(ShardPolicy::default().shards, 1);
+        let m = MachineConfig::new(4).with_shards(ShardPolicy::new(8));
+        assert_eq!(m.shards.shards, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardPolicy::new(0);
     }
 }

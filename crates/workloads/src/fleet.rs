@@ -1,0 +1,149 @@
+//! Fleet workloads: many machine groups for the sharded engine.
+//!
+//! The sharded core (`pax_core::shard`) distributes *machine groups* —
+//! replicas of one configured machine, each running its own jobs — so a
+//! workload has to opt into groups to scale past one shard. This module
+//! provides the two canonical fleet shapes the shard-scaling sweeps and
+//! the equivalence suite use:
+//!
+//! * [`FleetConfig::simulation`] with no stage latency — `groups`
+//!   independent replicas, all admitted at time zero (an embarrassingly
+//!   parallel sweep grid: the best case for sharding);
+//! * with [`FleetConfig::stage_latency`] set — a pipeline
+//!   `0 → 1 → ... → groups-1` of admission edges, giving the epoch
+//!   coordinator real conservative windows to derive from the latency.
+
+use pax_core::mapping::EnablementMapping;
+use pax_core::phase::PhaseDef;
+use pax_core::policy::{OverlapPolicy, SplitStrategy, TaskSizing};
+use pax_core::program::{EnableSpec, Program, ProgramBuilder};
+use pax_core::Simulation;
+use pax_sim::dist::CostModel;
+use pax_sim::machine::MachineConfig;
+use pax_sim::time::SimDuration;
+
+/// A fleet of identical machine groups, each running one identity-mapped
+/// two-phase rundown job (the shard-scaling workhorse shape).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of machine groups (each a replica of the machine config).
+    pub groups: usize,
+    /// Granules per phase, per group (each group runs two phases, so a
+    /// group executes `2 × granules_per_group` granules).
+    pub granules_per_group: u32,
+    /// Constant granule cost in ticks.
+    pub granule_cost: u64,
+    /// Worker-task size in granules.
+    pub task_size: u32,
+    /// `Some(latency)` chains the groups `0 → 1 → …` with that admission
+    /// latency (a staged campaign); `None` admits every group at time
+    /// zero (independent fleet).
+    pub stage_latency: Option<SimDuration>,
+}
+
+impl FleetConfig {
+    /// An independent fleet: `groups` replicas, no admission edges.
+    pub fn independent(groups: usize, granules_per_group: u32) -> FleetConfig {
+        FleetConfig {
+            groups,
+            granules_per_group,
+            granule_cost: 100,
+            task_size: 16,
+            stage_latency: None,
+        }
+    }
+
+    /// A staged fleet: groups chained by admission edges of `latency`.
+    pub fn staged(groups: usize, granules_per_group: u32, latency: SimDuration) -> FleetConfig {
+        FleetConfig {
+            stage_latency: Some(latency),
+            ..FleetConfig::independent(groups, granules_per_group)
+        }
+    }
+
+    /// Total granules executed across the fleet.
+    pub fn total_granules(&self) -> u64 {
+        2 * self.groups as u64 * self.granules_per_group as u64
+    }
+
+    /// One group's program: two identity-mapped phases, overlapping
+    /// through the rundown exactly like the bench identity scenario.
+    pub fn program(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.phase(PhaseDef::new(
+            "fleet-a",
+            self.granules_per_group,
+            CostModel::constant(self.granule_cost),
+        ));
+        let z = b.phase(PhaseDef::new(
+            "fleet-z",
+            self.granules_per_group,
+            CostModel::constant(self.granule_cost),
+        ));
+        b.dispatch_enable(
+            a,
+            vec![EnableSpec {
+                successor: z,
+                mapping: EnablementMapping::Identity,
+            }],
+        );
+        b.dispatch(z);
+        b.build().expect("fleet program is statically valid")
+    }
+
+    /// The overlap policy the fleet runs under (demand splitting at the
+    /// configured task size).
+    pub fn policy(&self) -> OverlapPolicy {
+        OverlapPolicy::overlap()
+            .with_sizing(TaskSizing::Fixed(self.task_size))
+            .with_split_strategy(SplitStrategy::DemandSplit)
+    }
+
+    /// Assemble the full multi-group simulation on `machine` (whose
+    /// `shards` policy decides how the groups are distributed).
+    pub fn simulation(&self, machine: MachineConfig, seed: u64) -> Simulation {
+        assert!(self.groups >= 1, "a fleet needs at least one group");
+        let mut sim = Simulation::new(machine, self.policy()).with_seed(seed);
+        let program = self.program();
+        for g in 0..self.groups {
+            sim.add_job_in_group(program.clone(), g);
+        }
+        if let Some(latency) = self.stage_latency {
+            for g in 1..self.groups {
+                sim.link_groups(g - 1, g, latency);
+            }
+        }
+        sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_sim::ShardPolicy;
+
+    #[test]
+    fn independent_fleet_runs_and_scales_shard_free() {
+        let cfg = FleetConfig::independent(3, 64);
+        assert_eq!(cfg.total_granules(), 384);
+        let base = cfg.simulation(MachineConfig::new(4), 7).run().unwrap();
+        assert_eq!(base.jobs.len(), 3);
+        assert_eq!(base.processors, 12);
+        let sharded = cfg
+            .simulation(MachineConfig::new(4).with_shards(ShardPolicy::new(2)), 7)
+            .run()
+            .unwrap();
+        assert_eq!(base.events, sharded.events);
+        assert_eq!(base.makespan, sharded.makespan);
+    }
+
+    #[test]
+    fn staged_fleet_serializes_group_starts() {
+        let cfg = FleetConfig::staged(3, 32, SimDuration(25));
+        let r = cfg.simulation(MachineConfig::new(4), 7).run().unwrap();
+        // Each stage starts strictly after the previous one finished.
+        for g in 1..3 {
+            assert!(r.jobs[g].started_at > r.jobs[g - 1].finished_at.unwrap());
+        }
+    }
+}

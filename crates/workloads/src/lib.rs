@@ -7,6 +7,8 @@
 //! * [`casper`] — a synthetic pipeline matching CASPER's published census
 //!   (22 phases, 1188 parallel lines, 6/9/4/2/1 mapping breakdown) with
 //!   dynamically generated information-selection maps.
+//! * [`fleet`] — multi-machine-group fleets (independent or staged by
+//!   admission edges) for the sharded engine's scaling sweeps.
 //! * [`fragmentation`] — a strided-release workload that keeps the
 //!   executive's granule-run sets maximally fragmented (the run-storage
 //!   backend stress shape).
@@ -23,6 +25,7 @@
 
 pub mod casper;
 pub mod checkerboard;
+pub mod fleet;
 pub mod fragmentation;
 pub mod fragments;
 pub mod generators;
@@ -30,6 +33,7 @@ pub mod mini_casper;
 
 pub use casper::{casper_declared_census, CasperConfig, CASPER_PHASES};
 pub use checkerboard::{checkerboard_program, Checkerboard, Color, RedBlackGrid};
+pub use fleet::FleetConfig;
 pub use fragmentation::{
     fragmented_rundown, interleaved_stripes, stripe_churn_ranges, FragmentationConfig,
 };

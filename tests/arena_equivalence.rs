@@ -23,7 +23,7 @@
 use pax_core::prelude::*;
 use pax_sim::dist::{CostModel, DurationDist};
 use pax_sim::locality::{DataLayout, LocalityModel};
-use pax_sim::machine::{ExecutivePlacement, MachineConfig, ManagementCosts};
+use pax_sim::machine::{ExecutivePlacement, MachineConfig, ManagementCosts, ShardPolicy};
 use pax_sim::time::SimDuration;
 use std::sync::Arc;
 
@@ -366,6 +366,175 @@ fn batched_drain_matches_single_service_on_all_shapes() {
         "batched executive service drifted from the Single reference:\n{}",
         mismatches.join("\n")
     );
+}
+
+/// The full observable surface of a [`RunReport`], for comparing whole
+/// multi-group runs across shard counts and drivers (a superset of the
+/// golden fingerprint: adds per-job admission/finish times).
+fn report_fingerprint(name: &str, r: &pax_core::report::RunReport) -> String {
+    let phase_sig: String = r
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{}:{}+{}",
+                p.job, p.stats.executed_granules, p.stats.overlap_granules
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let job_sig: String = r
+        .jobs
+        .iter()
+        .map(|j| {
+            format!(
+                "{}..{}",
+                j.started_at.ticks(),
+                j.finished_at.map(|t| t.ticks() as i64).unwrap_or(-1)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{name} ev={} mk={} tasks={} splits={} descs={} peak={} mgmt={} remote={} \
+         phases=[{phase_sig}] jobs=[{job_sig}]",
+        r.events,
+        r.makespan.ticks(),
+        r.tasks_dispatched,
+        r.splits,
+        r.descriptors_created,
+        r.descriptors_peak,
+        r.mgmt_time.ticks(),
+        r.remote_granules,
+    )
+}
+
+/// The sharded engine is a host-performance knob, not a semantics knob
+/// (the `ShardPolicy` contract): every experiment shape must reproduce
+/// the recorded goldens bit for bit at shard counts 2, 4, and 8 — plus
+/// the pathological count 3, which divides nothing evenly. Each shape is
+/// a single machine group, so every shard count collapses to one shard
+/// carrying the whole run; any drift means windowed draining perturbed
+/// the schedule.
+#[test]
+fn sharded_engine_matches_goldens_on_all_shapes() {
+    let shapes = shapes();
+    assert_eq!(shapes.len(), 13, "one scenario per experiment family");
+    let mut mismatches = Vec::new();
+    for shards in [2usize, 3, 4, 8] {
+        for (i, shape) in shapes.iter().enumerate() {
+            let actual = fingerprint_on(
+                shape,
+                shape.cfg.clone().with_shards(ShardPolicy::new(shards)),
+            );
+            match GOLDEN.get(i) {
+                Some(&g) if g == actual => {}
+                got => mismatches.push(format!(
+                    "  shards={shards}\n  expected: {got:?}\n  actual:   {actual}"
+                )),
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "sharded-engine behavior drift:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// Multi-group fleets — where sharding actually distributes work — must
+/// produce identical reports at every shard count, on both the in-process
+/// reference driver (`Simulation::run`) and the threaded epoch-barrier
+/// driver (`pax_runtime::run_simulation_sharded`). Covers an independent
+/// fleet and a staged fleet whose admission edges exercise the epoch
+/// coordinator's conservative windows.
+#[test]
+fn fleet_reports_are_identical_across_shard_counts_and_drivers() {
+    use pax_workloads::FleetConfig;
+    let fleets = [
+        ("independent_5x48", FleetConfig::independent(5, 48)),
+        (
+            "staged_5x48_lat350",
+            FleetConfig::staged(5, 48, SimDuration(350)),
+        ),
+    ];
+    for (name, fleet) in &fleets {
+        let reference = fleet
+            .simulation(MachineConfig::new(4), 7)
+            .run()
+            .map(|r| report_fingerprint(name, &r))
+            .unwrap();
+        for shards in [1usize, 2, 3, 4, 8] {
+            let cfg = MachineConfig::new(4).with_shards(ShardPolicy::new(shards));
+            let inline = fleet
+                .simulation(cfg.clone(), 7)
+                .run()
+                .map(|r| report_fingerprint(name, &r))
+                .unwrap();
+            assert_eq!(
+                inline, reference,
+                "reference driver diverged at shards={shards}"
+            );
+            let threaded = pax_runtime::run_simulation_sharded(fleet.simulation(cfg, 7))
+                .map(|r| report_fingerprint(name, &r))
+                .unwrap();
+            assert_eq!(
+                threaded, reference,
+                "threaded driver diverged at shards={shards}"
+            );
+        }
+    }
+}
+
+mod sharded_properties {
+    use super::*;
+    use pax_workloads::FleetConfig;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Each case runs 2 × (shard counts + 1) full simulations; a few
+        // dozen random fleets cover the group/shard remainder lattice.
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Randomized multi-group programs: the sharded engine (inline
+        /// and threaded) reproduces the single-thread engine's full
+        /// report fingerprint for any group count, granule count, task
+        /// size, stage latency, seed, and shard count — including shard
+        /// counts exceeding the group count.
+        #[test]
+        fn random_fleets_shard_identically(
+            groups in 1usize..6,
+            granules in 4u32..48,
+            task_size in 1u32..9,
+            latency in 0u64..400,
+            seed in 0u64..1000,
+            shards in 2usize..9,
+        ) {
+            // latency 0 means an independent fleet (admission edges
+            // require a positive latency).
+            let mut fleet = match latency {
+                0 => FleetConfig::independent(groups, granules),
+                l => FleetConfig::staged(groups, granules, SimDuration(l)),
+            };
+            fleet.task_size = task_size;
+            let reference = fleet
+                .simulation(MachineConfig::new(3), seed)
+                .run()
+                .map(|r| report_fingerprint("fleet", &r))
+                .unwrap();
+            let cfg = MachineConfig::new(3).with_shards(ShardPolicy::new(shards));
+            let inline = fleet
+                .simulation(cfg.clone(), seed)
+                .run()
+                .map(|r| report_fingerprint("fleet", &r))
+                .unwrap();
+            prop_assert_eq!(&inline, &reference, "inline sharded driver diverged");
+            let threaded = pax_runtime::run_simulation_sharded(fleet.simulation(cfg, seed))
+                .map(|r| report_fingerprint("fleet", &r))
+                .unwrap();
+            prop_assert_eq!(&threaded, &reference, "threaded sharded driver diverged");
+        }
+    }
 }
 
 /// Regeneration helper: `cargo test --test arena_equivalence -- --nocapture print_fingerprints`
