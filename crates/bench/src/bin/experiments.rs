@@ -12,14 +12,25 @@
 //! claim experiments and writes machine-readable throughput numbers (plus
 //! the recorded pre-optimization baseline, the executive lane-scaling
 //! sweep with its wheel-coarseness rows, the run-storage scaling sweep,
-//! and the sharded-engine shard-scaling sweep; `--no-lane-sweep` /
-//! `--no-storage-sweep` / `--no-shard-sweep` skip the respective sweep)
-//! to PATH.
+//! the sharded-engine shard-scaling sweep, and the fault-injected
+//! degraded-fleet sweep; `--no-lane-sweep` / `--no-storage-sweep` /
+//! `--no-shard-sweep` / `--no-degraded-sweep` skip the respective
+//! sweep) to PATH.
 
 use pax_bench::experiments as ex;
 use std::time::Instant;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
@@ -50,17 +61,23 @@ fn main() {
         } else {
             pax_bench::rundown::shard_scaling(quick)
         };
+        let degraded = if args.iter().any(|a| a == "--no-degraded-sweep") {
+            Vec::new()
+        } else {
+            pax_bench::rundown::degraded_scaling(quick)
+        };
         let json = pax_bench::rundown::to_json_full(
             &measurements,
             &lanes,
             &storage,
             &shards,
+            &degraded,
             &pax_bench::rundown::host_fingerprint(),
         );
-        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("{json}");
         println!("rundown bench written to {path}");
-        return;
+        return Ok(());
     }
     let selected: Vec<String> = args
         .iter()
@@ -115,6 +132,7 @@ fn main() {
         section("E13", || println!("{}", ex::e13::run(quick)));
     }
     println!("\nall requested experiments done in {:?}", t0.elapsed());
+    Ok(())
 }
 
 fn section(id: &str, run: impl FnOnce()) {

@@ -624,6 +624,13 @@ pub struct ShardScalingMeasurement {
     /// PAPERS.md): `(k/(k-1)) · (S−1)/S` for `k` shards at speedup `S`.
     /// NaN (JSON `null`) on the 1-shard reference row.
     pub alpha_eff: f64,
+    /// Processor crashes observed during the run (0 unless the scenario
+    /// injects faults; shard-count-invariant like `events`).
+    pub crashes: u64,
+    /// Lost-and-reissued descriptor retries (0 without faults).
+    pub retries: u64,
+    /// Executed-then-lost work in ticks (0 without faults).
+    pub lost_work_ticks: u64,
 }
 
 /// One fleet scenario of the shard-scaling sweep.
@@ -637,6 +644,9 @@ pub struct ShardScenario {
     pub processors: usize,
     /// Timed repetitions (minimum wall time reported).
     pub reps: u32,
+    /// Optional processor fault injection (the `degraded_fleet` rows);
+    /// `None` runs the fleet on a fault-free machine.
+    pub faults: Option<pax_sim::FaultPlan>,
 }
 
 /// The shard-scaling sweep: fleet workloads × shard counts from
@@ -655,12 +665,14 @@ pub fn shard_scaling(quick: bool) -> Vec<ShardScalingMeasurement> {
                 fleet: pax_workloads::FleetConfig::independent(4, 8_192),
                 processors: 8,
                 reps: 2,
+                faults: None,
             },
             ShardScenario {
                 name: "fleet_staged_4x4096_t16",
                 fleet: pax_workloads::FleetConfig::staged(4, 4_096, SimDuration(1_000)),
                 processors: 8,
                 reps: 2,
+                faults: None,
             },
         ]
     } else {
@@ -674,12 +686,14 @@ pub fn shard_scaling(quick: bool) -> Vec<ShardScalingMeasurement> {
                 },
                 processors: 16,
                 reps: 2,
+                faults: None,
             },
             ShardScenario {
                 name: "fleet_staged_8x16384_t16",
                 fleet: pax_workloads::FleetConfig::staged(8, 16_384, SimDuration(10_000)),
                 processors: 8,
                 reps: 2,
+                faults: None,
             },
         ]
     };
@@ -700,10 +714,13 @@ pub fn shard_scaling_for(
     use pax_sim::ShardPolicy;
     let mut out = Vec::new();
     for sc in fleets {
-        let mut reference: Option<(u64, u64)> = None;
+        let mut reference: Option<(u64, u64, u64, u64)> = None;
         let mut base_wall = f64::NAN;
         for &shards in shard_counts {
-            let cfg = MachineConfig::new(sc.processors).with_shards(ShardPolicy::new(shards));
+            let mut cfg = MachineConfig::new(sc.processors).with_shards(ShardPolicy::new(shards));
+            if let Some(plan) = &sc.faults {
+                cfg = cfg.with_faults(plan.clone());
+            }
             let mut best_wall = f64::INFINITY;
             let mut report = None;
             for _ in 0..sc.reps.max(1) {
@@ -716,8 +733,9 @@ pub fn shard_scaling_for(
             let r = report.expect("at least one rep");
             // Sharding is a host-performance knob: the simulated run must
             // be identical at every shard count, or the sweep is
-            // comparing different machines.
-            let sig = (r.events, r.makespan.ticks());
+            // comparing different machines. With faults injected the
+            // crash/retry history must hold still too.
+            let sig = (r.events, r.makespan.ticks(), r.crashes, r.retries);
             match reference {
                 None => reference = Some(sig),
                 Some(reference) => assert_eq!(
@@ -751,10 +769,56 @@ pub fn shard_scaling_for(
                 events_per_sec: r.events as f64 / (best_wall / 1e3),
                 speedup,
                 alpha_eff,
+                crashes: r.crashes,
+                retries: r.retries,
+                lost_work_ticks: r.lost_work.ticks(),
             });
         }
     }
     out
+}
+
+/// Shard counts measured by the [`degraded_scaling`] sweep.
+pub const DEGRADED_SWEEP_SHARDS: &[usize] = &[1, 2, 4];
+
+/// The degraded-fleet sweep: the shard-scaling fleets re-run with the
+/// canonical [`pax_workloads::degraded_fault_plan`] injected, at shard
+/// counts from [`DEGRADED_SWEEP_SHARDS`]. Rows answer "does the sharded
+/// driver keep its scaling when processors are crashing under it?" —
+/// the fault schedule derives from the group seed, so `events`,
+/// `makespan`, `crashes`, and `retries` must all be shard-count
+/// invariant (asserted inside [`shard_scaling_for`]). These rows live in
+/// their own `degraded_fleet` JSON array and stay out of the
+/// bench-compare perf gate.
+pub fn degraded_scaling(quick: bool) -> Vec<ShardScalingMeasurement> {
+    use pax_sim::time::SimDuration;
+    let fleets = if quick {
+        vec![ShardScenario {
+            name: "degraded_fleet_4x8192_t16",
+            fleet: pax_workloads::FleetConfig::independent(4, 8_192),
+            processors: 8,
+            reps: 2,
+            faults: Some(pax_workloads::degraded_fault_plan()),
+        }]
+    } else {
+        vec![
+            ShardScenario {
+                name: "degraded_fleet_8x16384_t16",
+                fleet: pax_workloads::FleetConfig::independent(8, 16_384),
+                processors: 8,
+                reps: 2,
+                faults: Some(pax_workloads::degraded_fault_plan()),
+            },
+            ShardScenario {
+                name: "degraded_fleet_staged_8x16384_t16",
+                fleet: pax_workloads::FleetConfig::staged(8, 16_384, SimDuration(10_000)),
+                processors: 8,
+                reps: 2,
+                faults: Some(pax_workloads::degraded_fault_plan()),
+            },
+        ]
+    };
+    shard_scaling_for(&fleets, DEGRADED_SWEEP_SHARDS)
 }
 
 /// Wall-clock milliseconds per scenario measured at the pre-PR seed
@@ -816,7 +880,7 @@ pub fn to_json(measurements: &[RundownMeasurement]) -> String {
 /// [`BASELINE_HOST`]; the fingerprints of both hosts are recorded so a
 /// later reader can tell which comparison would be legitimate.
 pub fn to_json_for_host(measurements: &[RundownMeasurement], host: &str) -> String {
-    to_json_full(measurements, &[], &[], &[], host)
+    to_json_full(measurements, &[], &[], &[], &[], host)
 }
 
 /// Full document: headline scenarios plus the lane-scaling,
@@ -830,6 +894,7 @@ pub fn to_json_full(
     lanes: &[LaneScalingMeasurement],
     storage: &[StorageScalingMeasurement],
     shards: &[ShardScalingMeasurement],
+    degraded: &[ShardScalingMeasurement],
     host: &str,
 ) -> String {
     let same_host = host == BASELINE_HOST;
@@ -932,6 +997,45 @@ pub fn to_json_full(
             out.push_str(&format!("      \"speedup\": {},\n", json_f64(m.speedup)));
             out.push_str(&format!("      \"alpha_eff\": {}\n", json_f64(m.alpha_eff)));
             out.push_str(if i + 1 == shards.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+    }
+    if !degraded.is_empty() {
+        out.push_str(
+            "  \"degraded_fleet_note\": \"shard-scaling fleets re-run with the canonical \
+             degraded-fleet fault plan injected (exponential time-to-failure, constant \
+             repair, reissue-at-front retry): crashes preempt in-flight tasks and shrink \
+             capacity until repair. events/makespan/crashes/retries are shard-count \
+             invariant by the determinism contract; lost_work_ticks is executed-then-lost \
+             work. Rows are excluded from the bench-compare perf gate\",\n",
+        );
+        out.push_str("  \"degraded_fleet\": [\n");
+        for (i, m) in degraded.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"scenario\": \"{}\",\n", m.scenario));
+            out.push_str(&format!("      \"shards\": {},\n", m.shards));
+            out.push_str(&format!("      \"groups\": {},\n", m.groups));
+            out.push_str(&format!("      \"granules\": {},\n", m.granules));
+            out.push_str(&format!("      \"events\": {},\n", m.events));
+            out.push_str(&format!("      \"makespan_ticks\": {},\n", m.makespan));
+            out.push_str(&format!("      \"crashes\": {},\n", m.crashes));
+            out.push_str(&format!("      \"retries\": {},\n", m.retries));
+            out.push_str(&format!(
+                "      \"lost_work_ticks\": {},\n",
+                m.lost_work_ticks
+            ));
+            out.push_str(&format!("      \"wall_ms\": {},\n", json_f64(m.wall_ms)));
+            out.push_str(&format!(
+                "      \"events_per_sec\": {},\n",
+                json_f64(m.events_per_sec)
+            ));
+            out.push_str(&format!("      \"speedup\": {},\n", json_f64(m.speedup)));
+            out.push_str(&format!("      \"alpha_eff\": {}\n", json_f64(m.alpha_eff)));
+            out.push_str(if i + 1 == degraded.len() {
                 "    }\n"
             } else {
                 "    },\n"
@@ -1139,8 +1243,26 @@ mod tests {
             events_per_sec: 10.0,
             speedup: 1.0,
             alpha_eff: f64::NAN,
+            crashes: 0,
+            retries: 0,
+            lost_work_ticks: 0,
         }];
-        let j = to_json_full(&[m], &lanes, &storage, &shards, "h/1cpu/x");
+        let degraded = vec![ShardScalingMeasurement {
+            scenario: "identity_1e4_t1".into(),
+            shards: 2,
+            groups: 4,
+            granules: 100,
+            events: 10,
+            makespan: 5,
+            wall_ms: 555.555,
+            events_per_sec: 10.0,
+            speedup: 1.0,
+            alpha_eff: f64::NAN,
+            crashes: 3,
+            retries: 3,
+            lost_work_ticks: 42,
+        }];
+        let j = to_json_full(&[m], &lanes, &storage, &shards, &degraded, "h/1cpu/x");
         assert!(j.contains("\"lane_scaling\""));
         assert!(j.contains("\"calendar\": \"wheel\""));
         assert!(j.contains("\"storage_scaling\""));
@@ -1148,12 +1270,15 @@ mod tests {
         assert!(j.contains("\"shard_scaling\""));
         assert!(j.contains("\"shards\": 4"));
         assert!(j.contains("\"alpha_eff\": null"));
+        assert!(j.contains("\"degraded_fleet\""));
+        assert!(j.contains("\"crashes\": 3"));
+        assert!(j.contains("\"lost_work_ticks\": 42"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         let p = crate::compare::parse_rundown(&j);
         assert_eq!(
             p.scenarios.len(),
             1,
-            "gate parser must not ingest lane_scaling/storage_scaling/shard_scaling rows"
+            "gate parser must not ingest lane_scaling/storage_scaling/shard_scaling/degraded_fleet rows"
         );
         assert_ne!(
             p.scenarios[0].1, 123.456,
@@ -1167,6 +1292,10 @@ mod tests {
             p.scenarios[0].1, 987.654,
             "shard sweep wall_ms leaked into gate"
         );
+        assert_ne!(
+            p.scenarios[0].1, 555.555,
+            "degraded sweep wall_ms leaked into gate"
+        );
     }
 
     #[test]
@@ -1178,12 +1307,14 @@ mod tests {
                 fleet: pax_workloads::FleetConfig::independent(3, 64),
                 processors: 4,
                 reps: 1,
+                faults: None,
             },
             ShardScenario {
                 name: "tiny_staged_fleet",
                 fleet: pax_workloads::FleetConfig::staged(3, 64, SimDuration(50)),
                 processors: 4,
                 reps: 1,
+                faults: None,
             },
         ];
         let counts = [1usize, 2, 3];
@@ -1201,7 +1332,41 @@ mod tests {
             assert!((base.speedup - 1.0).abs() < 1e-9);
             assert!(base.alpha_eff.is_nan());
             assert!(of.iter().all(|r| r.groups == 3 && r.granules == 384));
+            // fault-free rows carry zeroed degraded-capacity accounting
+            assert!(of
+                .iter()
+                .all(|r| r.crashes == 0 && r.retries == 0 && r.lost_work_ticks == 0));
         }
+    }
+
+    #[test]
+    fn degraded_sweep_rows_crash_and_agree_across_shard_counts() {
+        use pax_sim::dist::DurationDist;
+        // A tiny fleet with an aggressive fault plan: mean up-span well
+        // under the group makespan so the run is guaranteed (modulo a
+        // vanishing exp(-24) tail) to see crashes.
+        let fleets = vec![ShardScenario {
+            name: "tiny_degraded_fleet",
+            fleet: pax_workloads::FleetConfig::independent(3, 64),
+            processors: 4,
+            reps: 1,
+            faults: Some(pax_sim::FaultPlan::random(
+                DurationDist::exponential(800),
+                DurationDist::constant(200),
+            )),
+        }];
+        let rows = shard_scaling_for(&fleets, &[1, 2, 3]);
+        assert_eq!(rows.len(), 3);
+        // the sweep itself asserts (events, makespan, crashes, retries)
+        // identity across shard counts; spot-check the emitted rows
+        assert!(rows.windows(2).all(|w| {
+            w[0].events == w[1].events
+                && w[0].makespan == w[1].makespan
+                && w[0].crashes == w[1].crashes
+                && w[0].retries == w[1].retries
+                && w[0].lost_work_ticks == w[1].lost_work_ticks
+        }));
+        assert!(rows[0].crashes > 0, "fault plan never fired");
     }
 
     #[test]

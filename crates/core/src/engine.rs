@@ -42,6 +42,7 @@ use crate::rangeset::{coalesce_indices_into, RangeSet};
 use crate::report::{JobReport, PhaseReport, RunReport};
 use pax_sim::calendar::Calendar;
 use pax_sim::dist::DurationDist;
+use pax_sim::faults::{fault_seed, FaultModel, FaultPlan, RetryPolicy};
 use pax_sim::machine::{BatchPolicy, ExecutivePlacement, MachineConfig};
 use pax_sim::metrics::{Activity, GanttTrace, Span, StepTrace};
 use pax_sim::time::{SimDuration, SimTime};
@@ -69,6 +70,26 @@ pub enum EngineError {
     },
     /// A program failed validation before the run started.
     InvalidProgram(String),
+    /// A processor crash lost a granule range that the machine's
+    /// [`pax_sim::faults::RetryPolicy`] refused to reissue — the job can
+    /// never complete, so the run fails structurally instead of
+    /// deadlocking.
+    JobAborted {
+        /// Index of the aborted job.
+        job: usize,
+        /// Diagnostic text.
+        detail: String,
+    },
+    /// A shard worker thread of the threaded driver panicked or missed
+    /// the watchdog deadline, so the epoch protocol cannot complete.
+    /// Raised by `pax-runtime`'s `run_sharded_threaded` in place of the
+    /// process hang a naked barrier would produce.
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: usize,
+        /// Panic payload or watchdog diagnostic.
+        cause: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -79,6 +100,12 @@ impl std::fmt::Display for EngineError {
                 detail,
             } => write!(f, "deadlock: jobs {unfinished_jobs:?} unfinished; {detail}"),
             EngineError::InvalidProgram(s) => write!(f, "invalid program: {s}"),
+            EngineError::JobAborted { job, detail } => {
+                write!(f, "job {job} aborted: {detail}")
+            }
+            EngineError::ShardFailed { shard, cause } => {
+                write!(f, "shard {shard} failed: {cause}")
+            }
         }
     }
 }
@@ -96,6 +123,10 @@ enum Ev {
     ExecKick,
     /// A serial inter-phase region finished for job `job`.
     SerialDone { job: usize },
+    /// Fault injection: the worker's processor crashes.
+    Crash { worker: WorkerId },
+    /// Fault injection: the worker's processor comes back up.
+    Repair { worker: WorkerId },
 }
 
 /// Background executive work items.
@@ -362,6 +393,67 @@ struct Scratch {
     pieces: Vec<(GranuleRange, Option<DescId>)>,
 }
 
+/// Runtime state of the fault-injection layer. Lives behind
+/// `Engine::faults` (`None` when the machine has no [`FaultPlan`]), so a
+/// failure-free run pays nothing: no extra RNG draws, no extra events,
+/// and no per-completion allocations (the counting-allocator test pins
+/// the faults-enabled-but-fault-free leg too).
+struct FaultRt {
+    model: FaultModel,
+    retry: RetryPolicy,
+    /// Dedicated fault RNG ([`fault_seed`]-derived), never shared with
+    /// the engine's task-sampling stream.
+    rng: SmallRng,
+    /// Down processors (indexed by worker).
+    down: Vec<bool>,
+    /// In-flight task per worker: `(descriptor, compute start, scheduled
+    /// end)`. The `end` doubles as a staleness token: a `TaskDone` whose
+    /// `(desc, end)` no longer matches was preempted by a crash and is
+    /// dropped.
+    running: Vec<Option<(DescId, SimTime, SimTime)>>,
+    /// Scripted down-spans pending per processor; front = the span of
+    /// the next scheduled crash event for that processor.
+    scripted: Vec<VecDeque<Option<u64>>>,
+    /// Reissue counts, tracked only for descriptors that lost work to a
+    /// crash (cleared on completion so recycled descriptor ids start
+    /// fresh).
+    attempts: Vec<(DescId, u32)>,
+    /// `(time, ±delta)` availability spans: `+processors` at start, `-1`
+    /// per crash, `+1` per repair.
+    avail_deltas: Vec<(SimTime, i32)>,
+    /// Compute ticks spent on ranges later lost to crashes.
+    lost_work: SimDuration,
+    /// Lost ranges reissued into the waiting queue.
+    retries: u64,
+    /// Accepted crashes.
+    crashes: u64,
+}
+
+impl FaultRt {
+    fn new(mut plan: FaultPlan, processors: usize, seed: u64) -> FaultRt {
+        if let FaultModel::Scripted(evs) = &mut plan.model {
+            // Out-of-range processors are ignored; a stable sort by crash
+            // instant aligns the per-processor span queues with calendar
+            // insertion order.
+            evs.retain(|e| e.processor < processors);
+            evs.sort_by_key(|e| e.crash_at);
+        }
+        FaultRt {
+            retry: plan.retry,
+            rng: pax_sim::seeded_rng(fault_seed(seed)),
+            down: vec![false; processors],
+            running: vec![None; processors],
+            scripted: vec![VecDeque::new(); processors],
+            attempts: Vec::new(),
+            avail_deltas: Vec::new(),
+            lost_work: SimDuration::ZERO,
+            retries: 0,
+            crashes: 0,
+            model: plan.model,
+        }
+    }
+}
+
 pub(crate) struct Engine {
     cfg: MachineConfig,
     policy: OverlapPolicy,
@@ -397,6 +489,11 @@ pub(crate) struct Engine {
     /// vectors per window (pinned by the alloc-free regression test).
     round_batch: Vec<(SimTime, Ev)>,
     round_dones: Vec<(WorkerId, DescId)>,
+    /// Fault-injection runtime; `None` on failure-free machines.
+    faults: Option<FaultRt>,
+    /// First structural abort (e.g. a retry policy giving up on lost
+    /// work); set mid-run, surfaced by [`Engine::finish`].
+    abort: Option<EngineError>,
 }
 
 impl Engine {
@@ -425,6 +522,11 @@ impl Engine {
             })
             .collect();
         let njobs = jobs.len();
+        let faults = s
+            .cfg
+            .faults
+            .clone()
+            .map(|plan| FaultRt::new(plan, s.cfg.processors, s.seed));
         Engine {
             waiting: WaitingQueue::new(njobs.max(1)),
             jobs,
@@ -462,6 +564,8 @@ impl Engine {
             warnings: Vec::new(),
             round_batch: Vec::with_capacity(s.cfg.executive_lanes),
             round_dones: Vec::with_capacity(s.cfg.executive_lanes),
+            faults,
+            abort: None,
             cfg: s.cfg,
             policy: s.policy,
         }
@@ -1213,6 +1317,14 @@ impl Engine {
     }
 
     fn on_seek(&mut self, w: WorkerId) {
+        // A seek scheduled before the processor crashed can fire while it
+        // is down: drop it (without parking the worker on the idle stack —
+        // the repair event re-seeks it).
+        if let Some(f) = self.faults.as_ref() {
+            if f.down[w.0 as usize] {
+                return;
+            }
+        }
         let Some(mut d) = self.pick_work(w) else {
             self.idle_workers.push(w);
             return;
@@ -1241,7 +1353,12 @@ impl Engine {
         self.compute_deltas.push((start, 1));
         self.compute_deltas.push((end, -1));
         self.compute_total += exec;
-        self.last_event_end = self.last_event_end.max(end);
+        // The makespan frontier advances when the completion is *serviced*
+        // (its `exec_service` ends at or after `end`), never at dispatch:
+        // a task preempted by a crash must not leave a phantom end time.
+        if let Some(f) = self.faults.as_mut() {
+            f.running[w.0 as usize] = Some((d, start, end));
+        }
         {
             let inst = self.inst_mut(inst_id);
             inst.stats.first_start = Some(match inst.stats.first_start {
@@ -1398,6 +1515,14 @@ impl Engine {
     fn service_completions(&mut self, dones: &[(WorkerId, DescId)]) {
         let mut wakeups = take(&mut self.scratch.wakeups);
         for &(w, d) in dones {
+            if let Some(f) = self.faults.as_mut() {
+                f.running[w.0 as usize] = None;
+                // Forget the reissue budget: the descriptor id can be
+                // recycled by the arena after release.
+                if let Some(pos) = f.attempts.iter().position(|&(id, _)| id == d) {
+                    f.attempts.swap_remove(pos);
+                }
+            }
             let inst_id = self.arena.instance(d);
             let range = self.arena.range(d);
             let enabling = self.arena.enabling(d);
@@ -1686,6 +1811,212 @@ impl Engine {
     // run loop & report
     // ------------------------------------------------------------------
 
+    // ------------------------------------------------------------------
+    // fault injection
+    // ------------------------------------------------------------------
+
+    /// Is this completion event stale? A crash preempting worker `w`
+    /// clears its in-flight record, so a `TaskDone` whose `(desc, end)`
+    /// no longer matches the record was scheduled for work that never
+    /// finished. (If the same descriptor was re-dispatched to the same
+    /// worker with the same end time, the events are interchangeable at
+    /// that tick — the first one serviced completes the task and the
+    /// other is dropped here.)
+    #[inline]
+    fn task_done_is_stale(&self, w: WorkerId, d: DescId) -> bool {
+        match self.faults.as_ref() {
+            None => false,
+            Some(f) => !matches!(
+                f.running[w.0 as usize],
+                Some((desc, _, end)) if desc == d && end == self.now
+            ),
+        }
+    }
+
+    /// Schedule the initial crash events of the machine's fault plan.
+    /// Random up-spans come from the dedicated fault RNG in processor
+    /// order; scripted crashes are scheduled in crash-instant order, with
+    /// their down-spans queued per processor in the same order.
+    fn start_faults(&mut self) {
+        if self.jobs.iter().all(|j| j.done) {
+            return; // nothing will run: schedule no fault stream
+        }
+        let now = self.now;
+        let procs = self.cfg.processors;
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        f.avail_deltas.push((now, procs as i32));
+        match &f.model {
+            FaultModel::Random {
+                time_to_failure, ..
+            } => {
+                for w in 0..procs {
+                    let up = time_to_failure.sample(&mut f.rng).ticks().max(1);
+                    self.events.schedule(
+                        now + SimDuration(up),
+                        Ev::Crash {
+                            worker: WorkerId(w as u32),
+                        },
+                    );
+                }
+            }
+            FaultModel::Scripted(evs) => {
+                for e in evs {
+                    f.scripted[e.processor].push_back(e.repair_after);
+                    self.events.schedule(
+                        SimTime(e.crash_at),
+                        Ev::Crash {
+                            worker: WorkerId(e.processor as u32),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// A processor goes down. Preempts any in-flight task (the lost range
+    /// re-enters dispatch per the retry policy), removes the worker from
+    /// circulation, and schedules the repair. Once every job is done the
+    /// stream stops renewing itself, so the calendar always drains.
+    fn on_crash(&mut self, w: WorkerId) {
+        let wi = w.0 as usize;
+        let all_done = self.jobs.iter().all(|j| j.done);
+        let f = self
+            .faults
+            .as_mut()
+            .expect("crash event without a fault plan");
+        // The event's scripted span must be consumed even when the crash
+        // itself is ignored, to keep the span queue aligned.
+        let scripted_span = match &f.model {
+            FaultModel::Scripted(_) => Some(
+                f.scripted[wi]
+                    .pop_front()
+                    .expect("scheduled crash has a queued span"),
+            ),
+            FaultModel::Random { .. } => None,
+        };
+        if all_done || f.down[wi] {
+            return;
+        }
+        f.down[wi] = true;
+        f.crashes += 1;
+        f.avail_deltas.push((self.now, -1));
+        let down_span: Option<u64> = match scripted_span {
+            Some(span) => span,
+            None => {
+                let FaultModel::Random { time_to_repair, .. } = &f.model else {
+                    unreachable!("non-scripted crash under a scripted model")
+                };
+                Some(time_to_repair.sample(&mut f.rng).ticks().max(1))
+            }
+        };
+        match f.running[wi].take() {
+            Some((d, start, end)) => self.preempt_lost_task(w, d, start, end),
+            None => {
+                // Idle (or mid-seek) worker: pull it off the idle stack so
+                // wake-ups cannot hand work to a dead processor; an
+                // in-flight seek is dropped by the `on_seek` guard.
+                if let Some(pos) = self.idle_workers.iter().position(|&x| x == w) {
+                    self.idle_workers.remove(pos);
+                }
+            }
+        }
+        if let Some(ticks) = down_span {
+            self.events
+                .schedule(self.now + SimDuration(ticks), Ev::Repair { worker: w });
+        }
+    }
+
+    /// Reverse the dispatch-time accounting of a preempted task and route
+    /// its granule range per the retry policy. The busy trace keeps the
+    /// span the worker really computed (start → crash) — that time is
+    /// *lost work*, counted separately from useful compute.
+    fn preempt_lost_task(&mut self, w: WorkerId, d: DescId, start: SimTime, end: SimTime) {
+        let exec = end.since(start);
+        // The crash can land before the task's compute even started (the
+        // dispatch service was still queued): nothing was computed then.
+        let cancel_from = start.max(self.now);
+        self.compute_deltas.push((cancel_from, -1));
+        self.compute_deltas.push((end, 1));
+        self.compute_total -= exec;
+        let f = self
+            .faults
+            .as_mut()
+            .expect("preemption without a fault plan");
+        f.lost_work += cancel_from.since(start);
+        let retry = f.retry;
+        let attempts = match f.attempts.iter_mut().find(|(id, _)| *id == d) {
+            Some(e) => {
+                e.1 += 1;
+                e.1
+            }
+            None => {
+                f.attempts.push((d, 1));
+                1
+            }
+        };
+        let give_up = match retry {
+            RetryPolicy::Abandon => true,
+            RetryPolicy::Bounded { max_attempts } => attempts > max_attempts,
+            RetryPolicy::ReissueFront => false,
+        };
+        if give_up {
+            let job = self.arena.job(d).0 as usize;
+            let detail = match retry {
+                RetryPolicy::Abandon => format!(
+                    "processor {} crashed at {} and the retry policy abandons lost work",
+                    w.0, self.now
+                ),
+                _ => format!(
+                    "descriptor lost to processor crashes {attempts} times \
+                     (reissue budget {})",
+                    match retry {
+                        RetryPolicy::Bounded { max_attempts } => max_attempts,
+                        _ => 0,
+                    }
+                ),
+            };
+            self.abort
+                .get_or_insert(EngineError::JobAborted { job, detail });
+            return;
+        }
+        self.faults.as_mut().expect("fault plan present").retries += 1;
+        let class = self.arena.class(d);
+        let job = self.arena.job(d);
+        self.arena.set_state(d, DescState::Waiting);
+        self.waiting.push_front(d, class, job);
+        self.wake_workers(1);
+    }
+
+    /// A processor comes back up: rejoin the pool (via a fresh seek),
+    /// and — under the random model — draw the next up-span.
+    fn on_repair(&mut self, w: WorkerId) {
+        let wi = w.0 as usize;
+        let all_done = self.jobs.iter().all(|j| j.done);
+        let f = self
+            .faults
+            .as_mut()
+            .expect("repair event without a fault plan");
+        if !f.down[wi] {
+            debug_assert!(false, "repair of an up processor");
+            return;
+        }
+        f.down[wi] = false;
+        f.avail_deltas.push((self.now, 1));
+        if !all_done {
+            if let FaultModel::Random {
+                time_to_failure, ..
+            } = &f.model
+            {
+                let up = time_to_failure.sample(&mut f.rng).ticks().max(1);
+                self.events
+                    .schedule(self.now + SimDuration(up), Ev::Crash { worker: w });
+            }
+        }
+        self.events.schedule(self.now, Ev::Seek(w));
+    }
+
     pub(crate) fn start(&mut self) {
         for j in 0..self.jobs.len() {
             self.jobs[j].started_at = self.now;
@@ -1695,6 +2026,7 @@ impl Engine {
             self.events
                 .schedule(SimTime::ZERO, Ev::Seek(WorkerId(w as u32)));
         }
+        self.start_faults();
     }
 
     /// Due time of the next pending event, if any — the sharded
@@ -1734,13 +2066,18 @@ impl Engine {
             match ev {
                 Ev::TaskDone { worker, desc } => {
                     dones.clear();
-                    dones.push((worker, desc));
+                    self.events_processed += 1;
+                    if !self.task_done_is_stale(worker, desc) {
+                        dones.push((worker, desc));
+                    }
                     while let Some(&(t2, Ev::TaskDone { worker, desc })) = batch.get(i + 1) {
                         debug_assert_eq!(t2, t, "coincident group spans ticks");
-                        dones.push((worker, desc));
+                        self.events_processed += 1;
+                        if !self.task_done_is_stale(worker, desc) {
+                            dones.push((worker, desc));
+                        }
                         i += 1;
                     }
-                    self.events_processed += dones.len() as u64;
                     self.service_completions(dones);
                 }
                 Ev::Seek(w) => {
@@ -1754,6 +2091,14 @@ impl Engine {
                 Ev::SerialDone { job } => {
                     self.events_processed += 1;
                     self.on_serial_done(job);
+                }
+                Ev::Crash { worker } => {
+                    self.events_processed += 1;
+                    self.on_crash(worker);
+                }
+                Ev::Repair { worker } => {
+                    self.events_processed += 1;
+                    self.on_repair(worker);
                 }
             }
             i += 1;
@@ -1780,6 +2125,12 @@ impl Engine {
         let mut batch = take(&mut self.round_batch);
         let mut dones = take(&mut self.round_dones);
         let drained_all = loop {
+            if self.abort.is_some() {
+                // Structural abort (e.g. retry policy gave up): stop
+                // draining; `finish` surfaces the error. Reported as
+                // drained so the sharded epoch protocol can terminate.
+                break true;
+            }
             match self.events.peek_time() {
                 None => break true,
                 Some(t) => {
@@ -1812,6 +2163,9 @@ impl Engine {
                             debug_assert!(n > 0, "peeked event must drain");
                             served += n;
                             self.process_batch(&batch, &mut dones);
+                            if self.abort.is_some() {
+                                break;
+                            }
                         }
                         _ => break,
                     }
@@ -1824,7 +2178,10 @@ impl Engine {
     }
 
     /// Deadlock check plus report construction, once the calendar is dry.
-    pub(crate) fn finish(self) -> Result<RunReport, EngineError> {
+    pub(crate) fn finish(mut self) -> Result<RunReport, EngineError> {
+        if let Some(err) = self.abort.take() {
+            return Err(err);
+        }
         let unfinished: Vec<usize> = self
             .jobs
             .iter()
@@ -1833,8 +2190,14 @@ impl Engine {
             .map(|(i, _)| i)
             .collect();
         if !unfinished.is_empty() {
+            let down = self
+                .faults
+                .as_ref()
+                .map(|f| f.down.iter().filter(|&&d| d).count())
+                .unwrap_or(0);
             let detail = format!(
-                "waiting queue len {}, backlog {}, live descriptors {}, trace:\n{}",
+                "waiting queue len {}, backlog {}, live descriptors {}, \
+                 down processors {down}, trace:\n{}",
                 self.waiting.len(),
                 self.exec_backlog.len(),
                 self.arena.live(),
@@ -1852,6 +2215,15 @@ impl Engine {
         let makespan = self.last_event_end.since(SimTime::ZERO);
         let busy_trace = deltas_to_trace(self.compute_deltas);
         let mgmt_trace = deltas_to_trace(self.mgmt_deltas);
+        let (avail_trace, lost_work, retries, crashes) = match self.faults {
+            Some(f) => (
+                deltas_to_trace(f.avail_deltas),
+                f.lost_work,
+                f.retries,
+                f.crashes,
+            ),
+            None => (StepTrace::new(), SimDuration::ZERO, 0, 0),
+        };
         let phases: Vec<PhaseReport> = self
             .instances
             .iter()
@@ -1882,6 +2254,10 @@ impl Engine {
             mgmt_steals_workers: self.cfg.executive == ExecutivePlacement::StealsWorker,
             busy_trace,
             mgmt_trace,
+            avail_trace,
+            lost_work,
+            retries,
+            crashes,
             phases,
             jobs,
             events: self.events_processed,

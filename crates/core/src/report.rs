@@ -76,6 +76,19 @@ pub struct RunReport {
     pub busy_trace: StepTrace,
     /// Busy-executive step trace.
     pub mgmt_trace: StepTrace,
+    /// Availability timeline: how many worker processors were up over
+    /// time. Empty when fault injection is disabled (all `processors`
+    /// were available for the whole run).
+    pub avail_trace: StepTrace,
+    /// Worker time lost to crash preemption: ticks spent executing
+    /// granule ranges whose results were destroyed by a processor crash.
+    /// Included in the busy trace (the worker was occupied) but deducted
+    /// from `compute_time` (the work must be redone).
+    pub lost_work: SimDuration,
+    /// Granule ranges reissued to the dispatch queue after a crash.
+    pub retries: u64,
+    /// Processor crashes that occurred during the run.
+    pub crashes: u64,
     /// Phase instances in initiation order.
     pub phases: Vec<PhaseReport>,
     /// Job summaries.
@@ -113,6 +126,42 @@ impl RunReport {
             return 0.0;
         }
         self.compute_time.ticks() as f64 / (self.processors as u64 * self.makespan.ticks()) as f64
+    }
+
+    /// Available processor-time over the whole run: the integral of the
+    /// availability timeline, or nominal capacity
+    /// (`processors * makespan`) when fault injection was disabled.
+    pub fn available_ticks(&self) -> u64 {
+        if self.avail_trace.points().is_empty() {
+            self.processors as u64 * self.makespan.ticks()
+        } else {
+            self.avail_trace
+                .integral(SimTime::ZERO, SimTime::ZERO + self.makespan)
+        }
+    }
+
+    /// Available processor-time in `[from, to)`, against the same
+    /// fault-free fallback as [`RunReport::available_ticks`].
+    pub fn available_in(&self, from: SimTime, to: SimTime) -> u64 {
+        if self.avail_trace.points().is_empty() {
+            self.processors as u64 * to.since(from).ticks()
+        } else {
+            self.avail_trace.integral(from, to)
+        }
+    }
+
+    /// Utilization measured against *available* rather than nominal
+    /// processors: useful compute over the availability integral. Under
+    /// fault injection this is the honest figure — idle time the machine
+    /// could never have used (the processor was down) is not charged
+    /// against the executive. Equals [`RunReport::utilization`] when
+    /// faults are disabled.
+    pub fn available_utilization(&self) -> f64 {
+        let avail = self.available_ticks();
+        if avail == 0 {
+            return 0.0;
+        }
+        self.compute_time.ticks() as f64 / avail as f64
     }
 
     /// Fraction of executed granules that ran outside their home memory
@@ -210,6 +259,16 @@ impl RunReport {
             self.mgmt_time,
             self.comp_to_mgmt_ratio(),
         );
+        if self.crashes > 0 {
+            let _ = writeln!(
+                s,
+                "  crashes {}  retries {}  lost-work {}  avail-utilization {:.4}",
+                self.crashes,
+                self.retries,
+                self.lost_work,
+                self.available_utilization(),
+            );
+        }
         for (i, p) in self.phases.iter().enumerate() {
             let _ = writeln!(
                 s,
@@ -274,6 +333,10 @@ mod tests {
             mgmt_steals_workers: false,
             busy_trace: busy,
             mgmt_trace: StepTrace::new(),
+            avail_trace: StepTrace::new(),
+            lost_work: SimDuration::ZERO,
+            retries: 0,
+            crashes: 0,
             phases: vec![PhaseReport {
                 instance: InstanceId(0),
                 name: "a".into(),
@@ -357,6 +420,33 @@ mod tests {
         let r = mk_report();
         assert_eq!(r.remote_fraction(), 0.0);
         assert!((r.effective_utilization() - r.utilization()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn available_ticks_falls_back_to_nominal_capacity() {
+        let r = mk_report();
+        assert_eq!(r.available_ticks(), 400);
+        assert_eq!(r.available_in(SimTime(10), SimTime(60)), 200);
+        assert!((r.available_utilization() - r.utilization()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_capacity_accounting() {
+        let mut r = mk_report();
+        // 4 up until t=40, one crash -> 3 up until repair at t=90.
+        r.avail_trace.record(SimTime(0), 4);
+        r.avail_trace.record(SimTime(40), 3);
+        r.avail_trace.record(SimTime(90), 4);
+        r.crashes = 1;
+        r.retries = 1;
+        r.lost_work = SimDuration(15);
+        // 40*4 + 50*3 + 10*4 = 350
+        assert_eq!(r.available_ticks(), 350);
+        assert_eq!(r.available_in(SimTime(40), SimTime(90)), 150);
+        assert!((r.available_utilization() - 360.0 / 350.0).abs() < 1e-12);
+        let s = r.summary();
+        assert!(s.contains("crashes 1"));
+        assert!(s.contains("avail-utilization"));
     }
 
     #[test]

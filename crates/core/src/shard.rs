@@ -375,6 +375,7 @@ impl Coordinator {
         let mut merged: Option<RunReport> = None;
         let mut busy_deltas: Vec<(SimTime, i32)> = Vec::new();
         let mut mgmt_deltas: Vec<(SimTime, i32)> = Vec::new();
+        let mut avail_deltas: Vec<(SimTime, i32)> = Vec::new();
         let mut jobs: Vec<Option<JobReport>> = (0..self.total_jobs).map(|_| None).collect();
         for cell in cells {
             let g = cell.group;
@@ -391,10 +392,15 @@ impl Coordinator {
                     unfinished_jobs: unfinished_jobs.iter().map(|&j| job_map[j]).collect(),
                     detail: format!("machine group {g}: {detail}"),
                 },
+                EngineError::JobAborted { job, detail } => EngineError::JobAborted {
+                    job: job_map[job],
+                    detail: format!("machine group {g}: {detail}"),
+                },
                 other => other,
             })?;
             trace_to_deltas(&report.busy_trace, admit, &mut busy_deltas);
             trace_to_deltas(&report.mgmt_trace, admit, &mut mgmt_deltas);
+            trace_to_deltas(&report.avail_trace, admit, &mut avail_deltas);
             for (j, jr) in report.jobs.iter().enumerate() {
                 jobs[job_map[j]] = Some(JobReport {
                     started_at: SimTime(admit + jr.started_at.0),
@@ -416,6 +422,9 @@ impl Coordinator {
             };
             acc.makespan = SimDuration(acc.makespan.0.max(admit + report.makespan.0));
             acc.compute_time += report.compute_time;
+            acc.lost_work += report.lost_work;
+            acc.retries += report.retries;
+            acc.crashes += report.crashes;
             acc.mgmt_time += report.mgmt_time;
             acc.serial_time += report.serial_time;
             acc.remote_stall += report.remote_stall;
@@ -437,6 +446,7 @@ impl Coordinator {
         let mut acc = merged.expect("at least one group");
         acc.busy_trace = deltas_to_trace(busy_deltas);
         acc.mgmt_trace = deltas_to_trace(mgmt_deltas);
+        acc.avail_trace = deltas_to_trace(avail_deltas);
         acc.jobs = jobs
             .into_iter()
             .map(|j| j.expect("every job reported"))

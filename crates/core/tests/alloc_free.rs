@@ -74,6 +74,66 @@ fn identity_run(granules: u32, strategy: SplitStrategy, lanes: usize) -> (RunRep
     (report, after - before)
 }
 
+/// Like [`identity_run`], but with the fault layer *enabled* and armed
+/// with a scripted crash far beyond any reachable makespan: every
+/// completion event pays the fault bookkeeping (staleness check, running
+/// slot write) without a single crash actually firing. Pins that merely
+/// turning faults on adds zero allocations per completion event.
+fn faults_enabled_run(granules: u32) -> (RunReport, u64) {
+    use pax_sim::{FaultPlan, ScriptedFault};
+    let mut b = ProgramBuilder::new();
+    let pa = b.phase(PhaseDef::new("a", granules, CostModel::constant(100)));
+    let pb = b.phase(PhaseDef::new("b", granules, CostModel::constant(100)));
+    b.dispatch_enable(
+        pa,
+        vec![EnableSpec {
+            successor: pb,
+            mapping: EnablementMapping::Identity,
+        }],
+    );
+    b.dispatch(pb);
+    let program = b.build().unwrap();
+    let policy = OverlapPolicy::overlap()
+        .with_sizing(TaskSizing::Fixed(1))
+        .with_split_strategy(SplitStrategy::DemandSplit);
+    let plan = FaultPlan::scripted(vec![ScriptedFault {
+        processor: 0,
+        crash_at: u64::MAX / 2,
+        repair_after: None,
+    }]);
+    let cfg = MachineConfig::new(8).with_faults(plan);
+    let mut sim = Simulation::new(cfg, policy).with_seed(1);
+    sim.add_job(program);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let report = sim.run().unwrap();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (report, after - before)
+}
+
+/// The fault layer's hot path is per-worker `Vec`-slot writes only;
+/// allocations happen exclusively on the cold crash path (which never
+/// fires here). Same growth bound as the fault-free legs.
+fn assert_faults_enabled_steady_state_alloc_free() {
+    let (r1, a1) = faults_enabled_run(2_048);
+    let (r2, a2) = faults_enabled_run(8_192);
+    assert_eq!(r1.crashes, 0, "the scripted crash must lie beyond the run");
+    assert_eq!(r2.crashes, 0);
+    let extra_events = r2.events - r1.events;
+    assert!(
+        extra_events > 10_000,
+        "scenario too small to measure ({extra_events} extra events)"
+    );
+    let extra_allocs = a2.saturating_sub(a1);
+    let per_event = extra_allocs as f64 / extra_events as f64;
+    assert!(
+        per_event < 0.01,
+        "faults-enabled completion processing allocates: \
+         {per_event:.4} allocations/event \
+         ({extra_allocs} extra allocations over {extra_events} extra events; \
+         run sizes {a1} vs {a2})"
+    );
+}
+
 /// Grow a scenario 4× and demand the *extra* allocations per *extra*
 /// event stay (far) below one — the per-event term is zero, only the
 /// `O(log n)` structure-doubling term remains.
@@ -189,4 +249,8 @@ fn steady_state_completion_processing_is_allocation_free() {
     // reused across epochs, so windowed draining adds no per-event term.
     let _ = sharded_fleet_run(256);
     assert_sharded_steady_state_alloc_free();
+    // Fault layer enabled but never firing: the staleness check and
+    // running-slot bookkeeping on every completion allocate nothing.
+    let _ = faults_enabled_run(256);
+    assert_faults_enabled_steady_state_alloc_free();
 }

@@ -5,34 +5,151 @@
 //! [`pax_core::shard::Coordinator`], and ships a single-threaded
 //! reference driver ([`pax_core::shard::run_sharded`]). This module runs
 //! the same decomposition on real worker threads: one persistent thread
-//! per shard, synchronized with the coordinator through a **two-phase
-//! barrier** per epoch — the same persistent-pool shape as the central
-//! executive in [`crate::executor`] (a `parking_lot`-guarded shared
-//! state crossed by every worker), with `std::sync::Barrier` standing in
-//! for the condvar handshake because every epoch is a full rendezvous:
+//! per shard, synchronized with the coordinator through a **cancellable
+//! epoch gate** — a mutex-and-condvar rendezvous that replaces the naked
+//! `std::sync::Barrier` an earlier revision used, because a barrier has
+//! no failure mode: one panicking or wedged shard thread left every
+//! other participant (the coordinator included) blocked in
+//! `Barrier::wait` forever.
+//!
+//! Each epoch runs the same two-phase protocol as before:
 //!
 //! 1. **release** — the coordinator publishes the epoch command (a
-//!    conservative global window, or stop) and all threads cross the
-//!    first barrier; each worker applies its pending admissions and
+//!    conservative global window, or stop) and bumps the gate's epoch
+//!    counter; each worker wakes, applies its pending admissions, and
 //!    drains its shard's calendars up to the window;
 //! 2. **join** — workers deposit their outbox notes into the shared
-//!    exchange and cross the second barrier; the coordinator absorbs the
-//!    notes, decides admissions (exact timestamps, never quantized to
-//!    the barrier), routes them to the owning shards' inboxes, and plans
-//!    the next epoch.
+//!    exchange and check in; once every shard checked in, the
+//!    coordinator absorbs the notes, decides admissions (exact
+//!    timestamps, never quantized to the gate), routes them to the
+//!    owning shards' inboxes, and plans the next epoch.
+//!
+//! Unlike a barrier, the gate is **failure-aware**:
+//!
+//! * every epoch body runs under [`std::panic::catch_unwind`]; a panic
+//!   poisons the gate (records the shard and the panic message) instead
+//!   of unwinding through the rendezvous, and every other participant —
+//!   workers waiting for the next epoch and the coordinator waiting for
+//!   check-ins — observes the poisoned flag and cancels;
+//! * the coordinator's wait is guarded by a coarse **watchdog deadline**
+//!   (wall-clock, default two minutes per epoch — epochs of the pinned
+//!   suites complete in milliseconds, so only a genuinely wedged thread
+//!   can trip it); on expiry the gate is poisoned naming the first shard
+//!   that failed to check in, and the wedged thread is abandoned
+//!   (workers are spawned detached precisely so an unkillable thread
+//!   cannot block the driver's return);
+//! * either way the caller gets a structured
+//!   [`EngineError::ShardFailed`] `{ shard, cause }` instead of a
+//!   process hang.
 //!
 //! Determinism is inherited, not re-proven: workers only ever run whole
 //! windows of their own engines, and window boundaries are
 //! result-invariant, so this driver is bit-identical to the
 //! single-threaded one (and to the classic engine) by construction —
-//! the equivalence suite pins it anyway.
+//! the equivalence suite pins it anyway. Note order in the exchange
+//! varies with thread completion order, but `Coordinator::absorb` is
+//! order-insensitive within an epoch (each note targets its own group;
+//! admissions are exact maxes over finish times), so the nondeterministic
+//! arrival order never reaches the results.
 
-use parking_lot::Mutex;
 use pax_core::engine::{EngineError, Simulation};
 use pax_core::report::RunReport;
 use pax_core::shard::{stuck_error, EpochPlan, GroupNote, ShardEngine, ShardedRun};
 use pax_sim::time::SimTime;
-use std::sync::Barrier;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-epoch watchdog: how long the coordinator will wait for every
+/// shard to check in before declaring the epoch wedged. Epochs of even
+/// the largest pinned workloads complete in milliseconds of wall-clock;
+/// two minutes is pure headroom for grotesquely loaded CI hosts.
+const DEFAULT_WATCHDOG: Duration = Duration::from_secs(120);
+
+/// What the coordinator asks of the workers this epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    /// Drain one conservative window (unbounded when `None`).
+    Run(Option<SimTime>),
+    /// Hand the engine back and exit.
+    Stop,
+}
+
+/// Everything the gate guards. One mutex covers command publication,
+/// check-ins, note exchange, admission inboxes, and the poison flag —
+/// epoch traffic is a handful of lock acquisitions per shard, so a
+/// single lock is simpler and plenty.
+struct GateState {
+    /// Bumped once per published epoch; workers wait for it to move.
+    epoch: u64,
+    command: Command,
+    /// Which shards checked in for the current epoch.
+    done: Vec<bool>,
+    /// First failure observed: `(shard, cause)`. Once set, every
+    /// participant cancels.
+    poisoned: Option<(usize, String)>,
+    /// Outbox notes deposited this epoch.
+    exchange: Vec<GroupNote>,
+    /// Admissions routed to each shard for its next epoch.
+    inboxes: Vec<Vec<(usize, SimTime)>>,
+    /// Engines handed back on [`Command::Stop`].
+    returned: Vec<(usize, ShardEngine)>,
+}
+
+/// The cancellable epoch gate.
+struct Gate {
+    state: Mutex<GateState>,
+    /// Wakes workers: a new epoch was published, or the gate poisoned.
+    publish: Condvar,
+    /// Wakes the coordinator: a worker checked in, or the gate poisoned.
+    checkin: Condvar,
+}
+
+impl Gate {
+    fn new(shards: usize) -> Gate {
+        Gate {
+            state: Mutex::new(GateState {
+                epoch: 0,
+                command: Command::Stop,
+                done: vec![false; shards],
+                poisoned: None,
+                exchange: Vec::new(),
+                inboxes: (0..shards).map(|_| Vec::new()).collect(),
+                returned: Vec::with_capacity(shards),
+            }),
+            publish: Condvar::new(),
+            checkin: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GateState> {
+        // Worker panics are confined by `catch_unwind` before any lock
+        // is re-taken, so std's poisoning can only fire if the runtime
+        // itself is broken; recover the guard rather than double-panic.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record a failure (first writer wins) and wake everyone.
+    fn poison(&self, shard: usize, cause: String) {
+        let mut st = self.lock();
+        if st.poisoned.is_none() {
+            st.poisoned = Some((shard, cause));
+        }
+        self.publish.notify_all();
+        self.checkin.notify_all();
+    }
+}
+
+/// Render a panic payload for the `ShardFailed` cause.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "shard thread panicked with a non-string payload".to_string()
+    }
+}
 
 /// Run `sim` to completion on one worker thread per shard
 /// (`sim`'s `MachineConfig::shards`, clamped to the group count).
@@ -44,83 +161,172 @@ pub fn run_simulation_sharded(sim: Simulation) -> Result<RunReport, EngineError>
 }
 
 /// Drive an already-decomposed [`ShardedRun`] on real threads.
+///
+/// A shard thread that panics or wedges past the per-epoch watchdog
+/// surfaces as [`EngineError::ShardFailed`]; the driver never hangs on
+/// a failed worker.
 pub fn run_sharded_threaded(run: ShardedRun) -> Result<RunReport, EngineError> {
+    run_sharded_threaded_with(run, DEFAULT_WATCHDOG, |_, _| {})
+}
+
+/// [`run_sharded_threaded`] with an explicit watchdog and a per-epoch
+/// test hook `(shard, epoch)`, invoked inside the `catch_unwind`
+/// envelope before the window is drained — the chaos tests inject
+/// panicking and sleeping hooks here to simulate shard failures.
+fn run_sharded_threaded_with<F>(
+    run: ShardedRun,
+    watchdog: Duration,
+    hook: F,
+) -> Result<RunReport, EngineError>
+where
+    F: Fn(usize, u64) + Send + Sync + 'static,
+{
     if run.shard_count() <= 1 {
-        // One shard: a thread plus two barriers per epoch would buy
+        // One shard: a thread plus a gate rendezvous per epoch would buy
         // nothing over the reference driver.
         return pax_core::shard::run_sharded(run);
     }
     let (mut coordinator, shards) = run.into_parts();
     let n = shards.len();
-    let barrier = Barrier::new(n + 1);
-    /// Epoch command: `Some(window)` runs one epoch, `None` stops.
-    type Command = Option<Option<SimTime>>;
-    let command: Mutex<Command> = Mutex::new(None);
-    let exchange: Mutex<Vec<GroupNote>> = Mutex::new(Vec::new());
-    let inboxes: Vec<Mutex<Vec<(usize, SimTime)>>> =
-        (0..n).map(|_| Mutex::new(Vec::new())).collect();
-    let returned: Mutex<Vec<(usize, ShardEngine)>> = Mutex::new(Vec::with_capacity(n));
+    let gate = Arc::new(Gate::new(n));
+    let hook = Arc::new(hook);
+    for (i, shard) in shards.into_iter().enumerate() {
+        let gate = Arc::clone(&gate);
+        let hook = Arc::clone(&hook);
+        // Spawned detached (the handle is dropped): if this thread
+        // wedges, the watchdog abandons it rather than joining on it.
+        std::thread::Builder::new()
+            .name(format!("pax-shard-{i}"))
+            .spawn(move || worker_loop(i, shard, &gate, &*hook))
+            .expect("spawn shard worker thread");
+    }
 
-    let outcome = std::thread::scope(|scope| {
-        for (i, mut shard) in shards.into_iter().enumerate() {
-            let barrier = &barrier;
-            let command = &command;
-            let exchange = &exchange;
-            let inbox = &inboxes[i];
-            let returned = &returned;
-            scope.spawn(move || loop {
-                barrier.wait(); // release: command published
-                let cmd: Command = *command.lock();
-                let Some(window) = cmd else {
-                    returned.lock().push((i, shard));
-                    barrier.wait(); // join: let the coordinator proceed
-                    return;
-                };
-                for (g, at) in inbox.lock().drain(..) {
-                    shard.deliver(g, at);
-                }
-                shard.run_window(window);
-                exchange.lock().extend_from_slice(shard.notes());
-                barrier.wait(); // join: notes published
-            });
-        }
-        let mut admissions: Vec<(usize, SimTime)> = Vec::new();
-        let outcome = loop {
-            match coordinator.plan() {
-                EpochPlan::Done => break Ok(()),
-                EpochPlan::Stuck { unadmitted } => {
-                    break Err(stuck_error(&coordinator, &unadmitted))
-                }
-                EpochPlan::Run { window } => {
-                    *command.lock() = Some(window);
-                    barrier.wait(); // release
-                    barrier.wait(); // join
-                    {
-                        let mut notes = exchange.lock();
-                        coordinator.absorb(&notes);
-                        notes.clear();
-                    }
-                    admissions.clear();
-                    coordinator.drain_admissions(&mut admissions);
-                    for &(g, at) in &admissions {
-                        inboxes[g % n].lock().push((g, at));
-                    }
+    let mut admissions: Vec<(usize, SimTime)> = Vec::new();
+    loop {
+        match coordinator.plan() {
+            EpochPlan::Done => break,
+            EpochPlan::Stuck { unadmitted } => {
+                let err = stuck_error(&coordinator, &unadmitted);
+                // Workers are healthy and waiting; release them before
+                // reporting the fleet-level deadlock.
+                let _ = publish_and_wait(&gate, Command::Stop, watchdog);
+                return Err(err);
+            }
+            EpochPlan::Run { window } => {
+                publish_and_wait(&gate, Command::Run(window), watchdog)?;
+                let mut st = gate.lock();
+                coordinator.absorb(&st.exchange);
+                st.exchange.clear();
+                admissions.clear();
+                coordinator.drain_admissions(&mut admissions);
+                for &(g, at) in &admissions {
+                    st.inboxes[g % n].push((g, at));
                 }
             }
-        };
-        *command.lock() = None;
-        barrier.wait(); // release the stop command
-        barrier.wait(); // join: every engine handed back
-        outcome
-    });
-    outcome?;
-
+        }
+    }
+    publish_and_wait(&gate, Command::Stop, watchdog)?;
     let mut cells: Vec<(usize, ShardEngine)> = {
-        let mut guard = returned.lock();
-        guard.drain(..).collect()
+        let mut st = gate.lock();
+        st.returned.drain(..).collect()
     };
     cells.sort_by_key(|&(i, _)| i);
     coordinator.finish(cells.into_iter().map(|(_, s)| s).collect())
+}
+
+/// One shard thread: wait for each published epoch, run it under
+/// `catch_unwind`, check in; exit on stop or when the gate poisons.
+fn worker_loop<F>(i: usize, mut shard: ShardEngine, gate: &Gate, hook: &F)
+where
+    F: Fn(usize, u64),
+{
+    let mut seen_epoch = 0u64;
+    loop {
+        let (cmd, epoch, admissions) = {
+            let mut st = gate.lock();
+            while st.epoch == seen_epoch && st.poisoned.is_none() {
+                st = gate.publish.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.poisoned.is_some() {
+                return; // cancelled: abandon the engine
+            }
+            seen_epoch = st.epoch;
+            (st.command, st.epoch, std::mem::take(&mut st.inboxes[i]))
+        };
+        match cmd {
+            Command::Stop => {
+                let mut st = gate.lock();
+                st.returned.push((i, shard));
+                st.done[i] = true;
+                gate.checkin.notify_all();
+                return;
+            }
+            Command::Run(window) => {
+                let body = catch_unwind(AssertUnwindSafe(|| {
+                    hook(i, epoch);
+                    for (g, at) in admissions {
+                        shard.deliver(g, at);
+                    }
+                    shard.run_window(window);
+                }));
+                match body {
+                    Ok(()) => {
+                        let mut st = gate.lock();
+                        if st.poisoned.is_some() {
+                            return;
+                        }
+                        st.exchange.extend_from_slice(shard.notes());
+                        st.done[i] = true;
+                        gate.checkin.notify_all();
+                    }
+                    Err(payload) => {
+                        gate.poison(i, format!("panicked: {}", panic_message(payload)));
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Publish one epoch command, then wait — watchdog-guarded — until every
+/// shard checks in. A panic or watchdog expiry yields
+/// [`EngineError::ShardFailed`].
+fn publish_and_wait(gate: &Gate, cmd: Command, watchdog: Duration) -> Result<(), EngineError> {
+    let mut st = gate.lock();
+    for d in st.done.iter_mut() {
+        *d = false;
+    }
+    st.command = cmd;
+    st.epoch += 1;
+    gate.publish.notify_all();
+    let deadline = Instant::now() + watchdog;
+    loop {
+        if let Some((shard, cause)) = st.poisoned.clone() {
+            return Err(EngineError::ShardFailed { shard, cause });
+        }
+        if st.done.iter().all(|&d| d) {
+            return Ok(());
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            let shard = st.done.iter().position(|&d| !d).unwrap_or(0);
+            let cause = format!(
+                "wedged: no check-in for epoch {} within the {:?} watchdog",
+                st.epoch, watchdog
+            );
+            st.poisoned = Some((shard, cause.clone()));
+            // Wake waiting workers so they observe the poison and exit;
+            // the wedged thread itself is abandoned.
+            gate.publish.notify_all();
+            return Err(EngineError::ShardFailed { shard, cause });
+        }
+        let (guard, _) = gate
+            .checkin
+            .wait_timeout(st, deadline - now)
+            .unwrap_or_else(|e| e.into_inner());
+        st = guard;
+    }
 }
 
 #[cfg(test)]
@@ -221,5 +427,76 @@ mod tests {
             }
             other => panic!("expected deadlock, got {other:?}"),
         }
+    }
+
+    /// A shard thread that panics mid-epoch must surface as a structured
+    /// `ShardFailed` — fast, via the poison path, not the watchdog.
+    #[test]
+    fn panicking_shard_surfaces_shard_failed() {
+        let run = fleet(3, 6, false).into_sharded().unwrap();
+        let started = Instant::now();
+        let result = run_sharded_threaded_with(run, DEFAULT_WATCHDOG, |shard, epoch| {
+            if shard == 1 && epoch == 1 {
+                panic!("chaos: injected shard panic");
+            }
+        });
+        let elapsed = started.elapsed();
+        match result {
+            Err(EngineError::ShardFailed { shard, cause }) => {
+                assert_eq!(shard, 1);
+                assert!(cause.contains("injected shard panic"), "{cause}");
+            }
+            other => panic!("expected ShardFailed, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "panic must cancel the epoch promptly, took {elapsed:?}"
+        );
+    }
+
+    /// A shard thread that wedges (never checks in) trips the watchdog
+    /// within its budget instead of hanging the driver forever.
+    #[test]
+    fn wedged_shard_trips_the_watchdog() {
+        let run = fleet(3, 6, false).into_sharded().unwrap();
+        let watchdog = Duration::from_millis(250);
+        let started = Instant::now();
+        let result = run_sharded_threaded_with(run, watchdog, |shard, epoch| {
+            if shard == 2 && epoch == 1 {
+                std::thread::sleep(Duration::from_secs(2));
+            }
+        });
+        let elapsed = started.elapsed();
+        match result {
+            Err(EngineError::ShardFailed { shard, cause }) => {
+                assert_eq!(shard, 2);
+                assert!(cause.contains("watchdog"), "{cause}");
+            }
+            other => panic!("expected ShardFailed, got {other:?}"),
+        }
+        assert!(
+            elapsed >= watchdog,
+            "the watchdog cannot fire before its deadline"
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "the driver must return without joining the wedged thread, took {elapsed:?}"
+        );
+    }
+
+    /// The poison flag cancels workers parked at the gate: after a
+    /// failure, a fresh run on the same process still works (no global
+    /// state was corrupted).
+    #[test]
+    fn driver_recovers_after_a_failed_run() {
+        let run = fleet(2, 4, false).into_sharded().unwrap();
+        let result = run_sharded_threaded_with(run, DEFAULT_WATCHDOG, |shard, _| {
+            if shard == 0 {
+                panic!("chaos: first run dies");
+            }
+        });
+        assert!(matches!(result, Err(EngineError::ShardFailed { .. })));
+        let clean = run_simulation_sharded(fleet(2, 4, false)).unwrap();
+        assert_eq!(clean.jobs.len(), 4);
     }
 }

@@ -21,6 +21,9 @@
 //!   per machine via [`machine::MachineConfig`].
 //! * [`dist`] — granule execution-time distributions, including the
 //!   conditional-skip behaviour the paper reports from CASPER.
+//! * [`faults`] — processor crash/repair plans ([`faults::FaultPlan`])
+//!   and retry policies for work lost to a crash, attached per machine
+//!   via [`machine::MachineConfig::with_faults`].
 //! * [`machine`] — processor pools, executive placement
 //!   (worker-stealing à la UNIVAC 1100 vs dedicated) and itemized
 //!   management costs.
@@ -39,6 +42,7 @@
 pub mod calendar;
 pub mod dist;
 pub mod event;
+pub mod faults;
 pub mod locality;
 pub mod machine;
 pub mod metrics;
@@ -48,6 +52,7 @@ pub mod trace;
 pub use calendar::{Calendar, CalendarKind, TimeWheel};
 pub use dist::{CostModel, DurationDist};
 pub use event::EventQueue;
+pub use faults::{FaultModel, FaultPlan, RetryPolicy, ScriptedFault};
 pub use locality::{DataLayout, LocalityModel};
 pub use machine::{
     BatchPolicy, ExecutivePlacement, MachineConfig, ManagementCosts, RunStorageKind, ShardPolicy,

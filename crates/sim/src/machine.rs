@@ -12,6 +12,7 @@
 //! construction for indirect mappings.
 
 use crate::calendar::CalendarKind;
+use crate::faults::FaultPlan;
 use crate::locality::LocalityModel;
 use crate::time::SimDuration;
 
@@ -266,6 +267,14 @@ pub struct MachineConfig {
     /// result-identical; counts > 1 let the threaded driver in
     /// `pax-runtime` drain independent machine groups in parallel.
     pub shards: ShardPolicy,
+    /// Optional processor fault-injection plan. `None` (the default) is a
+    /// failure-free machine — and costs zero extra random draws, so the
+    /// golden shapes are untouched. `Some` makes crashes a deterministic
+    /// scenario axis: crash/repair streams come from a dedicated RNG
+    /// split from the scenario seed, so faulty runs stay bit-identical
+    /// across shard counts and shard drivers. On a fleet, every machine
+    /// group replica experiences the plan in its own local time.
+    pub faults: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -283,6 +292,7 @@ impl MachineConfig {
             batch: BatchPolicy::default(),
             run_storage: RunStorageKind::default(),
             shards: ShardPolicy::default(),
+            faults: None,
         }
     }
 
@@ -299,6 +309,7 @@ impl MachineConfig {
             batch: BatchPolicy::default(),
             run_storage: RunStorageKind::default(),
             shards: ShardPolicy::default(),
+            faults: None,
         }
     }
 
@@ -349,6 +360,12 @@ impl MachineConfig {
     /// Builder-style: set the sharding policy for multi-group runs.
     pub fn with_shards(mut self, shards: ShardPolicy) -> MachineConfig {
         self.shards = shards;
+        self
+    }
+
+    /// Builder-style: attach a processor fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> MachineConfig {
+        self.faults = Some(faults);
         self
     }
 }
@@ -439,5 +456,20 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardPolicy::new(0);
+    }
+
+    #[test]
+    fn faults_default_and_builder() {
+        // Failure-free stays the default — no plan, no extra RNG draws,
+        // golden shapes untouched.
+        assert_eq!(MachineConfig::new(4).faults, None);
+        assert_eq!(MachineConfig::ideal(4).faults, None);
+        let plan = crate::faults::FaultPlan::random(
+            crate::dist::DurationDist::exponential(10_000),
+            crate::dist::DurationDist::constant(500),
+        )
+        .with_retry(crate::faults::RetryPolicy::Abandon);
+        let m = MachineConfig::new(4).with_faults(plan.clone());
+        assert_eq!(m.faults, Some(plan));
     }
 }

@@ -117,6 +117,20 @@ impl FleetConfig {
     }
 }
 
+/// The canonical degraded-fleet fault plan used by the bench sweep and
+/// chaos tests: exponential time-to-failure with a mean a little under
+/// half a sweep fleet's group makespan (so every group sees a handful of
+/// crashes per run) and a constant repair span, under the default
+/// reissue-at-front retry policy. Per-processor fault streams derive
+/// from the group seed, so the plan is bit-identical at every shard
+/// count.
+pub fn degraded_fault_plan() -> pax_sim::FaultPlan {
+    pax_sim::FaultPlan::random(
+        pax_sim::dist::DurationDist::exponential(40_000),
+        pax_sim::dist::DurationDist::constant(7_500),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,7 +33,7 @@ pub mod mini_casper;
 
 pub use casper::{casper_declared_census, CasperConfig, CASPER_PHASES};
 pub use checkerboard::{checkerboard_program, Checkerboard, Color, RedBlackGrid};
-pub use fleet::FleetConfig;
+pub use fleet::{degraded_fault_plan, FleetConfig};
 pub use fragmentation::{
     fragmented_rundown, interleaved_stripes, stripe_churn_ranges, FragmentationConfig,
 };

@@ -10,7 +10,17 @@ use pax_core::prelude::*;
 use pax_sim::machine::{ExecutivePlacement, MachineConfig, ManagementCosts};
 use pax_workloads::casper::{casper_declared_census, CasperConfig, CASPER_PHASES};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = CasperConfig {
         granules: 240,
         iterations: 2,
@@ -47,7 +57,7 @@ fn main() {
     let machine = MachineConfig::new(16)
         .with_executive(ExecutivePlacement::StealsWorker)
         .with_costs(ManagementCosts::pax_default());
-    let run = |overlap: bool| {
+    let exec = |overlap: bool| {
         let policy = if overlap {
             OverlapPolicy::overlap()
         } else {
@@ -55,10 +65,10 @@ fn main() {
         };
         let mut sim = Simulation::new(machine.clone(), policy).with_seed(0xCA5);
         sim.add_job(cfg.build(overlap));
-        sim.run().expect("pipeline run")
+        sim.run()
     };
-    let strict = run(false);
-    let over = run(true);
+    let strict = exec(false)?;
+    let over = exec(true)?;
     println!(
         "strict:  makespan {:>9}  utilization {:>5.1}%  C/M {:>6.1}",
         strict.makespan.ticks(),
@@ -92,4 +102,5 @@ fn main() {
             );
         }
     }
+    Ok(())
 }

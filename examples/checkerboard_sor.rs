@@ -23,13 +23,24 @@ use pax_workloads::checkerboard::{checkerboard_program, Checkerboard, Color, Red
 use std::sync::Arc;
 use std::time::Duration;
 
-fn main() {
-    part1_paper_arithmetic();
-    part2_simulated_overlap();
-    part3_real_threads();
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
 }
 
-fn part1_paper_arithmetic() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    part1_paper_arithmetic()?;
+    part2_simulated_overlap()?;
+    part3_real_threads();
+    Ok(())
+}
+
+fn part1_paper_arithmetic() -> Result<(), Box<dyn std::error::Error>> {
     println!("== part 1: the paper's 1024²/1000-processor arithmetic ==");
     let board = Checkerboard::new(1024);
     let granules = board.granules(Color::Red);
@@ -47,19 +58,23 @@ fn part1_paper_arithmetic() {
         OverlapPolicy::strict().with_sizing(TaskSizing::Fixed(1)),
     );
     sim.add_job(program);
-    let r = sim.run().expect("simulation");
-    let end = r.phases[0].stats.completed_at.unwrap();
+    let r = sim.run()?;
+    let end = r.phases[0]
+        .stats
+        .completed_at
+        .ok_or("the strict phase never completed")?;
     let final_busy = r.busy_trace.value_at(pax_sim::SimTime(end.ticks() - 50));
     println!(
         "simulated: final wave busy = {final_busy}, idle = {}, phase utilization {:.3}%\n",
         1000 - final_busy,
         r.utilization() * 100.0
     );
+    Ok(())
 }
 
-fn part2_simulated_overlap() {
+fn part2_simulated_overlap() -> Result<(), Box<dyn std::error::Error>> {
     println!("== part 2: strict vs seam overlap (128² grid, 100 processors, 6 sweeps) ==");
-    let run = |overlap: bool| {
+    let exec = |overlap: bool| {
         let program = checkerboard_program(128, 6, CostModel::constant(100), overlap);
         let policy = if overlap {
             OverlapPolicy::overlap().with_sizing(TaskSizing::Fixed(8))
@@ -68,10 +83,10 @@ fn part2_simulated_overlap() {
         };
         let mut sim = Simulation::new(MachineConfig::ideal(100), policy);
         sim.add_job(program);
-        sim.run().expect("simulation")
+        sim.run()
     };
-    let strict = run(false);
-    let over = run(true);
+    let strict = exec(false)?;
+    let over = exec(true)?;
     println!(
         "strict:  makespan {:>8}  utilization {:.2}%",
         strict.makespan.ticks(),
@@ -87,6 +102,7 @@ fn part2_simulated_overlap() {
         "speedup {:.3}x\n",
         strict.makespan.ticks() as f64 / over.makespan.ticks() as f64
     );
+    Ok(())
 }
 
 fn part3_real_threads() {

@@ -19,7 +19,17 @@ use pax_sim::machine::MachineConfig;
 use pax_sim::time::SimDuration;
 use pax_workloads::generators::{CostShape, GeneratorConfig};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut clusters = 4usize;
     let mut stall = 100u64;
     let mut args = std::env::args().skip(1);
@@ -29,15 +39,15 @@ fn main() {
                 clusters = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--clusters N");
+                    .ok_or("--clusters expects a cluster count")?;
             }
             "--stall" => {
-                stall = args.next().and_then(|v| v.parse().ok()).expect("--stall T");
+                stall = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--stall expects a tick count")?;
             }
-            other => {
-                eprintln!("unknown argument {other}");
-                std::process::exit(2);
-            }
+            other => return Err(format!("unknown argument {other}").into()),
         }
     }
 
@@ -59,7 +69,7 @@ fn main() {
     );
     println!("workload: 4 identity-mapped phases x 1024 jittered granules\n");
 
-    let run = |label: &str, layout: DataLayout, assignment: AssignmentPolicy| {
+    let exec = |label: &str, layout: DataLayout, assignment: AssignmentPolicy| {
         let machine = MachineConfig::new(processors)
             .with_locality(LocalityModel::new(clusters, SimDuration(stall)).with_layout(layout));
         let policy = OverlapPolicy::overlap()
@@ -67,7 +77,7 @@ fn main() {
             .with_assignment(assignment);
         let mut sim = Simulation::new(machine, policy).with_seed(42);
         sim.add_job(program.clone());
-        let r = sim.run().expect("simulation");
+        let r = sim.run()?;
         println!(
             "{label:<28} makespan {:>8}  remote {:>5.1}%  stall {:>9} ticks  eff-util {:>5.1}%",
             r.makespan.ticks(),
@@ -75,36 +85,37 @@ fn main() {
             r.remote_stall.ticks(),
             r.effective_utilization() * 100.0,
         );
-        r.makespan.ticks()
+        Ok::<_, pax_core::engine::EngineError>(r.makespan.ticks())
     };
 
     println!("block data layout (array sweeps):");
-    let fifo = run(
+    let fifo = exec(
         "  queue order (PAX default)",
         DataLayout::Block,
         AssignmentPolicy::QueueOrder,
-    );
-    let prox = run(
+    )?;
+    let prox = exec(
         "  data proximity (window 32)",
         DataLayout::Block,
         AssignmentPolicy::DataProximity { scan_window: 32 },
-    );
+    )?;
     println!("  -> proximity speedup {:.2}x\n", fifo as f64 / prox as f64);
 
     println!("cyclic (interleaved) layout — contiguous tasks straddle all clusters:");
-    run(
+    exec(
         "  queue order",
         DataLayout::Cyclic,
         AssignmentPolicy::QueueOrder,
-    );
-    run(
+    )?;
+    exec(
         "  data proximity (window 32)",
         DataLayout::Cyclic,
         AssignmentPolicy::DataProximity { scan_window: 32 },
-    );
+    )?;
     println!(
         "  -> layout mismatch: no assignment policy can fix interleaved data;\n\
          \x20    the remote fraction is pinned near (C-1)/C = {:.1}%",
         (clusters - 1) as f64 / clusters as f64 * 100.0
     );
+    Ok(())
 }

@@ -17,18 +17,35 @@ use pax_runtime::{run_chain, run_chain_lateral, RuntimeConfig};
 use pax_workloads::MiniCasper;
 use std::time::Duration;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut cells = 512u32;
     let mut steps = 4usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--cells" => cells = args.next().and_then(|v| v.parse().ok()).expect("--cells N"),
-            "--steps" => steps = args.next().and_then(|v| v.parse().ok()).expect("--steps T"),
-            other => {
-                eprintln!("unknown argument {other}");
-                std::process::exit(2);
+            "--cells" => {
+                cells = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--cells expects a cell count")?;
             }
+            "--steps" => {
+                steps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--steps expects a timestep count")?;
+            }
+            other => return Err(format!("unknown argument {other}").into()),
         }
     }
 
@@ -51,7 +68,10 @@ fn main() {
 
     let run_mode = |label: &str, f: &dyn Fn() -> std::time::Duration| {
         // best of three to shrug off VM noise
-        let wall = (0..3).map(|_| f()).min().unwrap();
+        let wall = (0..3)
+            .map(|_| f())
+            .min()
+            .unwrap_or(std::time::Duration::ZERO);
         println!("{label:<34} {wall:>10.1?}");
         wall
     };
@@ -84,4 +104,5 @@ fn main() {
         barrier.as_secs_f64() / overlap.as_secs_f64(),
         barrier.as_secs_f64() / lateral.as_secs_f64(),
     );
+    Ok(())
 }

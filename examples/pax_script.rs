@@ -11,7 +11,17 @@ use pax_lang::{compile, parse, run_script, MapBindings};
 use pax_sim::machine::MachineConfig;
 use std::sync::Arc;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's third language form, verbatim structure: a dispatch
     // with a branch-independent ENABLE list, a preprocessable IMOD branch,
     // and labelled targets.
@@ -56,23 +66,16 @@ fn main() {
     );
 
     // --- show the compiler's view ---------------------------------------
-    let script = parse(script_src).expect("parses");
-    match compile(&script, &bindings) {
-        Ok(compiled) => {
-            println!(
-                "compiled: {} phases, {} steps, {} counters",
-                compiled.program.phases.len(),
-                compiled.program.steps.len(),
-                compiled.program.counters
-            );
-            for w in &compiled.warnings {
-                println!("  note: {w}");
-            }
-        }
-        Err(e) => {
-            println!("compile failed:\n{e}");
-            return;
-        }
+    let script = parse(script_src)?;
+    let compiled = compile(&script, &bindings)?;
+    println!(
+        "compiled: {} phases, {} steps, {} counters",
+        compiled.program.phases.len(),
+        compiled.program.steps.len(),
+        compiled.program.counters
+    );
+    for w in &compiled.warnings {
+        println!("  note: {w}");
     }
 
     // --- interlock demonstration ----------------------------------------
@@ -85,9 +88,8 @@ fn main() {
         DISPATCH b
         DISPATCH c
         ",
-    )
-    .unwrap();
-    let checked = compile(&bad, &MapBindings::new()).expect("compiles with warning");
+    )?;
+    let checked = compile(&bad, &MapBindings::new())?;
     println!("\ninterlock verification on a mis-declared script:");
     for w in &checked.warnings {
         println!("  {w}");
@@ -99,8 +101,7 @@ fn main() {
         ("strict barriers", OverlapPolicy::strict()),
         ("overlap", OverlapPolicy::overlap()),
     ] {
-        let report = run_script(script_src, &bindings, MachineConfig::ideal(12), policy)
-            .expect("script runs");
+        let report = run_script(script_src, &bindings, MachineConfig::ideal(12), policy)?;
         println!(
             "  {label:<16} makespan {:>8}  utilization {:>5.1}%  overlap granules {:>5}  ({} phase instances)",
             report.makespan.ticks(),
@@ -110,4 +111,5 @@ fn main() {
         );
     }
     println!("\nbranch preprocessing: iterations alternate between gather-loads (even)\nand output-sampling (odd); the executive overlapped whichever the IMOD\nbranch actually selects, because the ENABLE clause was BRANCHINDEPENDENT.");
+    Ok(())
 }

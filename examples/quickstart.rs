@@ -13,11 +13,21 @@ use pax_core::prelude::*;
 use pax_sim::dist::CostModel;
 use pax_sim::machine::MachineConfig;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     // 100 granules of ~100 ticks each on 8 processors: 100 = 12×8 + 4,
     // so each phase ends with a 4-granule final wave that idles half the
     // machine under strict barriers.
-    let build = |with_enable: bool| {
+    let build = |with_enable: bool| -> Result<Program, String> {
         let mut b = ProgramBuilder::new();
         let copy_ab = b.phase(PhaseDef::new(
             "B(I)=A(I)",
@@ -41,20 +51,20 @@ fn main() {
             b.dispatch(copy_ab);
         }
         b.dispatch(copy_bc);
-        b.build().expect("valid program")
+        b.build()
     };
 
-    let run = |label: &str, program: Program, policy: OverlapPolicy| {
+    let exec = |label: &str, program: Program, policy: OverlapPolicy| {
         let mut sim = Simulation::new(MachineConfig::ideal(8), policy).with_seed(7);
         sim.add_job(program);
-        let report = sim.run().expect("simulation runs");
+        let report = sim.run()?;
         println!("== {label} ==");
         println!("{report}");
-        report
+        Ok::<_, pax_core::engine::EngineError>(report)
     };
 
-    let strict = run("strict barriers", build(false), OverlapPolicy::strict());
-    let overlap = run("phase overlap", build(true), OverlapPolicy::overlap());
+    let strict = exec("strict barriers", build(false)?, OverlapPolicy::strict())?;
+    let overlap = exec("phase overlap", build(true)?, OverlapPolicy::overlap())?;
 
     let speedup = strict.makespan.ticks() as f64 / overlap.makespan.ticks() as f64;
     println!(
@@ -68,4 +78,5 @@ fn main() {
         strict.utilization() * 100.0,
         overlap.utilization() * 100.0,
     );
+    Ok(())
 }

@@ -30,7 +30,7 @@ struct Args {
     window: usize,
 }
 
-fn parse_args() -> Args {
+fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         procs: 32,
         granules: 500,
@@ -46,6 +46,10 @@ fn parse_args() -> Args {
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
+    fn num<T: std::str::FromStr>(val: &str, what: &str) -> Result<T, String> {
+        val.parse()
+            .map_err(|_| format!("{what} expects a number, got '{val}'"))
+    }
     while i < argv.len() {
         let key = argv[i].as_str();
         let val = argv.get(i + 1).cloned().unwrap_or_default();
@@ -55,14 +59,14 @@ fn parse_args() -> Args {
                 i += 1;
                 continue;
             }
-            "--procs" => args.procs = val.parse().expect("--procs N"),
-            "--granules" => args.granules = val.parse().expect("--granules N"),
-            "--phases" => args.phases = val.parse().expect("--phases N"),
-            "--ratio" => args.ratio = val.parse().expect("--ratio F"),
-            "--seed" => args.seed = val.parse().expect("--seed N"),
-            "--clusters" => args.clusters = val.parse().expect("--clusters N"),
-            "--stall" => args.stall = val.parse().expect("--stall T"),
-            "--window" => args.window = val.parse().expect("--window N"),
+            "--procs" => args.procs = num(&val, "--procs")?,
+            "--granules" => args.granules = num(&val, "--granules")?,
+            "--phases" => args.phases = num(&val, "--phases")?,
+            "--ratio" => args.ratio = num(&val, "--ratio")?,
+            "--seed" => args.seed = num(&val, "--seed")?,
+            "--clusters" => args.clusters = num(&val, "--clusters")?,
+            "--stall" => args.stall = num(&val, "--stall")?,
+            "--window" => args.window = num(&val, "--window")?,
             "--mapping" => {
                 args.mapping = match val.as_str() {
                     "universal" => MappingKind::Universal,
@@ -71,7 +75,7 @@ fn parse_args() -> Args {
                     "reverse" => MappingKind::ReverseIndirect,
                     "seam" => MappingKind::Seam,
                     "null" => MappingKind::Null,
-                    other => panic!("unknown mapping '{other}'"),
+                    other => return Err(format!("unknown mapping '{other}'")),
                 }
             }
             "--shape" => {
@@ -80,7 +84,7 @@ fn parse_args() -> Args {
                     "jittered" => CostShape::Jittered,
                     "exponential" => CostShape::Exponential,
                     "straggler" => CostShape::Straggler,
-                    other => panic!("unknown shape '{other}'"),
+                    other => return Err(format!("unknown shape '{other}'")),
                 }
             }
             "--help" | "-h" => {
@@ -93,15 +97,25 @@ fn parse_args() -> Args {
                 );
                 std::process::exit(0);
             }
-            other => panic!("unknown option '{other}' (try --help)"),
+            other => return Err(format!("unknown option '{other}' (try --help)")),
         }
         i += 2;
     }
-    args
+    Ok(args)
 }
 
-fn main() {
-    let a = parse_args();
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let a = parse_args()?;
     let cfg = GeneratorConfig {
         phases: a.phases,
         granules: a.granules,
@@ -119,7 +133,7 @@ fn main() {
     } else {
         MachineConfig::ideal(a.procs)
     };
-    let run = |overlap: bool| {
+    let exec = |overlap: bool| {
         let mut policy = if overlap {
             OverlapPolicy::overlap().with_sizing(TaskSizing::TasksPerProcessor(a.ratio))
         } else {
@@ -136,10 +150,10 @@ fn main() {
         }
         let mut sim = Simulation::new(machine.clone(), policy).with_seed(a.seed);
         sim.add_job(cfg.build(overlap));
-        sim.run().expect("run")
+        sim.run()
     };
-    let strict = run(false);
-    let over = run(true);
+    let strict = exec(false)?;
+    let over = exec(true)?;
 
     println!(
         "{} phases × {} granules ({:?} costs, {} mapping) on {} processors, {} tasks/proc\n",
@@ -166,7 +180,7 @@ fn main() {
                 200,
             )
         );
-        return;
+        return Ok(());
     }
 
     // ASCII profile: 56 samples across the longer makespan.
@@ -227,4 +241,5 @@ fn main() {
             over.effective_utilization() * 100.0
         );
     }
+    Ok(())
 }

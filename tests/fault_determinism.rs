@@ -1,0 +1,357 @@
+//! Fault-injection determinism and retry-policy semantics.
+//!
+//! PR-6's contract — every host-performance knob is bit-identical by
+//! construction — must extend to faulty runs: the same seed and
+//! [`FaultPlan`] produce the same crashes, the same preemptions, the
+//! same retries, and the same degraded-capacity report at every shard
+//! count and on both shard drivers. The fault stream lives on a
+//! dedicated RNG split from the per-group seed, so this is a designed
+//! property; these tests pin it, with a scripted-trace fingerprint test,
+//! a randomized proptest over fleets × fault plans, and direct checks of
+//! the three retry policies.
+
+use pax_core::engine::EngineError;
+use pax_core::phase::PhaseDef;
+use pax_core::policy::OverlapPolicy;
+use pax_core::program::{Program, ProgramBuilder};
+use pax_core::report::RunReport;
+use pax_core::Simulation;
+use pax_sim::dist::{CostModel, DurationDist};
+use pax_sim::machine::{MachineConfig, ShardPolicy};
+use pax_sim::time::SimDuration;
+use pax_sim::{FaultPlan, RetryPolicy, ScriptedFault};
+use pax_workloads::FleetConfig;
+
+/// The full observable surface of a faulty run: the equivalence suite's
+/// report fingerprint plus every degraded-capacity field, including the
+/// raw availability timeline.
+fn fault_fingerprint(name: &str, r: &RunReport) -> String {
+    let phase_sig: String = r
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{}:{}+{}",
+                p.job, p.stats.executed_granules, p.stats.overlap_granules
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let job_sig: String = r
+        .jobs
+        .iter()
+        .map(|j| {
+            format!(
+                "{}..{}",
+                j.started_at.ticks(),
+                j.finished_at.map(|t| t.ticks() as i64).unwrap_or(-1)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let avail_sig: String = r
+        .avail_trace
+        .points()
+        .iter()
+        .map(|(t, v)| format!("{}@{v}", t.ticks()))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{name} ev={} mk={} tasks={} splits={} descs={} peak={} mgmt={} compute={} \
+         crashes={} retries={} lost={} avail=[{avail_sig}] phases=[{phase_sig}] jobs=[{job_sig}]",
+        r.events,
+        r.makespan.ticks(),
+        r.tasks_dispatched,
+        r.splits,
+        r.descriptors_created,
+        r.descriptors_peak,
+        r.mgmt_time.ticks(),
+        r.compute_time.ticks(),
+        r.crashes,
+        r.retries,
+        r.lost_work.ticks(),
+    )
+}
+
+/// A scripted plan that hits the fleet's machines mid-phase: processor 1
+/// dies early and recovers, processor 3 dies later and never comes back.
+/// Group makespans for the shapes below are several thousand ticks, so
+/// both events land inside the busy window of every replica.
+fn scripted_plan() -> FaultPlan {
+    FaultPlan::scripted(vec![
+        ScriptedFault {
+            processor: 1,
+            crash_at: 500,
+            repair_after: Some(700),
+        },
+        ScriptedFault {
+            processor: 3,
+            crash_at: 1_900,
+            repair_after: None,
+        },
+    ])
+}
+
+/// A random plan aggressive enough to crash every group a handful of
+/// times over a multi-thousand-tick makespan.
+fn random_plan() -> FaultPlan {
+    FaultPlan::random(
+        DurationDist::exponential(1_500),
+        DurationDist::constant(400),
+    )
+}
+
+/// Scripted and random fault plans produce bit-identical reports across
+/// shard counts {1, 2, 4, 8} and across the reference vs threaded
+/// drivers, on independent and staged fleets.
+#[test]
+fn fault_injected_runs_are_identical_across_shards_and_drivers() {
+    let fleets = [
+        ("independent_4x48", FleetConfig::independent(4, 48)),
+        (
+            "staged_4x48_lat350",
+            FleetConfig::staged(4, 48, SimDuration(350)),
+        ),
+    ];
+    let plans = [("scripted", scripted_plan()), ("random", random_plan())];
+    for (fname, fleet) in &fleets {
+        for (pname, plan) in &plans {
+            let name = format!("{fname}+{pname}");
+            let machine = || MachineConfig::new(4).with_faults(plan.clone());
+            let reference = fleet
+                .simulation(machine(), 7)
+                .run()
+                .map(|r| fault_fingerprint(&name, &r))
+                .unwrap();
+            for shards in [1usize, 2, 4, 8] {
+                let cfg = machine().with_shards(ShardPolicy::new(shards));
+                let inline = fleet
+                    .simulation(cfg.clone(), 7)
+                    .run()
+                    .map(|r| fault_fingerprint(&name, &r))
+                    .unwrap();
+                assert_eq!(
+                    inline, reference,
+                    "reference driver diverged: {name} shards={shards}"
+                );
+                let threaded = pax_runtime::run_simulation_sharded(fleet.simulation(cfg, 7))
+                    .map(|r| fault_fingerprint(&name, &r))
+                    .unwrap();
+                assert_eq!(
+                    threaded, reference,
+                    "threaded driver diverged: {name} shards={shards}"
+                );
+            }
+        }
+    }
+}
+
+/// The degraded-capacity report fields actually account for the faults:
+/// crashes happened, preempted ranges were reissued, worker time was
+/// lost, the availability timeline is populated, and utilization against
+/// available capacity is at least the nominal figure.
+#[test]
+fn degraded_capacity_accounting_is_populated() {
+    let fleet = FleetConfig::independent(2, 48);
+    let r = fleet
+        .simulation(MachineConfig::new(4).with_faults(scripted_plan()), 7)
+        .run()
+        .unwrap();
+    assert!(r.crashes > 0, "scripted crashes must land");
+    assert!(r.retries > 0, "preempted in-flight work must be reissued");
+    assert!(r.lost_work.ticks() > 0, "preemption loses computed ticks");
+    assert!(!r.avail_trace.points().is_empty());
+    assert!(r.available_ticks() < r.processors as u64 * r.makespan.ticks());
+    assert!(r.available_utilization() > r.utilization());
+    // Every granule still completed, despite the permanent loss of one
+    // processor per replica.
+    for p in &r.phases {
+        assert_eq!(p.stats.executed_granules, p.granules);
+    }
+    let s = r.summary();
+    assert!(s.contains("crashes"), "summary surfaces fault accounting");
+}
+
+/// A faults-disabled run reports full nominal availability.
+#[test]
+fn fault_free_runs_report_nominal_availability() {
+    let r = FleetConfig::independent(2, 24)
+        .simulation(MachineConfig::new(4), 7)
+        .run()
+        .unwrap();
+    assert_eq!(r.crashes, 0);
+    assert_eq!(r.retries, 0);
+    assert_eq!(r.lost_work, SimDuration::ZERO);
+    assert!(r.avail_trace.points().is_empty());
+    assert_eq!(
+        r.available_ticks(),
+        r.processors as u64 * r.makespan.ticks()
+    );
+    assert!((r.available_utilization() - r.utilization()).abs() < 1e-12);
+}
+
+fn one_task_program(cost: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let a = b.phase(PhaseDef::new("solo", 1, CostModel::constant(cost)));
+    b.dispatch(a);
+    b.build().unwrap()
+}
+
+/// `RetryPolicy::Abandon`: the first preemption aborts the job with a
+/// structured error instead of silently dropping granules.
+#[test]
+fn abandon_policy_aborts_on_first_loss() {
+    let plan = FaultPlan::scripted(vec![ScriptedFault {
+        processor: 0,
+        crash_at: 10,
+        repair_after: Some(5),
+    }])
+    .with_retry(RetryPolicy::Abandon);
+    let mut sim = Simulation::new(
+        MachineConfig::ideal(1).with_faults(plan),
+        OverlapPolicy::strict(),
+    );
+    sim.add_job(one_task_program(50));
+    match sim.run() {
+        Err(EngineError::JobAborted { job, detail }) => {
+            assert_eq!(job, 0);
+            assert!(detail.contains("abandons"), "{detail}");
+        }
+        other => panic!("expected JobAborted, got {other:?}"),
+    }
+}
+
+/// `RetryPolicy::Bounded`: reissues are tolerated up to the budget, one
+/// more crash of the same descriptor escalates to `JobAborted`.
+#[test]
+fn bounded_retries_escalate_to_abort() {
+    // One processor, one 50-tick task, crashes at 10/20/30 with 5-tick
+    // repairs: attempts 1 and 2 reissue, the third exceeds the budget.
+    let crashes = vec![
+        ScriptedFault {
+            processor: 0,
+            crash_at: 10,
+            repair_after: Some(5),
+        },
+        ScriptedFault {
+            processor: 0,
+            crash_at: 20,
+            repair_after: Some(5),
+        },
+        ScriptedFault {
+            processor: 0,
+            crash_at: 30,
+            repair_after: Some(5),
+        },
+    ];
+    let plan =
+        FaultPlan::scripted(crashes.clone()).with_retry(RetryPolicy::Bounded { max_attempts: 2 });
+    let mut sim = Simulation::new(
+        MachineConfig::ideal(1).with_faults(plan),
+        OverlapPolicy::strict(),
+    );
+    sim.add_job(one_task_program(50));
+    match sim.run() {
+        Err(EngineError::JobAborted { job, detail }) => {
+            assert_eq!(job, 0);
+            assert!(detail.contains("budget"), "{detail}");
+        }
+        other => panic!("expected JobAborted, got {other:?}"),
+    }
+    // The same schedule under the default unbounded policy completes.
+    let plan = FaultPlan::scripted(crashes);
+    let mut sim = Simulation::new(
+        MachineConfig::ideal(1).with_faults(plan),
+        OverlapPolicy::strict(),
+    );
+    sim.add_job(one_task_program(50));
+    let r = sim.run().unwrap();
+    assert_eq!(r.crashes, 3);
+    assert_eq!(r.retries, 3);
+    assert_eq!(r.phases[0].stats.executed_granules, 1);
+}
+
+/// A `JobAborted` escaping a machine group of a sharded fleet is
+/// remapped to the job's global submission index.
+#[test]
+fn job_abort_indices_are_remapped_in_fleets() {
+    // Crash processor 0 of every replica; only group 1's job runs under
+    // the machine long enough... actually every replica crashes, so the
+    // *lowest-group* abort wins deterministically — job index must be a
+    // valid global index either way, pinned across shard counts.
+    let plan = FaultPlan::scripted(vec![ScriptedFault {
+        processor: 0,
+        crash_at: 40,
+        repair_after: Some(5),
+    }])
+    .with_retry(RetryPolicy::Abandon);
+    let mut aborted = Vec::new();
+    for shards in [1usize, 2, 3] {
+        let fleet = FleetConfig::independent(3, 16);
+        let cfg = MachineConfig::new(2)
+            .with_faults(plan.clone())
+            .with_shards(ShardPolicy::new(shards));
+        match fleet.simulation(cfg, 7).run() {
+            Err(EngineError::JobAborted { job, detail }) => {
+                assert!(detail.contains("machine group"), "{detail}");
+                aborted.push(job);
+            }
+            other => panic!("expected JobAborted, got {other:?}"),
+        }
+    }
+    assert_eq!(aborted[0], aborted[1]);
+    assert_eq!(aborted[0], aborted[2]);
+}
+
+mod fault_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Each case is 1 + 3×2 full fleet simulations; a few dozen cases
+        // sweep fleet shapes × fault intensities × seeds.
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Same seed + same `FaultPlan` ⇒ bit-identical faulty reports
+        /// across shard counts and both drivers, for random fleets and
+        /// random fault intensities.
+        #[test]
+        fn random_fault_plans_shard_identically(
+            groups in 1usize..5,
+            granules in 8u32..40,
+            ttf in 300u64..4_000,
+            ttr in 1u64..800,
+            latency in 0u64..300,
+            seed in 0u64..1000,
+        ) {
+            let mut fleet = match latency {
+                0 => FleetConfig::independent(groups, granules),
+                l => FleetConfig::staged(groups, granules, SimDuration(l)),
+            };
+            fleet.task_size = 8;
+            let plan = FaultPlan::random(
+                DurationDist::exponential(ttf),
+                DurationDist::uniform(1, ttr.max(2)),
+            );
+            let machine = || MachineConfig::new(3).with_faults(plan.clone());
+            let reference = fleet
+                .simulation(machine(), seed)
+                .run()
+                .map(|r| fault_fingerprint("fleet", &r))
+                .unwrap();
+            for shards in [2usize, 4, 8] {
+                let cfg = machine().with_shards(ShardPolicy::new(shards));
+                let inline = fleet
+                    .simulation(cfg.clone(), seed)
+                    .run()
+                    .map(|r| fault_fingerprint("fleet", &r))
+                    .unwrap();
+                prop_assert_eq!(&inline, &reference, "inline driver diverged at shards={}", shards);
+                let threaded = pax_runtime::run_simulation_sharded(fleet.simulation(cfg, seed))
+                    .map(|r| fault_fingerprint("fleet", &r))
+                    .unwrap();
+                prop_assert_eq!(&threaded, &reference, "threaded driver diverged at shards={}", shards);
+            }
+        }
+    }
+}
