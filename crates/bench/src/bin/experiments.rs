@@ -12,9 +12,10 @@
 //! claim experiments and writes machine-readable throughput numbers (plus
 //! the recorded pre-optimization baseline, the executive lane-scaling
 //! sweep with its wheel-coarseness rows, the run-storage scaling sweep,
-//! the sharded-engine shard-scaling sweep, and the fault-injected
-//! degraded-fleet sweep; `--no-lane-sweep` / `--no-storage-sweep` /
-//! `--no-shard-sweep` / `--no-degraded-sweep` skip the respective
+//! the sharded-engine shard-scaling sweep, the fault-injected
+//! degraded-fleet sweep, and the open-system service-scaling sweep;
+//! `--no-lane-sweep` / `--no-storage-sweep` / `--no-shard-sweep` /
+//! `--no-degraded-sweep` / `--no-service-sweep` skip the respective
 //! sweep) to PATH.
 
 use pax_bench::experiments as ex;
@@ -66,12 +67,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             pax_bench::rundown::degraded_scaling(quick)
         };
+        let service = if args.iter().any(|a| a == "--no-service-sweep") {
+            Vec::new()
+        } else {
+            pax_bench::rundown::service_scaling(quick)
+        };
         let json = pax_bench::rundown::to_json_full(
             &measurements,
             &lanes,
             &storage,
             &shards,
             &degraded,
+            &service,
             &pax_bench::rundown::host_fingerprint(),
         );
         std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;

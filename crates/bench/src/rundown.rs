@@ -781,6 +781,172 @@ pub fn shard_scaling_for(
 /// Shard counts measured by the [`degraded_scaling`] sweep.
 pub const DEGRADED_SWEEP_SHARDS: &[usize] = &[1, 2, 4];
 
+/// Shard counts measured by the [`service_scaling`] sweep.
+pub const SERVICE_SWEEP_SHARDS: &[usize] = &[1, 2, 4];
+
+/// One service-mode data point: a Poisson arrival stream held in service
+/// on the sharded driver, measured by what a machine operator would ask
+/// — latency percentiles and steady-state throughput — rather than by
+/// closed-set makespan.
+#[derive(Debug, Clone)]
+pub struct ServiceScalingMeasurement {
+    /// Service scenario name.
+    pub scenario: String,
+    /// Mean inter-arrival gap of the Poisson stream, ticks.
+    pub mean_gap: u64,
+    /// Shard count (= worker threads; 1 is the reference drive).
+    pub shards: usize,
+    /// Machine groups the stream is spread over.
+    pub groups: usize,
+    /// Total arrivals in the stream.
+    pub jobs: usize,
+    /// Jobs that ran to completion (arrivals minus shed).
+    pub completed: usize,
+    /// Arrivals shed by the admission policy.
+    pub rejected: u64,
+    /// Median admission→completion latency, ticks.
+    pub latency_p50: u64,
+    /// 99th-percentile admission→completion latency, ticks.
+    pub latency_p99: u64,
+    /// Completed jobs per simulated kilotick.
+    pub jobs_per_ktick: f64,
+    /// Peak live program instances (summed over groups) — the eviction
+    /// bound; must track concurrency, not stream length.
+    pub instances_peak: usize,
+    /// Simulator events processed (shard-count-invariant).
+    pub events: u64,
+    /// Simulated makespan in ticks (shard-count-invariant).
+    pub makespan: u64,
+    /// Best wall-clock time for one run, milliseconds.
+    pub wall_ms: f64,
+    /// Events processed per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// One scenario of the service-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ServiceScenario {
+    /// Stable name used as the JSON key.
+    pub name: &'static str,
+    /// The arrival-stream workload.
+    pub service: pax_workloads::ServiceConfig,
+    /// Worker processors per machine group.
+    pub processors: usize,
+    /// Timed repetitions (minimum wall time reported).
+    pub reps: u32,
+}
+
+/// The service-scaling sweep: Poisson arrival streams (open system) ×
+/// shard counts from [`SERVICE_SWEEP_SHARDS`] on the threaded driver.
+/// The arrival-rate axis crosses a saturating stream (gap well under the
+/// per-job service time, latency grows with queueing) with an unloaded
+/// one (gap above it, latency ≈ service time). Rows of one scenario are
+/// asserted result-identical across shard counts, percentiles included.
+pub fn service_scaling(quick: bool) -> Vec<ServiceScalingMeasurement> {
+    use pax_sim::machine::AdmissionPolicy;
+    let (jobs, granules) = if quick { (2_000, 16) } else { (20_000, 32) };
+    let mk = |name: &'static str, mean_gap: u64, groups: usize, admission: AdmissionPolicy| {
+        ServiceScenario {
+            name,
+            service: {
+                let mut s = pax_workloads::ServiceConfig::poisson(jobs, mean_gap);
+                s.granules_per_job = granules;
+                s.with_groups(groups).with_admission(admission)
+            },
+            processors: 8,
+            reps: 2,
+        }
+    };
+    // Per-group service time of one job is roughly
+    // 2 × granules × cost / processors ticks; the "hot" gap sits well
+    // under that (queueing regime — deferral bounds the in-flight
+    // population, so memory tracks capacity, not backlog), the "idle"
+    // gap well above it (accept-all; eviction alone bounds memory).
+    let defer = AdmissionPolicy::BoundedDefer { max_in_flight: 4 };
+    let scenarios = if quick {
+        vec![
+            mk("service_hot_4g", 100, 4, defer),
+            mk("service_idle_4g", 1_200, 4, AdmissionPolicy::AcceptAll),
+        ]
+    } else {
+        vec![
+            mk("service_hot_8g", 200, 8, defer),
+            mk("service_idle_8g", 2_400, 8, AdmissionPolicy::AcceptAll),
+        ]
+    };
+    service_scaling_for(&scenarios, SERVICE_SWEEP_SHARDS)
+}
+
+/// [`service_scaling`] over explicit scenario and shard-count lists
+/// (testable at tiny sizes).
+pub fn service_scaling_for(
+    scenarios: &[ServiceScenario],
+    shard_counts: &[usize],
+) -> Vec<ServiceScalingMeasurement> {
+    use pax_sim::ShardPolicy;
+    let mut out = Vec::new();
+    for sc in scenarios {
+        let mut reference: Option<(u64, u64, usize, u64, u64, u64, usize)> = None;
+        for &shards in shard_counts {
+            let cfg = MachineConfig::new(sc.processors).with_shards(ShardPolicy::new(shards));
+            let mut best_wall = f64::INFINITY;
+            let mut report = None;
+            for _ in 0..sc.reps.max(1) {
+                let sim = sc.service.simulation(cfg.clone(), 7);
+                let t = Instant::now();
+                let r = pax_runtime::run_simulation_sharded(sim).expect("service scenario run");
+                best_wall = best_wall.min(t.elapsed().as_secs_f64() * 1e3);
+                report = Some(r);
+            }
+            let r = report.expect("at least one rep");
+            let p50 = r.latency_p50().map(|d| d.ticks()).unwrap_or(0);
+            let p99 = r.latency_p99().map(|d| d.ticks()).unwrap_or(0);
+            // The whole service history — counts, percentiles, the
+            // eviction bound — must hold still across shard counts, or
+            // the sweep is comparing different machines.
+            let sig = (
+                r.events,
+                r.makespan.ticks(),
+                r.jobs_completed(),
+                r.jobs_rejected,
+                p50,
+                p99,
+                r.instances_peak,
+            );
+            match reference {
+                None => reference = Some(sig),
+                Some(reference) => assert_eq!(
+                    sig, reference,
+                    "{}: service run diverged across shard counts",
+                    sc.name
+                ),
+            }
+            eprintln!(
+                "[service_scaling] {} shards={shards:<2} {best_wall:>9.3} ms  p50={p50} p99={p99} peak={}",
+                sc.name, r.instances_peak
+            );
+            out.push(ServiceScalingMeasurement {
+                scenario: sc.name.to_string(),
+                mean_gap: sc.service.mean_gap,
+                shards,
+                groups: sc.service.groups,
+                jobs: sc.service.jobs,
+                completed: r.jobs_completed(),
+                rejected: r.jobs_rejected,
+                latency_p50: p50,
+                latency_p99: p99,
+                jobs_per_ktick: r.throughput() * 1e3,
+                instances_peak: r.instances_peak,
+                events: r.events,
+                makespan: r.makespan.ticks(),
+                wall_ms: best_wall,
+                events_per_sec: r.events as f64 / (best_wall / 1e3),
+            });
+        }
+    }
+    out
+}
+
 /// The degraded-fleet sweep: the shard-scaling fleets re-run with the
 /// canonical [`pax_workloads::degraded_fault_plan`] injected, at shard
 /// counts from [`DEGRADED_SWEEP_SHARDS`]. Rows answer "does the sharded
@@ -880,7 +1046,7 @@ pub fn to_json(measurements: &[RundownMeasurement]) -> String {
 /// [`BASELINE_HOST`]; the fingerprints of both hosts are recorded so a
 /// later reader can tell which comparison would be legitimate.
 pub fn to_json_for_host(measurements: &[RundownMeasurement], host: &str) -> String {
-    to_json_full(measurements, &[], &[], &[], &[], host)
+    to_json_full(measurements, &[], &[], &[], &[], &[], host)
 }
 
 /// Full document: headline scenarios plus the lane-scaling,
@@ -895,6 +1061,7 @@ pub fn to_json_full(
     storage: &[StorageScalingMeasurement],
     shards: &[ShardScalingMeasurement],
     degraded: &[ShardScalingMeasurement],
+    service: &[ServiceScalingMeasurement],
     host: &str,
 ) -> String {
     let same_host = host == BASELINE_HOST;
@@ -1036,6 +1203,51 @@ pub fn to_json_full(
             out.push_str(&format!("      \"speedup\": {},\n", json_f64(m.speedup)));
             out.push_str(&format!("      \"alpha_eff\": {}\n", json_f64(m.alpha_eff)));
             out.push_str(if i + 1 == degraded.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+    }
+    if !service.is_empty() {
+        out.push_str(
+            "  \"service_scaling_note\": \"open-system service sweep: Poisson job arrivals \
+             held in service with instance eviction, on the threaded sharded driver. \
+             latency percentiles are admission-to-completion in simulated ticks, \
+             jobs_per_ktick is steady-state completions per simulated kilotick, \
+             instances_peak is the eviction-bounded live-instance high-water mark — all \
+             shard-count invariant by the determinism contract (asserted in the sweep). \
+             Rows are excluded from the bench-compare perf gate\",\n",
+        );
+        out.push_str("  \"service_scaling\": [\n");
+        for (i, m) in service.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"scenario\": \"{}\",\n", m.scenario));
+            out.push_str(&format!("      \"mean_gap\": {},\n", m.mean_gap));
+            out.push_str(&format!("      \"shards\": {},\n", m.shards));
+            out.push_str(&format!("      \"groups\": {},\n", m.groups));
+            out.push_str(&format!("      \"jobs\": {},\n", m.jobs));
+            out.push_str(&format!("      \"completed\": {},\n", m.completed));
+            out.push_str(&format!("      \"rejected\": {},\n", m.rejected));
+            out.push_str(&format!("      \"latency_p50\": {},\n", m.latency_p50));
+            out.push_str(&format!("      \"latency_p99\": {},\n", m.latency_p99));
+            out.push_str(&format!(
+                "      \"jobs_per_ktick\": {},\n",
+                json_f64(m.jobs_per_ktick)
+            ));
+            out.push_str(&format!(
+                "      \"instances_peak\": {},\n",
+                m.instances_peak
+            ));
+            out.push_str(&format!("      \"events\": {},\n", m.events));
+            out.push_str(&format!("      \"makespan_ticks\": {},\n", m.makespan));
+            out.push_str(&format!("      \"wall_ms\": {},\n", json_f64(m.wall_ms)));
+            out.push_str(&format!(
+                "      \"events_per_sec\": {}\n",
+                json_f64(m.events_per_sec)
+            ));
+            out.push_str(if i + 1 == service.len() {
                 "    }\n"
             } else {
                 "    },\n"
@@ -1262,7 +1474,32 @@ mod tests {
             retries: 3,
             lost_work_ticks: 42,
         }];
-        let j = to_json_full(&[m], &lanes, &storage, &shards, &degraded, "h/1cpu/x");
+        let service = vec![ServiceScalingMeasurement {
+            scenario: "identity_1e4_t1".into(),
+            mean_gap: 100,
+            shards: 2,
+            groups: 4,
+            jobs: 1000,
+            completed: 990,
+            rejected: 10,
+            latency_p50: 50,
+            latency_p99: 99,
+            jobs_per_ktick: 1.5,
+            instances_peak: 17,
+            events: 10,
+            makespan: 5,
+            wall_ms: 333.333,
+            events_per_sec: 10.0,
+        }];
+        let j = to_json_full(
+            &[m],
+            &lanes,
+            &storage,
+            &shards,
+            &degraded,
+            &service,
+            "h/1cpu/x",
+        );
         assert!(j.contains("\"lane_scaling\""));
         assert!(j.contains("\"calendar\": \"wheel\""));
         assert!(j.contains("\"storage_scaling\""));
@@ -1273,12 +1510,16 @@ mod tests {
         assert!(j.contains("\"degraded_fleet\""));
         assert!(j.contains("\"crashes\": 3"));
         assert!(j.contains("\"lost_work_ticks\": 42"));
+        assert!(j.contains("\"service_scaling\""));
+        assert!(j.contains("\"latency_p99\": 99"));
+        assert!(j.contains("\"instances_peak\": 17"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         let p = crate::compare::parse_rundown(&j);
         assert_eq!(
             p.scenarios.len(),
             1,
-            "gate parser must not ingest lane_scaling/storage_scaling/shard_scaling/degraded_fleet rows"
+            "gate parser must not ingest lane_scaling/storage_scaling/shard_scaling/\
+             degraded_fleet/service_scaling rows"
         );
         assert_ne!(
             p.scenarios[0].1, 123.456,
@@ -1296,6 +1537,43 @@ mod tests {
             p.scenarios[0].1, 555.555,
             "degraded sweep wall_ms leaked into gate"
         );
+        assert_ne!(
+            p.scenarios[0].1, 333.333,
+            "service sweep wall_ms leaked into gate"
+        );
+    }
+
+    #[test]
+    fn service_sweep_covers_the_grid_and_agrees_across_shard_counts() {
+        let scenarios = vec![ServiceScenario {
+            name: "tiny_service",
+            service: {
+                let mut s = pax_workloads::ServiceConfig::poisson(24, 150);
+                s.granules_per_job = 8;
+                // saturated stream: deferral (not accept-all) is what
+                // bounds the live-instance population here
+                s.with_groups(3)
+                    .with_admission(pax_sim::machine::AdmissionPolicy::BoundedDefer {
+                        max_in_flight: 2,
+                    })
+            },
+            processors: 4,
+            reps: 1,
+        }];
+        let rows = service_scaling_for(&scenarios, &[1, 2, 3]);
+        assert_eq!(rows.len(), 3);
+        // the sweep asserts the full service signature internally;
+        // spot-check the emitted rows agree here too
+        for r in &rows[1..] {
+            assert_eq!(r.events, rows[0].events);
+            assert_eq!(r.latency_p50, rows[0].latency_p50);
+            assert_eq!(r.latency_p99, rows[0].latency_p99);
+            assert_eq!(r.instances_peak, rows[0].instances_peak);
+        }
+        assert_eq!(rows[0].completed + rows[0].rejected as usize, 24);
+        assert!(rows[0].jobs_per_ktick > 0.0);
+        // eviction bound: 24 jobs × 2 phases = 48 instances unevicted
+        assert!(rows[0].instances_peak < 48);
     }
 
     #[test]

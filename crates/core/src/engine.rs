@@ -41,9 +41,11 @@ use crate::queue::WaitingQueue;
 use crate::rangeset::{coalesce_indices_into, RangeSet};
 use crate::report::{JobReport, PhaseReport, RunReport};
 use pax_sim::calendar::Calendar;
-use pax_sim::dist::DurationDist;
+use pax_sim::dist::{arrival_seed, ArrivalProcess, DurationDist};
 use pax_sim::faults::{fault_seed, FaultModel, FaultPlan, RetryPolicy};
-use pax_sim::machine::{BatchPolicy, ExecutivePlacement, MachineConfig};
+use pax_sim::machine::{
+    AdmissionPolicy, BatchPolicy, ConfigError, ExecutivePlacement, MachineConfig,
+};
 use pax_sim::metrics::{Activity, GanttTrace, Span, StepTrace};
 use pax_sim::time::{SimDuration, SimTime};
 use pax_sim::trace::TraceLog;
@@ -70,6 +72,9 @@ pub enum EngineError {
     },
     /// A program failed validation before the run started.
     InvalidProgram(String),
+    /// The machine configuration failed
+    /// [`pax_sim::machine::MachineConfig::validate`] at session build.
+    InvalidConfig(ConfigError),
     /// A processor crash lost a granule range that the machine's
     /// [`pax_sim::faults::RetryPolicy`] refused to reissue — the job can
     /// never complete, so the run fails structurally instead of
@@ -100,6 +105,7 @@ impl std::fmt::Display for EngineError {
                 detail,
             } => write!(f, "deadlock: jobs {unfinished_jobs:?} unfinished; {detail}"),
             EngineError::InvalidProgram(s) => write!(f, "invalid program: {s}"),
+            EngineError::InvalidConfig(e) => write!(f, "invalid machine config: {e}"),
             EngineError::JobAborted { job, detail } => {
                 write!(f, "job {job} aborted: {detail}")
             }
@@ -127,6 +133,8 @@ enum Ev {
     Crash { worker: WorkerId },
     /// Fault injection: the worker's processor comes back up.
     Repair { worker: WorkerId },
+    /// Streaming admission: job `job` arrives at the executive's door.
+    Arrive { job: usize },
 }
 
 /// Background executive work items.
@@ -155,6 +163,9 @@ enum InstState {
     Current,
     /// All granules complete.
     Complete,
+    /// Recycled after its job finished (service mode): the slot is on the
+    /// free list, its run sets cleared in place, awaiting a new arrival.
+    Evicted,
 }
 
 /// Enablement-counter state held by an initiated successor instance.
@@ -213,8 +224,15 @@ struct JobRt {
     pending_successor: Option<(usize, InstanceId)>,
     pending_serial_gap: SimDuration,
     done: bool,
+    arrived_at: SimTime,
     started_at: SimTime,
     finished_at: Option<SimTime>,
+    /// Shed by the admission policy (never ran).
+    rejected: bool,
+    /// This job's instances, tracked only under eviction so completion
+    /// can recycle them in O(own instances). Buffers rotate through
+    /// [`Engine::inst_list_pool`] to keep the steady state alloc-free.
+    instances: Vec<InstanceId>,
 }
 
 /// A configured simulation, ready to run.
@@ -248,10 +266,29 @@ pub struct Simulation {
     /// independent machines, coupled only through [`Simulation::link_groups`]
     /// admission edges — the unit the sharded drivers distribute.
     pub(crate) groups: Vec<usize>,
+    /// Arrival instant of each job (parallel to `programs`); `t = 0` for
+    /// batch jobs. In multi-group simulations instants are *local* to the
+    /// group's timeline (global = group admission + instant), which keeps
+    /// them shard-count-invariant.
+    pub(crate) arrivals: Vec<SimTime>,
+    /// Arrival streams not yet expanded into concrete jobs (see
+    /// [`Simulation::expand_streams`]).
+    pub(crate) streams: Vec<StreamSpec>,
+    /// Recycle the instances of finished jobs (bounded-memory service).
+    pub(crate) evict: bool,
     pub(crate) links: Vec<crate::shard::GroupLink>,
     pub(crate) seed: u64,
     pub(crate) gantt: bool,
     pub(crate) trace: bool,
+}
+
+/// A deferred arrival stream: `count` copies of one program admitted at
+/// instants drawn from an [`ArrivalProcess`], all in one machine group.
+pub(crate) struct StreamSpec {
+    program: Program,
+    process: ArrivalProcess,
+    count: usize,
+    group: usize,
 }
 
 impl Simulation {
@@ -262,6 +299,9 @@ impl Simulation {
             policy,
             programs: Vec::new(),
             groups: Vec::new(),
+            arrivals: Vec::new(),
+            streams: Vec::new(),
+            evict: false,
             links: Vec::new(),
             seed: 0x5EED_CA5E,
             gantt: false,
@@ -274,6 +314,77 @@ impl Simulation {
         self.add_job_in_group(program, 0)
     }
 
+    /// Add a job arriving at instant `at` (open-system admission): the
+    /// job enters the machine's admission policy when simulated time
+    /// reaches `at`, while earlier jobs are still running down. `at = 0`
+    /// is exactly [`Simulation::add_job`].
+    pub fn add_job_at(&mut self, program: Program, at: SimTime) -> JobId {
+        self.add_job_at_in_group(program, at, 0)
+    }
+
+    /// Add a job arriving at instant `at` in machine group `group`. The
+    /// instant is local to the group's timeline: a gated group's jobs
+    /// arrive `at` ticks after the group is admitted.
+    pub fn add_job_at_in_group(&mut self, program: Program, at: SimTime, group: usize) -> JobId {
+        self.programs.push(program);
+        self.groups.push(group);
+        self.arrivals.push(at);
+        JobId(self.programs.len() as u32 - 1)
+    }
+
+    /// Add `count` copies of `program` arriving at instants drawn from
+    /// `process` (Poisson inter-arrival gaps, or a recorded trace). The
+    /// instants are expanded deterministically at session build from a
+    /// per-stream RNG ([`pax_sim::dist::arrival_seed`]), so the same seed
+    /// reproduces the same arrival pattern at every shard count.
+    pub fn add_job_stream(&mut self, program: Program, process: ArrivalProcess, count: usize) {
+        self.add_job_stream_in_group(program, process, count, 0);
+    }
+
+    /// [`Simulation::add_job_stream`] targeted at machine group `group`.
+    pub fn add_job_stream_in_group(
+        &mut self,
+        program: Program,
+        process: ArrivalProcess,
+        count: usize,
+        group: usize,
+    ) {
+        self.streams.push(StreamSpec {
+            program,
+            process,
+            count,
+            group,
+        });
+    }
+
+    /// Evict (recycle) the phase instances of each job as it finishes, so
+    /// live memory stays bounded over unbounded arrival streams. The
+    /// report then keeps only the instances still live at run end (its
+    /// `instances_peak` field records the high-water mark); per-job
+    /// latency accounting is unaffected.
+    pub fn with_eviction(mut self) -> Simulation {
+        self.evict = true;
+        self
+    }
+
+    /// Expand every pending arrival stream into concrete `(program, at)`
+    /// jobs, appended after all directly-added jobs in stream order.
+    /// Idempotent (streams are drained); called once at session build so
+    /// expansion precedes sharding — job↔group assignment and instants
+    /// are therefore identical at every shard count.
+    pub(crate) fn expand_streams(&mut self) {
+        if self.streams.is_empty() {
+            return;
+        }
+        let streams = take(&mut self.streams);
+        for (i, s) in streams.into_iter().enumerate() {
+            let mut rng = pax_sim::seeded_rng(arrival_seed(self.seed, i as u64));
+            for at in s.process.instants(s.count, &mut rng) {
+                self.add_job_at_in_group(s.program.clone(), at, s.group);
+            }
+        }
+    }
+
     /// Add a job stream to machine group `group`; returns its id.
     ///
     /// Jobs in one group run on one shared simulated machine (contending
@@ -283,9 +394,7 @@ impl Simulation {
     /// must be dense: adding to group `g` requires groups `0..g` to exist
     /// already (`run` validates this).
     pub fn add_job_in_group(&mut self, program: Program, group: usize) -> JobId {
-        self.programs.push(program);
-        self.groups.push(group);
-        JobId(self.programs.len() as u32 - 1)
+        self.add_job_at_in_group(program, SimTime::ZERO, group)
     }
 
     /// Gate machine group `succ` on machine group `pred`: `succ` is
@@ -325,20 +434,39 @@ impl Simulation {
         self
     }
 
-    /// Execute to completion.
+    /// Execute to completion: a thin wrapper over the session API —
+    /// [`Simulation::into_session`], [`Session::drain`],
+    /// [`Session::report`].
     ///
     /// Single-group runs with `cfg.shards ≤ 1` take the classic
     /// single-threaded drive loop. Everything else goes through the
     /// sharded core driver ([`crate::shard`]), which is pinned
     /// bit-identical to it; the threaded driver lives in `pax-runtime`.
     pub fn run(self) -> Result<RunReport, EngineError> {
+        let mut session = self.into_session()?;
+        session.drain()?;
+        session.report()
+    }
+
+    /// Build a long-lived [`Session`]: expand arrival streams, validate
+    /// the machine configuration and every program, construct the
+    /// engine(s), and admit the `t = 0` jobs. The caller then drives the
+    /// session with [`Session::step_until`] / [`Session::drain`] and
+    /// extracts the result with [`Session::report`].
+    pub fn into_session(mut self) -> Result<Session, EngineError> {
+        self.expand_streams();
+        self.cfg.validate().map_err(EngineError::InvalidConfig)?;
         self.validate()?;
         if self.is_single_group() && self.cfg.shards.shards <= 1 {
             let mut eng = Engine::new(self);
             eng.start();
-            eng.run_loop()
+            Ok(Session {
+                inner: SessionInner::Inline(Box::new(eng)),
+            })
         } else {
-            crate::shard::run_sharded(self.into_sharded()?)
+            Ok(Session {
+                inner: SessionInner::Sharded(self.into_sharded()?),
+            })
         }
     }
 
@@ -357,6 +485,65 @@ impl Simulation {
             return Err(EngineError::InvalidProgram("no jobs".into()));
         }
         Ok(())
+    }
+}
+
+/// A long-lived, non-consuming simulation drive: the open-system service
+/// loop. Built by [`Simulation::into_session`]; stepped in bounded time
+/// windows ([`Session::step_until`]) or to completion ([`Session::drain`]);
+/// consumed once by [`Session::report`].
+///
+/// Every drive path — the inline engine, the sharded reference driver,
+/// and `pax-runtime`'s threaded driver — goes through the same windowed
+/// loop, so chopping a run into `step_until` windows at *any* boundaries
+/// is result-invariant: a session stepped to `t = ∞` in one go and a
+/// session stepped tick by tick produce bit-identical reports.
+pub struct Session {
+    inner: SessionInner,
+}
+
+enum SessionInner {
+    /// Single-group, unsharded: one engine driven directly.
+    Inline(Box<Engine>),
+    /// Multi-group or multi-shard: the epoch coordinator plus its shard
+    /// engines, driven by the conservative-window protocol.
+    Sharded(crate::shard::ShardedRun),
+}
+
+impl Session {
+    /// Drain every event due at or before `limit` (global time). Returns
+    /// `true` once the simulation has fully run down — no pending events
+    /// (and, sharded, no pending admissions) remain at any time.
+    pub fn step_until(&mut self, limit: SimTime) -> Result<bool, EngineError> {
+        match &mut self.inner {
+            SessionInner::Inline(eng) => Ok(eng.run_window(Some(limit))),
+            SessionInner::Sharded(run) => run.step_until(Some(limit)),
+        }
+    }
+
+    /// Run the session to completion (equivalent to `step_until(∞)`).
+    pub fn drain(&mut self) -> Result<(), EngineError> {
+        match &mut self.inner {
+            SessionInner::Inline(eng) => {
+                let drained = eng.run_window(None);
+                debug_assert!(drained, "unbounded window must drain the calendar");
+                Ok(())
+            }
+            SessionInner::Sharded(run) => run.step_until(None).map(|_| ()),
+        }
+    }
+
+    /// Finish the session: drain any remaining work, run the deadlock
+    /// checks, and merge the final [`RunReport`].
+    pub fn report(mut self) -> Result<RunReport, EngineError> {
+        self.drain()?;
+        match self.inner {
+            SessionInner::Inline(eng) => eng.finish(),
+            SessionInner::Sharded(run) => {
+                let (coordinator, shards) = run.into_parts();
+                coordinator.finish(shards)
+            }
+        }
     }
 }
 
@@ -489,6 +676,20 @@ pub(crate) struct Engine {
     /// vectors per window (pinned by the alloc-free regression test).
     round_batch: Vec<(SimTime, Ev)>,
     round_dones: Vec<(WorkerId, DescId)>,
+    /// Jobs admitted and not yet finished (admission-policy accounting).
+    in_flight: usize,
+    /// Jobs held back by `AdmissionPolicy::BoundedDefer`, in arrival
+    /// order; each job completion admits the front one.
+    deferred: VecDeque<usize>,
+    /// Jobs shed by `AdmissionPolicy::Shed`.
+    jobs_rejected: u64,
+    /// Recycle finished jobs' instances (service mode).
+    evict: bool,
+    /// Evicted instance slots available for reuse (LIFO, so the peak of
+    /// `instances.len()` is the true live high-water mark).
+    free_instances: Vec<u32>,
+    /// Recycled per-job instance-list buffers (see [`JobRt::instances`]).
+    inst_list_pool: Vec<Vec<InstanceId>>,
     /// Fault-injection runtime; `None` on failure-free machines.
     faults: Option<FaultRt>,
     /// First structural abort (e.g. a retry policy giving up on lost
@@ -498,10 +699,17 @@ pub(crate) struct Engine {
 
 impl Engine {
     pub(crate) fn new(s: Simulation) -> Engine {
+        debug_assert_eq!(
+            s.programs.len(),
+            s.arrivals.len(),
+            "arrival instants parallel the job list"
+        );
+        debug_assert!(s.streams.is_empty(), "streams expanded before build");
         let jobs: Vec<JobRt> = s
             .programs
             .into_iter()
-            .map(|program| {
+            .zip(s.arrivals)
+            .map(|(program, arrived_at)| {
                 let Program {
                     phases,
                     steps,
@@ -516,8 +724,11 @@ impl Engine {
                     pending_successor: None,
                     pending_serial_gap: SimDuration::ZERO,
                     done: false,
+                    arrived_at,
                     started_at: SimTime::ZERO,
                     finished_at: None,
+                    rejected: false,
+                    instances: Vec::new(),
                 }
             })
             .collect();
@@ -564,6 +775,12 @@ impl Engine {
             warnings: Vec::new(),
             round_batch: Vec::with_capacity(s.cfg.executive_lanes),
             round_dones: Vec::with_capacity(s.cfg.executive_lanes),
+            in_flight: 0,
+            deferred: VecDeque::new(),
+            jobs_rejected: 0,
+            evict: s.evict,
+            free_instances: Vec::new(),
+            inst_list_pool: Vec::new(),
             faults,
             abort: None,
             cfg: s.cfg,
@@ -668,26 +885,55 @@ impl Engine {
             .policy
             .sizing
             .task_granules(granules, self.cfg.processors);
-        let id = InstanceId(self.instances.len() as u32);
         let mut stats = PhaseStats::new(self.now);
         stats.serial_gap = std::mem::take(&mut self.jobs[job].pending_serial_gap);
-        self.instances.push(Instance {
-            def,
-            job,
-            dispatch_step,
-            state,
-            granules,
-            remaining: granules,
-            task_size,
-            released: RangeSet::with_storage(self.cfg.run_storage),
-            completed: RangeSet::with_storage(self.cfg.run_storage),
-            live_descs: Vec::new(),
-            predecessor,
-            successor: None,
-            enabled_by,
-            counter_state: None,
-            stats,
-        });
+        // Under eviction, reuse a recycled slot: its run sets were cleared
+        // in place (buffers kept warm) and its live list is empty, so the
+        // steady-state service loop creates instances without allocating.
+        let id = match self.evict.then(|| self.free_instances.pop()).flatten() {
+            Some(slot) => {
+                let inst = &mut self.instances[slot as usize];
+                debug_assert_eq!(inst.state, InstState::Evicted, "free slot not evicted");
+                debug_assert!(inst.live_descs.is_empty());
+                inst.def = def;
+                inst.job = job;
+                inst.dispatch_step = dispatch_step;
+                inst.state = state;
+                inst.granules = granules;
+                inst.remaining = granules;
+                inst.task_size = task_size;
+                inst.predecessor = predecessor;
+                inst.successor = None;
+                inst.enabled_by = enabled_by;
+                inst.counter_state = None;
+                inst.stats = stats;
+                InstanceId(slot)
+            }
+            None => {
+                let id = InstanceId(self.instances.len() as u32);
+                self.instances.push(Instance {
+                    def,
+                    job,
+                    dispatch_step,
+                    state,
+                    granules,
+                    remaining: granules,
+                    task_size,
+                    released: RangeSet::with_storage(self.cfg.run_storage),
+                    completed: RangeSet::with_storage(self.cfg.run_storage),
+                    live_descs: Vec::new(),
+                    predecessor,
+                    successor: None,
+                    enabled_by,
+                    counter_state: None,
+                    stats,
+                });
+                id
+            }
+        };
+        if self.evict {
+            self.jobs[job].instances.push(id);
+        }
         id
     }
 
@@ -809,8 +1055,7 @@ impl Engine {
         loop {
             match &steps[pc] {
                 Step::End => {
-                    self.jobs[job].done = true;
-                    self.jobs[job].finished_at = Some(self.now);
+                    self.finish_job(job);
                     return;
                 }
                 Step::Incr { idx, delta } => {
@@ -1808,6 +2053,100 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // streaming admission & eviction (service mode)
+    // ------------------------------------------------------------------
+
+    /// Job `job` reached its arrival instant: apply the machine's
+    /// admission policy.
+    fn on_arrive(&mut self, job: usize) {
+        self.admit_or_queue(job);
+    }
+
+    fn admit_or_queue(&mut self, job: usize) {
+        match self.cfg.admission {
+            AdmissionPolicy::AcceptAll => self.admit_job(job),
+            AdmissionPolicy::BoundedDefer { max_in_flight } => {
+                if self.in_flight < max_in_flight {
+                    self.admit_job(job);
+                } else {
+                    self.deferred.push_back(job);
+                }
+            }
+            AdmissionPolicy::Shed { max_in_flight } => {
+                if self.in_flight < max_in_flight {
+                    self.admit_job(job);
+                } else {
+                    // Shed: the job never runs. `done` keeps the drained
+                    // calendar from reading as a deadlock; `finished_at`
+                    // stays `None` so latency accounting skips it.
+                    self.jobs[job].rejected = true;
+                    self.jobs[job].done = true;
+                    self.jobs_rejected += 1;
+                    self.tlog
+                        .log(self.now, || format!("job{job} shed by admission"));
+                }
+            }
+        }
+    }
+
+    /// Start `job` now: its first dispatch enters the executive exactly
+    /// as a batch job's would.
+    fn admit_job(&mut self, job: usize) {
+        self.in_flight += 1;
+        if self.evict {
+            if let Some(buf) = self.inst_list_pool.pop() {
+                self.jobs[job].instances = buf;
+            }
+        }
+        self.jobs[job].started_at = self.now;
+        self.run_program(job, 0);
+    }
+
+    /// The program of `job` reached `End`: record completion, recycle its
+    /// instances under eviction, and let the admission policy pull the
+    /// next deferred arrival through the freed slot.
+    fn finish_job(&mut self, job: usize) {
+        self.jobs[job].done = true;
+        self.jobs[job].finished_at = Some(self.now);
+        self.in_flight -= 1;
+        if self.evict {
+            self.evict_job_instances(job);
+        }
+        if let Some(next) = self.deferred.pop_front() {
+            self.admit_job(next);
+        }
+    }
+
+    /// Return every instance of finished job `job` to the free list: run
+    /// sets cleared in place (allocations kept), counter state dropped,
+    /// slot marked [`InstState::Evicted`]. All of a job's instances die
+    /// together, so no surviving predecessor/successor reference can
+    /// dangle (those links never cross jobs).
+    fn evict_job_instances(&mut self, job: usize) {
+        let mut ids = take(&mut self.jobs[job].instances);
+        for id in ids.drain(..) {
+            let inst = &mut self.instances[id.0 as usize];
+            if inst.state != InstState::Complete {
+                // An abandoned lookahead misprediction could leave an
+                // Initiated instance behind; keep it (leaked, warned
+                // about at initiation) rather than evict live state.
+                debug_assert_eq!(inst.state, InstState::Initiated, "evicting live instance");
+                continue;
+            }
+            debug_assert!(
+                inst.live_descs.is_empty(),
+                "complete instance has live descs"
+            );
+            inst.state = InstState::Evicted;
+            inst.released.clear();
+            inst.completed.clear();
+            inst.counter_state = None;
+            self.free_instances.push(id.0);
+        }
+        self.inst_list_pool.push(ids);
+    }
+
+    // ------------------------------------------------------------------
     // run loop & report
     // ------------------------------------------------------------------
 
@@ -2019,8 +2358,16 @@ impl Engine {
 
     pub(crate) fn start(&mut self) {
         for j in 0..self.jobs.len() {
-            self.jobs[j].started_at = self.now;
-            self.run_program(j, 0);
+            // `t = 0` arrivals are admitted directly, with no `Arrive`
+            // event: under the default accept-all policy the event stream
+            // (and hence the whole run) is bit-identical to the closed
+            // batch engine. Later arrivals enter through the calendar.
+            let at = self.jobs[j].arrived_at;
+            if at == SimTime::ZERO {
+                self.admit_or_queue(j);
+            } else {
+                self.events.schedule(at, Ev::Arrive { job: j });
+            }
         }
         for w in 0..self.cfg.processors {
             self.events
@@ -2100,15 +2447,13 @@ impl Engine {
                     self.events_processed += 1;
                     self.on_repair(worker);
                 }
+                Ev::Arrive { job } => {
+                    self.events_processed += 1;
+                    self.on_arrive(job);
+                }
             }
             i += 1;
         }
-    }
-
-    fn run_loop(mut self) -> Result<RunReport, EngineError> {
-        let drained = self.run_window(None);
-        debug_assert!(drained, "unbounded window must drain the calendar");
-        self.finish()
     }
 
     /// Drain events due at or before `limit` (all remaining events when
@@ -2224,10 +2569,14 @@ impl Engine {
             ),
             None => (StepTrace::new(), SimDuration::ZERO, 0, 0),
         };
+        // Evicted slots are holes, not phases: with eviction on, `phases`
+        // holds only the instances still live when the run ended (the
+        // recycled ones were reported through job latency accounting).
         let phases: Vec<PhaseReport> = self
             .instances
             .iter()
             .enumerate()
+            .filter(|(_, inst)| inst.state != InstState::Evicted)
             .map(|(i, inst)| PhaseReport {
                 instance: InstanceId(i as u32),
                 name: self.jobs[inst.job].phases[inst.def.0 as usize].name.clone(),
@@ -2241,8 +2590,10 @@ impl Engine {
             .jobs
             .iter()
             .map(|j| JobReport {
+                arrived_at: j.arrived_at,
                 started_at: j.started_at,
                 finished_at: j.finished_at,
+                rejected: j.rejected,
             })
             .collect();
         RunReport {
@@ -2260,6 +2611,8 @@ impl Engine {
             crashes,
             phases,
             jobs,
+            jobs_rejected: self.jobs_rejected,
+            instances_peak: self.instances.len(),
             events: self.events_processed,
             tasks_dispatched: self.tasks_dispatched,
             splits: self.splits,

@@ -70,9 +70,12 @@ pub mod rangeset;
 pub mod report;
 pub mod shard;
 
-/// Convenient re-exports of the items almost every user needs.
+/// Convenient re-exports of the items almost every user needs: the whole
+/// configure → build → run/session → report surface, including the
+/// `pax-sim` machine-description types, so a scenario needs only
+/// `use pax_core::prelude::*;`.
 pub mod prelude {
-    pub use crate::engine::{EngineError, Simulation};
+    pub use crate::engine::{EngineError, Session, Simulation};
     pub use crate::ids::{GranuleRange, InstanceId, JobId, PhaseId, WorkerId};
     pub use crate::mapping::{
         CompositeMap, EnablementMapping, ForwardMap, MappingKind, ReverseMap, SeamMap,
@@ -86,6 +89,15 @@ pub mod prelude {
     pub use crate::shard::{
         run_sharded, Coordinator, EpochPlan, GroupLink, ShardEngine, ShardedRun,
     };
+    pub use pax_sim::dist::{ArrivalProcess, CostModel, DurationDist};
+    pub use pax_sim::faults::{FaultModel, FaultPlan, RetryPolicy, ScriptedFault};
+    pub use pax_sim::locality::{DataLayout, LocalityModel};
+    pub use pax_sim::machine::{
+        AdmissionPolicy, BatchPolicy, ConfigError, ExecutivePlacement, MachineConfig,
+        ManagementCosts, RunStorageKind, ShardPolicy,
+    };
+    pub use pax_sim::seeded_rng;
+    pub use pax_sim::time::{SimDuration, SimTime};
 }
 
 pub use prelude::*;

@@ -222,6 +222,33 @@ impl RangeSet {
         }
     }
 
+    /// Remove every stored run while keeping the backend's allocations
+    /// for reuse — the eviction path resets a completed instance's sets
+    /// without returning their buffers to the allocator, so a recycled
+    /// instance starts warm.
+    pub fn clear(&mut self) {
+        match &mut self.store {
+            Store::Vec(v) => {
+                v.runs.clear();
+                v.hint = 0;
+            }
+            Store::Chunked(c) => {
+                // Unlink every live chunk into the free list; each keeps
+                // its `Vec` capacity for the next occupant.
+                let mut cur = c.head;
+                while cur != NIL {
+                    let next = c.chunks[cur as usize].next;
+                    c.free_chunk(cur);
+                    cur = next;
+                }
+                c.head = NIL;
+                c.runs_total = 0;
+                c.hint_chunk = NIL;
+                c.hint_slot = 0;
+            }
+        }
+    }
+
     /// The gaps inside the window, as a fresh vector. Convenience wrapper
     /// over [`RangeSet::subtract_into`] for tests and cold paths.
     pub fn gaps_in(&self, win: GranuleRange) -> Vec<GranuleRange> {
@@ -1082,6 +1109,32 @@ mod tests {
             assert_eq!(i.merged, r(20, 35));
             assert_eq!(i.added, 5);
             assert_eq!(s.run_count(), 3);
+        }
+    }
+
+    #[test]
+    fn clear_empties_and_reuses_both_backends() {
+        for kind in all_kinds() {
+            let mut s = RangeSet::with_storage(kind);
+            for k in 0..40u32 {
+                s.insert(r(k * 10, k * 10 + 4));
+            }
+            assert_eq!(s.run_count(), 40, "{kind:?}");
+            s.clear();
+            assert!(s.is_empty());
+            assert_eq!(s.run_count(), 0);
+            assert_eq!(s.len(), 0);
+            assert!(s.gaps_in(r(0, 50)) == vec![r(0, 50)]);
+            assert_eq!(
+                s.storage_kind(),
+                RangeSet::with_storage(kind).storage_kind()
+            );
+            // a cleared set behaves like a fresh one
+            s.insert(r(5, 9));
+            s.insert(r(9, 12));
+            assert_eq!(s.run_count(), 1);
+            assert!(s.contains_range(r(5, 12)));
+            assert!(!s.contains(12));
         }
     }
 

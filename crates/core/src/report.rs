@@ -41,16 +41,32 @@ impl PhaseReport {
 /// Per-job summary.
 #[derive(Debug, Clone)]
 pub struct JobReport {
-    /// When the job's first phase was dispatched.
+    /// When the job entered the system (its arrival instant — `t = 0`
+    /// for batch jobs added directly).
+    pub arrived_at: SimTime,
+    /// When the job's first phase was dispatched. Equals `arrived_at`
+    /// unless an admission policy deferred the job.
     pub started_at: SimTime,
-    /// When the job's program reached `End`.
+    /// When the job's program reached `End` (`None` for unfinished or
+    /// shed jobs).
     pub finished_at: Option<SimTime>,
+    /// True when the admission policy shed the job instead of running it.
+    pub rejected: bool,
 }
 
 impl JobReport {
-    /// Elapsed wall-clock for the job, if it finished.
+    /// Elapsed wall-clock for the job from dispatch, if it finished.
     pub fn makespan(&self) -> Option<SimDuration> {
         self.finished_at.map(|f| f.since(self.started_at))
+    }
+
+    /// Service latency: arrival to completion, including any admission
+    /// deferral, if the job finished.
+    pub fn latency(&self) -> Option<SimDuration> {
+        if self.rejected {
+            return None;
+        }
+        self.finished_at.map(|f| f.since(self.arrived_at))
     }
 }
 
@@ -89,10 +105,18 @@ pub struct RunReport {
     pub retries: u64,
     /// Processor crashes that occurred during the run.
     pub crashes: u64,
-    /// Phase instances in initiation order.
+    /// Phase instances in initiation order. With instance eviction
+    /// enabled (service mode), holds only the instances still live when
+    /// the run ended — evicted entries are dropped to bound memory.
     pub phases: Vec<PhaseReport>,
-    /// Job summaries.
+    /// Job summaries, including arrival/latency fields for service runs.
     pub jobs: Vec<JobReport>,
+    /// Jobs shed by the admission policy (`AdmissionPolicy::Shed`).
+    pub jobs_rejected: u64,
+    /// Peak simultaneously-live phase instances. Without eviction this is
+    /// the total instance count; with eviction it is the recycling pool's
+    /// high-water mark — the bounded-memory figure for service runs.
+    pub instances_peak: usize,
     /// Events processed by the simulator.
     pub events: u64,
     /// Total tasks dispatched to workers.
@@ -246,6 +270,45 @@ impl RunReport {
         self.jobs.first().and_then(|j| j.makespan())
     }
 
+    /// Jobs that ran to completion (shed jobs excluded).
+    pub fn jobs_completed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.latency().is_some()).count()
+    }
+
+    /// Nearest-rank percentile of job service latency
+    /// (arrival → completion) over completed jobs. `p` in `[0, 100]`.
+    /// `None` when no job completed.
+    pub fn latency_percentile(&self, p: f64) -> Option<SimDuration> {
+        let mut lat: Vec<SimDuration> = self.jobs.iter().filter_map(|j| j.latency()).collect();
+        if lat.is_empty() {
+            return None;
+        }
+        lat.sort_unstable();
+        let p = p.clamp(0.0, 100.0);
+        // Nearest-rank: ceil(p/100 * n), 1-based; p = 0 reads the minimum.
+        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+        Some(lat[rank.max(1) - 1])
+    }
+
+    /// Median job service latency.
+    pub fn latency_p50(&self) -> Option<SimDuration> {
+        self.latency_percentile(50.0)
+    }
+
+    /// 99th-percentile job service latency — the service-mode tail figure.
+    pub fn latency_p99(&self) -> Option<SimDuration> {
+        self.latency_percentile(99.0)
+    }
+
+    /// Steady-state throughput: completed jobs per tick of makespan
+    /// (0.0 for an empty run).
+    pub fn throughput(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.jobs_completed() as f64 / self.makespan.ticks() as f64
+    }
+
     /// Render a compact textual summary.
     pub fn summary(&self) -> String {
         let mut s = String::new();
@@ -351,9 +414,13 @@ mod tests {
                 },
             }],
             jobs: vec![JobReport {
+                arrived_at: SimTime(0),
                 started_at: SimTime(0),
                 finished_at: Some(SimTime(100)),
+                rejected: false,
             }],
+            jobs_rejected: 0,
+            instances_peak: 1,
             events: 10,
             tasks_dispatched: 8,
             splits: 4,
@@ -447,6 +514,61 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("crashes 1"));
         assert!(s.contains("avail-utilization"));
+    }
+
+    #[test]
+    fn latency_percentiles_and_throughput() {
+        let mut r = mk_report();
+        r.jobs = (0..100)
+            .map(|i| JobReport {
+                arrived_at: SimTime(i),
+                started_at: SimTime(i),
+                finished_at: Some(SimTime(i + 1 + i)), // latency i+1: 1..=100
+                rejected: false,
+            })
+            .collect();
+        // shed and unfinished jobs are excluded from both counts
+        r.jobs.push(JobReport {
+            arrived_at: SimTime(7),
+            started_at: SimTime(7),
+            finished_at: None,
+            rejected: true,
+        });
+        r.jobs.push(JobReport {
+            arrived_at: SimTime(9),
+            started_at: SimTime(9),
+            finished_at: None,
+            rejected: false,
+        });
+        r.jobs_rejected = 1;
+        assert_eq!(r.jobs_completed(), 100);
+        assert_eq!(r.latency_p50(), Some(SimDuration(50)));
+        assert_eq!(r.latency_p99(), Some(SimDuration(99)));
+        assert_eq!(r.latency_percentile(100.0), Some(SimDuration(100)));
+        assert_eq!(r.latency_percentile(0.0), Some(SimDuration(1)));
+        // 100 completions over 100 ticks of makespan
+        assert!((r.throughput() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_excludes_deferral_start_but_counts_from_arrival() {
+        let j = JobReport {
+            arrived_at: SimTime(10),
+            started_at: SimTime(25), // deferred 15 ticks by admission
+            finished_at: Some(SimTime(40)),
+            rejected: false,
+        };
+        assert_eq!(j.makespan(), Some(SimDuration(15)));
+        assert_eq!(j.latency(), Some(SimDuration(30)));
+    }
+
+    #[test]
+    fn no_completions_means_no_percentiles() {
+        let mut r = mk_report();
+        r.jobs.clear();
+        assert_eq!(r.jobs_completed(), 0);
+        assert_eq!(r.latency_p50(), None);
+        assert_eq!(r.throughput(), 0.0);
     }
 
     #[test]

@@ -295,6 +295,20 @@ impl Coordinator {
         into.append(&mut self.pending);
     }
 
+    /// True when no group has any activity at or before `limit` left:
+    /// each is finished, admitted with its next event past the limit, or
+    /// gated behind a pred whose own entry gates the pause. The windowed
+    /// drivers poll this to pause a `step_until` mid-run.
+    pub fn paused_past(&self, limit: SimTime) -> bool {
+        (0..self.n_groups()).all(|g| {
+            self.finished[g].is_some()
+                || match self.admitted[g] {
+                    Some(at) => self.lower_bound[g].max(at) > limit,
+                    None => true,
+                }
+        })
+    }
+
     /// Plan the next epoch.
     pub fn plan(&mut self) -> EpochPlan {
         let n = self.n_groups();
@@ -403,8 +417,10 @@ impl Coordinator {
             trace_to_deltas(&report.avail_trace, admit, &mut avail_deltas);
             for (j, jr) in report.jobs.iter().enumerate() {
                 jobs[job_map[j]] = Some(JobReport {
+                    arrived_at: SimTime(admit + jr.arrived_at.0),
                     started_at: SimTime(admit + jr.started_at.0),
                     finished_at: jr.finished_at.map(|f| SimTime(admit + f.0)),
+                    rejected: jr.rejected,
                 });
             }
             let acc = match merged.as_mut() {
@@ -435,6 +451,8 @@ impl Coordinator {
             acc.remote_granules += report.remote_granules;
             acc.descriptors_created += report.descriptors_created;
             acc.descriptors_peak += report.descriptors_peak;
+            acc.jobs_rejected += report.jobs_rejected;
+            acc.instances_peak += report.instances_peak;
             let instance_base = acc.phases.len() as u32;
             let mut phases = report.phases;
             rewrite_phases(&mut phases, instance_base, job_map);
@@ -511,6 +529,51 @@ impl ShardedRun {
     pub fn into_parts(self) -> (Coordinator, Vec<ShardEngine>) {
         (self.coordinator, self.shards)
     }
+
+    /// Drive the fleet up to global time `limit` (to completion when
+    /// `None`), running every epoch's shards in shard order on the
+    /// calling thread. Returns `Ok(true)` once every group finished,
+    /// `Ok(false)` when the fleet paused at the limit with work left.
+    ///
+    /// The epoch schedule a limited drive produces differs from the
+    /// unbounded one, but window boundaries are result-invariant (see
+    /// `Engine::run_window`) and admission times are exact, so the final
+    /// report is bit-identical no matter how the drive was chopped.
+    pub fn step_until(&mut self, limit: Option<SimTime>) -> Result<bool, EngineError> {
+        let mut admissions: Vec<(usize, SimTime)> = Vec::new();
+        loop {
+            match self.coordinator.plan() {
+                EpochPlan::Done => return Ok(true),
+                EpochPlan::Stuck { unadmitted } => {
+                    return Err(stuck_error(&self.coordinator, &unadmitted));
+                }
+                EpochPlan::Run { window } => {
+                    let eff = match (window, limit) {
+                        (Some(w), Some(l)) => Some(w.min(l)),
+                        (Some(w), None) => Some(w),
+                        (None, l) => l,
+                    };
+                    for s in &mut self.shards {
+                        s.run_window(eff);
+                    }
+                    for s in &self.shards {
+                        self.coordinator.absorb(s.notes());
+                    }
+                    admissions.clear();
+                    self.coordinator.drain_admissions(&mut admissions);
+                    let shard_count = self.shards.len();
+                    for &(g, at) in &admissions {
+                        self.shards[g % shard_count].deliver(g, at);
+                    }
+                    if let Some(l) = limit {
+                        if self.coordinator.paused_past(l) {
+                            return Ok(false);
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Simulation {
@@ -518,7 +581,9 @@ impl Simulation {
     /// `cfg.shards.shards` shards (clamped to the group count) plus the
     /// epoch [`Coordinator`]. Validates programs, group density, and
     /// admission edges.
-    pub fn into_sharded(self) -> Result<ShardedRun, EngineError> {
+    pub fn into_sharded(mut self) -> Result<ShardedRun, EngineError> {
+        self.expand_streams();
+        self.cfg.validate().map_err(EngineError::InvalidConfig)?;
         self.validate()?;
         let n_groups = self.groups.iter().copied().max().unwrap_or(0) + 1;
         for (i, &g) in self.groups.iter().enumerate() {
@@ -549,6 +614,10 @@ impl Simulation {
         let mut group_jobs: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
         let mut programs: Vec<Vec<crate::program::Program>> =
             (0..n_groups).map(|_| Vec::new()).collect();
+        // Arrival instants are local to each group's timeline (global
+        // arrival = admission + local arrival), so they partition with
+        // the jobs unchanged — shard-count invariant by construction.
+        let mut arrivals: Vec<Vec<SimTime>> = (0..n_groups).map(|_| Vec::new()).collect();
         for (job, (program, &g)) in self
             .programs
             .into_iter()
@@ -556,6 +625,7 @@ impl Simulation {
             .enumerate()
         {
             group_jobs[g].push(job);
+            arrivals[g].push(self.arrivals[job]);
             programs[g].push(program);
         }
         let total_jobs = group_jobs.iter().map(|j| j.len()).sum();
@@ -570,12 +640,16 @@ impl Simulation {
             })
             .collect();
         let per_group_cfg = self.cfg.clone().with_shards(pax_sim::ShardPolicy::single());
-        for (g, group_programs) in programs.into_iter().enumerate() {
+        for (g, (group_programs, group_arrivals)) in programs.into_iter().zip(arrivals).enumerate()
+        {
             let sub = Simulation {
                 cfg: per_group_cfg.clone(),
                 policy: self.policy.clone(),
                 groups: vec![0; group_programs.len()],
                 programs: group_programs,
+                arrivals: group_arrivals,
+                streams: Vec::new(),
+                evict: self.evict,
                 links: Vec::new(),
                 seed: group_seed(self.seed, g),
                 gantt: self.gantt,
@@ -619,31 +693,9 @@ impl Simulation {
 /// order on the calling thread. The pinned baseline the threaded driver
 /// (`pax-runtime`) is diffed against — and the path `Simulation::run`
 /// takes for multi-group or multi-shard configurations.
-pub fn run_sharded(run: ShardedRun) -> Result<RunReport, EngineError> {
-    let (mut coordinator, mut shards) = run.into_parts();
-    let mut admissions: Vec<(usize, SimTime)> = Vec::new();
-    loop {
-        match coordinator.plan() {
-            EpochPlan::Done => break,
-            EpochPlan::Stuck { unadmitted } => {
-                return Err(stuck_error(&coordinator, &unadmitted));
-            }
-            EpochPlan::Run { window } => {
-                for s in &mut shards {
-                    s.run_window(window);
-                }
-                for s in &shards {
-                    coordinator.absorb(s.notes());
-                }
-                admissions.clear();
-                coordinator.drain_admissions(&mut admissions);
-                let shard_count = shards.len();
-                for &(g, at) in &admissions {
-                    shards[g % shard_count].deliver(g, at);
-                }
-            }
-        }
-    }
+pub fn run_sharded(mut run: ShardedRun) -> Result<RunReport, EngineError> {
+    run.step_until(None)?;
+    let (coordinator, shards) = run.into_parts();
     coordinator.finish(shards)
 }
 

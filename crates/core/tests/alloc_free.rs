@@ -202,6 +202,82 @@ fn sharded_fleet_run(granules_per_group: u32) -> (RunReport, u64) {
     (report, after - before)
 }
 
+/// A Poisson service stream with eviction: `jobs` arrivals of the same
+/// two-phase single-granule-task program, completed instances recycled
+/// back into the arena. Growing the *stream* (not the per-job work) must
+/// not grow the allocation count per event: once the in-flight pool is
+/// warm, admitting a job reuses pooled instance slots and instance
+/// lists, and completing one returns them.
+fn service_stream_run(jobs: usize) -> (RunReport, u64) {
+    use pax_sim::dist::ArrivalProcess;
+    let mut b = ProgramBuilder::new();
+    let pa = b.phase(PhaseDef::new("a", 64, CostModel::constant(100)));
+    let pb = b.phase(PhaseDef::new("b", 64, CostModel::constant(100)));
+    b.dispatch_enable(
+        pa,
+        vec![EnableSpec {
+            successor: pb,
+            mapping: EnablementMapping::Identity,
+        }],
+    );
+    b.dispatch(pb);
+    let program = b.build().unwrap();
+    let policy = OverlapPolicy::overlap()
+        .with_sizing(TaskSizing::Fixed(1))
+        .with_split_strategy(SplitStrategy::DemandSplit);
+    let mut sim = Simulation::new(MachineConfig::new(8), policy)
+        .with_seed(1)
+        .with_eviction();
+    // Mean gap comfortably above the ~1 600-tick per-job service time:
+    // an under-loaded open system, so the in-flight population (and with
+    // it the warm pool) stays O(1) regardless of stream length.
+    sim.add_job_stream(program, ArrivalProcess::poisson(4_000), jobs);
+    // Setup (stream expansion, job table, arrival calendar) and final
+    // report assembly legitimately scale with the stream length; the
+    // steady-state claim is about the *service loop*, so measure only
+    // the drain after a warm-up window has filled the instance pool.
+    let mut session = sim.into_session().unwrap();
+    session.step_until(pax_sim::SimTime(40_000)).unwrap();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    session.drain().unwrap();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let report = session.report().unwrap();
+    (report, after - before)
+}
+
+/// Service-mode steady state: 4× the stream length, same in-flight
+/// population. The per-completion (and per-admission) term is zero once
+/// the pool is warm — the eviction path recycles instance slots and
+/// per-job instance lists instead of allocating fresh ones, so only the
+/// job-table/report growth term (amortized doublings plus O(1) inline
+/// records per job, never per event) remains.
+fn assert_service_steady_state_alloc_free() {
+    let (r1, a1) = service_stream_run(64);
+    let (r2, a2) = service_stream_run(256);
+    assert_eq!(r1.jobs_completed(), 64);
+    assert_eq!(r2.jobs_completed(), 256);
+    assert!(
+        r2.instances_peak <= r1.instances_peak + 4,
+        "live-instance pool grew with the stream ({} -> {})",
+        r1.instances_peak,
+        r2.instances_peak
+    );
+    let extra_events = r2.events - r1.events;
+    assert!(
+        extra_events > 10_000,
+        "scenario too small to measure ({extra_events} extra events)"
+    );
+    let extra_allocs = a2.saturating_sub(a1);
+    let per_event = extra_allocs as f64 / extra_events as f64;
+    assert!(
+        per_event < 0.01,
+        "service-stream completion processing allocates: \
+         {per_event:.4} allocations/event \
+         ({extra_allocs} extra allocations over {extra_events} extra events; \
+         run sizes {a1} vs {a2})"
+    );
+}
+
 /// The sharded engine's steady state: epochs reuse the outbox, note, and
 /// admission buffers, so the extra allocations per extra event across a
 /// 4× growth stay far below one — same bound as the single-group legs
@@ -253,4 +329,9 @@ fn steady_state_completion_processing_is_allocation_free() {
     // running-slot bookkeeping on every completion allocate nothing.
     let _ = faults_enabled_run(256);
     assert_faults_enabled_steady_state_alloc_free();
+    // Open-system service stream with eviction: a 4× longer arrival
+    // stream admits and completes through a recycled instance pool —
+    // still zero allocations per event once the pool is warm.
+    let _ = service_stream_run(16);
+    assert_service_steady_state_alloc_free();
 }

@@ -181,9 +181,16 @@ fn reverse_map_rejects_out_of_range_dependency() {
 }
 
 #[test]
-#[should_panic(expected = "at least one processor")]
 fn machine_with_zero_processors_rejected() {
-    let _ = MachineConfig::new(0);
+    // Construction is infallible; the session build surfaces the error.
+    let mut sim = Simulation::new(MachineConfig::new(0), OverlapPolicy::strict());
+    sim.add_job(two_phases(4, 4, EnablementMapping::Identity));
+    assert!(matches!(
+        sim.run(),
+        Err(EngineError::InvalidConfig(
+            pax_sim::machine::ConfigError::ZeroProcessors
+        ))
+    ));
 }
 
 // ---------------------------------------------------------------------

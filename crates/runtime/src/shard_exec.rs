@@ -54,7 +54,7 @@
 
 use pax_core::engine::{EngineError, Simulation};
 use pax_core::report::RunReport;
-use pax_core::shard::{stuck_error, EpochPlan, GroupNote, ShardEngine, ShardedRun};
+use pax_core::shard::{stuck_error, Coordinator, EpochPlan, GroupNote, ShardEngine, ShardedRun};
 use pax_sim::time::SimTime;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
@@ -166,13 +166,14 @@ pub fn run_simulation_sharded(sim: Simulation) -> Result<RunReport, EngineError>
 /// surfaces as [`EngineError::ShardFailed`]; the driver never hangs on
 /// a failed worker.
 pub fn run_sharded_threaded(run: ShardedRun) -> Result<RunReport, EngineError> {
-    run_sharded_threaded_with(run, DEFAULT_WATCHDOG, |_, _| {})
+    ThreadedSession::new(run).finish()
 }
 
 /// [`run_sharded_threaded`] with an explicit watchdog and a per-epoch
 /// test hook `(shard, epoch)`, invoked inside the `catch_unwind`
 /// envelope before the window is drained — the chaos tests inject
 /// panicking and sleeping hooks here to simulate shard failures.
+#[cfg(test)]
 fn run_sharded_threaded_with<F>(
     run: ShardedRun,
     watchdog: Duration,
@@ -181,57 +182,167 @@ fn run_sharded_threaded_with<F>(
 where
     F: Fn(usize, u64) + Send + Sync + 'static,
 {
-    if run.shard_count() <= 1 {
-        // One shard: a thread plus a gate rendezvous per epoch would buy
-        // nothing over the reference driver.
-        return pax_core::shard::run_sharded(run);
-    }
-    let (mut coordinator, shards) = run.into_parts();
-    let n = shards.len();
-    let gate = Arc::new(Gate::new(n));
-    let hook = Arc::new(hook);
-    for (i, shard) in shards.into_iter().enumerate() {
-        let gate = Arc::clone(&gate);
-        let hook = Arc::clone(&hook);
-        // Spawned detached (the handle is dropped): if this thread
-        // wedges, the watchdog abandons it rather than joining on it.
-        std::thread::Builder::new()
-            .name(format!("pax-shard-{i}"))
-            .spawn(move || worker_loop(i, shard, &gate, &*hook))
-            .expect("spawn shard worker thread");
+    ThreadedSession::spawn(run, watchdog, hook).finish()
+}
+
+/// A long-lived threaded sharded run: the service-mode counterpart of
+/// [`pax_core::engine::Session`], driving one persistent worker thread
+/// per shard through the cancellable epoch gate.
+///
+/// `step_until` pauses the whole fleet at a global time bound (arrival
+/// streams keep the calendars populated between calls), `drain` runs to
+/// completion, and `finish` stops the workers and merges the report.
+/// [`run_sharded_threaded`] is the one-shot wrapper over this type, so
+/// batch and service drives share one protocol implementation.
+pub struct ThreadedSession {
+    inner: Option<SessionInner>,
+    watchdog: Duration,
+}
+
+enum SessionInner {
+    /// ≤ 1 shard: a thread plus a gate rendezvous per epoch would buy
+    /// nothing; drive the reference decomposition on the calling thread.
+    Inline(ShardedRun),
+    Threaded {
+        coordinator: Coordinator,
+        gate: Arc<Gate>,
+        n: usize,
+        /// Reused admission scratch, kept across epochs.
+        admissions: Vec<(usize, SimTime)>,
+    },
+}
+
+impl ThreadedSession {
+    /// Decompose-and-spawn with the default watchdog.
+    pub fn new(run: ShardedRun) -> ThreadedSession {
+        Self::spawn(run, DEFAULT_WATCHDOG, |_, _| {})
     }
 
-    let mut admissions: Vec<(usize, SimTime)> = Vec::new();
-    loop {
-        match coordinator.plan() {
-            EpochPlan::Done => break,
-            EpochPlan::Stuck { unadmitted } => {
-                let err = stuck_error(&coordinator, &unadmitted);
-                // Workers are healthy and waiting; release them before
-                // reporting the fleet-level deadlock.
-                let _ = publish_and_wait(&gate, Command::Stop, watchdog);
-                return Err(err);
-            }
-            EpochPlan::Run { window } => {
-                publish_and_wait(&gate, Command::Run(window), watchdog)?;
-                let mut st = gate.lock();
-                coordinator.absorb(&st.exchange);
-                st.exchange.clear();
-                admissions.clear();
-                coordinator.drain_admissions(&mut admissions);
-                for &(g, at) in &admissions {
-                    st.inboxes[g % n].push((g, at));
+    /// Spawn the shard worker threads (detached — the watchdog abandons
+    /// a wedged thread rather than joining on it) and park them at the
+    /// gate awaiting the first epoch.
+    fn spawn<F>(run: ShardedRun, watchdog: Duration, hook: F) -> ThreadedSession
+    where
+        F: Fn(usize, u64) + Send + Sync + 'static,
+    {
+        if run.shard_count() <= 1 {
+            return ThreadedSession {
+                inner: Some(SessionInner::Inline(run)),
+                watchdog,
+            };
+        }
+        let (coordinator, shards) = run.into_parts();
+        let n = shards.len();
+        let gate = Arc::new(Gate::new(n));
+        let hook = Arc::new(hook);
+        for (i, shard) in shards.into_iter().enumerate() {
+            let gate = Arc::clone(&gate);
+            let hook = Arc::clone(&hook);
+            std::thread::Builder::new()
+                .name(format!("pax-shard-{i}"))
+                .spawn(move || worker_loop(i, shard, &gate, &*hook))
+                .expect("spawn shard worker thread");
+        }
+        ThreadedSession {
+            inner: Some(SessionInner::Threaded {
+                coordinator,
+                gate,
+                n,
+                admissions: Vec::new(),
+            }),
+            watchdog,
+        }
+    }
+
+    /// Drive the fleet up to global time `limit` (to completion when
+    /// `None`). Returns `Ok(true)` once every group finished, `Ok(false)`
+    /// when the fleet paused at the limit with work left.
+    pub fn step_until(&mut self, limit: Option<SimTime>) -> Result<bool, EngineError> {
+        let watchdog = self.watchdog;
+        match self.inner.as_mut().expect("session already finished") {
+            SessionInner::Inline(run) => run.step_until(limit),
+            SessionInner::Threaded {
+                coordinator,
+                gate,
+                n,
+                admissions,
+            } => loop {
+                match coordinator.plan() {
+                    EpochPlan::Done => return Ok(true),
+                    EpochPlan::Stuck { unadmitted } => {
+                        let err = stuck_error(coordinator, &unadmitted);
+                        // Workers are healthy and waiting; release them
+                        // before reporting the fleet-level deadlock.
+                        let _ = publish_and_wait(gate, Command::Stop, watchdog);
+                        return Err(err);
+                    }
+                    EpochPlan::Run { window } => {
+                        let eff = match (window, limit) {
+                            (Some(w), Some(l)) => Some(w.min(l)),
+                            (Some(w), None) => Some(w),
+                            (None, l) => l,
+                        };
+                        publish_and_wait(gate, Command::Run(eff), watchdog)?;
+                        let mut st = gate.lock();
+                        coordinator.absorb(&st.exchange);
+                        st.exchange.clear();
+                        admissions.clear();
+                        coordinator.drain_admissions(admissions);
+                        for &(g, at) in admissions.iter() {
+                            st.inboxes[g % *n].push((g, at));
+                        }
+                        drop(st);
+                        if let Some(l) = limit {
+                            if coordinator.paused_past(l) {
+                                return Ok(false);
+                            }
+                        }
+                    }
                 }
+            },
+        }
+    }
+
+    /// Run the fleet to completion (every calendar drained).
+    pub fn drain(&mut self) -> Result<(), EngineError> {
+        self.step_until(None).map(|_| ())
+    }
+
+    /// Drain any remaining work, stop the workers, and merge the final
+    /// [`RunReport`].
+    pub fn finish(mut self) -> Result<RunReport, EngineError> {
+        self.step_until(None)?;
+        let watchdog = self.watchdog;
+        match self.inner.take().expect("session already finished") {
+            SessionInner::Inline(run) => {
+                let (coordinator, shards) = run.into_parts();
+                coordinator.finish(shards)
+            }
+            SessionInner::Threaded {
+                coordinator, gate, ..
+            } => {
+                publish_and_wait(&gate, Command::Stop, watchdog)?;
+                let mut cells: Vec<(usize, ShardEngine)> = {
+                    let mut st = gate.lock();
+                    st.returned.drain(..).collect()
+                };
+                cells.sort_by_key(|&(i, _)| i);
+                coordinator.finish(cells.into_iter().map(|(_, s)| s).collect())
             }
         }
     }
-    publish_and_wait(&gate, Command::Stop, watchdog)?;
-    let mut cells: Vec<(usize, ShardEngine)> = {
-        let mut st = gate.lock();
-        st.returned.drain(..).collect()
-    };
-    cells.sort_by_key(|&(i, _)| i);
-    coordinator.finish(cells.into_iter().map(|(_, s)| s).collect())
+}
+
+impl Drop for ThreadedSession {
+    fn drop(&mut self) {
+        if let Some(SessionInner::Threaded { gate, .. }) = &self.inner {
+            // Abandoned mid-run (or an error path already returned):
+            // cancel any workers parked at the gate so the detached
+            // threads exit instead of waiting forever. First-writer-wins
+            // makes this a no-op after a real failure already poisoned.
+            gate.poison(0, "session dropped before finish".to_string());
+        }
+    }
 }
 
 /// One shard thread: wait for each published epoch, run it under

@@ -16,7 +16,7 @@
 //! * The `skip_probability` on [`CostModel`] — conditionally executed
 //!   computations that turn out to be no-ops.
 
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use rand::Rng;
 
 /// A distribution over granule execution times, sampled in whole ticks.
@@ -186,6 +186,96 @@ impl CostModel {
     }
 }
 
+/// When new jobs arrive into a long-lived, open-system simulation.
+///
+/// A closed batch admits every job at time zero; a *service* admits jobs
+/// while earlier ones are still running down. The arrival process decides
+/// the admission instants. Arrivals are expanded to concrete instants
+/// **before** the run starts (from a dedicated, domain-separated RNG —
+/// see [`arrival_seed`]), so the engine's task-sampling RNG consumes zero
+/// extra draws and closed-system runs stay bit-identical to the goldens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: independent exponential inter-arrival gaps
+    /// with the given mean (the classic open-system M/·/· source). The
+    /// first arrival lands one gap after time zero.
+    Poisson {
+        /// Mean inter-arrival gap, in ticks.
+        mean: SimDuration,
+    },
+    /// Trace-driven arrivals: jobs are admitted at exactly these instants
+    /// (sorted ascending; replayed as-given, no randomness).
+    Trace(Vec<SimTime>),
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals with the given mean inter-arrival gap in ticks.
+    pub fn poisson(mean_gap_ticks: u64) -> ArrivalProcess {
+        ArrivalProcess::Poisson {
+            mean: SimDuration(mean_gap_ticks),
+        }
+    }
+
+    /// Trace-driven arrivals at the given instants (sorted internally so
+    /// callers can list them in any order).
+    pub fn trace(mut instants: Vec<SimTime>) -> ArrivalProcess {
+        instants.sort_unstable();
+        ArrivalProcess::Trace(instants)
+    }
+
+    /// Expand the process into `count` concrete admission instants,
+    /// sorted ascending. A trace shorter than `count` yields only the
+    /// instants it has; Poisson always yields exactly `count`.
+    pub fn instants<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<SimTime> {
+        match self {
+            ArrivalProcess::Poisson { mean } => {
+                let gap = DurationDist::Exponential { mean: *mean };
+                let mut t = SimTime::ZERO;
+                (0..count)
+                    .map(|_| {
+                        t += gap.sample(rng);
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Trace(instants) => instants.iter().take(count).copied().collect(),
+        }
+    }
+
+    /// Mean inter-arrival gap in ticks (floating point). For a trace this
+    /// is the average gap over the recorded instants (0.0 when fewer than
+    /// two instants exist).
+    pub fn mean_gap_ticks(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { mean } => mean.0 as f64,
+            ArrivalProcess::Trace(instants) => match (instants.first(), instants.last()) {
+                (Some(first), Some(last)) if instants.len() > 1 => {
+                    (last.0 - first.0) as f64 / (instants.len() - 1) as f64
+                }
+                _ => 0.0,
+            },
+        }
+    }
+}
+
+/// Deterministic seed for the dedicated arrival RNG of job stream
+/// `stream` in a simulation whose scenario seed is `seed`.
+///
+/// Arrival instants must never share the engine's task-sampling RNG:
+/// with a shared stream, merely attaching an arrival process would
+/// perturb every sampled task time and break the t=0 ≡ batch-golden
+/// contract. A splitmix64 finalizer over a domain- and stream-separated
+/// seed gives each stream an independent, reproducible sequence that is
+/// also stable across shard counts (expansion happens before sharding).
+pub fn arrival_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        ^ 0x0000_A221_77A1_5EED_u64.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ stream.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +369,44 @@ mod tests {
     #[should_panic(expected = "lo <= hi")]
     fn uniform_rejects_inverted_bounds() {
         let _ = DurationDist::uniform(5, 1);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_positive_and_deterministic() {
+        let p = ArrivalProcess::poisson(250);
+        let a = p.instants(500, &mut SmallRng::seed_from_u64(7));
+        let b = p.instants(500, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a[0] > SimTime::ZERO, "first arrival lands after t=0");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "instants sorted");
+        let mean_gap = a.last().unwrap().0 as f64 / a.len() as f64;
+        assert!(
+            (mean_gap - 250.0).abs() < 30.0,
+            "empirical mean gap {mean_gap} too far from 250"
+        );
+        assert_eq!(p.mean_gap_ticks(), 250.0);
+    }
+
+    #[test]
+    fn trace_arrivals_replay_sorted_and_truncate() {
+        let p = ArrivalProcess::trace(vec![SimTime(30), SimTime(10), SimTime(20)]);
+        let mut r = rng();
+        assert_eq!(
+            p.instants(10, &mut r),
+            vec![SimTime(10), SimTime(20), SimTime(30)]
+        );
+        assert_eq!(p.instants(2, &mut r), vec![SimTime(10), SimTime(20)]);
+        assert_eq!(p.mean_gap_ticks(), 10.0);
+        assert_eq!(ArrivalProcess::trace(vec![]).mean_gap_ticks(), 0.0);
+    }
+
+    #[test]
+    fn arrival_seed_is_deterministic_and_stream_separated() {
+        assert_eq!(arrival_seed(7, 0), arrival_seed(7, 0));
+        assert_ne!(arrival_seed(7, 0), arrival_seed(7, 1));
+        assert_ne!(arrival_seed(7, 0), arrival_seed(8, 0));
+        assert_ne!(arrival_seed(7, 0), 7);
     }
 
     #[test]

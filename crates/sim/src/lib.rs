@@ -50,12 +50,13 @@ pub mod time;
 pub mod trace;
 
 pub use calendar::{Calendar, CalendarKind, TimeWheel};
-pub use dist::{CostModel, DurationDist};
+pub use dist::{ArrivalProcess, CostModel, DurationDist};
 pub use event::EventQueue;
 pub use faults::{FaultModel, FaultPlan, RetryPolicy, ScriptedFault};
 pub use locality::{DataLayout, LocalityModel};
 pub use machine::{
-    BatchPolicy, ExecutivePlacement, MachineConfig, ManagementCosts, RunStorageKind, ShardPolicy,
+    AdmissionPolicy, BatchPolicy, ConfigError, ExecutivePlacement, MachineConfig, ManagementCosts,
+    RunStorageKind, ShardPolicy,
 };
 pub use metrics::{Activity, BusyCounter, GanttTrace, Span, StepTrace, Welford};
 pub use time::{SimDuration, SimTime};

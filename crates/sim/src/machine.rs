@@ -218,9 +218,10 @@ impl ShardPolicy {
         ShardPolicy { shards: 1 }
     }
 
-    /// A policy with `shards` shards (must be ≥ 1).
+    /// A policy with `shards` shards. Infallible by design — a zero
+    /// count is reported as [`ConfigError::ZeroShards`] when the config
+    /// is validated at session build.
     pub fn new(shards: usize) -> ShardPolicy {
-        assert!(shards > 0, "need at least one shard");
         ShardPolicy { shards }
     }
 }
@@ -230,6 +231,74 @@ impl Default for ShardPolicy {
         ShardPolicy::single()
     }
 }
+
+/// What the executive does when a new job arrives while the machine is
+/// already loaded — the open-system backpressure knob.
+///
+/// In a closed batch every job is admitted at time zero and the policy
+/// never engages ([`AdmissionPolicy::AcceptAll`] with nothing to refuse).
+/// Under a streaming arrival process the policy decides whether a
+/// machine drowning in overlapping rundowns keeps accepting work,
+/// defers it, or sheds it — and the report accounts for the choice
+/// (`jobs_rejected`, per-job latency measured from *arrival*, so a
+/// deferred job's queueing delay is visible in p99).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Admit every arrival immediately. The default, and the only policy
+    /// a closed (all arrivals at t=0) run ever exercises.
+    #[default]
+    AcceptAll,
+    /// Admit at most `max_in_flight` uncompleted jobs; later arrivals
+    /// wait in an admission queue (FIFO) and enter as completions free
+    /// capacity. Nothing is lost — latency absorbs the backpressure.
+    BoundedDefer {
+        /// Maximum number of admitted-but-unfinished jobs (≥ 1).
+        max_in_flight: usize,
+    },
+    /// Admit at most `max_in_flight` uncompleted jobs; arrivals beyond
+    /// that are rejected outright and counted in `jobs_rejected` (their
+    /// `JobReport` is marked rejected and excluded from percentiles).
+    Shed {
+        /// Maximum number of admitted-but-unfinished jobs (≥ 1).
+        max_in_flight: usize,
+    },
+}
+
+/// A structured machine-configuration error, produced by
+/// [`MachineConfig::validate`] once at session build.
+///
+/// The builder setters themselves are infallible — a config is data and
+/// may pass through invalid intermediate states while being assembled —
+/// and validation happens exactly once, when a `Simulation` is turned
+/// into a session (or run). This replaces the scattered constructor
+/// panics the setters used to carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `processors == 0`: the machine has no workers to run granules.
+    ZeroProcessors,
+    /// `executive_lanes == 0`: the executive has no service lanes.
+    ZeroExecutiveLanes,
+    /// `shards.shards == 0`: the run has no shard to execute on.
+    ZeroShards,
+    /// An admission policy with `max_in_flight == 0` can never admit
+    /// any job at all.
+    ZeroAdmissionCapacity,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroProcessors => write!(f, "machine needs at least one processor"),
+            ConfigError::ZeroExecutiveLanes => write!(f, "need at least one executive lane"),
+            ConfigError::ZeroShards => write!(f, "need at least one shard"),
+            ConfigError::ZeroAdmissionCapacity => {
+                write!(f, "admission policy needs max_in_flight >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Complete machine description for a simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -267,6 +336,11 @@ pub struct MachineConfig {
     /// result-identical; counts > 1 let the threaded driver in
     /// `pax-runtime` drain independent machine groups in parallel.
     pub shards: ShardPolicy,
+    /// Admission policy for streaming arrivals (open-system service
+    /// mode). [`AdmissionPolicy::AcceptAll`] — the default — admits
+    /// every job on arrival and is the only policy a closed batch ever
+    /// exercises, so the golden shapes are untouched.
+    pub admission: AdmissionPolicy,
     /// Optional processor fault-injection plan. `None` (the default) is a
     /// failure-free machine — and costs zero extra random draws, so the
     /// golden shapes are untouched. `Some` makes crashes a deterministic
@@ -279,9 +353,10 @@ pub struct MachineConfig {
 
 impl MachineConfig {
     /// A machine with `processors` workers, dedicated executive, and
-    /// default PAX costs.
+    /// default PAX costs. Infallible — `processors == 0` is reported as
+    /// [`ConfigError::ZeroProcessors`] by [`MachineConfig::validate`]
+    /// at session build.
     pub fn new(processors: usize) -> MachineConfig {
-        assert!(processors > 0, "machine needs at least one processor");
         MachineConfig {
             processors,
             executive: ExecutivePlacement::Dedicated,
@@ -292,6 +367,7 @@ impl MachineConfig {
             batch: BatchPolicy::default(),
             run_storage: RunStorageKind::default(),
             shards: ShardPolicy::default(),
+            admission: AdmissionPolicy::default(),
             faults: None,
         }
     }
@@ -309,14 +385,40 @@ impl MachineConfig {
             batch: BatchPolicy::default(),
             run_storage: RunStorageKind::default(),
             shards: ShardPolicy::default(),
+            admission: AdmissionPolicy::default(),
             faults: None,
         }
     }
 
+    /// Check the assembled config for structural validity. Called once
+    /// at session build (`Simulation::into_session` / `run`); the
+    /// builder setters themselves never panic or clamp.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.processors == 0 {
+            return Err(ConfigError::ZeroProcessors);
+        }
+        if self.executive_lanes == 0 {
+            return Err(ConfigError::ZeroExecutiveLanes);
+        }
+        if self.shards.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        match self.admission {
+            AdmissionPolicy::BoundedDefer { max_in_flight }
+            | AdmissionPolicy::Shed { max_in_flight }
+                if max_in_flight == 0 =>
+            {
+                return Err(ConfigError::ZeroAdmissionCapacity);
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
     /// Builder-style: set the number of executive lanes (middle
-    /// management extension; must be ≥ 1).
+    /// management extension). Infallible — a zero count is reported as
+    /// [`ConfigError::ZeroExecutiveLanes`] at session build.
     pub fn with_executive_lanes(mut self, lanes: usize) -> MachineConfig {
-        assert!(lanes > 0, "need at least one executive lane");
         self.executive_lanes = lanes;
         self
     }
@@ -360,6 +462,12 @@ impl MachineConfig {
     /// Builder-style: set the sharding policy for multi-group runs.
     pub fn with_shards(mut self, shards: ShardPolicy) -> MachineConfig {
         self.shards = shards;
+        self
+    }
+
+    /// Builder-style: set the admission policy for streaming arrivals.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> MachineConfig {
+        self.admission = admission;
         self
     }
 
@@ -417,9 +525,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one processor")]
-    fn zero_processors_rejected() {
-        let _ = MachineConfig::new(0);
+    fn zero_processors_rejected_at_validation() {
+        // Construction is infallible; the structural error surfaces
+        // exactly once, at session build.
+        assert_eq!(
+            MachineConfig::new(0).validate(),
+            Err(ConfigError::ZeroProcessors)
+        );
+        assert_eq!(
+            MachineConfig::new(4).with_executive_lanes(0).validate(),
+            Err(ConfigError::ZeroExecutiveLanes)
+        );
+        assert_eq!(MachineConfig::new(4).validate(), Ok(()));
     }
 
     #[test]
@@ -453,9 +570,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one shard")]
-    fn zero_shards_rejected() {
-        let _ = ShardPolicy::new(0);
+    fn zero_shards_rejected_at_validation() {
+        assert_eq!(
+            MachineConfig::new(4)
+                .with_shards(ShardPolicy::new(0))
+                .validate(),
+            Err(ConfigError::ZeroShards)
+        );
+        assert_eq!(
+            MachineConfig::new(4)
+                .with_shards(ShardPolicy::new(8))
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn admission_defaults_and_validation() {
+        // Accept-all stays the default — the only policy a closed batch
+        // exercises, so golden shapes are untouched.
+        assert_eq!(MachineConfig::new(4).admission, AdmissionPolicy::AcceptAll);
+        assert_eq!(
+            MachineConfig::ideal(4).admission,
+            AdmissionPolicy::AcceptAll
+        );
+        let m = MachineConfig::new(4)
+            .with_admission(AdmissionPolicy::BoundedDefer { max_in_flight: 8 });
+        assert_eq!(
+            m.admission,
+            AdmissionPolicy::BoundedDefer { max_in_flight: 8 }
+        );
+        assert_eq!(m.validate(), Ok(()));
+        for bad in [
+            AdmissionPolicy::BoundedDefer { max_in_flight: 0 },
+            AdmissionPolicy::Shed { max_in_flight: 0 },
+        ] {
+            assert_eq!(
+                MachineConfig::new(4).with_admission(bad).validate(),
+                Err(ConfigError::ZeroAdmissionCapacity)
+            );
+        }
+        // Errors render as readable messages.
+        assert!(ConfigError::ZeroProcessors
+            .to_string()
+            .contains("processor"));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod fragmentation;
 pub mod fragments;
 pub mod generators;
 pub mod mini_casper;
+pub mod service;
 
 pub use casper::{casper_declared_census, CasperConfig, CASPER_PHASES};
 pub use checkerboard::{checkerboard_program, Checkerboard, Color, RedBlackGrid};
@@ -42,3 +43,4 @@ pub use fragments::{
 };
 pub use generators::{CostShape, GeneratorConfig};
 pub use mini_casper::MiniCasper;
+pub use service::ServiceConfig;

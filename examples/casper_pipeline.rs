@@ -7,7 +7,6 @@
 
 use pax_analyze::classify_program;
 use pax_core::prelude::*;
-use pax_sim::machine::{ExecutivePlacement, MachineConfig, ManagementCosts};
 use pax_workloads::casper::{casper_declared_census, CasperConfig, CASPER_PHASES};
 
 fn main() -> std::process::ExitCode {

@@ -14,11 +14,8 @@
 //!    (convergence to the discrete harmonic solution) and showing the
 //!    overlap filling rundown on actual hardware.
 
-use pax_core::mapping::CompositeMap;
 use pax_core::prelude::*;
 use pax_runtime::{run_chain, RtMapping, RtPhase, RuntimeConfig, SharedF64};
-use pax_sim::dist::CostModel;
-use pax_sim::machine::MachineConfig;
 use pax_workloads::checkerboard::{checkerboard_program, Checkerboard, Color, RedBlackGrid};
 use std::sync::Arc;
 use std::time::Duration;

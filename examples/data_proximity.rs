@@ -12,11 +12,7 @@
 //! cargo run --release --example data_proximity -- [--clusters N] [--stall T]
 //! ```
 
-use pax_core::mapping::MappingKind;
 use pax_core::prelude::*;
-use pax_sim::locality::{DataLayout, LocalityModel};
-use pax_sim::machine::MachineConfig;
-use pax_sim::time::SimDuration;
 use pax_workloads::generators::{CostShape, GeneratorConfig};
 
 fn main() -> std::process::ExitCode {

@@ -5,10 +5,8 @@
 //! cargo run --release --example pax_script
 //! ```
 
-use pax_core::mapping::{EnablementMapping, ReverseMap};
-use pax_core::policy::OverlapPolicy;
+use pax_core::prelude::*;
 use pax_lang::{compile, parse, run_script, MapBindings};
-use pax_sim::machine::MachineConfig;
 use std::sync::Arc;
 
 fn main() -> std::process::ExitCode {

@@ -10,8 +10,6 @@
 //! second phase's work fills the first phase's rundown tail.
 
 use pax_core::prelude::*;
-use pax_sim::dist::CostModel;
-use pax_sim::machine::MachineConfig;
 
 fn main() -> std::process::ExitCode {
     match run() {

@@ -11,9 +11,7 @@
 //! an ASCII chart, plus the summary numbers. Pass `--csv` to emit the
 //! two traces as CSV (for external plotting) instead of ASCII art.
 
-use pax_core::mapping::MappingKind;
 use pax_core::prelude::*;
-use pax_sim::machine::MachineConfig;
 use pax_workloads::generators::{CostShape, GeneratorConfig};
 
 struct Args {

@@ -368,6 +368,87 @@ fn batched_drain_matches_single_service_on_all_shapes() {
     );
 }
 
+/// Drive a simulation through the non-consuming session API in fixed
+/// `window`-tick increments instead of one `run()` call.
+fn fingerprint_windowed(shape: &Shape, cfg: MachineConfig, window: u64) -> String {
+    let mut sim = Simulation::new(cfg, shape.policy.clone()).with_seed(7);
+    for _ in 0..shape.jobs {
+        sim.add_job(shape.program.clone());
+    }
+    let mut session = sim
+        .into_session()
+        .unwrap_or_else(|e| panic!("{}: {e}", shape.name));
+    let mut t = window;
+    while !session
+        .step_until(SimTime(t))
+        .unwrap_or_else(|e| panic!("{}: {e}", shape.name))
+    {
+        t += window;
+    }
+    let r = session
+        .report()
+        .unwrap_or_else(|e| panic!("{}: {e}", shape.name));
+    let phase_sig: String = r
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{}:{}+{}",
+                p.job, p.stats.executed_granules, p.stats.overlap_granules
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{} ev={} mk={} tasks={} splits={} descs={} peak={} mgmt={} remote={} phases=[{}]",
+        shape.name,
+        r.events,
+        r.makespan.ticks(),
+        r.tasks_dispatched,
+        r.splits,
+        r.descriptors_created,
+        r.descriptors_peak,
+        r.mgmt_time.ticks(),
+        r.remote_granules,
+        phase_sig
+    )
+}
+
+/// The session API is a drive-loop refactor, not a semantics change:
+/// every experiment shape stepped through `Session::step_until` in
+/// arbitrary fixed windows — unsharded and at shard counts 2/4/8 (which
+/// collapse to one shard on these single-group shapes but still take the
+/// coordinator path) — must reproduce the recorded goldens bit for bit.
+#[test]
+fn session_windowed_drive_matches_goldens_on_all_shapes() {
+    let shapes = shapes();
+    assert_eq!(shapes.len(), 13, "one scenario per experiment family");
+    let mut mismatches = Vec::new();
+    for window in [13u64, 401] {
+        for shards in [1usize, 4] {
+            for (i, shape) in shapes.iter().enumerate() {
+                let cfg = if shards <= 1 {
+                    shape.cfg.clone()
+                } else {
+                    shape.cfg.clone().with_shards(ShardPolicy::new(shards))
+                };
+                let actual = fingerprint_windowed(shape, cfg, window);
+                match GOLDEN.get(i) {
+                    Some(&g) if g == actual => {}
+                    got => mismatches.push(format!(
+                        "  window={window} shards={shards}\n  expected: {got:?}\n  actual:   {actual}"
+                    )),
+                }
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "session windowed drive drifted from the batch goldens:\n{}",
+        mismatches.join("\n")
+    );
+}
+
 /// The full observable surface of a [`RunReport`], for comparing whole
 /// multi-group runs across shard counts and drivers (a superset of the
 /// golden fingerprint: adds per-job admission/finish times).
@@ -533,6 +614,48 @@ mod sharded_properties {
                 .map(|r| report_fingerprint("fleet", &r))
                 .unwrap();
             prop_assert_eq!(&threaded, &reference, "threaded sharded driver diverged");
+        }
+
+        /// The session API with arbitrary window sizes is a pure
+        /// re-chunking of the drive loop: stepping a random fleet in
+        /// random `step_until` increments — through the core [`Session`]
+        /// and through the runtime `ThreadedSession` — yields the exact
+        /// report `run()` produces in one shot.
+        #[test]
+        fn random_windows_match_one_shot_run(
+            groups in 1usize..5,
+            granules in 4u32..40,
+            latency in 0u64..300,
+            seed in 0u64..1000,
+            shards in 1usize..5,
+            window in 1u64..2000,
+        ) {
+            let fleet = match latency {
+                0 => FleetConfig::independent(groups, granules),
+                l => FleetConfig::staged(groups, granules, SimDuration(l)),
+            };
+            let cfg = MachineConfig::new(3).with_shards(ShardPolicy::new(shards));
+            let reference = fleet
+                .simulation(cfg.clone(), seed)
+                .run()
+                .map(|r| report_fingerprint("fleet", &r))
+                .unwrap();
+            let mut session = fleet.simulation(cfg.clone(), seed).into_session().unwrap();
+            let mut t = window;
+            while !session.step_until(SimTime(t)).unwrap() {
+                t += window;
+            }
+            let windowed = report_fingerprint("fleet", &session.report().unwrap());
+            prop_assert_eq!(&windowed, &reference, "windowed session diverged");
+            let mut ts = pax_runtime::ThreadedSession::new(
+                fleet.simulation(cfg, seed).into_sharded().unwrap(),
+            );
+            let mut t = window;
+            while !ts.step_until(Some(SimTime(t))).unwrap() {
+                t += window;
+            }
+            let threaded = report_fingerprint("fleet", &ts.finish().unwrap());
+            prop_assert_eq!(&threaded, &reference, "windowed threaded session diverged");
         }
     }
 }

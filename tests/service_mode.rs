@@ -1,0 +1,126 @@
+//! Open-system service mode, end to end: a long Poisson arrival stream
+//! driven through the session-backed engine with completed instances
+//! evicted, latency percentiles and throughput reported, and — with the
+//! fault layer composed on top — crash-for-crash identical results at
+//! every shard count.
+
+use pax_core::prelude::*;
+use pax_workloads::ServiceConfig;
+
+/// A ten-thousand-job Poisson stream completes with live-instance
+/// memory bounded by the in-flight population, not the stream length,
+/// and reports the operator-facing service metrics.
+#[test]
+fn ten_thousand_job_stream_has_bounded_memory_and_service_metrics() {
+    let svc = ServiceConfig::poisson(10_000, 150)
+        .with_groups(2)
+        .with_admission(AdmissionPolicy::BoundedDefer { max_in_flight: 6 });
+    let r = svc.simulation(MachineConfig::new(4), 11).run().unwrap();
+    assert_eq!(r.jobs.len(), 10_000);
+    assert_eq!(r.jobs_completed(), 10_000, "BoundedDefer sheds nothing");
+    assert_eq!(r.jobs_rejected, 0);
+    // Two phases per job: an unevicted run would peak at 20_000 live
+    // instances. Deferred admission caps the in-flight population per
+    // group, so the recycled arena stays tiny.
+    assert!(
+        r.instances_peak <= 2 * 2 * 6 + 8,
+        "instance arena grew with the stream: peak {}",
+        r.instances_peak
+    );
+    let p50 = r.latency_p50().expect("completed jobs have a median");
+    let p99 = r.latency_p99().expect("completed jobs have a p99");
+    assert!(
+        p50 <= p99,
+        "percentiles out of order: p50 {p50:?} p99 {p99:?}"
+    );
+    assert!(p50 > SimDuration::ZERO, "a job cannot finish instantly");
+    assert!(r.throughput() > 0.0);
+    // Every latency is admission→completion: no job finishes before the
+    // tick it arrived on.
+    assert!(r
+        .jobs
+        .iter()
+        .all(|j| j.finished_at.is_none_or(|f| f >= j.arrived_at)));
+}
+
+/// Shed admission under saturation: rejected jobs are accounted and
+/// excluded from the latency population, and the stream still drains.
+#[test]
+fn shed_admission_accounts_rejections_without_unbounded_growth() {
+    let svc = ServiceConfig::poisson(2_000, 40)
+        .with_admission(AdmissionPolicy::Shed { max_in_flight: 3 });
+    let r = svc.simulation(MachineConfig::new(4), 5).run().unwrap();
+    assert_eq!(r.jobs_completed() + r.jobs_rejected as usize, 2_000);
+    assert!(r.jobs_rejected > 0, "a gap-40 stream must saturate 3 slots");
+    assert!(r.instances_peak <= 2 * 3 + 4);
+    for j in &r.jobs {
+        assert_eq!(j.latency().is_none(), j.rejected);
+    }
+}
+
+fn fault_signature(r: &RunReport) -> String {
+    format!(
+        "ev={} mk={} done={} rej={} crashes={} retries={} lost={} p50={:?} p99={:?} peak={}",
+        r.events,
+        r.makespan.ticks(),
+        r.jobs_completed(),
+        r.jobs_rejected,
+        r.crashes,
+        r.retries,
+        r.lost_work.ticks(),
+        r.latency_p50(),
+        r.latency_p99(),
+        r.instances_peak
+    )
+}
+
+/// The PR 7 fault layer composes with service mode: a Poisson stream on
+/// a crashing fleet is crash-for-crash deterministic — the same seeds
+/// produce the same crashes, retries, lost work, and latencies at shard
+/// counts 1, 2, and 4, on both the inline and the threaded driver.
+#[test]
+fn faulty_service_stream_is_identical_across_shard_counts() {
+    let svc = ServiceConfig::poisson(600, 250).with_groups(4);
+    let machine = MachineConfig::new(3).with_faults(pax_workloads::degraded_fault_plan());
+    let reference = fault_signature(
+        &svc.simulation(machine.clone(), 23)
+            .run()
+            .expect("unsharded faulty service run"),
+    );
+    assert!(
+        reference.contains("crashes=") && !reference.contains("crashes=0 "),
+        "fault plan never fired — signature {reference}"
+    );
+    for shards in [2usize, 4] {
+        let cfg = machine.clone().with_shards(ShardPolicy::new(shards));
+        let inline = fault_signature(&svc.simulation(cfg.clone(), 23).run().unwrap());
+        assert_eq!(
+            inline, reference,
+            "inline driver diverged at {shards} shards"
+        );
+        let threaded = pax_runtime::run_simulation_sharded(svc.simulation(cfg, 23))
+            .map(|r| fault_signature(&r))
+            .unwrap();
+        assert_eq!(
+            threaded, reference,
+            "threaded driver diverged at {shards} shards"
+        );
+    }
+}
+
+/// Service mode through the explicit session: pausing a live stream at
+/// arbitrary global times and resuming reaches the same final report as
+/// the one-shot drive.
+#[test]
+fn paused_and_resumed_service_stream_matches_one_shot() {
+    let svc = ServiceConfig::poisson(400, 300).with_groups(3);
+    let machine = MachineConfig::new(3).with_shards(ShardPolicy::new(2));
+    let reference = fault_signature(&svc.simulation(machine.clone(), 9).run().unwrap());
+    let mut session = svc.simulation(machine, 9).into_session().unwrap();
+    let mut t = 777u64;
+    while !session.step_until(SimTime(t)).unwrap() {
+        t += 777;
+    }
+    let windowed = fault_signature(&session.report().unwrap());
+    assert_eq!(windowed, reference);
+}
