@@ -13,9 +13,10 @@
 //! the recorded pre-optimization baseline, the executive lane-scaling
 //! sweep with its wheel-coarseness rows, the run-storage scaling sweep,
 //! the sharded-engine shard-scaling sweep, the fault-injected
-//! degraded-fleet sweep, and the open-system service-scaling sweep;
-//! `--no-lane-sweep` / `--no-storage-sweep` / `--no-shard-sweep` /
-//! `--no-degraded-sweep` / `--no-service-sweep` skip the respective
+//! degraded-fleet sweep, the open-system service-scaling sweep, and the
+//! heterogeneous-machine hetero-scaling sweep; `--no-lane-sweep` /
+//! `--no-storage-sweep` / `--no-shard-sweep` / `--no-degraded-sweep` /
+//! `--no-service-sweep` / `--no-hetero-sweep` skip the respective
 //! sweep) to PATH.
 
 use pax_bench::experiments as ex;
@@ -72,6 +73,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             pax_bench::rundown::service_scaling(quick)
         };
+        let hetero = if args.iter().any(|a| a == "--no-hetero-sweep") {
+            Vec::new()
+        } else {
+            pax_bench::rundown::hetero_scaling(quick)
+        };
         let json = pax_bench::rundown::to_json_full(
             &measurements,
             &lanes,
@@ -79,6 +85,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             &shards,
             &degraded,
             &service,
+            &hetero,
             &pax_bench::rundown::host_fingerprint(),
         );
         std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;

@@ -947,6 +947,240 @@ pub fn service_scaling_for(
     out
 }
 
+/// Shard counts measured by the [`hetero_scaling`] sweep.
+pub const HETERO_SWEEP_SHARDS: &[usize] = &[1, 2, 4];
+
+/// One heterogeneous-machine data point: a fleet run on a machine with
+/// speed classes and/or secondary-resource token pools, on the threaded
+/// sharded driver. The same workload is measured on a uniform machine,
+/// a two-speed-class machine, and a class machine gated by token pools,
+/// so the rows read as an escalation: what heterogeneity costs (or
+/// saves) in simulated time, and what it costs the simulator in wall
+/// time.
+#[derive(Debug, Clone)]
+pub struct HeteroScalingMeasurement {
+    /// Hetero scenario name.
+    pub scenario: String,
+    /// Shard count (= worker threads; 1 is the reference drive).
+    pub shards: usize,
+    /// Machine groups in the fleet.
+    pub groups: usize,
+    /// Granules of the compute phase per group.
+    pub granules: u32,
+    /// Declared speed classes (0 = uniform machine).
+    pub classes: usize,
+    /// Declared resource pools (0 = ungated workload).
+    pub pools: usize,
+    /// Simulator events processed (shard-count-invariant).
+    pub events: u64,
+    /// Simulated makespan in ticks (shard-count-invariant).
+    pub makespan: u64,
+    /// Tasks dispatched, retries included (shard-count-invariant).
+    pub tasks: u64,
+    /// Fraction of dispatches served by the first (fastest) class;
+    /// `NaN` (JSON `null`) on the uniform machine.
+    pub fast_share: f64,
+    /// Dispatches that blocked waiting for a resource token, summed over
+    /// pools (shard-count-invariant).
+    pub pool_waits: u64,
+    /// Ticks dispatch heads spent blocked on tokens, summed over pools.
+    pub pool_wait_ticks: u64,
+    /// Best wall-clock time for one run, milliseconds.
+    pub wall_ms: f64,
+    /// Events processed per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// One scenario of the hetero-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct HeteroScenario {
+    /// Stable name used as the JSON key.
+    pub name: &'static str,
+    /// Speed classes (empty = uniform machine; counts must sum to
+    /// `processors`).
+    pub classes: Vec<ProcessorClass>,
+    /// Secondary-resource token pools. When non-empty, the workload's
+    /// mount phase requires every pool and its flush phase the last one.
+    pub resources: Vec<ResourcePool>,
+    /// Worker processors per machine group.
+    pub processors: usize,
+    /// Independent machine groups (each runs one copy of the program).
+    pub groups: usize,
+    /// Granules of the compute phase.
+    pub granules: u32,
+    /// Timed repetitions (minimum wall time reported).
+    pub reps: u32,
+}
+
+/// The mount → compute → flush pipeline every hetero scenario runs: the
+/// bracket phases gate on the scenario's token pools (when any), the
+/// compute middle carries the granule bulk. Same shape as the
+/// shard-invariance suite in `tests/hetero_resources.rs`.
+fn hetero_program(granules: u32, resources: &[ResourcePool]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut mount_def = PhaseDef::new("mount", (granules / 8).max(1), CostModel::constant(15));
+    if !resources.is_empty() {
+        mount_def = mount_def.with_requires(resources.iter().map(|p| p.name.clone()).collect());
+    }
+    let mount = b.phase(mount_def);
+    let compute = b.phase(PhaseDef::new(
+        "compute",
+        granules,
+        CostModel::new(DurationDist::Uniform {
+            lo: SimDuration(8),
+            hi: SimDuration(24),
+        }),
+    ));
+    let mut flush_def = PhaseDef::new("flush", granules, CostModel::constant(4));
+    if let Some(last) = resources.last() {
+        flush_def = flush_def.with_requires(vec![last.name.clone()]);
+    }
+    let flush = b.phase(flush_def);
+    b.dispatch_enable(
+        mount,
+        vec![EnableSpec {
+            successor: compute,
+            mapping: EnablementMapping::Universal,
+        }],
+    );
+    b.dispatch_enable(
+        compute,
+        vec![EnableSpec {
+            successor: flush,
+            mapping: EnablementMapping::Identity,
+        }],
+    );
+    b.dispatch(flush);
+    b.build().expect("hetero program")
+}
+
+/// The hetero-scaling sweep: the same fleet on a uniform machine, a
+/// two-speed-class machine, and a two-class machine whose bracket phases
+/// gate on operator/channel token pools, at shard counts from
+/// [`HETERO_SWEEP_SHARDS`] on the threaded driver. Rows of one scenario
+/// are asserted result-identical across shard counts — including the
+/// per-class task counts and per-pool wait accounting, so a shard-merge
+/// bug in the heterogeneity layer fails the bench run itself.
+pub fn hetero_scaling(quick: bool) -> Vec<HeteroScalingMeasurement> {
+    let (groups, granules) = if quick { (4, 2_048) } else { (8, 8_192) };
+    let two_class = || {
+        vec![
+            ProcessorClass::new("fast", 2, 200),
+            ProcessorClass::new("base", 6, 100),
+        ]
+    };
+    let pools = || {
+        vec![
+            ResourcePool::new("operator", 1),
+            ResourcePool::new("channel", 2),
+        ]
+    };
+    let mk = |name, classes, resources| HeteroScenario {
+        name,
+        classes,
+        resources,
+        processors: 8,
+        groups,
+        granules,
+        reps: 2,
+    };
+    let scenarios = vec![
+        mk("hetero_uniform", Vec::new(), Vec::new()),
+        mk("hetero_two_class", two_class(), Vec::new()),
+        mk("hetero_operator_gated", two_class(), pools()),
+    ];
+    hetero_scaling_for(&scenarios, HETERO_SWEEP_SHARDS)
+}
+
+/// [`hetero_scaling`] over explicit scenario and shard-count lists
+/// (testable at tiny sizes).
+pub fn hetero_scaling_for(
+    scenarios: &[HeteroScenario],
+    shard_counts: &[usize],
+) -> Vec<HeteroScalingMeasurement> {
+    use pax_sim::ShardPolicy;
+    type HeteroSig = (u64, u64, u64, Vec<(String, u64)>, Vec<(String, u64, u64)>);
+    let mut out = Vec::new();
+    for sc in scenarios {
+        let mut reference: Option<HeteroSig> = None;
+        for &shards in shard_counts {
+            let cfg = MachineConfig::new(sc.processors)
+                .with_classes(sc.classes.clone())
+                .with_resources(sc.resources.clone())
+                .with_shards(ShardPolicy::new(shards));
+            let mut best_wall = f64::INFINITY;
+            let mut report = None;
+            for _ in 0..sc.reps.max(1) {
+                let mut sim = Simulation::new(
+                    cfg.clone(),
+                    OverlapPolicy::overlap().with_sizing(TaskSizing::Fixed(2)),
+                )
+                .with_seed(0xC0FFEE);
+                for g in 0..sc.groups {
+                    sim.add_job_in_group(hetero_program(sc.granules, &sc.resources), g);
+                }
+                let t = Instant::now();
+                let r = pax_runtime::run_simulation_sharded(sim).expect("hetero scenario run");
+                best_wall = best_wall.min(t.elapsed().as_secs_f64() * 1e3);
+                report = Some(r);
+            }
+            let r = report.expect("at least one rep");
+            // The heterogeneity accounting itself must hold still across
+            // shard counts, or the merge is summing different machines.
+            let sig: HeteroSig = (
+                r.events,
+                r.makespan.ticks(),
+                r.tasks_dispatched,
+                r.class_reports
+                    .iter()
+                    .map(|c| (c.name.clone(), c.tasks))
+                    .collect(),
+                r.pool_reports
+                    .iter()
+                    .map(|p| (p.name.clone(), p.waits, p.wait_ticks.ticks()))
+                    .collect(),
+            );
+            match &reference {
+                None => reference = Some(sig),
+                Some(reference) => assert_eq!(
+                    &sig, reference,
+                    "{}: hetero run diverged across shard counts",
+                    sc.name
+                ),
+            }
+            let fast_share = if r.class_reports.is_empty() || r.tasks_dispatched == 0 {
+                f64::NAN
+            } else {
+                r.class_reports[0].tasks as f64 / r.tasks_dispatched as f64
+            };
+            let pool_waits: u64 = r.pool_reports.iter().map(|p| p.waits).sum();
+            let pool_wait_ticks: u64 = r.pool_reports.iter().map(|p| p.wait_ticks.ticks()).sum();
+            eprintln!(
+                "[hetero_scaling] {} shards={shards:<2} {best_wall:>9.3} ms  mk={} waits={pool_waits}",
+                sc.name,
+                r.makespan.ticks()
+            );
+            out.push(HeteroScalingMeasurement {
+                scenario: sc.name.to_string(),
+                shards,
+                groups: sc.groups,
+                granules: sc.granules,
+                classes: sc.classes.len(),
+                pools: sc.resources.len(),
+                events: r.events,
+                makespan: r.makespan.ticks(),
+                tasks: r.tasks_dispatched,
+                fast_share,
+                pool_waits,
+                pool_wait_ticks,
+                wall_ms: best_wall,
+                events_per_sec: r.events as f64 / (best_wall / 1e3),
+            });
+        }
+    }
+    out
+}
+
 /// The degraded-fleet sweep: the shard-scaling fleets re-run with the
 /// canonical [`pax_workloads::degraded_fault_plan`] injected, at shard
 /// counts from [`DEGRADED_SWEEP_SHARDS`]. Rows answer "does the sharded
@@ -1046,15 +1280,19 @@ pub fn to_json(measurements: &[RundownMeasurement]) -> String {
 /// [`BASELINE_HOST`]; the fingerprints of both hosts are recorded so a
 /// later reader can tell which comparison would be legitimate.
 pub fn to_json_for_host(measurements: &[RundownMeasurement], host: &str) -> String {
-    to_json_full(measurements, &[], &[], &[], &[], &[], host)
+    to_json_full(measurements, &[], &[], &[], &[], &[], &[], host)
 }
 
 /// Full document: headline scenarios plus the lane-scaling,
-/// storage-scaling, and shard-scaling sweeps. Every sweep array is
+/// storage-scaling, shard-scaling, degraded-fleet, service-scaling, and
+/// hetero-scaling sweeps. One parameter per sweep family is the honest
+/// shape here — callers either thread all sweeps through (experiments
+/// bin) or none (`to_json_for_host`). Every sweep array is
 /// emitted *before* `scenarios` on purpose: the perf-gate parser
 /// ([`crate::compare::parse_rundown`]) starts capturing at the
 /// `scenarios` key, so sweep rows can never be mistaken for headline
 /// measurements (they reuse scenario names).
+#[allow(clippy::too_many_arguments)]
 pub fn to_json_full(
     measurements: &[RundownMeasurement],
     lanes: &[LaneScalingMeasurement],
@@ -1062,6 +1300,7 @@ pub fn to_json_full(
     shards: &[ShardScalingMeasurement],
     degraded: &[ShardScalingMeasurement],
     service: &[ServiceScalingMeasurement],
+    hetero: &[HeteroScalingMeasurement],
     host: &str,
 ) -> String {
     let same_host = host == BASELINE_HOST;
@@ -1248,6 +1487,52 @@ pub fn to_json_full(
                 json_f64(m.events_per_sec)
             ));
             out.push_str(if i + 1 == service.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+    }
+    if !hetero.is_empty() {
+        out.push_str(
+            "  \"hetero_scaling_note\": \"heterogeneous-machine sweep: the same \
+             mount/compute/flush fleet on a uniform machine, a two-speed-class machine \
+             (2 workers at 200%, 6 at 100%), and the class machine with its bracket \
+             phases gated by operator/channel token pools, on the threaded sharded \
+             driver. events/makespan/tasks and the per-class/per-pool accounting are \
+             shard-count invariant by the determinism contract (asserted in the sweep); \
+             fast_share is the dispatch fraction served by the fastest class (null on \
+             the uniform row); pool_waits counts token-blocked dispatches. Rows are \
+             excluded from the bench-compare perf gate\",\n",
+        );
+        out.push_str("  \"hetero_scaling\": [\n");
+        for (i, m) in hetero.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"scenario\": \"{}\",\n", m.scenario));
+            out.push_str(&format!("      \"shards\": {},\n", m.shards));
+            out.push_str(&format!("      \"groups\": {},\n", m.groups));
+            out.push_str(&format!("      \"granules\": {},\n", m.granules));
+            out.push_str(&format!("      \"classes\": {},\n", m.classes));
+            out.push_str(&format!("      \"pools\": {},\n", m.pools));
+            out.push_str(&format!("      \"events\": {},\n", m.events));
+            out.push_str(&format!("      \"makespan_ticks\": {},\n", m.makespan));
+            out.push_str(&format!("      \"tasks\": {},\n", m.tasks));
+            out.push_str(&format!(
+                "      \"fast_share\": {},\n",
+                json_f64(m.fast_share)
+            ));
+            out.push_str(&format!("      \"pool_waits\": {},\n", m.pool_waits));
+            out.push_str(&format!(
+                "      \"pool_wait_ticks\": {},\n",
+                m.pool_wait_ticks
+            ));
+            out.push_str(&format!("      \"wall_ms\": {},\n", json_f64(m.wall_ms)));
+            out.push_str(&format!(
+                "      \"events_per_sec\": {}\n",
+                json_f64(m.events_per_sec)
+            ));
+            out.push_str(if i + 1 == hetero.len() {
                 "    }\n"
             } else {
                 "    },\n"
@@ -1491,6 +1776,22 @@ mod tests {
             wall_ms: 333.333,
             events_per_sec: 10.0,
         }];
+        let hetero = vec![HeteroScalingMeasurement {
+            scenario: "identity_1e4_t1".into(),
+            shards: 2,
+            groups: 4,
+            granules: 100,
+            classes: 2,
+            pools: 1,
+            events: 10,
+            makespan: 5,
+            tasks: 7,
+            fast_share: f64::NAN,
+            pool_waits: 3,
+            pool_wait_ticks: 12,
+            wall_ms: 222.222,
+            events_per_sec: 10.0,
+        }];
         let j = to_json_full(
             &[m],
             &lanes,
@@ -1498,6 +1799,7 @@ mod tests {
             &shards,
             &degraded,
             &service,
+            &hetero,
             "h/1cpu/x",
         );
         assert!(j.contains("\"lane_scaling\""));
@@ -1513,13 +1815,16 @@ mod tests {
         assert!(j.contains("\"service_scaling\""));
         assert!(j.contains("\"latency_p99\": 99"));
         assert!(j.contains("\"instances_peak\": 17"));
+        assert!(j.contains("\"hetero_scaling\""));
+        assert!(j.contains("\"fast_share\": null"));
+        assert!(j.contains("\"pool_wait_ticks\": 12"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         let p = crate::compare::parse_rundown(&j);
         assert_eq!(
             p.scenarios.len(),
             1,
             "gate parser must not ingest lane_scaling/storage_scaling/shard_scaling/\
-             degraded_fleet/service_scaling rows"
+             degraded_fleet/service_scaling/hetero_scaling rows"
         );
         assert_ne!(
             p.scenarios[0].1, 123.456,
@@ -1541,6 +1846,75 @@ mod tests {
             p.scenarios[0].1, 333.333,
             "service sweep wall_ms leaked into gate"
         );
+        assert_ne!(
+            p.scenarios[0].1, 222.222,
+            "hetero sweep wall_ms leaked into gate"
+        );
+    }
+
+    #[test]
+    fn hetero_sweep_covers_the_grid_and_agrees_across_shard_counts() {
+        let two_class = || {
+            vec![
+                ProcessorClass::new("fast", 1, 200),
+                ProcessorClass::new("base", 3, 100),
+            ]
+        };
+        let scenarios = vec![
+            HeteroScenario {
+                name: "tiny_uniform",
+                classes: Vec::new(),
+                resources: Vec::new(),
+                processors: 4,
+                groups: 3,
+                granules: 64,
+                reps: 1,
+            },
+            HeteroScenario {
+                name: "tiny_two_class",
+                classes: two_class(),
+                resources: Vec::new(),
+                processors: 4,
+                groups: 3,
+                granules: 64,
+                reps: 1,
+            },
+            HeteroScenario {
+                name: "tiny_gated",
+                classes: two_class(),
+                resources: vec![ResourcePool::new("operator", 1)],
+                processors: 4,
+                groups: 3,
+                granules: 64,
+                reps: 1,
+            },
+        ];
+        let counts = [1usize, 2, 3];
+        let rows = hetero_scaling_for(&scenarios, &counts);
+        assert_eq!(rows.len(), scenarios.len() * counts.len());
+        for sc in &scenarios {
+            let of: Vec<_> = rows.iter().filter(|r| r.scenario == sc.name).collect();
+            // result-identity across shard counts (class/pool accounting
+            // included) is asserted inside the sweep; spot-check the rows
+            assert!(of.windows(2).all(|w| {
+                w[0].events == w[1].events
+                    && w[0].makespan == w[1].makespan
+                    && w[0].tasks == w[1].tasks
+                    && w[0].pool_waits == w[1].pool_waits
+            }));
+        }
+        let row = |name: &str| rows.iter().find(|r| r.scenario == name).unwrap();
+        // the uniform machine has no class accounting to report
+        assert!(row("tiny_uniform").fast_share.is_nan());
+        assert_eq!(row("tiny_uniform").pool_waits, 0);
+        // one fast worker of four serves more than its uniform 1/4 share
+        assert!(row("tiny_two_class").fast_share > 0.25);
+        // the single-operator pool must actually block dispatches
+        assert!(row("tiny_gated").pool_waits > 0);
+        // speed classes shorten the simulated run; the token gate can
+        // only lengthen it relative to the ungated class machine
+        assert!(row("tiny_two_class").makespan < row("tiny_uniform").makespan);
+        assert!(row("tiny_gated").makespan >= row("tiny_two_class").makespan);
     }
 
     #[test]

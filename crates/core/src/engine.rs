@@ -20,7 +20,7 @@
 //!   worker time (UNIVAC 1100) or on a dedicated processor. With more
 //!   than one lane the run loop drains up to `lanes` coincident
 //!   completion events per service round (see
-//!   [`BatchPolicy`](pax_sim::machine::BatchPolicy)) — the batched drain
+//!   [`BatchPolicy`]) — the batched drain
 //!   is pinned run-identical to single-event service.
 //!
 //! State changes are applied at event time; the *costs* of management
@@ -39,12 +39,13 @@ use crate::policy::{AssignmentPolicy, CompositeBuild, OverlapPolicy, SplitStrate
 use crate::program::{Lookahead, Program, Step};
 use crate::queue::WaitingQueue;
 use crate::rangeset::{coalesce_indices_into, RangeSet};
-use crate::report::{JobReport, PhaseReport, RunReport};
+use crate::report::{ClassReport, JobReport, PhaseReport, PoolReport, RunReport};
 use pax_sim::calendar::Calendar;
 use pax_sim::dist::{arrival_seed, ArrivalProcess, DurationDist};
 use pax_sim::faults::{fault_seed, FaultModel, FaultPlan, RetryPolicy};
 use pax_sim::machine::{
-    AdmissionPolicy, BatchPolicy, ConfigError, ExecutivePlacement, MachineConfig,
+    AdmissionPolicy, BatchPolicy, ClassAffinity, ConfigError, ExecutivePlacement, MachineConfig,
+    ProcessorClass, ResourcePool,
 };
 use pax_sim::metrics::{Activity, GanttTrace, Span, StepTrace};
 use pax_sim::time::{SimDuration, SimTime};
@@ -480,6 +481,24 @@ impl Simulation {
         for (i, p) in self.programs.iter().enumerate() {
             p.validate()
                 .map_err(|e| EngineError::InvalidProgram(format!("job {i}: {e}")))?;
+            // `requires` lists resolve against the machine's pools here,
+            // once, so the engine's per-dispatch lookup is by index.
+            for ph in &p.phases {
+                for (k, name) in ph.requires.iter().enumerate() {
+                    if !self.cfg.resources.iter().any(|pool| pool.name == *name) {
+                        return Err(EngineError::InvalidProgram(format!(
+                            "job {i}: phase '{}' requires unknown resource pool '{name}'",
+                            ph.name
+                        )));
+                    }
+                    if ph.requires[..k].contains(name) {
+                        return Err(EngineError::InvalidProgram(format!(
+                            "job {i}: phase '{}' requires pool '{name}' twice",
+                            ph.name
+                        )));
+                    }
+                }
+            }
         }
         if self.programs.is_empty() {
             return Err(EngineError::InvalidProgram("no jobs".into()));
@@ -641,6 +660,56 @@ impl FaultRt {
     }
 }
 
+/// Runtime state of the heterogeneous-classes / secondary-resources
+/// layer. Lives behind `Engine::hetero` (`None` when the machine declares
+/// neither processor classes nor resource pools), so a homogeneous,
+/// unconstrained run takes exactly the classic dispatch path: no scaling
+/// arithmetic, no token checks, and no extra RNG draws — the golden
+/// shapes are untouched. Duration scaling happens *after* the cost model
+/// has sampled, so heterogeneity never changes the RNG draw count either.
+struct HeteroRt {
+    /// Worker index → class index. Empty when the machine declares no
+    /// classes (resources-only configs): every worker is then nominal
+    /// speed with unrestricted affinity.
+    class_of: Vec<u16>,
+    /// The declared classes (speed, affinity, name), in worker order.
+    classes: Vec<ProcessorClass>,
+    /// Useful compute ticks executed by each class (crash-preempted work
+    /// is reversed here exactly as in `compute_total`).
+    class_busy: Vec<SimDuration>,
+    /// Tasks dispatched to each class.
+    class_tasks: Vec<u64>,
+    /// Tokens currently available per pool.
+    tokens: Vec<u32>,
+    /// The declared pools (capacity + name, for the report).
+    pools: Vec<ResourcePool>,
+    /// Resolved `requires` lists: job → phase → pool indices. Resolved
+    /// once at engine build (names validated at session build).
+    phase_pools: Vec<Vec<Vec<u16>>>,
+    /// Pool indices held by the task running on each worker.
+    held: Vec<Vec<u16>>,
+    /// Workers parked because a required pool was empty:
+    /// `(worker, parked since, blocking pool)`, woken on any release.
+    parked: Vec<(WorkerId, SimTime, u16)>,
+    /// Dispatch attempts that blocked on each pool.
+    pool_waits: Vec<u64>,
+    /// Worker-ticks spent parked on each pool.
+    pool_wait_ticks: Vec<SimDuration>,
+}
+
+impl HeteroRt {
+    /// The class of worker `w`, or `None` on a classless (resources-only)
+    /// machine.
+    #[inline]
+    fn class_idx(&self, w: WorkerId) -> Option<usize> {
+        if self.class_of.is_empty() {
+            None
+        } else {
+            Some(self.class_of[w.0 as usize] as usize)
+        }
+    }
+}
+
 pub(crate) struct Engine {
     cfg: MachineConfig,
     policy: OverlapPolicy,
@@ -692,6 +761,9 @@ pub(crate) struct Engine {
     inst_list_pool: Vec<Vec<InstanceId>>,
     /// Fault-injection runtime; `None` on failure-free machines.
     faults: Option<FaultRt>,
+    /// Heterogeneous-classes / secondary-resources runtime; `None` on
+    /// homogeneous, unconstrained machines.
+    hetero: Option<HeteroRt>,
     /// First structural abort (e.g. a retry policy giving up on lost
     /// work); set mid-run, surfaced by [`Engine::finish`].
     abort: Option<EngineError>,
@@ -738,6 +810,56 @@ impl Engine {
             .faults
             .clone()
             .map(|plan| FaultRt::new(plan, s.cfg.processors, s.seed));
+        let hetero = if s.cfg.classes.is_empty() && s.cfg.resources.is_empty() {
+            None
+        } else {
+            let mut class_of = Vec::with_capacity(s.cfg.processors);
+            for (ci, c) in s.cfg.classes.iter().enumerate() {
+                class_of.extend(std::iter::repeat_n(ci as u16, c.count));
+            }
+            debug_assert!(
+                class_of.is_empty() || class_of.len() == s.cfg.processors,
+                "class counts validated at session build"
+            );
+            // Resolve `requires` names to pool indices once; unknown
+            // names were rejected by `Simulation::validate`.
+            let phase_pools: Vec<Vec<Vec<u16>>> = jobs
+                .iter()
+                .map(|j| {
+                    j.phases
+                        .iter()
+                        .map(|ph| {
+                            ph.requires
+                                .iter()
+                                .map(|name| {
+                                    s.cfg
+                                        .resources
+                                        .iter()
+                                        .position(|p| p.name == *name)
+                                        .expect("pool names validated at session build")
+                                        as u16
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            let npools = s.cfg.resources.len();
+            let nclasses = s.cfg.classes.len();
+            Some(HeteroRt {
+                class_of,
+                classes: s.cfg.classes.clone(),
+                class_busy: vec![SimDuration::ZERO; nclasses],
+                class_tasks: vec![0; nclasses],
+                tokens: s.cfg.resources.iter().map(|p| p.tokens).collect(),
+                pools: s.cfg.resources.clone(),
+                phase_pools,
+                held: vec![Vec::new(); s.cfg.processors],
+                parked: Vec::new(),
+                pool_waits: vec![0; npools],
+                pool_wait_ticks: vec![SimDuration::ZERO; npools],
+            })
+        };
         Engine {
             waiting: WaitingQueue::new(njobs.max(1)),
             jobs,
@@ -782,6 +904,7 @@ impl Engine {
             free_instances: Vec::new(),
             inst_list_pool: Vec::new(),
             faults,
+            hetero,
             abort: None,
             cfg: s.cfg,
             policy: s.policy,
@@ -1526,6 +1649,20 @@ impl Engine {
     /// granule (the part the worker will actually receive after any
     /// demand split) is homed in the worker's memory cluster.
     fn pick_work(&mut self, w: WorkerId) -> Option<DescId> {
+        // Affinity-restricted classes see only the queue segments they may
+        // serve; the restricted pop bypasses the data-proximity scan
+        // (affinity is the stronger constraint). `Any` classes fall
+        // through to the homogeneous path unchanged.
+        if let Some(h) = self.hetero.as_ref() {
+            if let Some(c) = h.class_idx(w) {
+                let aff = h.classes[c].affinity;
+                if aff != ClassAffinity::Any {
+                    return self
+                        .waiting
+                        .pop_class(aff.serves_elevated(), aff.serves_normal());
+                }
+            }
+        }
         match (self.policy.assignment, self.cfg.locality.as_ref()) {
             (AssignmentPolicy::DataProximity { scan_window }, Some(loc)) => {
                 let wc = loc.worker_cluster(w.0 as usize, self.cfg.processors);
@@ -1561,6 +1698,32 @@ impl Engine {
         stall
     }
 
+    /// Return every pool token held by the task on worker `w` and wake
+    /// all token-parked workers (each re-seeks in park order and re-parks
+    /// if its pool is still dry — the re-check draws no RNG, so parking
+    /// churn never perturbs determinism). Called on completion *and* on
+    /// crash preemption: a crash that leaked tokens would starve the pool
+    /// and break fault determinism.
+    fn release_tokens(&mut self, w: WorkerId) {
+        let Some(h) = self.hetero.as_mut() else {
+            return;
+        };
+        let wi = w.0 as usize;
+        if h.held[wi].is_empty() {
+            return;
+        }
+        for i in 0..h.held[wi].len() {
+            let p = h.held[wi][i] as usize;
+            h.tokens[p] += 1;
+        }
+        h.held[wi].clear();
+        let now = self.now;
+        for (pw, since, pool) in h.parked.drain(..) {
+            h.pool_wait_ticks[pool as usize] += now.since(since);
+            self.events.schedule(now, Ev::Seek(pw));
+        }
+    }
+
     fn on_seek(&mut self, w: WorkerId) {
         // A seek scheduled before the processor crashed can fire while it
         // is down: drop it (without parking the worker on the idle stack —
@@ -1575,6 +1738,31 @@ impl Engine {
             return;
         };
         let inst_id = self.arena.instance(d);
+        // Secondary-resource gate: a task dispatches only when one token
+        // from every pool its phase requires is available. Checked before
+        // any split/cost/RNG activity, so a blocked attempt leaves no
+        // trace beyond the wait accounting — the description returns to
+        // the head of its segment and the worker parks until a completion
+        // (or crash preemption) returns a token.
+        if let Some(h) = self.hetero.as_mut() {
+            let inst = &self.instances[inst_id.0 as usize];
+            let (job, phase) = (inst.job, inst.def.0 as usize);
+            let req = &h.phase_pools[job][phase];
+            if let Some(&blocked) = req.iter().find(|&&p| h.tokens[p as usize] == 0) {
+                let class = self.arena.class(d);
+                let jobid = self.arena.job(d);
+                self.waiting.push_front(d, class, jobid);
+                h.pool_waits[blocked as usize] += 1;
+                h.parked.push((w, self.now, blocked));
+                return;
+            }
+            let wi = w.0 as usize;
+            for i in 0..h.phase_pools[job][phase].len() {
+                let p = h.phase_pools[job][phase][i];
+                h.tokens[p as usize] -= 1;
+                h.held[wi].push(p);
+            }
+        }
         let task_size = self.inst(inst_id).task_size;
         let mut cost = self.cfg.costs.dispatch;
         if self.arena.range(d).len() > task_size {
@@ -1583,7 +1771,19 @@ impl Engine {
         // Sample execution time for the granules of this task, plus any
         // remote-access stall under a clustered-memory machine.
         let range = self.arena.range(d);
-        let exec = self.sample_task_time(inst_id, range) + self.locality_stall(w, inst_id, range);
+        let mut exec =
+            self.sample_task_time(inst_id, range) + self.locality_stall(w, inst_id, range);
+        // Heterogeneous speed: scale the sampled duration by the
+        // dispatching worker's class — *after* sampling, so the RNG draw
+        // count is independent of class layout, and a 100-percent class
+        // is bit-identical to the homogeneous machine.
+        if let Some(h) = self.hetero.as_mut() {
+            if let Some(c) = h.class_idx(w) {
+                exec = SimDuration(h.classes[c].scale_ticks(exec.0));
+                h.class_busy[c] += exec;
+                h.class_tasks[c] += 1;
+            }
+        }
         let (svc_start, svc_end) = self.exec_service(self.now, cost);
         self.record_dispatch_gantt(w, svc_start, svc_end);
         let overlapping = self
@@ -1768,6 +1968,10 @@ impl Engine {
                     f.attempts.swap_remove(pos);
                 }
             }
+            // The finished task's secondary-resource tokens return to
+            // their pools before anything else is serviced, so released
+            // conflict-queue work and parked workers see them.
+            self.release_tokens(w);
             let inst_id = self.arena.instance(d);
             let range = self.arena.range(d);
             let enabling = self.arena.enabling(d);
@@ -2259,6 +2463,16 @@ impl Engine {
                 if let Some(pos) = self.idle_workers.iter().position(|&x| x == w) {
                     self.idle_workers.remove(pos);
                 }
+                // A worker parked on a resource pool likewise leaves the
+                // park list (its wait ends at the crash); the repair event
+                // re-seeks it, and it re-parks if the pool is still dry.
+                if let Some(h) = self.hetero.as_mut() {
+                    if let Some(pos) = h.parked.iter().position(|&(x, _, _)| x == w) {
+                        let (_, since, pool) = h.parked.remove(pos);
+                        let waited = self.now.since(since);
+                        h.pool_wait_ticks[pool as usize] += waited;
+                    }
+                }
             }
         }
         if let Some(ticks) = down_span {
@@ -2273,6 +2487,18 @@ impl Engine {
     /// *lost work*, counted separately from useful compute.
     fn preempt_lost_task(&mut self, w: WorkerId, d: DescId, start: SimTime, end: SimTime) {
         let exec = end.since(start);
+        // Tokens held by the preempted task return immediately — before
+        // the retry policy can abort the run — so a crash never leaks
+        // pool capacity, whatever the policy decides.
+        self.release_tokens(w);
+        if let Some(h) = self.hetero.as_mut() {
+            if let Some(c) = h.class_idx(w) {
+                // Reverse the per-class useful-compute accounting exactly
+                // as `compute_total` below; the span really computed is
+                // lost work, not utilization.
+                h.class_busy[c] -= exec;
+            }
+        }
         // The crash can land before the task's compute even started (the
         // dispatch service was still queued): nothing was computed then.
         let cancel_from = start.max(self.now);
@@ -2569,6 +2795,32 @@ impl Engine {
             ),
             None => (StepTrace::new(), SimDuration::ZERO, 0, 0),
         };
+        let (class_reports, pool_reports) = match self.hetero {
+            Some(h) => (
+                h.classes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| ClassReport {
+                        name: c.name.clone(),
+                        processors: c.count,
+                        speed_percent: c.speed_percent,
+                        busy: h.class_busy[i],
+                        tasks: h.class_tasks[i],
+                    })
+                    .collect(),
+                h.pools
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| PoolReport {
+                        name: p.name.clone(),
+                        tokens: p.tokens,
+                        waits: h.pool_waits[i],
+                        wait_ticks: h.pool_wait_ticks[i],
+                    })
+                    .collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
         // Evicted slots are holes, not phases: with eviction on, `phases`
         // holds only the instances still live when the run ended (the
         // recycled ones were reported through job latency accounting).
@@ -2627,6 +2879,8 @@ impl Engine {
                 None
             },
             warnings: self.warnings,
+            class_reports,
+            pool_reports,
         }
     }
 }
@@ -3354,5 +3608,213 @@ mod tests {
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.remote_granules, b.remote_granules);
         assert_eq!(a.remote_stall, b.remote_stall);
+    }
+
+    #[test]
+    fn uniform_class_matches_homogeneous_run() {
+        // A single 100%-speed class covering every processor is the
+        // homogeneous machine: same makespan, same compute, zero extra
+        // RNG draws — only the report grows a class section.
+        let p = linear_program(32, 2, 7, |_| EnablementMapping::Identity);
+        let base = run(p.clone(), 4, OverlapPolicy::strict());
+        let cfg = MachineConfig::ideal(4).with_classes(vec![ProcessorClass::new("base", 4, 100)]);
+        let r = run_on(p, cfg, OverlapPolicy::strict());
+        assert_eq!(r.makespan, base.makespan);
+        assert_eq!(r.compute_time, base.compute_time);
+        assert_eq!(r.tasks_dispatched, base.tasks_dispatched);
+        assert!(base.class_reports.is_empty());
+        assert_eq!(r.class_reports.len(), 1);
+        assert_eq!(r.class_reports[0].tasks, r.tasks_dispatched);
+        assert_eq!(r.class_reports[0].busy, r.compute_time);
+    }
+
+    #[test]
+    fn slow_class_stretches_every_task() {
+        // 8 granules × 10 ticks on one 50%-speed processor: each task
+        // takes ceil(10·100/50) = 20 ticks → makespan 160, not 80.
+        let p = linear_program(8, 1, 10, |_| EnablementMapping::Null);
+        let cfg = MachineConfig::ideal(1).with_classes(vec![ProcessorClass::new("slow", 1, 50)]);
+        let r = run_on(
+            p,
+            cfg,
+            OverlapPolicy::strict().with_sizing(crate::policy::TaskSizing::Fixed(1)),
+        );
+        assert_eq!(r.makespan.ticks(), 160);
+        assert_eq!(r.class_reports[0].busy.ticks(), 160);
+        assert_eq!(r.class_reports[0].tasks, 8);
+    }
+
+    #[test]
+    fn fast_class_takes_more_work() {
+        // One 200% processor and one 100% processor splitting 16
+        // single-granule tasks of 10 ticks: the fast worker finishes
+        // each task in 5 ticks and should clear about twice the tasks.
+        let p = linear_program(16, 1, 10, |_| EnablementMapping::Null);
+        let cfg = MachineConfig::ideal(2).with_classes(vec![
+            ProcessorClass::new("fast", 1, 200),
+            ProcessorClass::new("base", 1, 100),
+        ]);
+        let r = run_on(
+            p,
+            cfg,
+            OverlapPolicy::strict().with_sizing(crate::policy::TaskSizing::Fixed(1)),
+        );
+        let fast = &r.class_reports[0];
+        let base = &r.class_reports[1];
+        assert_eq!(fast.tasks + base.tasks, 16);
+        assert!(
+            fast.tasks > base.tasks,
+            "fast class should clear more tasks: fast={} base={}",
+            fast.tasks,
+            base.tasks
+        );
+        // 16 granules, fast does ~2 per base task: optimum is ~53 ticks.
+        assert!(r.makespan.ticks() < 80, "makespan {}", r.makespan.ticks());
+    }
+
+    #[test]
+    fn affinity_keeps_elevated_only_class_off_normal_work() {
+        // A strict run produces only Normal-queue descriptors, so an
+        // ElevatedOnly class must sit idle while the NormalOnly class
+        // does everything.
+        let p = linear_program(12, 1, 10, |_| EnablementMapping::Null);
+        let cfg = MachineConfig::ideal(2).with_classes(vec![
+            ProcessorClass::new("helper", 1, 100).with_affinity(ClassAffinity::ElevatedOnly),
+            ProcessorClass::new("main", 1, 100).with_affinity(ClassAffinity::NormalOnly),
+        ]);
+        let r = run_on(
+            p,
+            cfg,
+            OverlapPolicy::strict().with_sizing(crate::policy::TaskSizing::Fixed(1)),
+        );
+        assert_eq!(r.class_reports[0].tasks, 0);
+        assert_eq!(r.class_reports[1].tasks, 12);
+        assert_eq!(r.makespan.ticks(), 120);
+    }
+
+    #[test]
+    fn single_token_pool_serializes_phase() {
+        // 4 processors but one "operator" token: tasks of the gated
+        // phase run one at a time. 4 granules × 10 ticks → 40 ticks.
+        let mut b = ProgramBuilder::new();
+        let id = b.phase(
+            PhaseDef::new("gated", 4, CostModel::constant(10))
+                .with_requires(vec!["operator".into()]),
+        );
+        b.dispatch(id);
+        let p = b.build().unwrap();
+        let cfg = MachineConfig::ideal(4).with_resources(vec![ResourcePool::new("operator", 1)]);
+        let r = run_on(
+            p,
+            cfg,
+            OverlapPolicy::strict().with_sizing(crate::policy::TaskSizing::Fixed(1)),
+        );
+        assert_eq!(r.makespan.ticks(), 40);
+        let pool = r.pool_report("operator").unwrap();
+        assert_eq!(pool.tokens, 1);
+        assert!(pool.waits > 0, "blocked dispatches should be counted");
+        assert!(pool.wait_ticks.ticks() > 0);
+    }
+
+    #[test]
+    fn unknown_pool_name_is_a_structured_error() {
+        let mut b = ProgramBuilder::new();
+        let id = b.phase(
+            PhaseDef::new("gated", 4, CostModel::constant(10))
+                .with_requires(vec!["nonexistent".into()]),
+        );
+        b.dispatch(id);
+        let p = b.build().unwrap();
+        let mut sim = Simulation::new(MachineConfig::ideal(2), OverlapPolicy::strict());
+        sim.add_job(p);
+        match sim.run() {
+            Err(EngineError::InvalidProgram(msg)) => {
+                assert!(msg.contains("nonexistent"), "{msg}");
+                assert!(msg.contains("gated"), "{msg}");
+            }
+            other => panic!("expected InvalidProgram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_returns_held_tokens() {
+        // Processor 0 takes the only token, crashes permanently mid-task,
+        // and never repairs. If the crash path leaked the token the
+        // remaining processor could never dispatch the rest of the phase
+        // and the run would deadlock instead of completing.
+        use pax_sim::faults::{FaultPlan, ScriptedFault};
+        let mut b = ProgramBuilder::new();
+        let id = b.phase(
+            PhaseDef::new("gated", 6, CostModel::constant(10))
+                .with_requires(vec!["operator".into()]),
+        );
+        b.dispatch(id);
+        let p = b.build().unwrap();
+        let cfg = MachineConfig::ideal(2)
+            .with_resources(vec![ResourcePool::new("operator", 1)])
+            .with_faults(FaultPlan::scripted(vec![ScriptedFault {
+                processor: 0,
+                crash_at: 5,
+                repair_after: None,
+            }]));
+        let r = run_on(
+            p,
+            cfg.clone(),
+            OverlapPolicy::strict().with_sizing(crate::policy::TaskSizing::Fixed(1)),
+        );
+        assert_eq!(r.crashes, 1);
+        // All six granules execute (one is re-issued after the crash) on
+        // the surviving processor, serialized by the token.
+        assert_eq!(r.phases[0].stats.executed_granules, 6);
+        // Deterministic: the same scenario reruns bit-identically.
+        let mut again = Simulation::new(
+            cfg,
+            OverlapPolicy::strict().with_sizing(crate::policy::TaskSizing::Fixed(1)),
+        );
+        again.add_job({
+            let mut b = ProgramBuilder::new();
+            let id = b.phase(
+                PhaseDef::new("gated", 6, CostModel::constant(10))
+                    .with_requires(vec!["operator".into()]),
+            );
+            b.dispatch(id);
+            b.build().unwrap()
+        });
+        let r2 = again.run().unwrap();
+        assert_eq!(r.makespan, r2.makespan);
+        assert_eq!(r.lost_work, r2.lost_work);
+        assert_eq!(
+            r.pool_report("operator").unwrap().waits,
+            r2.pool_report("operator").unwrap().waits
+        );
+    }
+
+    #[test]
+    fn parked_worker_crash_releases_park_slot() {
+        // Worker 1 parks on the exhausted pool, then crashes while
+        // parked (permanent). The run must still complete on worker 0
+        // and pool wait accounting must close the park interval.
+        use pax_sim::faults::{FaultPlan, ScriptedFault};
+        let mut b = ProgramBuilder::new();
+        let id = b.phase(
+            PhaseDef::new("gated", 5, CostModel::constant(10))
+                .with_requires(vec!["operator".into()]),
+        );
+        b.dispatch(id);
+        let p = b.build().unwrap();
+        let cfg = MachineConfig::ideal(2)
+            .with_resources(vec![ResourcePool::new("operator", 1)])
+            .with_faults(FaultPlan::scripted(vec![ScriptedFault {
+                processor: 1,
+                crash_at: 3,
+                repair_after: None,
+            }]));
+        let r = run_on(
+            p,
+            cfg,
+            OverlapPolicy::strict().with_sizing(crate::policy::TaskSizing::Fixed(1)),
+        );
+        assert_eq!(r.phases[0].stats.executed_granules, 5);
+        assert_eq!(r.makespan.ticks(), 50);
     }
 }

@@ -85,7 +85,9 @@ pub mod prelude {
         AssignmentPolicy, CompositeBuild, OverlapPolicy, SplitStrategy, TaskSizing,
     };
     pub use crate::program::{BranchTest, EnableSpec, Lookahead, Program, ProgramBuilder, Step};
-    pub use crate::report::{JobReport, PhaseReport, RunReport, RundownWindow};
+    pub use crate::report::{
+        ClassReport, JobReport, PhaseReport, PoolReport, RunReport, RundownWindow,
+    };
     pub use crate::shard::{
         run_sharded, Coordinator, EpochPlan, GroupLink, ShardEngine, ShardedRun,
     };
@@ -93,8 +95,8 @@ pub mod prelude {
     pub use pax_sim::faults::{FaultModel, FaultPlan, RetryPolicy, ScriptedFault};
     pub use pax_sim::locality::{DataLayout, LocalityModel};
     pub use pax_sim::machine::{
-        AdmissionPolicy, BatchPolicy, ConfigError, ExecutivePlacement, MachineConfig,
-        ManagementCosts, RunStorageKind, ShardPolicy,
+        AdmissionPolicy, BatchPolicy, ClassAffinity, ConfigError, ExecutivePlacement,
+        MachineConfig, ManagementCosts, ProcessorClass, ResourcePool, RunStorageKind, ShardPolicy,
     };
     pub use pax_sim::seeded_rng;
     pub use pax_sim::time::{SimDuration, SimTime};

@@ -15,6 +15,13 @@ pub struct PhaseDef {
     /// Lines of parallel code this phase represents — the census weight
     /// used to reproduce the paper's percentage-of-code statistics.
     pub lines: u32,
+    /// Names of secondary-resource pools
+    /// ([`ResourcePool`](pax_sim::machine::ResourcePool)) a task of this
+    /// phase must hold one token from for its whole execution. Empty (the
+    /// default) means the task needs only a processor. Names are resolved
+    /// against `MachineConfig::resources` at session build; an unknown
+    /// name is a structured engine error, not a panic.
+    pub requires: Vec<String>,
 }
 
 impl PhaseDef {
@@ -26,12 +33,20 @@ impl PhaseDef {
             granules,
             cost,
             lines: 0,
+            requires: Vec::new(),
         }
     }
 
     /// Attach a census line weight.
     pub fn with_lines(mut self, lines: u32) -> PhaseDef {
         self.lines = lines;
+        self
+    }
+
+    /// Require one token from each named secondary-resource pool for
+    /// every task of this phase.
+    pub fn with_requires(mut self, pools: Vec<String>) -> PhaseDef {
+        self.requires = pools;
         self
     }
 }
@@ -90,6 +105,9 @@ mod tests {
         assert_eq!(p.name, "sweep");
         assert_eq!(p.granules, 64);
         assert_eq!(p.lines, 37);
+        assert!(p.requires.is_empty());
+        let p = p.with_requires(vec!["operator".into()]);
+        assert_eq!(p.requires, ["operator"]);
     }
 
     #[test]

@@ -151,6 +151,33 @@ impl WaitingQueue {
         self.pop()
     }
 
+    /// Pop the next description from the *allowed* segments only — the
+    /// affinity-restricted variant of [`WaitingQueue::pop`] used by
+    /// heterogeneous processor classes. With both segments allowed this
+    /// is exactly `pop` (same round-robin bookkeeping); with a segment
+    /// disallowed its entries are invisible to this worker and wait for
+    /// one whose class may serve them.
+    pub fn pop_class(&mut self, allow_elevated: bool, allow_normal: bool) -> Option<DescId> {
+        if allow_elevated {
+            if let Some(id) = self.elevated.pop_front() {
+                self.len -= 1;
+                return Some(id);
+            }
+        }
+        if allow_normal {
+            let jobs = self.normal.len();
+            for k in 0..jobs {
+                let j = (self.rr_cursor + k) % jobs;
+                if let Some(id) = self.normal[j].pop_front() {
+                    self.rr_cursor = (j + 1) % jobs;
+                    self.len -= 1;
+                    return Some(id);
+                }
+            }
+        }
+        None
+    }
+
     /// Peek without removing (same order as [`WaitingQueue::pop`]).
     pub fn peek(&self) -> Option<DescId> {
         if let Some(&id) = self.elevated.front() {
@@ -319,6 +346,35 @@ mod tests {
     fn pop_matching_empty_queue() {
         let mut q = WaitingQueue::new(1);
         assert_eq!(q.pop_matching(8, |_| true), None);
+    }
+
+    #[test]
+    fn pop_class_restricts_segments() {
+        let mut q = WaitingQueue::new(2);
+        q.push_back(d(1), QueueClass::Normal, JobId(0));
+        q.push_back(d(2), QueueClass::Elevated, JobId(0));
+        q.push_back(d(3), QueueClass::Normal, JobId(1));
+        // Normal-only skips the elevated head entirely.
+        assert_eq!(q.pop_class(false, true), Some(d(1)));
+        // Elevated-only sees only the elevated segment.
+        assert_eq!(q.pop_class(true, false), Some(d(2)));
+        assert_eq!(q.pop_class(true, false), None);
+        // Both segments allowed behaves exactly like pop().
+        assert_eq!(q.pop_class(true, true), Some(d(3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_class_keeps_round_robin_fairness() {
+        let mut a = WaitingQueue::new(2);
+        let mut b = WaitingQueue::new(2);
+        for (id, job) in [(1, 0), (2, 0), (3, 1), (4, 1)] {
+            a.push_back(d(id), QueueClass::Normal, JobId(job));
+            b.push_back(d(id), QueueClass::Normal, JobId(job));
+        }
+        let via_pop: Vec<_> = std::iter::from_fn(|| a.pop()).collect();
+        let via_class: Vec<_> = std::iter::from_fn(|| b.pop_class(true, true)).collect();
+        assert_eq!(via_pop, via_class);
     }
 
     #[test]

@@ -70,6 +70,49 @@ impl JobReport {
     }
 }
 
+/// Per-processor-class accounting on a heterogeneous machine
+/// ([`ProcessorClass`](pax_sim::machine::ProcessorClass)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassReport {
+    /// Class name, as declared on the machine.
+    pub name: String,
+    /// Workers in this class (summed across groups on a sharded fleet).
+    pub processors: usize,
+    /// Declared speed (percent of nominal).
+    pub speed_percent: u32,
+    /// Useful compute ticks executed by this class (crash-preempted work
+    /// deducted, exactly like `compute_time`).
+    pub busy: SimDuration,
+    /// Tasks dispatched to this class.
+    pub tasks: u64,
+}
+
+impl ClassReport {
+    /// This class's utilization over `makespan`: useful compute over the
+    /// class's own capacity.
+    pub fn utilization(&self, makespan: SimDuration) -> f64 {
+        if makespan.is_zero() || self.processors == 0 {
+            return 0.0;
+        }
+        self.busy.ticks() as f64 / (self.processors as u64 * makespan.ticks()) as f64
+    }
+}
+
+/// Per-resource-pool accounting
+/// ([`ResourcePool`](pax_sim::machine::ResourcePool)): how often and how
+/// long dispatch waited on the pool's tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolReport {
+    /// Pool name, as declared on the machine.
+    pub name: String,
+    /// Declared token capacity (per machine group).
+    pub tokens: u32,
+    /// Dispatch attempts that found the pool empty and parked the worker.
+    pub waits: u64,
+    /// Total worker-ticks spent parked on this pool.
+    pub wait_ticks: SimDuration,
+}
+
 /// Full result of one simulation run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -141,6 +184,12 @@ pub struct RunReport {
     pub gantt: Option<GanttTrace>,
     /// Warnings raised during the run (interlock violations etc.).
     pub warnings: Vec<String>,
+    /// Per-class accounting on heterogeneous machines, in declaration
+    /// order. Empty on homogeneous (classless) machines.
+    pub class_reports: Vec<ClassReport>,
+    /// Per-pool token-wait accounting on resource-constrained machines,
+    /// in declaration order. Empty when no pools are declared.
+    pub pool_reports: Vec<PoolReport>,
 }
 
 impl RunReport {
@@ -309,6 +358,21 @@ impl RunReport {
         self.jobs_completed() as f64 / self.makespan.ticks() as f64
     }
 
+    /// Utilization of the named processor class (useful compute over the
+    /// class's capacity), or `None` when no such class was declared.
+    pub fn class_utilization(&self, name: &str) -> Option<f64> {
+        self.class_reports
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.utilization(self.makespan))
+    }
+
+    /// Token-wait accounting for the named resource pool, or `None` when
+    /// no such pool was declared.
+    pub fn pool_report(&self, name: &str) -> Option<&PoolReport> {
+        self.pool_reports.iter().find(|p| p.name == name)
+    }
+
     /// Render a compact textual summary.
     pub fn summary(&self) -> String {
         let mut s = String::new();
@@ -330,6 +394,25 @@ impl RunReport {
                 self.retries,
                 self.lost_work,
                 self.available_utilization(),
+            );
+        }
+        for c in &self.class_reports {
+            let _ = writeln!(
+                s,
+                "  class {:<12} procs {:>4}  speed {:>4}%  busy {}  tasks {}  utilization {:.4}",
+                c.name,
+                c.processors,
+                c.speed_percent,
+                c.busy,
+                c.tasks,
+                c.utilization(self.makespan),
+            );
+        }
+        for p in &self.pool_reports {
+            let _ = writeln!(
+                s,
+                "  pool {:<13} tokens {:>3}  waits {:>6}  wait-ticks {}",
+                p.name, p.tokens, p.waits, p.wait_ticks,
             );
         }
         for (i, p) in self.phases.iter().enumerate() {
@@ -431,7 +514,50 @@ mod tests {
             descriptors_peak: 6,
             gantt: None,
             warnings: vec![],
+            class_reports: vec![],
+            pool_reports: vec![],
         }
+    }
+
+    #[test]
+    fn class_and_pool_accounting() {
+        let mut r = mk_report();
+        assert_eq!(r.class_utilization("fast"), None);
+        assert!(r.pool_report("operator").is_none());
+        r.class_reports = vec![
+            ClassReport {
+                name: "fast".into(),
+                processors: 1,
+                speed_percent: 200,
+                busy: SimDuration(80),
+                tasks: 5,
+            },
+            ClassReport {
+                name: "slow".into(),
+                processors: 3,
+                speed_percent: 50,
+                busy: SimDuration(280),
+                tasks: 3,
+            },
+        ];
+        r.pool_reports = vec![PoolReport {
+            name: "operator".into(),
+            tokens: 2,
+            waits: 7,
+            wait_ticks: SimDuration(140),
+        }];
+        // makespan 100: fast = 80/(1*100), slow = 280/(3*100)
+        assert!((r.class_utilization("fast").unwrap() - 0.8).abs() < 1e-12);
+        assert!((r.class_utilization("slow").unwrap() - 280.0 / 300.0).abs() < 1e-12);
+        let p = r.pool_report("operator").unwrap();
+        assert_eq!(p.waits, 7);
+        assert_eq!(p.wait_ticks, SimDuration(140));
+        let s = r.summary();
+        assert!(s.contains("class fast"));
+        assert!(s.contains("pool operator"));
+        // Zero-makespan guard.
+        r.makespan = SimDuration::ZERO;
+        assert_eq!(r.class_utilization("fast"), Some(0.0));
     }
 
     #[test]

@@ -35,7 +35,7 @@
 //! Every shard count — including pathological ones like 3 — produces a
 //! bit-identical [`RunReport`]:
 //!
-//! * each group runs on its own [`Engine`] in **local time** (global time
+//! * each group runs on its own `Engine` in **local time** (global time
 //!   = admission time + local time), and chopping an engine's drive loop
 //!   into windows at any boundaries is result-invariant (see
 //!   `Engine::run_window`);
@@ -43,7 +43,7 @@
 //!   latency), never quantized to a barrier, so they are independent of
 //!   the epoch schedule;
 //! * per-group RNG streams are split deterministically from the scenario
-//!   seed ([`group_seed`]: group 0 keeps the seed unchanged, so
+//!   seed (`group_seed`: group 0 keeps the seed unchanged, so
 //!   single-group runs reproduce the classic engine bit-for-bit; group
 //!   `g > 0` gets a splitmix64-derived stream).
 //!
@@ -114,7 +114,7 @@ struct GroupCell {
     finished: Option<SimTime>,
 }
 
-/// The per-shard half of the sharded engine: owns the [`Engine`]s of the
+/// The per-shard half of the sharded engine: owns the `Engine`s of the
 /// groups assigned to this shard and drains them window by window.
 ///
 /// `Send` by construction (engines are plain owned state), so the
@@ -453,6 +453,15 @@ impl Coordinator {
             acc.descriptors_peak += report.descriptors_peak;
             acc.jobs_rejected += report.jobs_rejected;
             acc.instances_peak += report.instances_peak;
+            for (a, r) in acc.class_reports.iter_mut().zip(&report.class_reports) {
+                a.processors += r.processors;
+                a.busy += r.busy;
+                a.tasks += r.tasks;
+            }
+            for (a, r) in acc.pool_reports.iter_mut().zip(&report.pool_reports) {
+                a.waits += r.waits;
+                a.wait_ticks += r.wait_ticks;
+            }
             let instance_base = acc.phases.len() as u32;
             let mut phases = report.phases;
             rewrite_phases(&mut phases, instance_base, job_map);

@@ -194,6 +194,26 @@ impl CostModel {
 /// **before** the run starts (from a dedicated, domain-separated RNG —
 /// see [`arrival_seed`]), so the engine's task-sampling RNG consumes zero
 /// extra draws and closed-system runs stay bit-identical to the goldens.
+///
+/// ```
+/// use pax_sim::dist::ArrivalProcess;
+/// use pax_sim::time::SimTime;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// // A trace replays its instants exactly (sorted, no RNG draws) ...
+/// let trace = ArrivalProcess::trace(vec![SimTime(250), SimTime(0), SimTime(100)]);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// assert_eq!(
+///     trace.instants(3, &mut rng),
+///     vec![SimTime(0), SimTime(100), SimTime(250)],
+/// );
+///
+/// // ... while a Poisson source draws exactly `count` gaps from the rng.
+/// let poisson = ArrivalProcess::poisson(200);
+/// let arrivals = poisson.instants(4, &mut rng);
+/// assert_eq!(arrivals.len(), 4);
+/// assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "sorted ascending");
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalProcess {
     /// Memoryless arrivals: independent exponential inter-arrival gaps

@@ -82,6 +82,28 @@ pub struct ScriptedFault {
 
 /// A complete fault-injection plan: the crash/repair model plus the
 /// retry policy for preempted work.
+///
+/// ```
+/// use pax_sim::dist::DurationDist;
+/// use pax_sim::faults::{FaultPlan, RetryPolicy, ScriptedFault};
+///
+/// // Random crashes: exponential up spans, constant repair, with a
+/// // bounded reissue budget instead of the default retry-forever.
+/// let random = FaultPlan::random(
+///     DurationDist::exponential(5_000),
+///     DurationDist::constant(400),
+/// )
+/// .with_retry(RetryPolicy::Bounded { max_attempts: 3 });
+/// assert_eq!(random.retry, RetryPolicy::Bounded { max_attempts: 3 });
+///
+/// // Scripted crashes for deterministic tests: processor 0 goes down at
+/// // tick 500 for 40 ticks; processor 2 is lost for good at tick 900.
+/// let scripted = FaultPlan::scripted(vec![
+///     ScriptedFault { processor: 0, crash_at: 500, repair_after: Some(40) },
+///     ScriptedFault { processor: 2, crash_at: 900, repair_after: None },
+/// ]);
+/// assert_eq!(scripted.retry, RetryPolicy::ReissueFront);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Crash/repair generation model.

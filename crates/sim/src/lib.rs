@@ -25,8 +25,10 @@
 //!   and retry policies for work lost to a crash, attached per machine
 //!   via [`machine::MachineConfig::with_faults`].
 //! * [`machine`] — processor pools, executive placement
-//!   (worker-stealing à la UNIVAC 1100 vs dedicated) and itemized
-//!   management costs.
+//!   (worker-stealing à la UNIVAC 1100 vs dedicated), itemized
+//!   management costs, heterogeneous speed classes
+//!   ([`machine::ProcessorClass`]) and secondary-resource token pools
+//!   ([`machine::ResourcePool`]).
 //! * [`locality`] — clustered-memory model (data homes, remote-access
 //!   stalls) behind the paper's "data-proximity work assignment" strategy.
 //! * [`metrics`] — busy-processor step traces, per-worker Gantt traces,
@@ -55,8 +57,8 @@ pub use event::EventQueue;
 pub use faults::{FaultModel, FaultPlan, RetryPolicy, ScriptedFault};
 pub use locality::{DataLayout, LocalityModel};
 pub use machine::{
-    AdmissionPolicy, BatchPolicy, ConfigError, ExecutivePlacement, MachineConfig, ManagementCosts,
-    RunStorageKind, ShardPolicy,
+    AdmissionPolicy, BatchPolicy, ClassAffinity, ConfigError, ExecutivePlacement, MachineConfig,
+    ManagementCosts, ProcessorClass, ResourcePool, RunStorageKind, ShardPolicy,
 };
 pub use metrics::{Activity, BusyCounter, GanttTrace, Span, StepTrace, Welford};
 pub use time::{SimDuration, SimTime};

@@ -242,6 +242,17 @@ impl Default for ShardPolicy {
 /// defers it, or sheds it — and the report accounts for the choice
 /// (`jobs_rejected`, per-job latency measured from *arrival*, so a
 /// deferred job's queueing delay is visible in p99).
+///
+/// ```
+/// use pax_sim::machine::{AdmissionPolicy, MachineConfig};
+///
+/// let m = MachineConfig::new(4).with_admission(AdmissionPolicy::Shed { max_in_flight: 8 });
+/// assert!(m.validate().is_ok());
+/// // Zero capacity can never admit anything and is rejected at build.
+/// let bad = MachineConfig::new(4)
+///     .with_admission(AdmissionPolicy::BoundedDefer { max_in_flight: 0 });
+/// assert!(bad.validate().is_err());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AdmissionPolicy {
     /// Admit every arrival immediately. The default, and the only policy
@@ -264,6 +275,145 @@ pub enum AdmissionPolicy {
     },
 }
 
+/// Which waiting-queue segments a processor class may serve.
+///
+/// The waiting computation queue has two scheduling classes (elevated
+/// conflict-released work ahead of normal phase work); affinity restricts
+/// which of them a worker drawn from a [`ProcessorClass`] may pop. The
+/// default, [`ClassAffinity::Any`], is the homogeneous behaviour. A
+/// machine whose classes collectively cannot serve both segments is
+/// rejected at validation ([`ConfigError::UncoveredQueueClass`]), since
+/// work queued in an unservable segment would wait forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClassAffinity {
+    /// Serve either queue segment — the homogeneous default.
+    #[default]
+    Any,
+    /// Serve only elevated (conflict-released / enabling) work.
+    ElevatedOnly,
+    /// Serve only normal phase work.
+    NormalOnly,
+}
+
+impl ClassAffinity {
+    /// Whether this affinity may pop elevated-segment work.
+    pub fn serves_elevated(self) -> bool {
+        !matches!(self, ClassAffinity::NormalOnly)
+    }
+
+    /// Whether this affinity may pop normal-segment work.
+    pub fn serves_normal(self) -> bool {
+        !matches!(self, ClassAffinity::ElevatedOnly)
+    }
+}
+
+/// One speed class in a heterogeneous processor pool.
+///
+/// Classes partition the machine's workers: the first
+/// [`ProcessorClass::count`] workers belong to the first declared class,
+/// the next to the second, and so on ([`MachineConfig::validate`] requires
+/// the counts to sum to `processors`). Each task's sampled duration is
+/// scaled by the *dispatching* worker's class speed, after the cost model
+/// has drawn its random value — so heterogeneity never changes how many
+/// random draws a run makes, and a 100-percent class is bit-identical to
+/// the homogeneous machine.
+///
+/// ```
+/// use pax_sim::machine::{ClassAffinity, MachineConfig, ProcessorClass};
+///
+/// // Two fast workers (half duration) alongside six nominal ones.
+/// let m = MachineConfig::new(8).with_classes(vec![
+///     ProcessorClass::new("fast", 2, 200),
+///     ProcessorClass::new("base", 6, 100),
+/// ]);
+/// assert!(m.validate().is_ok());
+/// assert_eq!(m.classes[0].scale_ticks(1000), 500); // 200 % speed
+/// assert_eq!(m.classes[1].scale_ticks(1000), 1000); // nominal
+/// assert_eq!(m.classes[0].affinity, ClassAffinity::Any);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessorClass {
+    /// Class name, used in per-class report accounting.
+    pub name: String,
+    /// Number of workers in this class (≥ 1; counts must sum to
+    /// `processors`).
+    pub count: usize,
+    /// Speed as a percentage of nominal: 100 = nominal, 200 = twice as
+    /// fast (durations halve), 50 = half speed (durations double).
+    /// Stored as an integer so duration scaling is exact and
+    /// deterministic; zero is rejected at validation.
+    pub speed_percent: u32,
+    /// Which waiting-queue segments this class's workers may serve.
+    pub affinity: ClassAffinity,
+}
+
+impl ProcessorClass {
+    /// A class of `count` workers at `speed_percent` of nominal speed,
+    /// serving any queue segment.
+    pub fn new(name: impl Into<String>, count: usize, speed_percent: u32) -> ProcessorClass {
+        ProcessorClass {
+            name: name.into(),
+            count,
+            speed_percent,
+            affinity: ClassAffinity::Any,
+        }
+    }
+
+    /// Builder-style: restrict which queue segments the class serves.
+    pub fn with_affinity(mut self, affinity: ClassAffinity) -> ProcessorClass {
+        self.affinity = affinity;
+        self
+    }
+
+    /// Scale a sampled task duration (in ticks) by this class's speed:
+    /// `ceil(ticks × 100 / speed_percent)`, computed in 128-bit so large
+    /// durations cannot overflow. At 100 percent this is exactly the
+    /// identity, which is what keeps a speed-100 class bit-identical to
+    /// the homogeneous machine.
+    pub fn scale_ticks(&self, ticks: u64) -> u64 {
+        debug_assert!(self.speed_percent > 0, "validated at session build");
+        let p = u128::from(self.speed_percent.max(1));
+        (u128::from(ticks) * 100).div_ceil(p) as u64
+    }
+}
+
+/// A named pool of secondary-resource tokens (operators, licenses,
+/// fixtures — anything a task needs *in addition to* a processor).
+///
+/// A phase that declares `requires: ["operator"]` dispatches a task only
+/// when a worker **and** one token from every named pool are available;
+/// the tokens are held for the task's whole execution and returned when
+/// it completes — or when a processor crash preempts it, so fault
+/// injection cannot leak tokens and break determinism.
+///
+/// ```
+/// use pax_sim::machine::{MachineConfig, ResourcePool};
+///
+/// let m = MachineConfig::new(8)
+///     .with_resources(vec![ResourcePool::new("operator", 3)]);
+/// assert!(m.validate().is_ok());
+/// assert_eq!(m.resources[0].tokens, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourcePool {
+    /// Pool name, referenced by phase `requires` lists and report rows.
+    pub name: String,
+    /// Number of tokens in the pool (≥ 1; zero is rejected at
+    /// validation, because a task requiring an empty pool could never
+    /// dispatch).
+    pub tokens: u32,
+}
+
+impl ResourcePool {
+    /// A pool named `name` holding `tokens` tokens.
+    pub fn new(name: impl Into<String>, tokens: u32) -> ResourcePool {
+        ResourcePool {
+            name: name.into(),
+            tokens,
+        }
+    }
+}
+
 /// A structured machine-configuration error, produced by
 /// [`MachineConfig::validate`] once at session build.
 ///
@@ -283,6 +433,45 @@ pub enum ConfigError {
     /// An admission policy with `max_in_flight == 0` can never admit
     /// any job at all.
     ZeroAdmissionCapacity,
+    /// Declared processor-class counts do not sum to `processors`.
+    ClassCountMismatch {
+        /// Sum of all [`ProcessorClass::count`] values.
+        classes_total: usize,
+        /// The machine's `processors` field the sum must equal.
+        processors: usize,
+    },
+    /// A processor class with `count == 0` contributes no workers.
+    ZeroClassCount {
+        /// Index of the offending class in `classes`.
+        class: usize,
+    },
+    /// A processor class with `speed_percent == 0` would run forever.
+    ZeroClassSpeed {
+        /// Index of the offending class in `classes`.
+        class: usize,
+    },
+    /// Two processor classes share a name, making per-class report rows
+    /// ambiguous.
+    DuplicateClassName {
+        /// Index of the *second* occurrence in `classes`.
+        class: usize,
+    },
+    /// The declared classes collectively cannot serve both waiting-queue
+    /// segments (e.g. every class is `ElevatedOnly`), so work queued in
+    /// the unserved segment would wait forever.
+    UncoveredQueueClass,
+    /// A resource pool with `tokens == 0` can never satisfy a requiring
+    /// task.
+    ZeroPoolTokens {
+        /// Index of the offending pool in `resources`.
+        pool: usize,
+    },
+    /// Two resource pools share a name, making `requires` references
+    /// ambiguous.
+    DuplicatePoolName {
+        /// Index of the *second* occurrence in `resources`.
+        pool: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -294,6 +483,32 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroAdmissionCapacity => {
                 write!(f, "admission policy needs max_in_flight >= 1")
             }
+            ConfigError::ClassCountMismatch {
+                classes_total,
+                processors,
+            } => write!(
+                f,
+                "processor class counts sum to {classes_total} but the machine has {processors} processors"
+            ),
+            ConfigError::ZeroClassCount { class } => {
+                write!(f, "processor class {class} has count 0")
+            }
+            ConfigError::ZeroClassSpeed { class } => {
+                write!(f, "processor class {class} has speed_percent 0")
+            }
+            ConfigError::DuplicateClassName { class } => {
+                write!(f, "processor class {class} repeats an earlier class name")
+            }
+            ConfigError::UncoveredQueueClass => write!(
+                f,
+                "class affinities leave a waiting-queue segment with no processor able to serve it"
+            ),
+            ConfigError::ZeroPoolTokens { pool } => {
+                write!(f, "resource pool {pool} has 0 tokens")
+            }
+            ConfigError::DuplicatePoolName { pool } => {
+                write!(f, "resource pool {pool} repeats an earlier pool name")
+            }
         }
     }
 }
@@ -301,6 +516,27 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Complete machine description for a simulation run.
+///
+/// Assembled with infallible builder setters and checked once by
+/// [`MachineConfig::validate`] at session build:
+///
+/// ```
+/// use pax_sim::machine::{AdmissionPolicy, MachineConfig, ProcessorClass, ResourcePool};
+///
+/// let m = MachineConfig::new(8)
+///     .with_executive_lanes(2)
+///     .with_admission(AdmissionPolicy::BoundedDefer { max_in_flight: 6 })
+///     .with_classes(vec![
+///         ProcessorClass::new("fast", 2, 200),
+///         ProcessorClass::new("base", 6, 100),
+///     ])
+///     .with_resources(vec![ResourcePool::new("operator", 3)]);
+/// assert!(m.validate().is_ok());
+///
+/// // Class counts must cover the whole pool; errors are typed.
+/// let bad = MachineConfig::new(8).with_classes(vec![ProcessorClass::new("fast", 2, 200)]);
+/// assert!(bad.validate().is_err());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Number of worker processors.
@@ -349,6 +585,20 @@ pub struct MachineConfig {
     /// across shard counts and shard drivers. On a fleet, every machine
     /// group replica experiences the plan in its own local time.
     pub faults: Option<FaultPlan>,
+    /// Heterogeneous processor classes. Empty (the default) is the
+    /// homogeneous machine — every worker nominal speed, any queue
+    /// segment — and takes exactly the homogeneous dispatch path, so the
+    /// golden shapes are untouched and zero extra random draws occur.
+    /// Non-empty classes partition the workers in declaration order;
+    /// [`MachineConfig::validate`] requires the counts to sum to
+    /// `processors`.
+    pub classes: Vec<ProcessorClass>,
+    /// Secondary-resource token pools. Empty (the default) means tasks
+    /// need only a processor. A phase declaring `requires` names pools
+    /// here; a task dispatches only when a worker and one token from
+    /// every required pool are available, and tokens are returned on
+    /// completion *and* on crash preemption.
+    pub resources: Vec<ResourcePool>,
 }
 
 impl MachineConfig {
@@ -369,6 +619,8 @@ impl MachineConfig {
             shards: ShardPolicy::default(),
             admission: AdmissionPolicy::default(),
             faults: None,
+            classes: Vec::new(),
+            resources: Vec::new(),
         }
     }
 
@@ -387,6 +639,8 @@ impl MachineConfig {
             shards: ShardPolicy::default(),
             admission: AdmissionPolicy::default(),
             faults: None,
+            classes: Vec::new(),
+            resources: Vec::new(),
         }
     }
 
@@ -411,6 +665,42 @@ impl MachineConfig {
                 return Err(ConfigError::ZeroAdmissionCapacity);
             }
             _ => {}
+        }
+        if !self.classes.is_empty() {
+            let mut total = 0usize;
+            let mut elevated_served = false;
+            let mut normal_served = false;
+            for (i, c) in self.classes.iter().enumerate() {
+                if c.count == 0 {
+                    return Err(ConfigError::ZeroClassCount { class: i });
+                }
+                if c.speed_percent == 0 {
+                    return Err(ConfigError::ZeroClassSpeed { class: i });
+                }
+                if self.classes[..i].iter().any(|p| p.name == c.name) {
+                    return Err(ConfigError::DuplicateClassName { class: i });
+                }
+                total += c.count;
+                elevated_served |= c.affinity.serves_elevated();
+                normal_served |= c.affinity.serves_normal();
+            }
+            if total != self.processors {
+                return Err(ConfigError::ClassCountMismatch {
+                    classes_total: total,
+                    processors: self.processors,
+                });
+            }
+            if !(elevated_served && normal_served) {
+                return Err(ConfigError::UncoveredQueueClass);
+            }
+        }
+        for (i, p) in self.resources.iter().enumerate() {
+            if p.tokens == 0 {
+                return Err(ConfigError::ZeroPoolTokens { pool: i });
+            }
+            if self.resources[..i].iter().any(|q| q.name == p.name) {
+                return Err(ConfigError::DuplicatePoolName { pool: i });
+            }
         }
         Ok(())
     }
@@ -474,6 +764,22 @@ impl MachineConfig {
     /// Builder-style: attach a processor fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> MachineConfig {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Builder-style: declare heterogeneous processor classes.
+    /// Infallible — count/speed/affinity problems are reported by
+    /// [`MachineConfig::validate`] at session build.
+    pub fn with_classes(mut self, classes: Vec<ProcessorClass>) -> MachineConfig {
+        self.classes = classes;
+        self
+    }
+
+    /// Builder-style: declare secondary-resource token pools.
+    /// Infallible — empty pools and duplicate names are reported by
+    /// [`MachineConfig::validate`] at session build.
+    pub fn with_resources(mut self, resources: Vec<ResourcePool>) -> MachineConfig {
+        self.resources = resources;
         self
     }
 }
@@ -629,5 +935,128 @@ mod tests {
         .with_retry(crate::faults::RetryPolicy::Abandon);
         let m = MachineConfig::new(4).with_faults(plan.clone());
         assert_eq!(m.faults, Some(plan));
+    }
+
+    #[test]
+    fn classes_default_and_builder() {
+        // Homogeneous stays the default — no classes, no scaling, golden
+        // shapes untouched.
+        assert!(MachineConfig::new(4).classes.is_empty());
+        assert!(MachineConfig::ideal(4).classes.is_empty());
+        let m = MachineConfig::new(4).with_classes(vec![
+            ProcessorClass::new("fast", 1, 200).with_affinity(ClassAffinity::Any),
+            ProcessorClass::new("slow", 3, 50),
+        ]);
+        assert_eq!(m.classes.len(), 2);
+        assert_eq!(m.validate(), Ok(()));
+    }
+
+    #[test]
+    fn class_validation_rules() {
+        let base = MachineConfig::new(4);
+        assert_eq!(
+            base.clone()
+                .with_classes(vec![ProcessorClass::new("a", 3, 100)])
+                .validate(),
+            Err(ConfigError::ClassCountMismatch {
+                classes_total: 3,
+                processors: 4
+            })
+        );
+        assert_eq!(
+            base.clone()
+                .with_classes(vec![
+                    ProcessorClass::new("a", 4, 100),
+                    ProcessorClass::new("b", 0, 100)
+                ])
+                .validate(),
+            Err(ConfigError::ZeroClassCount { class: 1 })
+        );
+        assert_eq!(
+            base.clone()
+                .with_classes(vec![ProcessorClass::new("a", 4, 0)])
+                .validate(),
+            Err(ConfigError::ZeroClassSpeed { class: 0 })
+        );
+        assert_eq!(
+            base.clone()
+                .with_classes(vec![
+                    ProcessorClass::new("a", 2, 100),
+                    ProcessorClass::new("a", 2, 200)
+                ])
+                .validate(),
+            Err(ConfigError::DuplicateClassName { class: 1 })
+        );
+        // Every class elevated-only leaves normal work unserved.
+        assert_eq!(
+            base.clone()
+                .with_classes(vec![
+                    ProcessorClass::new("a", 4, 100).with_affinity(ClassAffinity::ElevatedOnly)
+                ])
+                .validate(),
+            Err(ConfigError::UncoveredQueueClass)
+        );
+        // A normal-only + elevated-only split covers both segments.
+        assert_eq!(
+            base.with_classes(vec![
+                ProcessorClass::new("a", 2, 100).with_affinity(ClassAffinity::NormalOnly),
+                ProcessorClass::new("b", 2, 100).with_affinity(ClassAffinity::ElevatedOnly),
+            ])
+            .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn resource_validation_rules() {
+        assert!(MachineConfig::new(4).resources.is_empty());
+        let m = MachineConfig::new(4).with_resources(vec![
+            ResourcePool::new("operator", 3),
+            ResourcePool::new("license", 1),
+        ]);
+        assert_eq!(m.validate(), Ok(()));
+        assert_eq!(
+            MachineConfig::new(4)
+                .with_resources(vec![ResourcePool::new("operator", 0)])
+                .validate(),
+            Err(ConfigError::ZeroPoolTokens { pool: 0 })
+        );
+        assert_eq!(
+            MachineConfig::new(4)
+                .with_resources(vec![
+                    ResourcePool::new("operator", 1),
+                    ResourcePool::new("operator", 2)
+                ])
+                .validate(),
+            Err(ConfigError::DuplicatePoolName { pool: 1 })
+        );
+        assert!(ConfigError::UncoveredQueueClass
+            .to_string()
+            .contains("segment"));
+    }
+
+    #[test]
+    fn speed_scaling_is_exact_and_ceil() {
+        let nominal = ProcessorClass::new("n", 1, 100);
+        for t in [0u64, 1, 7, 100, 1_000_000_007] {
+            assert_eq!(nominal.scale_ticks(t), t, "100 % must be identity");
+        }
+        let fast = ProcessorClass::new("f", 1, 200);
+        assert_eq!(fast.scale_ticks(1000), 500);
+        assert_eq!(fast.scale_ticks(7), 4); // ceil(3.5)
+        let slow = ProcessorClass::new("s", 1, 50);
+        assert_eq!(slow.scale_ticks(1000), 2000);
+        let odd = ProcessorClass::new("o", 1, 300);
+        assert_eq!(odd.scale_ticks(10), 4); // ceil(10/3)
+    }
+
+    #[test]
+    fn affinity_segment_coverage() {
+        assert!(ClassAffinity::Any.serves_elevated());
+        assert!(ClassAffinity::Any.serves_normal());
+        assert!(ClassAffinity::ElevatedOnly.serves_elevated());
+        assert!(!ClassAffinity::ElevatedOnly.serves_normal());
+        assert!(!ClassAffinity::NormalOnly.serves_elevated());
+        assert!(ClassAffinity::NormalOnly.serves_normal());
     }
 }

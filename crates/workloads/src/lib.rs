@@ -20,6 +20,10 @@
 //!   "power of compression → interpolator matrix generation" pipeline as
 //!   real `f64` kernels with a dynamic `IMAP`, for validating executors
 //!   on CASPER-shaped dataflow.
+//! * [`scenario`] — declarative scenario files: heterogeneous machines
+//!   (speed classes, resource pools, faults, admission) and workloads
+//!   loaded from JSON with line-accurate [`scenario::ScenarioError`]
+//!   diagnostics. Format spec in `docs/SCENARIO_FORMAT.md`.
 
 #![warn(missing_docs)]
 
@@ -30,6 +34,7 @@ pub mod fragmentation;
 pub mod fragments;
 pub mod generators;
 pub mod mini_casper;
+pub mod scenario;
 pub mod service;
 
 pub use casper::{casper_declared_census, CasperConfig, CASPER_PHASES};
@@ -43,4 +48,5 @@ pub use fragments::{
 };
 pub use generators::{CostShape, GeneratorConfig};
 pub use mini_casper::MiniCasper;
+pub use scenario::{Scenario, ScenarioError, ScenarioErrorKind};
 pub use service::ServiceConfig;

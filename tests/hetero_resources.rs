@@ -1,0 +1,257 @@
+//! Heterogeneous machines and secondary resources are semantics-stable
+//! across every driver and shard count.
+//!
+//! The `ShardPolicy` contract says sharding is a host-performance knob,
+//! never a semantics knob. This suite extends that contract to the
+//! heterogeneity layer: a fleet whose machines declare speed classes,
+//! affinities, and resource-token pools must produce fingerprint-identical
+//! reports — including the per-class and per-pool accounting — at shard
+//! counts {1, 2, 4, 8} on the inline driver, the inline sharded driver,
+//! and the threaded sharded driver. A fault-injected leg crashes
+//! processors mid-task to prove held tokens are returned on the crash
+//! path deterministically (a leaked token would change every downstream
+//! dispatch and split the fingerprints).
+
+use pax_core::prelude::*;
+use pax_sim::faults::ScriptedFault;
+
+/// A full-report fingerprint that also folds in the heterogeneity
+/// accounting, so a class/pool merge bug cannot hide behind a matching
+/// makespan.
+fn fingerprint(r: &RunReport) -> String {
+    let phase_sig: String = r
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{}:{}+{}",
+                p.job, p.stats.executed_granules, p.stats.overlap_granules
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let class_sig: String = r
+        .class_reports
+        .iter()
+        .map(|c| {
+            format!(
+                "{}:{}w:{}t:{}b",
+                c.name,
+                c.processors,
+                c.tasks,
+                c.busy.ticks()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let pool_sig: String = r
+        .pool_reports
+        .iter()
+        .map(|p| format!("{}:{}w:{}wt", p.name, p.waits, p.wait_ticks.ticks()))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "ev={} mk={} tasks={} splits={} lost={} crashes={} retries={} \
+         classes=[{class_sig}] pools=[{pool_sig}] phases=[{phase_sig}]",
+        r.events,
+        r.makespan.ticks(),
+        r.tasks_dispatched,
+        r.splits,
+        r.lost_work.ticks(),
+        r.crashes,
+        r.retries,
+    )
+}
+
+/// A six-processor two-class machine with two token pools.
+fn hetero_machine() -> MachineConfig {
+    MachineConfig::new(6)
+        .with_classes(vec![
+            ProcessorClass::new("fast", 2, 200),
+            ProcessorClass::new("base", 4, 100),
+        ])
+        .with_resources(vec![
+            ResourcePool::new("operator", 1),
+            ResourcePool::new("channel", 2),
+        ])
+}
+
+/// A three-phase program whose first and last phases contend on pools
+/// (when `gated`; ungated drops the `requires` lists for machines with
+/// no resource pools).
+fn program(granules: u32, gated: bool) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut mount_def = PhaseDef::new("mount", granules / 4, CostModel::constant(15));
+    if gated {
+        mount_def = mount_def.with_requires(vec!["operator".into(), "channel".into()]);
+    }
+    let mount = b.phase(mount_def);
+    let compute = b.phase(PhaseDef::new(
+        "compute",
+        granules,
+        CostModel::new(DurationDist::Uniform {
+            lo: SimDuration(8),
+            hi: SimDuration(24),
+        }),
+    ));
+    let mut flush_def = PhaseDef::new("flush", granules, CostModel::constant(4));
+    if gated {
+        flush_def = flush_def.with_requires(vec!["channel".into()]);
+    }
+    let flush = b.phase(flush_def);
+    b.dispatch_enable(
+        mount,
+        vec![EnableSpec {
+            successor: compute,
+            mapping: EnablementMapping::Universal,
+        }],
+    );
+    b.dispatch_enable(
+        compute,
+        vec![EnableSpec {
+            successor: flush,
+            mapping: EnablementMapping::Identity,
+        }],
+    );
+    b.dispatch(flush);
+    b.build().unwrap()
+}
+
+/// An 8-group fleet of gated programs on the heterogeneous machine,
+/// optionally fault-injected.
+fn fleet(cfg: MachineConfig, faulted: bool) -> Simulation {
+    fleet_with(cfg, faulted, true)
+}
+
+fn fleet_with(cfg: MachineConfig, faulted: bool, gated: bool) -> Simulation {
+    let cfg = if faulted {
+        cfg.with_faults(FaultPlan::scripted(vec![
+            // Crashes while tasks (likely token-holding) are in flight:
+            // one transient, one permanent loss.
+            ScriptedFault {
+                processor: 0,
+                crash_at: 20,
+                repair_after: Some(60),
+            },
+            ScriptedFault {
+                processor: 4,
+                crash_at: 45,
+                repair_after: None,
+            },
+        ]))
+    } else {
+        cfg
+    };
+    let mut sim = Simulation::new(
+        cfg,
+        OverlapPolicy::overlap().with_sizing(TaskSizing::Fixed(2)),
+    )
+    .with_seed(0xC0FFEE);
+    for g in 0..8 {
+        sim.add_job_in_group(program(32 + 4 * g as u32, gated), g);
+        sim.add_job_at_in_group(program(16, gated), SimTime(30), g);
+    }
+    // One group also receives an arrival stream, so stream expansion
+    // rides through the shard partitioning too.
+    sim.add_job_stream_in_group(program(8, gated), ArrivalProcess::poisson(200), 3, 2);
+    sim
+}
+
+fn run_fingerprint(sim: Simulation) -> String {
+    fingerprint(&sim.run().expect("run failed"))
+}
+
+/// Heterogeneous + resource-constrained fleets are shard-count-invariant
+/// on the inline and inline-sharded drivers.
+#[test]
+fn hetero_fleet_is_shard_invariant_inline() {
+    let reference = run_fingerprint(fleet(hetero_machine(), false));
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = hetero_machine().with_shards(ShardPolicy::new(shards));
+        let actual = run_fingerprint(fleet(cfg, false));
+        assert_eq!(
+            actual, reference,
+            "inline sharded diverged at shards={shards}"
+        );
+    }
+}
+
+/// The threaded sharded driver reproduces the same fingerprints.
+#[test]
+fn hetero_fleet_is_shard_invariant_threaded() {
+    let reference = run_fingerprint(fleet(hetero_machine(), false));
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = hetero_machine().with_shards(ShardPolicy::new(shards));
+        let actual = pax_runtime::run_simulation_sharded(fleet(cfg, false))
+            .map(|r| fingerprint(&r))
+            .expect("threaded run failed");
+        assert_eq!(actual, reference, "threaded diverged at shards={shards}");
+    }
+}
+
+/// The fault-injected leg: crashes that preempt token-holding tasks stay
+/// deterministic and shard-invariant — held tokens come back on the
+/// crash path identically everywhere.
+#[test]
+fn faulted_hetero_fleet_is_shard_invariant_on_all_drivers() {
+    let reference = run_fingerprint(fleet(hetero_machine(), true));
+    assert!(
+        reference.contains("crashes=16"),
+        "every group should see its two scripted crashes: {reference}"
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = hetero_machine().with_shards(ShardPolicy::new(shards));
+        let inline = run_fingerprint(fleet(cfg.clone(), true));
+        assert_eq!(
+            inline, reference,
+            "inline sharded diverged at shards={shards}"
+        );
+        let threaded = pax_runtime::run_simulation_sharded(fleet(cfg, true))
+            .map(|r| fingerprint(&r))
+            .expect("threaded run failed");
+        assert_eq!(threaded, reference, "threaded diverged at shards={shards}");
+    }
+}
+
+/// Tokens always come home: after a faulted run completes, the pools'
+/// merged wait accounting is internally consistent and the per-class
+/// task counts cover every dispatch.
+#[test]
+fn accounting_is_conserved_under_faults() {
+    let r = fleet(hetero_machine(), true).run().unwrap();
+    let class_tasks: u64 = r.class_reports.iter().map(|c| c.tasks).sum();
+    // Reissued descriptors re-dispatch through the same path, so the
+    // per-class counts cover every dispatch including retries.
+    assert_eq!(class_tasks, r.tasks_dispatched);
+    assert!(r.retries > 0, "the scripted crashes should cost retries");
+    assert_eq!(
+        r.class_reports.iter().map(|c| c.processors).sum::<usize>(),
+        6 * 8
+    );
+    for p in &r.pool_reports {
+        assert!(
+            p.waits > 0 || p.wait_ticks == SimDuration::ZERO,
+            "{}: wait ticks without waits",
+            p.name
+        );
+    }
+}
+
+/// A single 100 %-speed class with empty resources is byte-identical to
+/// the plain homogeneous machine — heterogeneity off is really off.
+#[test]
+fn trivial_hetero_config_matches_homogeneous_fingerprint() {
+    let homogeneous = run_fingerprint(fleet_with(MachineConfig::new(6), false, false));
+    let trivial = MachineConfig::new(6).with_classes(vec![ProcessorClass::new("all", 6, 100)]);
+    let r = fleet_with(trivial, false, false).run().unwrap();
+    // The class section differs (it now reports), so compare everything
+    // except the class signature.
+    let fp = fingerprint(&r);
+    let strip = |s: &str| {
+        let (head, tail) = s.split_once(" classes=[").unwrap();
+        let (_, tail) = tail.split_once(']').unwrap();
+        format!("{head}{tail}")
+    };
+    assert_eq!(strip(&fp), strip(&homogeneous));
+    assert_eq!(r.class_reports.len(), 1);
+}

@@ -1,0 +1,368 @@
+//! Scenario-file loader suite.
+//!
+//! Three layers of coverage for `pax_workloads::scenario`:
+//!
+//! 1. **Cookbook goldens** — every `examples/scenarios/*.json` shipped
+//!    with the repo (the files `docs/SCENARIO_FORMAT.md` documents) must
+//!    load, validate, build, and run green.
+//! 2. **Diagnostics** — malformed documents must fail with the typed
+//!    [`ScenarioError`] carrying the offending line and dotted field
+//!    path, not a panic or a bare string.
+//! 3. **Round-trip property** — for randomized valid scenarios,
+//!    `Scenario::parse(s.to_json()) == s`, and the parsed document
+//!    builds a runnable simulation.
+
+use pax_workloads::scenario::{
+    AdmissionDoc, AffinityDoc, ArrivalDoc, ClassDoc, DistDoc, FaultDoc, FaultEventDoc,
+    FaultModelDoc, MachineDoc, MappingDoc, PhaseDoc, PolicyDoc, PoolDoc, ProgramDoc, RetryDoc,
+    Scenario, ScenarioErrorKind, SizingDoc, StreamDoc,
+};
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join("scenarios")
+}
+
+/// Every checked-in cookbook scenario loads and runs.
+#[test]
+fn every_cookbook_scenario_loads_and_runs() {
+    let dir = scenarios_dir();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("examples/scenarios exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 4,
+        "expected the four documented cookbook scenarios, found {files:?}"
+    );
+    for file in files {
+        let scenario =
+            Scenario::load_path(&file).unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        let report = scenario
+            .build()
+            .unwrap_or_else(|e| panic!("{}: {e}", file.display()))
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e:?}", file.display()));
+        assert!(
+            report.makespan.ticks() > 0,
+            "{}: degenerate run",
+            file.display()
+        );
+    }
+}
+
+/// The two-speed cookbook scenario actually produces per-class
+/// accounting, and the fast class out-runs the base class per worker.
+#[test]
+fn fast_slow_cookbook_reports_class_utilization() {
+    let s = Scenario::load_path(scenarios_dir().join("fast_slow_classes.json")).unwrap();
+    let r = s.build().unwrap().run().unwrap();
+    assert_eq!(r.class_reports.len(), 2);
+    let fast = &r.class_reports[0];
+    let base = &r.class_reports[1];
+    assert_eq!(fast.name, "fast");
+    assert_eq!(fast.tasks + base.tasks, r.tasks_dispatched);
+    let fast_per_worker = fast.tasks as f64 / fast.processors as f64;
+    let base_per_worker = base.tasks as f64 / base.processors as f64;
+    assert!(
+        fast_per_worker > base_per_worker,
+        "fast {fast_per_worker:.2} vs base {base_per_worker:.2} tasks/worker"
+    );
+}
+
+/// The operator cookbook scenario contends on its single-token pool.
+#[test]
+fn operator_cookbook_shows_pool_contention() {
+    let s = Scenario::load_path(scenarios_dir().join("operator_pipeline.json")).unwrap();
+    let r = s.build().unwrap().run().unwrap();
+    let operator = r.pool_report("operator").expect("operator pool reported");
+    assert_eq!(operator.tokens, 1);
+    assert!(operator.waits > 0, "mounts should contend for the operator");
+    assert!(operator.wait_ticks.ticks() > 0);
+}
+
+/// The service-stream cookbook admits its whole stream despite the
+/// bounded-defer gate (deferral, not loss).
+#[test]
+fn service_stream_cookbook_completes_all_jobs() {
+    let s = Scenario::load_path(scenarios_dir().join("hetero_service_stream.json")).unwrap();
+    let r = s.build().unwrap().run().unwrap();
+    assert_eq!(r.jobs.len(), 24);
+    assert_eq!(r.jobs_rejected, 0);
+    assert!(r.jobs.iter().all(|j| j.finished_at.is_some()));
+}
+
+/// Missing files are I/O errors, not panics.
+#[test]
+fn missing_file_is_an_io_error() {
+    let e = Scenario::load_path(scenarios_dir().join("no_such_scenario.json")).unwrap_err();
+    assert!(matches!(e.kind, ScenarioErrorKind::Io(_)));
+    assert_eq!(e.line, 0);
+}
+
+/// Diagnostics carry line and dotted path for deep fields.
+#[test]
+fn deep_field_errors_locate_line_and_path() {
+    let text = "{\n\
+                \"machine\": {\n\
+                  \"processors\": 4,\n\
+                  \"resources\": [\n\
+                    { \"name\": \"op\", \"tokens\": true }\n\
+                  ]\n\
+                },\n\
+                \"workload\": [ { \"name\": \"w\", \"phases\": [\n\
+                  { \"name\": \"p\", \"granules\": 4, \"cost\": { \"dist\": \"constant\", \"ticks\": 1 } }\n\
+                ] } ]\n}";
+    let e = Scenario::parse(text).unwrap_err();
+    assert_eq!(e.line, 5);
+    assert_eq!(e.path, "machine.resources[0].tokens");
+    assert_eq!(
+        e.kind,
+        ScenarioErrorKind::WrongType {
+            expected: "number",
+            found: "boolean"
+        }
+    );
+}
+
+/// A bad enum tag names the allowed values in its message.
+#[test]
+fn bad_enum_tag_lists_alternatives() {
+    let text = r#"{
+        "machine": { "processors": 2 },
+        "workload": [ { "name": "w", "phases": [
+            { "name": "p", "granules": 4,
+              "cost": { "dist": "gaussian", "ticks": 1 } }
+        ] } ]
+    }"#;
+    let e = Scenario::parse(text).unwrap_err();
+    assert_eq!(e.path, "workload[0].phases[0].cost.dist");
+    match e.kind {
+        ScenarioErrorKind::Invalid(msg) => {
+            assert!(
+                msg.contains("gaussian") && msg.contains("exponential"),
+                "{msg}"
+            );
+        }
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+}
+
+mod round_trip {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dist_from(kind: u8, a: u64, b: u64) -> DistDoc {
+        match kind % 4 {
+            0 => DistDoc::Zero,
+            1 => DistDoc::Constant(a),
+            2 => DistDoc::Uniform {
+                lo: a.min(b),
+                hi: a.max(b),
+            },
+            _ => DistDoc::Exponential(a.max(1)),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scenario_from(
+        seed: u64,
+        processors: usize,
+        split: usize,
+        speed: u32,
+        affinity: u8,
+        pools: usize,
+        tokens: u32,
+        phases: usize,
+        granules: u32,
+        cost_kind: u8,
+        mapping_kind: u8,
+        admission: u8,
+        fault_kind: u8,
+        retry_kind: u8,
+        stream_kind: u8,
+        overlap: bool,
+        sizing_kind: u8,
+        quoted_name: bool,
+    ) -> Scenario {
+        let classes = match split {
+            0 => Vec::new(),
+            s if s >= processors => vec![ClassDoc {
+                name: "only \"class\"".into(),
+                count: processors,
+                speed_percent: speed,
+                affinity: AffinityDoc::Any,
+            }],
+            s => vec![
+                ClassDoc {
+                    name: "head".into(),
+                    count: s,
+                    speed_percent: speed,
+                    affinity: AffinityDoc::Any,
+                },
+                ClassDoc {
+                    name: "tail".into(),
+                    count: processors - s,
+                    speed_percent: 100,
+                    affinity: match affinity % 3 {
+                        0 => AffinityDoc::Any,
+                        1 => AffinityDoc::ElevatedOnly,
+                        _ => AffinityDoc::NormalOnly,
+                    },
+                },
+            ],
+        };
+        let resources: Vec<PoolDoc> = (0..pools)
+            .map(|i| PoolDoc {
+                name: format!("pool{i}"),
+                tokens,
+            })
+            .collect();
+        let phase_docs: Vec<PhaseDoc> = (0..phases)
+            .map(|j| PhaseDoc {
+                name: format!("ph{j}"),
+                granules,
+                cost: dist_from(cost_kind.wrapping_add(j as u8), 5 + j as u64, 20),
+                lines: j as u32 * 7,
+                requires: resources
+                    .iter()
+                    .take(if j % 2 == 0 { pools } else { 0 })
+                    .map(|p| p.name.clone())
+                    .collect(),
+                mapping: match mapping_kind % 3 {
+                    0 => MappingDoc::Null,
+                    1 => MappingDoc::Identity,
+                    _ => MappingDoc::Universal,
+                },
+            })
+            .collect();
+        Scenario {
+            name: if quoted_name {
+                "line1\nline2 \"quoted\" \\slash\t".into()
+            } else {
+                "plain".into()
+            },
+            seed,
+            machine: MachineDoc {
+                processors,
+                ideal: seed.is_multiple_of(2),
+                lanes: if seed.is_multiple_of(3) {
+                    Some(2)
+                } else {
+                    None
+                },
+                calendar: Default::default(),
+                shards: if seed.is_multiple_of(5) {
+                    Some(2)
+                } else {
+                    None
+                },
+                classes,
+                resources,
+                admission: match admission % 3 {
+                    0 => AdmissionDoc::AcceptAll,
+                    1 => AdmissionDoc::BoundedDefer(3),
+                    _ => AdmissionDoc::Shed(3),
+                },
+                faults: match fault_kind % 3 {
+                    0 => None,
+                    1 => Some(FaultDoc {
+                        model: FaultModelDoc::Random {
+                            time_to_failure: DistDoc::Exponential(5_000),
+                            time_to_repair: DistDoc::Constant(100),
+                        },
+                        retry: match retry_kind % 3 {
+                            0 => RetryDoc::ReissueFront,
+                            1 => RetryDoc::Abandon,
+                            _ => RetryDoc::Bounded(4),
+                        },
+                    }),
+                    _ => Some(FaultDoc {
+                        model: FaultModelDoc::Scripted(vec![FaultEventDoc {
+                            processor: 0,
+                            crash_at: 123,
+                            repair_after: if retry_kind.is_multiple_of(2) {
+                                Some(50)
+                            } else {
+                                None
+                            },
+                        }]),
+                        retry: RetryDoc::ReissueFront,
+                    }),
+                },
+            },
+            workload: vec![ProgramDoc {
+                name: "prog".into(),
+                count: (seed % 3) as usize,
+                phases: phase_docs,
+            }],
+            stream: match stream_kind % 3 {
+                0 => None,
+                1 => Some(StreamDoc {
+                    program: "prog".into(),
+                    count: 4,
+                    arrivals: ArrivalDoc::Poisson { mean_gap: 250 },
+                }),
+                _ => Some(StreamDoc {
+                    program: "prog".into(),
+                    count: 3,
+                    arrivals: ArrivalDoc::Trace(vec![0, 10, 250]),
+                }),
+            },
+            policy: PolicyDoc {
+                overlap,
+                sizing: match sizing_kind % 3 {
+                    0 => None,
+                    1 => Some(SizingDoc::Fixed(2)),
+                    _ => Some(SizingDoc::PerProcessor(2.5)),
+                },
+            },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Emit → parse is the identity on valid scenarios, and the
+        /// parsed document assembles a simulation.
+        #[test]
+        fn emit_parse_round_trip(
+            seed in 0u64..1_000,
+            processors in 1usize..9,
+            split in 0usize..9,
+            speed in 25u32..400,
+            affinity in 0u8..3,
+            pools in 0usize..3,
+            tokens in 1u32..4,
+            phases in 1usize..4,
+            granules in 1u32..40,
+            cost_kind in 0u8..4,
+            mapping_kind in 0u8..3,
+            admission in 0u8..3,
+            fault_kind in 0u8..3,
+            retry_kind in 0u8..3,
+            stream_kind in 0u8..3,
+            overlap in proptest::bool::ANY,
+            sizing_kind in 0u8..3,
+            quoted_name in proptest::bool::ANY,
+        ) {
+            let doc = scenario_from(
+                seed, processors, split, speed, affinity, pools, tokens,
+                phases, granules, cost_kind, mapping_kind, admission,
+                fault_kind, retry_kind, stream_kind, overlap, sizing_kind,
+                quoted_name,
+            );
+            let text = doc.to_json();
+            let back = Scenario::parse(&text)
+                .map_err(|e| TestCaseError::fail(format!("re-parse failed: {e}\n{text}")))?;
+            prop_assert_eq!(&back, &doc);
+            // The round-tripped document is also buildable.
+            back.build()
+                .map_err(|e| TestCaseError::fail(format!("build failed: {e}")))?;
+        }
+    }
+}
