@@ -359,6 +359,94 @@ fn bench_rangeset_storage(c: &mut Criterion) {
     g.finish();
 }
 
+/// The calendar-backend decision data at structure level, and the pin
+/// for the time wheel's batch-pop straight drain: `coincident_drain`
+/// schedules `n` events in same-time cohorts of 64 and pops them
+/// through `pop_coincident_into`, the path where the wheel drains a
+/// whole sorted bucket run as one `drain(..k)` instead of `k` head
+/// removals (and the heap pays `k` sift-downs). `hold` is the
+/// steady-state service-stream hold model the `calendar_scaling`
+/// structure rows measure: a fixed pending population, each pop
+/// rescheduled at a recurring service spacing, with one far-future
+/// outlier spacing to force hierarchical cascades.
+fn bench_calendar_backends(c: &mut Criterion) {
+    use pax_sim::calendar::{Calendar, CalendarKind};
+    let backends = [
+        ("heap", CalendarKind::BinaryHeap),
+        ("wheel", CalendarKind::time_wheel()),
+        ("hier", CalendarKind::hier_wheel()),
+    ];
+    let mut g = c.benchmark_group("calendar_backends");
+    g.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        for (label, kind) in backends {
+            g.bench_with_input(
+                BenchmarkId::new(format!("coincident_drain_{label}"), n),
+                &n,
+                move |b, &n| {
+                    b.iter(|| {
+                        let mut cal: Calendar<usize> = Calendar::from_kind(kind);
+                        for i in 0..n {
+                            cal.schedule(SimTime((i / 64) as u64 * 10), i);
+                        }
+                        let mut out = Vec::with_capacity(64);
+                        let mut popped = 0usize;
+                        while !cal.is_empty() {
+                            out.clear();
+                            popped += cal.pop_coincident_into(usize::MAX, &mut out);
+                        }
+                        popped
+                    })
+                },
+            );
+        }
+    }
+    for &n in &[4_096u32] {
+        for (label, kind) in backends {
+            g.bench_with_input(
+                BenchmarkId::new(format!("hold_{label}"), n),
+                &n,
+                move |b, &n| {
+                    const SPACINGS: [u64; 8] = [100, 100, 100, 150, 150, 250, 400, 1_000];
+                    b.iter(|| {
+                        let mut cal: Calendar<u32> = Calendar::from_kind(kind);
+                        let mut lcg: u64 = 0x9E37_79B9_7F4A_7C15;
+                        let mut spacing = || {
+                            lcg = lcg
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            let draw = (lcg >> 33) as usize;
+                            if draw.is_multiple_of(64) {
+                                100_000
+                            } else {
+                                SPACINGS[draw % SPACINGS.len()]
+                            }
+                        };
+                        for i in 0..n {
+                            let d = spacing();
+                            cal.schedule(SimTime(d), i);
+                        }
+                        let mut pops = 0u64;
+                        let mut batch = Vec::new();
+                        while pops < u64::from(n) * 8 {
+                            batch.clear();
+                            let k = cal.pop_coincident_into(usize::MAX, &mut batch);
+                            let now = batch[0].0 .0;
+                            for &(_, e) in &batch {
+                                let d = spacing();
+                                cal.schedule(SimTime(now + d), e);
+                            }
+                            pops += k as u64;
+                        }
+                        pops
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -371,6 +459,7 @@ criterion_group!(
     bench_enablement_completion,
     bench_rangeset_churn,
     bench_rangeset_bridging,
-    bench_rangeset_storage
+    bench_rangeset_storage,
+    bench_calendar_backends
 );
 criterion_main!(benches);

@@ -12,10 +12,11 @@
 //! claim experiments and writes machine-readable throughput numbers (plus
 //! the recorded pre-optimization baseline, the executive lane-scaling
 //! sweep with its wheel-coarseness rows, the run-storage scaling sweep,
-//! the sharded-engine shard-scaling sweep, the fault-injected
-//! degraded-fleet sweep, the open-system service-scaling sweep, and the
-//! heterogeneous-machine hetero-scaling sweep; `--no-lane-sweep` /
-//! `--no-storage-sweep` / `--no-shard-sweep` / `--no-degraded-sweep` /
+//! the calendar-backend calendar-scaling sweep, the sharded-engine
+//! shard-scaling sweep, the fault-injected degraded-fleet sweep, the
+//! open-system service-scaling sweep, and the heterogeneous-machine
+//! hetero-scaling sweep; `--no-lane-sweep` / `--no-storage-sweep` /
+//! `--no-calendar-sweep` / `--no-shard-sweep` / `--no-degraded-sweep` /
 //! `--no-service-sweep` / `--no-hetero-sweep` skip the respective
 //! sweep) to PATH.
 
@@ -58,6 +59,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             pax_bench::rundown::storage_scaling(quick)
         };
+        let calendar = if args.iter().any(|a| a == "--no-calendar-sweep") {
+            Vec::new()
+        } else {
+            pax_bench::rundown::calendar_scaling(quick)
+        };
         let shards = if args.iter().any(|a| a == "--no-shard-sweep") {
             Vec::new()
         } else {
@@ -82,6 +88,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             &measurements,
             &lanes,
             &storage,
+            &calendar,
             &shards,
             &degraded,
             &service,

@@ -445,6 +445,331 @@ pub fn wheel_coarseness(quick: bool) -> Vec<LaneScalingMeasurement> {
     out
 }
 
+/// Calendar backends measured by the [`calendar_scaling`] sweep: the
+/// heap reference, the best coarsened flat wheel from the
+/// [`WHEEL_COARSENESS_GRID`] verdict, the hierarchical wheel at default
+/// geometry, and the self-tuning `Auto` backend.
+pub const CALENDAR_SWEEP_BACKENDS: &[(&str, CalendarKind)] = &[
+    ("heap", CalendarKind::BinaryHeap),
+    (
+        "wheel_bt256",
+        CalendarKind::TimeWheel {
+            slots: 4096,
+            bucket_ticks: 256,
+        },
+    ),
+    ("hier", CalendarKind::hier_wheel()),
+    ("auto", CalendarKind::Auto),
+];
+
+/// One calendar-scaling data point: a workload re-run (or a bare
+/// calendar driven) on one backend of [`CALENDAR_SWEEP_BACKENDS`].
+#[derive(Debug, Clone)]
+pub struct CalendarScalingMeasurement {
+    /// Scenario name.
+    pub scenario: String,
+    /// Backend label from [`CALENDAR_SWEEP_BACKENDS`].
+    pub calendar: &'static str,
+    /// `"simulation"` (a closed rundown run), `"service"` (an open
+    /// Poisson stream held in service), or `"structure"` (the bare
+    /// calendar hold-model driver, no simulator around it).
+    pub kind: &'static str,
+    /// Simulator events; calendar operations for structure rows.
+    pub events: u64,
+    /// Simulated makespan in ticks (0 for structure rows).
+    pub makespan: u64,
+    /// Best wall-clock time, milliseconds.
+    pub wall_ms: f64,
+    /// `events` per wall-clock second.
+    pub events_per_sec: f64,
+    /// Wall-time ratio `heap_wall / wall` for the same scenario — above
+    /// 1.0 this backend beats the heap reference (NaN → JSON `null` on
+    /// the heap rows themselves).
+    pub speedup_vs_heap: f64,
+}
+
+/// Drive one bare calendar through a steady-state service-stream hold
+/// pattern: `population` pending events; each round pops the whole
+/// coincident batch at the head and schedules one replacement per
+/// popped event at a service-stream spacing — a small set of recurring
+/// service times (so completions coalesce, as granule batches do), with
+/// an occasional far-future outlier landing several wheel revolutions
+/// out. Runs until `target_pops` events have been serviced. Returns
+/// `(ops, best wall ms, checksum)`; the checksum folds every popped
+/// `(time, payload)` so backends can be asserted pop-for-pop identical.
+fn hold_structure(
+    kind: CalendarKind,
+    population: u32,
+    target_pops: u64,
+    reps: u32,
+) -> (u64, f64, u64) {
+    use pax_sim::time::SimTime;
+    use pax_sim::Calendar;
+    // Recurring service times dominate (completions coalesce at a few
+    // hot spacings, as granule batches do); 1 draw in 64 is a far-future
+    // timer landing several wheel revolutions out, the timeout-style
+    // tail that forces hierarchical cascades without letting the tail
+    // masquerade as the workload.
+    const SPACINGS: [u64; 8] = [100, 100, 100, 150, 150, 250, 400, 1_000];
+    fn next_spacing(lcg: &mut u64) -> u64 {
+        *lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let draw = (*lcg >> 33) as usize;
+        if draw.is_multiple_of(64) {
+            100_000
+        } else {
+            SPACINGS[draw % SPACINGS.len()]
+        }
+    }
+    let mut best = f64::INFINITY;
+    let mut sig: Option<(u64, u64)> = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let mut cal: Calendar<u32> = Calendar::from_kind(kind);
+        let mut lcg: u64 = 0x9E37_79B9_7F4A_7C15;
+        for i in 0..population {
+            let d = next_spacing(&mut lcg);
+            cal.schedule(SimTime(d), i);
+        }
+        let mut ops = u64::from(population);
+        let mut pops = 0u64;
+        let mut since_rebalance = 0u64;
+        let mut checksum = 0u64;
+        let mut batch: Vec<(SimTime, u32)> = Vec::new();
+        while pops < target_pops {
+            batch.clear();
+            let n = cal.pop_coincident_into(usize::MAX, &mut batch);
+            assert!(n > 0, "hold population drained unexpectedly");
+            let now = batch[0].0 .0;
+            for &(at, e) in &batch {
+                checksum = checksum
+                    .wrapping_mul(0x0000_0100_0000_01B3)
+                    .wrapping_add(at.0 ^ u64::from(e));
+                let d = next_spacing(&mut lcg);
+                cal.schedule(SimTime(now + d), e);
+            }
+            pops += n as u64;
+            ops += 2 * n as u64;
+            // The engine rebalances Auto at run-loop checkpoints; the
+            // bare driver does the same (on an event cadence — the
+            // coincident batches here are large, so a round cadence
+            // would finish the run before the tuner ever woke).
+            since_rebalance += n as u64;
+            if since_rebalance >= 8_192 {
+                since_rebalance = 0;
+                cal.rebalance();
+            }
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        let this = (checksum, ops);
+        match sig {
+            None => sig = Some(this),
+            Some(s) => assert_eq!(s, this, "hold driver must be deterministic across reps"),
+        }
+    }
+    let (checksum, ops) = sig.expect("at least one rep");
+    (ops, best, checksum)
+}
+
+/// The calendar-backend sweep: batch rundown shapes, the fragmentation
+/// shape, a hot open-system service stream, and bare hold-model
+/// structure rows, each re-run on every backend in
+/// [`CALENDAR_SWEEP_BACKENDS`]. Rows of one scenario are asserted
+/// result-identical across backends (pop-for-pop for structure rows,
+/// full service signature for streams) — the backend is a wall-clock
+/// knob only. The decision data for the ROADMAP's "a wheel that wins"
+/// item: to earn the default, hier/auto must win or tie every row and
+/// win the hot service-stream rows outright.
+pub fn calendar_scaling(quick: bool) -> Vec<CalendarScalingMeasurement> {
+    let sims: Vec<RundownScenario> = scenarios(quick)
+        .into_iter()
+        .filter(|s| {
+            matches!(
+                s.name,
+                "identity_1e4_t1" | "fragmented_1e4_t1" | "identity_1e5_t1" | "fragmented_1e5_t1"
+            )
+        })
+        .collect();
+    let mk = |name: &'static str, jobs: usize, mean_gap: u64| ServiceScenario {
+        name,
+        service: {
+            let mut s = pax_workloads::ServiceConfig::poisson(jobs, mean_gap);
+            s.granules_per_job = 32;
+            s.with_admission(pax_sim::machine::AdmissionPolicy::BoundedDefer { max_in_flight: 8 })
+        },
+        processors: 8,
+        reps: 2,
+    };
+    // A "hot" stream: the mean gap sits well under the per-job service
+    // time, so the executive services completions back to back while
+    // the whole remaining arrival stream sits pre-scheduled in the
+    // calendar — the steady-state shape the hierarchical wheel targets.
+    let service = if quick {
+        vec![mk("service_stream_hot_2e3", 2_000, 100)]
+    } else {
+        vec![mk("service_stream_hot_2e4", 20_000, 100)]
+    };
+    let holds: &[(u32, u64)] = if quick {
+        &[(8_192, 65_536)]
+    } else {
+        &[(8_192, 262_144), (65_536, 524_288)]
+    };
+    calendar_scaling_for(&sims, &service, holds)
+}
+
+/// [`calendar_scaling`] over explicit scenario and hold-population
+/// lists (testable at tiny sizes). `holds` entries are
+/// `(population, target_pops)` pairs.
+pub fn calendar_scaling_for(
+    sim_scenarios: &[RundownScenario],
+    service_scenarios: &[ServiceScenario],
+    holds: &[(u32, u64)],
+) -> Vec<CalendarScalingMeasurement> {
+    let mut out = Vec::new();
+    let mut push = |scenario: String,
+                    label: &'static str,
+                    kind: &'static str,
+                    events: u64,
+                    makespan: u64,
+                    wall: f64,
+                    heap_wall: &mut f64| {
+        let speedup = if label == "heap" {
+            *heap_wall = wall;
+            f64::NAN
+        } else {
+            *heap_wall / wall
+        };
+        out.push(CalendarScalingMeasurement {
+            scenario,
+            calendar: label,
+            kind,
+            events,
+            makespan,
+            wall_ms: wall,
+            events_per_sec: events as f64 / (wall / 1e3),
+            speedup_vs_heap: speedup,
+        });
+    };
+    for &(population, target_pops) in holds {
+        let name = format!("service_hold_{population}");
+        let mut reference: Option<(u64, u64)> = None;
+        let mut heap_wall = f64::NAN;
+        for &(label, kind) in CALENDAR_SWEEP_BACKENDS {
+            let (ops, wall, checksum) = hold_structure(kind, population, target_pops, 3);
+            // Pop-for-pop identity across backends, or the hold driver
+            // is measuring different schedules.
+            let sig = (ops, checksum);
+            match reference {
+                None => reference = Some(sig),
+                Some(reference) => {
+                    assert_eq!(sig, reference, "{name}: hold run diverged across calendars")
+                }
+            }
+            eprintln!("[calendar_scaling] {name} {label:<11} {wall:>9.3} ms ({ops} ops)");
+            push(
+                name.clone(),
+                label,
+                "structure",
+                ops,
+                0,
+                wall,
+                &mut heap_wall,
+            );
+        }
+    }
+    for s in sim_scenarios.iter().cloned() {
+        let program = build_program(&s);
+        let reps = s.reps.clamp(1, 3);
+        let mut reference: Option<(u64, u64)> = None;
+        let mut heap_wall = f64::NAN;
+        for &(label, kind) in CALENDAR_SWEEP_BACKENDS {
+            let cfg = MachineConfig::new(s.processors).with_calendar(kind);
+            let mut best_wall = f64::INFINITY;
+            let mut report = None;
+            for _ in 0..reps {
+                let (r, wall) = run_once_on(&s, &program, cfg.clone());
+                best_wall = best_wall.min(wall);
+                report = Some(r);
+            }
+            let r = report.expect("at least one rep");
+            let sig = (r.events, r.makespan.ticks());
+            match reference {
+                None => reference = Some(sig),
+                Some(reference) => {
+                    assert_eq!(sig, reference, "{}: run diverged across calendars", s.name)
+                }
+            }
+            eprintln!(
+                "[calendar_scaling] {} {label:<11} {best_wall:>9.3} ms  mk={}",
+                s.name,
+                r.makespan.ticks()
+            );
+            push(
+                s.name.to_string(),
+                label,
+                "simulation",
+                r.events,
+                r.makespan.ticks(),
+                best_wall,
+                &mut heap_wall,
+            );
+        }
+    }
+    for sc in service_scenarios {
+        let mut reference: Option<(u64, u64, usize, u64, u64, u64, usize)> = None;
+        let mut heap_wall = f64::NAN;
+        for &(label, kind) in CALENDAR_SWEEP_BACKENDS {
+            let cfg = MachineConfig::new(sc.processors).with_calendar(kind);
+            let mut best_wall = f64::INFINITY;
+            let mut report = None;
+            for _ in 0..sc.reps.max(1) {
+                let sim = sc.service.simulation(cfg.clone(), 7);
+                let t = Instant::now();
+                let r = sim.run().expect("calendar service scenario run");
+                best_wall = best_wall.min(t.elapsed().as_secs_f64() * 1e3);
+                report = Some(r);
+            }
+            let r = report.expect("at least one rep");
+            let p50 = r.latency_p50().map(|d| d.ticks()).unwrap_or(0);
+            let p99 = r.latency_p99().map(|d| d.ticks()).unwrap_or(0);
+            // The whole service history must hold still across
+            // backends, percentiles included.
+            let sig = (
+                r.events,
+                r.makespan.ticks(),
+                r.jobs_completed(),
+                r.jobs_rejected,
+                p50,
+                p99,
+                r.instances_peak,
+            );
+            match reference {
+                None => reference = Some(sig),
+                Some(reference) => assert_eq!(
+                    sig, reference,
+                    "{}: service run diverged across calendars",
+                    sc.name
+                ),
+            }
+            eprintln!(
+                "[calendar_scaling] {} {label:<11} {best_wall:>9.3} ms  p50={p50} p99={p99}",
+                sc.name
+            );
+            push(
+                sc.name.to_string(),
+                label,
+                "service",
+                r.events,
+                r.makespan.ticks(),
+                best_wall,
+                &mut heap_wall,
+            );
+        }
+    }
+    out
+}
+
 /// The run-storage backends [`storage_scaling`] compares. Labels are the
 /// JSON `storage` values.
 pub const STORAGE_SWEEP_BACKENDS: &[(&str, RunStorageKind)] = &[
@@ -1280,7 +1605,7 @@ pub fn to_json(measurements: &[RundownMeasurement]) -> String {
 /// [`BASELINE_HOST`]; the fingerprints of both hosts are recorded so a
 /// later reader can tell which comparison would be legitimate.
 pub fn to_json_for_host(measurements: &[RundownMeasurement], host: &str) -> String {
-    to_json_full(measurements, &[], &[], &[], &[], &[], &[], host)
+    to_json_full(measurements, &[], &[], &[], &[], &[], &[], &[], host)
 }
 
 /// Full document: headline scenarios plus the lane-scaling,
@@ -1297,6 +1622,7 @@ pub fn to_json_full(
     measurements: &[RundownMeasurement],
     lanes: &[LaneScalingMeasurement],
     storage: &[StorageScalingMeasurement],
+    calendar: &[CalendarScalingMeasurement],
     shards: &[ShardScalingMeasurement],
     degraded: &[ShardScalingMeasurement],
     service: &[ServiceScalingMeasurement],
@@ -1370,6 +1696,42 @@ pub fn to_json_full(
                 json_f64(m.events_per_sec)
             ));
             out.push_str(if i + 1 == storage.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+    }
+    if !calendar.is_empty() {
+        out.push_str(
+            "  \"calendar_scaling_note\": \"calendar-backend sweep: simulation and \
+             service rows re-run a scenario per backend (events/makespan and the full \
+             service signature are backend-invariant; wall_ms is what the calendar \
+             costs the simulator), structure rows drive a bare calendar through the \
+             steady-state hold model (events = calendar ops, makespan 0, pop order \
+             checksummed identical). speedup_vs_heap is heap_wall/wall per scenario \
+             (null on the heap rows). To earn the default, hier/auto must win or tie \
+             every row and win the hot service-stream rows outright (see ROADMAP)\",\n",
+        );
+        out.push_str("  \"calendar_scaling\": [\n");
+        for (i, m) in calendar.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"scenario\": \"{}\",\n", m.scenario));
+            out.push_str(&format!("      \"calendar\": \"{}\",\n", m.calendar));
+            out.push_str(&format!("      \"kind\": \"{}\",\n", m.kind));
+            out.push_str(&format!("      \"events\": {},\n", m.events));
+            out.push_str(&format!("      \"makespan_ticks\": {},\n", m.makespan));
+            out.push_str(&format!("      \"wall_ms\": {},\n", json_f64(m.wall_ms)));
+            out.push_str(&format!(
+                "      \"events_per_sec\": {},\n",
+                json_f64(m.events_per_sec)
+            ));
+            out.push_str(&format!(
+                "      \"speedup_vs_heap\": {}\n",
+                json_f64(m.speedup_vs_heap)
+            ));
+            out.push_str(if i + 1 == calendar.len() {
                 "    }\n"
             } else {
                 "    },\n"
@@ -1699,6 +2061,63 @@ mod tests {
     }
 
     #[test]
+    fn calendar_sweep_covers_the_grid_and_agrees_across_backends() {
+        let sim = RundownScenario {
+            name: "tiny_calendar_sim",
+            granules: 96,
+            task_size: 1,
+            processors: 4,
+            shape: RundownShape::Identity,
+            reps: 1,
+        };
+        let service = ServiceScenario {
+            name: "tiny_calendar_service",
+            service: {
+                let mut s = pax_workloads::ServiceConfig::poisson(16, 80);
+                s.granules_per_job = 8;
+                s.with_admission(pax_sim::machine::AdmissionPolicy::BoundedDefer {
+                    max_in_flight: 4,
+                })
+            },
+            processors: 4,
+            reps: 1,
+        };
+        let rows = calendar_scaling_for(&[sim], &[service], &[(64, 2_048)]);
+        // every scenario × every backend, in backend order
+        assert_eq!(rows.len(), 3 * CALENDAR_SWEEP_BACKENDS.len());
+        for (name, kind) in [
+            ("service_hold_64", "structure"),
+            ("tiny_calendar_sim", "simulation"),
+            ("tiny_calendar_service", "service"),
+        ] {
+            let of: Vec<_> = rows.iter().filter(|r| r.scenario == name).collect();
+            assert_eq!(of.len(), CALENDAR_SWEEP_BACKENDS.len(), "{name}");
+            assert!(of.iter().all(|r| r.kind == kind), "{name}");
+            // backend identity (pop-for-pop for structure rows) is
+            // asserted inside the sweep; spot-check the emitted rows
+            assert!(
+                of.windows(2)
+                    .all(|w| w[0].events == w[1].events && w[0].makespan == w[1].makespan),
+                "{name}"
+            );
+            // heap is the reference row: NaN speedup there, finite
+            // positive ratios everywhere else
+            assert!(of[0].calendar == "heap" && of[0].speedup_vs_heap.is_nan());
+            assert!(of[1..]
+                .iter()
+                .all(|r| r.speedup_vs_heap.is_finite() && r.speedup_vs_heap > 0.0));
+        }
+        // the hold driver reports calendar ops: 64 seeded schedules plus
+        // pop+reschedule pairs for at least target_pops events
+        let hold = rows
+            .iter()
+            .find(|r| r.scenario == "service_hold_64")
+            .unwrap();
+        assert!(hold.events >= 64 + 2 * 2_048, "ops {}", hold.events);
+        assert_eq!(hold.makespan, 0);
+    }
+
+    #[test]
     fn lane_sweep_rows_do_not_confuse_the_gate_parser() {
         // Sweep rows reuse headline scenario names; the perf-gate parser
         // must capture only the headline scenarios array.
@@ -1728,6 +2147,16 @@ mod tests {
             makespan: 5,
             wall_ms: 654.321,
             events_per_sec: 10.0,
+        }];
+        let calendar = vec![CalendarScalingMeasurement {
+            scenario: "identity_1e4_t1".into(),
+            calendar: "hier",
+            kind: "simulation",
+            events: 10,
+            makespan: 5,
+            wall_ms: 444.444,
+            events_per_sec: 10.0,
+            speedup_vs_heap: f64::NAN,
         }];
         let shards = vec![ShardScalingMeasurement {
             scenario: "identity_1e4_t1".into(),
@@ -1796,6 +2225,7 @@ mod tests {
             &[m],
             &lanes,
             &storage,
+            &calendar,
             &shards,
             &degraded,
             &service,
@@ -1806,6 +2236,9 @@ mod tests {
         assert!(j.contains("\"calendar\": \"wheel\""));
         assert!(j.contains("\"storage_scaling\""));
         assert!(j.contains("\"storage\": \"chunked32\""));
+        assert!(j.contains("\"calendar_scaling\""));
+        assert!(j.contains("\"calendar\": \"hier\""));
+        assert!(j.contains("\"speedup_vs_heap\": null"));
         assert!(j.contains("\"shard_scaling\""));
         assert!(j.contains("\"shards\": 4"));
         assert!(j.contains("\"alpha_eff\": null"));
@@ -1823,8 +2256,8 @@ mod tests {
         assert_eq!(
             p.scenarios.len(),
             1,
-            "gate parser must not ingest lane_scaling/storage_scaling/shard_scaling/\
-             degraded_fleet/service_scaling/hetero_scaling rows"
+            "gate parser must not ingest lane_scaling/storage_scaling/calendar_scaling/\
+             shard_scaling/degraded_fleet/service_scaling/hetero_scaling rows"
         );
         assert_ne!(
             p.scenarios[0].1, 123.456,
@@ -1833,6 +2266,10 @@ mod tests {
         assert_ne!(
             p.scenarios[0].1, 654.321,
             "storage sweep wall_ms leaked into gate"
+        );
+        assert_ne!(
+            p.scenarios[0].1, 444.444,
+            "calendar sweep wall_ms leaked into gate"
         );
         assert_ne!(
             p.scenarios[0].1, 987.654,

@@ -59,6 +59,16 @@ use std::sync::Arc;
 /// Lane-time slice for chunked background composite-map construction.
 const BUILD_CHUNK_TICKS: u64 = 64;
 
+/// Event rounds between calendar rebalance checkpoints. Each checkpoint
+/// is a no-op unless the config asked for `CalendarKind::Auto`, in
+/// which case the calendar revisits its tuning decision against the
+/// spacing histogram gathered since the previous checkpoint. Counted in
+/// rounds (not wall time or windows), so the checkpoint instants — and
+/// therefore any retune — are identical across drivers and shard
+/// counts. Retunes preserve pop order bit-exactly regardless; this only
+/// keeps the *wall-time* profile reproducible too.
+const CALENDAR_REBALANCE_ROUNDS: u64 = 1024;
+
 /// Errors surfaced by a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
@@ -767,6 +777,11 @@ pub(crate) struct Engine {
     /// First structural abort (e.g. a retry policy giving up on lost
     /// work); set mid-run, surfaced by [`Engine::finish`].
     abort: Option<EngineError>,
+    /// Event rounds served, across all windows. Drives the calendar
+    /// rebalance checkpoints (`CalendarKind::Auto` retunes); purely a
+    /// count of deterministic simulation work, so checkpoints land at
+    /// the same instants on every driver and shard count.
+    rounds: u64,
 }
 
 impl Engine {
@@ -906,6 +921,7 @@ impl Engine {
             faults,
             hetero,
             abort: None,
+            rounds: 0,
             cfg: s.cfg,
             policy: s.policy,
         }
@@ -2741,6 +2757,13 @@ impl Engine {
                         _ => break,
                     }
                 }
+            }
+            self.rounds += 1;
+            if self.rounds.is_multiple_of(CALENDAR_REBALANCE_ROUNDS) {
+                // Auto-calendar rebalance checkpoint (no-op otherwise).
+                // Between rounds the calendar holds only future events,
+                // so a retune rebuild is safe and order-preserving.
+                self.events.rebalance();
             }
         };
         self.round_batch = batch;

@@ -74,6 +74,67 @@ fn identity_run(granules: u32, strategy: SplitStrategy, lanes: usize) -> (RunRep
     (report, after - before)
 }
 
+/// Like [`identity_run`], but on a deliberately cramped hierarchical
+/// calendar: a 4-slot, 4-level wheel covers only 4 ticks at level 0, so
+/// every `+100`-tick completion lands three rings up and cascades down
+/// through every level before service. Warm buckets circulate through
+/// the cascade scratch buffer instead of being reallocated, so even this
+/// worst-case geometry must add zero allocations per event.
+fn hier_calendar_run(granules: u32) -> (RunReport, u64) {
+    use pax_sim::CalendarKind;
+    let mut b = ProgramBuilder::new();
+    let pa = b.phase(PhaseDef::new("a", granules, CostModel::constant(100)));
+    let pb = b.phase(PhaseDef::new("b", granules, CostModel::constant(100)));
+    b.dispatch_enable(
+        pa,
+        vec![EnableSpec {
+            successor: pb,
+            mapping: EnablementMapping::Identity,
+        }],
+    );
+    b.dispatch(pb);
+    let program = b.build().unwrap();
+    let policy = OverlapPolicy::overlap()
+        .with_sizing(TaskSizing::Fixed(1))
+        .with_split_strategy(SplitStrategy::DemandSplit);
+    let cfg = MachineConfig::new(8).with_calendar(CalendarKind::HierWheel {
+        slots: 4,
+        bucket_ticks: 1,
+        levels: 4,
+    });
+    let mut sim = Simulation::new(cfg, policy).with_seed(1);
+    sim.add_job(program);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let report = sim.run().unwrap();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (report, after - before)
+}
+
+/// Hierarchical-wheel steady state: once every ring's buckets have been
+/// touched, scheduling, cascading, and popping all reuse existing
+/// storage — the growth bound matches the heap-calendar legs even though
+/// each event here migrates through four rings.
+fn assert_hier_calendar_steady_state_alloc_free() {
+    let (r1, a1) = hier_calendar_run(2_048);
+    let (r2, a2) = hier_calendar_run(8_192);
+    assert_eq!(r1.phases[0].stats.executed_granules, 2_048);
+    assert_eq!(r2.phases[0].stats.executed_granules, 8_192);
+    let extra_events = r2.events - r1.events;
+    assert!(
+        extra_events > 10_000,
+        "scenario too small to measure ({extra_events} extra events)"
+    );
+    let extra_allocs = a2.saturating_sub(a1);
+    let per_event = extra_allocs as f64 / extra_events as f64;
+    assert!(
+        per_event < 0.01,
+        "hierarchical-calendar completion processing allocates: \
+         {per_event:.4} allocations/event \
+         ({extra_allocs} extra allocations over {extra_events} extra events; \
+         run sizes {a1} vs {a2})"
+    );
+}
+
 /// Like [`identity_run`], but with the fault layer *enabled* and armed
 /// with a scripted crash far beyond any reachable makespan: every
 /// completion event pays the fault bookkeeping (staleness check, running
@@ -321,6 +382,11 @@ fn steady_state_completion_processing_is_allocation_free() {
     // once at run start).
     assert_steady_state_alloc_free(SplitStrategy::DemandSplit, 8);
     assert_steady_state_alloc_free(SplitStrategy::PreSplit, 64);
+    // Hierarchical calendar at its worst-case geometry: every completion
+    // cascades through four rings, yet warm buckets and the cascade
+    // scratch buffer are recycled — zero allocations per event.
+    let _ = hier_calendar_run(256);
+    assert_hier_calendar_steady_state_alloc_free();
     // Sharded fleet: the epoch loop's outbox/note/admission buffers are
     // reused across epochs, so windowed draining adds no per-event term.
     let _ = sharded_fleet_run(256);

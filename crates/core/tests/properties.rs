@@ -413,13 +413,15 @@ proptest! {
         prop_assert!(costly.makespan <= stolen.makespan);
     }
 
-    /// The time-wheel event calendar is an observably identical drop-in
+    /// Every event-calendar backend is an observably identical drop-in
     /// for the binary heap: whole simulations produce the same report,
     /// event for event, across mappings, seeds, wheel sizes (small
-    /// wheels force heavy overflow-rail traffic), and bucket
-    /// coarsenesses (coarse buckets force the sorted-bucket path).
+    /// wheels force heavy overflow-rail traffic), bucket coarsenesses
+    /// (coarse buckets force the sorted-bucket path), hierarchical
+    /// geometries (cascade traffic), and the self-tuning calendar
+    /// (mid-run retunes).
     #[test]
-    fn time_wheel_runs_match_heap_runs(
+    fn calendar_backend_runs_match_heap_runs(
         granules in 2u32..24,
         procs in 1usize..9,
         cost in 1u64..60,
@@ -456,14 +458,30 @@ proptest! {
             s.run().unwrap()
         };
         let heap = run(pax_sim::calendar::CalendarKind::BinaryHeap);
-        let wheel = run(pax_sim::calendar::CalendarKind::TimeWheel { slots, bucket_ticks });
-        prop_assert_eq!(heap.makespan, wheel.makespan);
-        prop_assert_eq!(heap.events, wheel.events);
-        prop_assert_eq!(heap.tasks_dispatched, wheel.tasks_dispatched);
-        prop_assert_eq!(heap.splits, wheel.splits);
-        prop_assert_eq!(heap.compute_time, wheel.compute_time);
-        prop_assert_eq!(heap.mgmt_time, wheel.mgmt_time);
-        prop_assert_eq!(heap.descriptors_created, wheel.descriptors_created);
+        // Every other backend — single-level wheel, hierarchical wheel
+        // (a geometry small enough that real runs cascade constantly),
+        // and the self-tuning calendar (retuned at the engine's
+        // rebalance checkpoints) — must reproduce the heap run
+        // event-for-event.
+        for backend in [
+            pax_sim::calendar::CalendarKind::TimeWheel { slots, bucket_ticks },
+            pax_sim::calendar::CalendarKind::HierWheel {
+                slots: slots.min(32),
+                bucket_ticks,
+                levels: 3,
+            },
+            pax_sim::calendar::CalendarKind::hier_wheel(),
+            pax_sim::calendar::CalendarKind::Auto,
+        ] {
+            let other = run(backend);
+            prop_assert_eq!(heap.makespan, other.makespan, "backend {:?}", backend);
+            prop_assert_eq!(heap.events, other.events, "backend {:?}", backend);
+            prop_assert_eq!(heap.tasks_dispatched, other.tasks_dispatched, "backend {:?}", backend);
+            prop_assert_eq!(heap.splits, other.splits, "backend {:?}", backend);
+            prop_assert_eq!(heap.compute_time, other.compute_time, "backend {:?}", backend);
+            prop_assert_eq!(heap.mgmt_time, other.mgmt_time, "backend {:?}", backend);
+            prop_assert_eq!(heap.descriptors_created, other.descriptors_created, "backend {:?}", backend);
+        }
     }
 }
 

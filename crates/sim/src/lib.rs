@@ -51,7 +51,7 @@ pub mod metrics;
 pub mod time;
 pub mod trace;
 
-pub use calendar::{Calendar, CalendarKind, TimeWheel};
+pub use calendar::{Calendar, CalendarKind, HierWheel, SpacingStats, TimeWheel};
 pub use dist::{ArrivalProcess, CostModel, DurationDist};
 pub use event::EventQueue;
 pub use faults::{FaultModel, FaultPlan, RetryPolicy, ScriptedFault};

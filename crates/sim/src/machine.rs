@@ -472,6 +472,10 @@ pub enum ConfigError {
         /// Index of the *second* occurrence in `resources`.
         pool: usize,
     },
+    /// A `CalendarKind::HierWheel` with `levels == 0` has no rings at
+    /// all. (Slot and tick counts clamp; a zero level count is always a
+    /// config mistake.)
+    ZeroCalendarLevels,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -508,6 +512,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::DuplicatePoolName { pool } => {
                 write!(f, "resource pool {pool} repeats an earlier pool name")
+            }
+            ConfigError::ZeroCalendarLevels => {
+                write!(f, "hierarchical calendar needs at least one level")
             }
         }
     }
@@ -702,6 +709,9 @@ impl MachineConfig {
                 return Err(ConfigError::DuplicatePoolName { pool: i });
             }
         }
+        if let CalendarKind::HierWheel { levels: 0, .. } = self.calendar {
+            return Err(ConfigError::ZeroCalendarLevels);
+        }
         Ok(())
     }
 
@@ -843,6 +853,26 @@ mod tests {
             Err(ConfigError::ZeroExecutiveLanes)
         );
         assert_eq!(MachineConfig::new(4).validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_calendar_levels_rejected_at_validation() {
+        let bad = MachineConfig::new(4).with_calendar(CalendarKind::HierWheel {
+            slots: 256,
+            bucket_ticks: 1,
+            levels: 0,
+        });
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroCalendarLevels));
+        assert!(ConfigError::ZeroCalendarLevels
+            .to_string()
+            .contains("at least one level"));
+        for ok in [
+            CalendarKind::hier_wheel(),
+            CalendarKind::hier_wheel_coarse(16),
+            CalendarKind::Auto,
+        ] {
+            assert_eq!(MachineConfig::new(4).with_calendar(ok).validate(), Ok(()));
+        }
     }
 
     #[test]

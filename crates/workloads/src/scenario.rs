@@ -525,7 +525,10 @@ pub struct MachineDoc {
     pub faults: Option<FaultDoc>,
 }
 
-/// Calendar selection (`machine.calendar`).
+/// Calendar selection (`machine.calendar`): a bare string (`"heap"`,
+/// `"wheel"`, `"hier"`, `"auto"`) for the default geometries, or an
+/// object `{ "kind": "hier", "slots": …, "bucket_ticks": …, "levels": … }`
+/// to tune the hierarchical wheel's rings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CalendarDoc {
     /// The binary-heap event list (default).
@@ -533,6 +536,21 @@ pub enum CalendarDoc {
     Heap,
     /// The bucketed time wheel with default geometry.
     Wheel,
+    /// The hierarchical timer wheel; `None` fields keep the crate
+    /// defaults (`DEFAULT_HIER_SLOTS` slots, 1-tick level-0 buckets,
+    /// `DEFAULT_HIER_LEVELS` rings).
+    Hier {
+        /// Slots per ring (`None` keeps the default).
+        slots: Option<usize>,
+        /// Ticks per level-0 bucket (`None` keeps the default).
+        bucket_ticks: Option<u64>,
+        /// Ring count (`None` keeps the default; 0 is rejected at
+        /// config validation).
+        levels: Option<usize>,
+    },
+    /// The self-tuning calendar: starts on the heap and re-picks the
+    /// backend from the observed event-spacing distribution.
+    Auto,
 }
 
 /// One `machine.classes[i]` entry.
@@ -917,19 +935,7 @@ fn parse_machine(node: &Node) -> Result<MachineDoc, ScenarioError> {
         None => None,
     };
     let calendar = match m.get("calendar") {
-        Some(n) => match n.str_("machine.calendar")? {
-            "heap" => CalendarDoc::Heap,
-            "wheel" => CalendarDoc::Wheel,
-            other => {
-                return Err(err(
-                    n.line,
-                    "machine.calendar",
-                    ScenarioErrorKind::Invalid(format!(
-                        "unknown calendar '{other}' (expected 'heap' or 'wheel')"
-                    )),
-                ))
-            }
-        },
+        Some(n) => parse_calendar(n)?,
         None => CalendarDoc::Heap,
     };
     let shards = match m.get("shards") {
@@ -1014,6 +1020,61 @@ fn parse_pool(node: &Node, path: &str) -> Result<PoolDoc, ScenarioError> {
         name: p.req("name", path)?.str_(&format!("{path}.name"))?.into(),
         tokens: p.req("tokens", path)?.u32_(&format!("{path}.tokens"))?,
     })
+}
+
+fn parse_calendar(node: &Node) -> Result<CalendarDoc, ScenarioError> {
+    let path = "machine.calendar";
+    let named = |name: &str, line: usize| match name {
+        "heap" => Ok(CalendarDoc::Heap),
+        "wheel" => Ok(CalendarDoc::Wheel),
+        "hier" => Ok(CalendarDoc::Hier {
+            slots: None,
+            bucket_ticks: None,
+            levels: None,
+        }),
+        "auto" => Ok(CalendarDoc::Auto),
+        other => Err(err(
+            line,
+            path,
+            ScenarioErrorKind::Invalid(format!(
+                "unknown calendar '{other}' (expected 'heap', 'wheel', 'hier', or 'auto')"
+            )),
+        )),
+    };
+    if matches!(node.v, Json::Str(_)) {
+        return named(node.str_(path)?, node.line);
+    }
+    let c = Obj::of(node, path)?;
+    c.check_keys(&["kind", "slots", "bucket_ticks", "levels"], path)?;
+    let kind_node = c.req("kind", path)?;
+    let kind = named(kind_node.str_(&format!("{path}.kind"))?, kind_node.line)?;
+    let geometry = ["slots", "bucket_ticks", "levels"]
+        .iter()
+        .find_map(|k| c.get(k).map(|n| (*k, n.line)));
+    match kind {
+        CalendarDoc::Hier { .. } => Ok(CalendarDoc::Hier {
+            slots: match c.get("slots") {
+                Some(n) => Some(n.usize_(&format!("{path}.slots"))?),
+                None => None,
+            },
+            bucket_ticks: match c.get("bucket_ticks") {
+                Some(n) => Some(n.u64_(&format!("{path}.bucket_ticks"))?),
+                None => None,
+            },
+            levels: match c.get("levels") {
+                Some(n) => Some(n.usize_(&format!("{path}.levels"))?),
+                None => None,
+            },
+        }),
+        flat => match geometry {
+            Some((key, line)) => Err(err(
+                line,
+                format!("{path}.{key}"),
+                ScenarioErrorKind::Invalid(format!("'{key}' applies only to calendar kind 'hier'")),
+            )),
+            None => Ok(flat),
+        },
+    }
 }
 
 fn parse_admission(node: &Node) -> Result<AdmissionDoc, ScenarioError> {
@@ -1345,9 +1406,20 @@ impl MachineDoc {
         if let Some(lanes) = self.lanes {
             cfg = cfg.with_executive_lanes(lanes);
         }
-        if self.calendar == CalendarDoc::Wheel {
-            cfg = cfg.with_calendar(CalendarKind::time_wheel());
-        }
+        cfg = match self.calendar {
+            CalendarDoc::Heap => cfg,
+            CalendarDoc::Wheel => cfg.with_calendar(CalendarKind::time_wheel()),
+            CalendarDoc::Hier {
+                slots,
+                bucket_ticks,
+                levels,
+            } => cfg.with_calendar(CalendarKind::HierWheel {
+                slots: slots.unwrap_or(pax_sim::calendar::DEFAULT_HIER_SLOTS),
+                bucket_ticks: bucket_ticks.unwrap_or(1),
+                levels: levels.unwrap_or(pax_sim::calendar::DEFAULT_HIER_LEVELS),
+            }),
+            CalendarDoc::Auto => cfg.with_calendar(CalendarKind::Auto),
+        };
         if let Some(shards) = self.shards {
             cfg = cfg.with_shards(ShardPolicy::new(shards));
         }
@@ -1568,13 +1640,33 @@ impl Scenario {
         if let Some(lanes) = m.lanes {
             o.push_str(&format!("    \"lanes\": {lanes},\n"));
         }
-        o.push_str(&format!(
-            "    \"calendar\": \"{}\",\n",
-            match m.calendar {
-                CalendarDoc::Heap => "heap",
-                CalendarDoc::Wheel => "wheel",
+        match m.calendar {
+            CalendarDoc::Heap => o.push_str("    \"calendar\": \"heap\",\n"),
+            CalendarDoc::Wheel => o.push_str("    \"calendar\": \"wheel\",\n"),
+            CalendarDoc::Auto => o.push_str("    \"calendar\": \"auto\",\n"),
+            CalendarDoc::Hier {
+                slots: None,
+                bucket_ticks: None,
+                levels: None,
+            } => o.push_str("    \"calendar\": \"hier\",\n"),
+            CalendarDoc::Hier {
+                slots,
+                bucket_ticks,
+                levels,
+            } => {
+                o.push_str("    \"calendar\": { \"kind\": \"hier\"");
+                if let Some(s) = slots {
+                    o.push_str(&format!(", \"slots\": {s}"));
+                }
+                if let Some(b) = bucket_ticks {
+                    o.push_str(&format!(", \"bucket_ticks\": {b}"));
+                }
+                if let Some(l) = levels {
+                    o.push_str(&format!(", \"levels\": {l}"));
+                }
+                o.push_str(" },\n");
             }
-        ));
+        }
         if let Some(shards) = m.shards {
             o.push_str(&format!("    \"shards\": {shards},\n"));
         }
@@ -1958,6 +2050,106 @@ mod tests {
         let text = s.to_json();
         let back = Scenario::parse(&text).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn calendar_forms_parse_build_and_round_trip() {
+        let base = |cal: &str| {
+            format!(
+                r#"{{
+            "machine": {{ "processors": 2, "calendar": {cal} }},
+            "workload": [ {{
+                "name": "w",
+                "phases": [ {{ "name": "p", "granules": 4,
+                              "cost": {{ "dist": "constant", "ticks": 1 }} }} ]
+            }} ]
+        }}"#
+            )
+        };
+        let parse = |cal: &str| Scenario::parse(&base(cal)).unwrap();
+        assert_eq!(
+            parse(r#""hier""#).machine.calendar,
+            CalendarDoc::Hier {
+                slots: None,
+                bucket_ticks: None,
+                levels: None
+            }
+        );
+        assert_eq!(parse(r#""auto""#).machine.calendar, CalendarDoc::Auto);
+        // The object spelling works for the flat kinds too.
+        assert_eq!(
+            parse(r#"{ "kind": "wheel" }"#).machine.calendar,
+            CalendarDoc::Wheel
+        );
+        // Partial hier geometry: absent keys keep the crate defaults.
+        let tuned = parse(r#"{ "kind": "hier", "slots": 64, "levels": 3 }"#);
+        assert_eq!(
+            tuned.machine.calendar,
+            CalendarDoc::Hier {
+                slots: Some(64),
+                bucket_ticks: None,
+                levels: Some(3)
+            }
+        );
+        assert_eq!(
+            tuned.machine.to_config().calendar,
+            CalendarKind::HierWheel {
+                slots: 64,
+                bucket_ticks: 1,
+                levels: 3
+            }
+        );
+        assert_eq!(
+            parse(r#""hier""#).machine.to_config().calendar,
+            CalendarKind::hier_wheel()
+        );
+        assert_eq!(
+            parse(r#""auto""#).machine.to_config().calendar,
+            CalendarKind::Auto
+        );
+        // Every spelling survives a to_json → parse round trip.
+        for cal in [
+            r#""hier""#,
+            r#""auto""#,
+            r#"{ "kind": "hier", "slots": 64, "levels": 3 }"#,
+            r#"{ "kind": "hier", "bucket_ticks": 8 }"#,
+        ] {
+            let s = parse(cal);
+            assert_eq!(Scenario::parse(&s.to_json()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn calendar_diagnostics_carry_line_and_path() {
+        let base = |cal: &str| {
+            format!(
+                "{{\n  \"machine\": {{ \"processors\": 2,\n    \"calendar\": {cal} }},\n  \
+                 \"workload\": [ {{ \"name\": \"w\",\n    \"phases\": [ {{ \"name\": \"p\", \
+                 \"granules\": 4, \"cost\": {{ \"dist\": \"constant\", \"ticks\": 1 }} }} ] }} ]\n}}"
+            )
+        };
+        let e = Scenario::parse(&base("\"tree\"")).unwrap_err();
+        assert_eq!(e.path, "machine.calendar");
+        assert_eq!(e.line, 3);
+        assert!(matches!(e.kind, ScenarioErrorKind::Invalid(ref m) if m.contains("'tree'")));
+        let e = Scenario::parse(&base("{ \"kind\": \"tree\" }")).unwrap_err();
+        assert_eq!(e.path, "machine.calendar");
+        assert!(matches!(e.kind, ScenarioErrorKind::Invalid(ref m) if m.contains("'tree'")));
+        // Geometry keys are hier-only.
+        let e = Scenario::parse(&base("{ \"kind\": \"wheel\", \"slots\": 4 }")).unwrap_err();
+        assert_eq!(e.path, "machine.calendar.slots");
+        assert_eq!(e.line, 3);
+        assert!(matches!(e.kind, ScenarioErrorKind::Invalid(ref m) if m.contains("hier")));
+        // Unknown geometry keys are caught by the object key check.
+        let e = Scenario::parse(&base("{ \"kind\": \"hier\", \"rings\": 4 }")).unwrap_err();
+        assert_eq!(e.path, "machine.calendar.rings");
+        assert!(matches!(e.kind, ScenarioErrorKind::UnknownField(_)));
+        // levels: 0 is caught by the config validation run at parse
+        // time, attributed to the machine block.
+        let e = Scenario::parse(&base("{ \"kind\": \"hier\", \"levels\": 0 }")).unwrap_err();
+        assert_eq!(e.path, "machine");
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, ScenarioErrorKind::Invalid(ref m) if m.contains("level")));
     }
 
     #[test]

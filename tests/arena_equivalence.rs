@@ -224,6 +224,12 @@ fn fingerprint_on(shape: &Shape, cfg: MachineConfig) -> String {
         sim.add_job(shape.program.clone());
     }
     let r = sim.run().unwrap_or_else(|e| panic!("{}: {e}", shape.name));
+    golden_fingerprint(shape.name, &r)
+}
+
+/// The golden-line format shared by every driver: the observable surface
+/// a calendar/layout/driver change is *not* allowed to perturb.
+fn golden_fingerprint(name: &str, r: &pax_core::report::RunReport) -> String {
     let phase_sig: String = r
         .phases
         .iter()
@@ -236,8 +242,7 @@ fn fingerprint_on(shape: &Shape, cfg: MachineConfig) -> String {
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "{} ev={} mk={} tasks={} splits={} descs={} peak={} mgmt={} remote={} phases=[{}]",
-        shape.name,
+        "{name} ev={} mk={} tasks={} splits={} descs={} peak={} mgmt={} remote={} phases=[{phase_sig}]",
         r.events,
         r.makespan.ticks(),
         r.tasks_dispatched,
@@ -246,7 +251,6 @@ fn fingerprint_on(shape: &Shape, cfg: MachineConfig) -> String {
         r.descriptors_peak,
         r.mgmt_time.ticks(),
         r.remote_granules,
-        phase_sig
     )
 }
 
@@ -388,30 +392,7 @@ fn fingerprint_windowed(shape: &Shape, cfg: MachineConfig, window: u64) -> Strin
     let r = session
         .report()
         .unwrap_or_else(|e| panic!("{}: {e}", shape.name));
-    let phase_sig: String = r
-        .phases
-        .iter()
-        .map(|p| {
-            format!(
-                "{}:{}+{}",
-                p.job, p.stats.executed_granules, p.stats.overlap_granules
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(",");
-    format!(
-        "{} ev={} mk={} tasks={} splits={} descs={} peak={} mgmt={} remote={} phases=[{}]",
-        shape.name,
-        r.events,
-        r.makespan.ticks(),
-        r.tasks_dispatched,
-        r.splits,
-        r.descriptors_created,
-        r.descriptors_peak,
-        r.mgmt_time.ticks(),
-        r.remote_granules,
-        phase_sig
-    )
+    golden_fingerprint(shape.name, &r)
 }
 
 /// The session API is a drive-loop refactor, not a semantics change:
@@ -519,6 +500,64 @@ fn sharded_engine_matches_goldens_on_all_shapes() {
     assert!(
         mismatches.is_empty(),
         "sharded-engine behavior drift:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// The calendar backend is a host-performance knob, not a scheduling
+/// knob: the hierarchical wheel (default geometry and a deliberately
+/// cramped one whose levels overflow constantly) and the self-tuning
+/// `Auto` backend must reproduce the recorded goldens bit for bit on
+/// every experiment shape, at shard counts {1, 2, 4, 8}, on all three
+/// drivers — the one-shot inline run, the windowed session, and the
+/// threaded epoch-barrier driver.
+#[test]
+fn calendar_backends_match_goldens_on_all_shapes_and_drivers() {
+    use pax_sim::calendar::CalendarKind;
+    let shapes = shapes();
+    assert_eq!(shapes.len(), 13, "one scenario per experiment family");
+    let backends = [
+        CalendarKind::hier_wheel(),
+        CalendarKind::HierWheel {
+            slots: 8,
+            bucket_ticks: 4,
+            levels: 3,
+        },
+        CalendarKind::Auto,
+    ];
+    let mut mismatches = Vec::new();
+    for backend in backends {
+        for shards in [1usize, 2, 4, 8] {
+            for (i, shape) in shapes.iter().enumerate() {
+                let cfg = shape
+                    .cfg
+                    .clone()
+                    .with_calendar(backend)
+                    .with_shards(ShardPolicy::new(shards));
+                let golden = GOLDEN.get(i).copied().unwrap_or("<missing golden>");
+                let mut check = |driver: &str, actual: String| {
+                    if actual != golden {
+                        mismatches.push(format!(
+                            "  {driver} {backend:?} shards={shards}\n  expected: {golden}\n  actual:   {actual}"
+                        ));
+                    }
+                };
+                check("inline", fingerprint_on(shape, cfg.clone()));
+                check("windowed", fingerprint_windowed(shape, cfg.clone(), 97));
+                let mut sim = Simulation::new(cfg, shape.policy.clone()).with_seed(7);
+                for _ in 0..shape.jobs {
+                    sim.add_job(shape.program.clone());
+                }
+                let threaded = pax_runtime::run_simulation_sharded(sim)
+                    .map(|r| golden_fingerprint(shape.name, &r))
+                    .unwrap_or_else(|e| panic!("{}: {e}", shape.name));
+                check("threaded", threaded);
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "calendar-backend behavior drift:\n{}",
         mismatches.join("\n")
     );
 }

@@ -13,7 +13,7 @@
 //!    builds a runnable simulation.
 
 use pax_workloads::scenario::{
-    AdmissionDoc, AffinityDoc, ArrivalDoc, ClassDoc, DistDoc, FaultDoc, FaultEventDoc,
+    AdmissionDoc, AffinityDoc, ArrivalDoc, CalendarDoc, ClassDoc, DistDoc, FaultDoc, FaultEventDoc,
     FaultModelDoc, MachineDoc, MappingDoc, PhaseDoc, PolicyDoc, PoolDoc, ProgramDoc, RetryDoc,
     Scenario, ScenarioErrorKind, SizingDoc, StreamDoc,
 };
@@ -94,6 +94,40 @@ fn service_stream_cookbook_completes_all_jobs() {
     assert_eq!(r.jobs.len(), 24);
     assert_eq!(r.jobs_rejected, 0);
     assert!(r.jobs.iter().all(|j| j.finished_at.is_some()));
+}
+
+/// The hierarchical-calendar cookbook parses its tuned geometry, runs,
+/// and — because the calendar backend is a host-performance knob, not a
+/// scheduling knob — swapping it for the heap or the self-tuning Auto
+/// backend changes nothing observable through the scenario loader.
+#[test]
+fn hier_cookbook_is_backend_invariant() {
+    let s = Scenario::load_path(scenarios_dir().join("hier_calendar_stream.json")).unwrap();
+    assert_eq!(
+        s.machine.calendar,
+        CalendarDoc::Hier {
+            slots: Some(64),
+            bucket_ticks: Some(1),
+            levels: Some(3)
+        }
+    );
+    let fingerprint = |s: &Scenario| {
+        let r = s.build().unwrap().run().unwrap();
+        format!(
+            "ev={} mk={} tasks={} done={} peak={}",
+            r.events,
+            r.makespan.ticks(),
+            r.tasks_dispatched,
+            r.jobs_completed(),
+            r.instances_peak
+        )
+    };
+    let reference = fingerprint(&s);
+    for cal in [CalendarDoc::Heap, CalendarDoc::Wheel, CalendarDoc::Auto] {
+        let mut alt = s.clone();
+        alt.machine.calendar = cal;
+        assert_eq!(fingerprint(&alt), reference, "{cal:?} diverged");
+    }
 }
 
 /// Missing files are I/O errors, not panics.
@@ -188,6 +222,7 @@ mod round_trip {
         overlap: bool,
         sizing_kind: u8,
         quoted_name: bool,
+        calendar_kind: u8,
     ) -> Scenario {
         let classes = match split {
             0 => Vec::new(),
@@ -255,7 +290,26 @@ mod round_trip {
                 } else {
                     None
                 },
-                calendar: Default::default(),
+                calendar: match calendar_kind % 6 {
+                    0 => CalendarDoc::Heap,
+                    1 => CalendarDoc::Wheel,
+                    2 => CalendarDoc::Hier {
+                        slots: None,
+                        bucket_ticks: None,
+                        levels: None,
+                    },
+                    3 => CalendarDoc::Hier {
+                        slots: Some(16),
+                        bucket_ticks: Some(4),
+                        levels: Some(2),
+                    },
+                    4 => CalendarDoc::Hier {
+                        slots: None,
+                        bucket_ticks: Some(8),
+                        levels: None,
+                    },
+                    _ => CalendarDoc::Auto,
+                },
                 shards: if seed.is_multiple_of(5) {
                     Some(2)
                 } else {
@@ -349,12 +403,13 @@ mod round_trip {
             overlap in proptest::bool::ANY,
             sizing_kind in 0u8..3,
             quoted_name in proptest::bool::ANY,
+            calendar_kind in 0u8..6,
         ) {
             let doc = scenario_from(
                 seed, processors, split, speed, affinity, pools, tokens,
                 phases, granules, cost_kind, mapping_kind, admission,
                 fault_kind, retry_kind, stream_kind, overlap, sizing_kind,
-                quoted_name,
+                quoted_name, calendar_kind,
             );
             let text = doc.to_json();
             let back = Scenario::parse(&text)

@@ -108,6 +108,57 @@ fn faulty_service_stream_is_identical_across_shard_counts() {
     }
 }
 
+/// The calendar backends compose with service mode and faults: the same
+/// crashing Poisson stream is crash-for-crash identical — same crashes,
+/// retries, lost work, and latency percentiles — under the time wheel,
+/// the hierarchical wheel, and the self-tuning `Auto` calendar, sharded
+/// and unsharded, on both the inline and the threaded driver.
+#[test]
+fn faulty_service_stream_is_identical_across_calendar_backends() {
+    use pax_sim::CalendarKind;
+    let svc = ServiceConfig::poisson(600, 250).with_groups(4);
+    let machine = MachineConfig::new(3).with_faults(pax_workloads::degraded_fault_plan());
+    let reference = fault_signature(
+        &svc.simulation(machine.clone(), 23)
+            .run()
+            .expect("heap-calendar faulty service run"),
+    );
+    assert!(
+        !reference.contains("crashes=0 "),
+        "fault plan never fired — signature {reference}"
+    );
+    let backends = [
+        CalendarKind::time_wheel(),
+        CalendarKind::hier_wheel(),
+        CalendarKind::HierWheel {
+            slots: 16,
+            bucket_ticks: 8,
+            levels: 2,
+        },
+        CalendarKind::Auto,
+    ];
+    for backend in backends {
+        for shards in [1usize, 4] {
+            let cfg = machine
+                .clone()
+                .with_calendar(backend)
+                .with_shards(ShardPolicy::new(shards));
+            let inline = fault_signature(&svc.simulation(cfg.clone(), 23).run().unwrap());
+            assert_eq!(
+                inline, reference,
+                "inline driver diverged: {backend:?} shards={shards}"
+            );
+            let threaded = pax_runtime::run_simulation_sharded(svc.simulation(cfg, 23))
+                .map(|r| fault_signature(&r))
+                .unwrap();
+            assert_eq!(
+                threaded, reference,
+                "threaded driver diverged: {backend:?} shards={shards}"
+            );
+        }
+    }
+}
+
 /// Service mode through the explicit session: pausing a live stream at
 /// arbitrary global times and resuming reaches the same final report as
 /// the one-shot drive.
